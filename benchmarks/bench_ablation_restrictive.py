@@ -1,0 +1,154 @@
+"""Ablation: progressively restrictive queries (Section 6.2's proposed
+validation) and the suppression/coupling knobs from DESIGN.md.
+
+The paper proposes validating the topic-splitting advice "by running
+progressively more restrictive queries and seeing how that influences the
+replicability of the data returned (alongside the reported video pool
+size)".  We run exactly that ladder — umbrella query, subtopic query,
+subtopic AND extra term — plus two mechanism ablations:
+
+* ``narrowness_exponent = 0`` removes the pool/consistency coupling: the
+  restrictive-query replicability gain disappears;
+* suppression threshold 0 un-suppresses quiet hours: always-zero hours all
+  but vanish (Table 2's N column inflates toward 672).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from datetime import datetime, timedelta
+
+from repro.api import QuotaPolicy, YouTubeClient, build_service
+from repro.core.consistency import jaccard
+from repro.sampling.engine import BehaviorParams
+from repro.util.tables import render_table
+from repro.util.timeutil import UTC, format_rfc3339
+from repro.world.topics import topic_by_key
+
+from conftest import SEED, write_artifact
+
+START = datetime(2025, 2, 9, tzinfo=UTC)
+
+
+def _replicability(client, spec, query, n_runs=4, interval_days=25):
+    """J(first run, last run) plus mean pool size for one query."""
+    sets = []
+    pools = []
+    for i in range(n_runs):
+        client.service.clock.set(START + timedelta(days=interval_days * i))
+        page_items = client.search_all(
+            q=query,
+            order="date",
+            safeSearch="none",
+            publishedAfter=format_rfc3339(spec.window_start),
+            publishedBefore=format_rfc3339(spec.window_end),
+        )
+        sets.append({item["id"]["videoId"] for item in page_items})
+        probe = client.search_page(q=query, maxResults=1)
+        pools.append(probe["pageInfo"]["totalResults"])
+    return jaccard(sets[0], sets[-1]), sum(pools) / len(pools), len(sets[-1])
+
+
+def test_restrictive_query_ladder(benchmark, paper_world, paper_specs):
+    service = build_service(
+        paper_world, seed=SEED, specs=paper_specs,
+        quota_policy=QuotaPolicy(researcher_program=True),
+    )
+    client = YouTubeClient(service)
+    spec = topic_by_key("worldcup", paper_specs)
+    ladder = [
+        ("umbrella", spec.query),
+        ("subtopic", spec.subtopics[2].query),  # "world cup goals"
+        ("subtopic+AND", spec.subtopics[3].query),  # "messi world cup" (narrower)
+    ]
+
+    def analyze():
+        return [
+            (name, *_replicability(client, spec, query))
+            for name, query in ladder
+        ]
+
+    results = benchmark.pedantic(analyze, rounds=1, iterations=1)
+
+    rows = [
+        [name, round(j, 3), int(pool), size]
+        for name, j, pool, size in results
+    ]
+    write_artifact(
+        "ablation_restrictive.txt",
+        render_table(
+            ["query", "J(first,last)", "mean pool", "videos"],
+            rows,
+            title="Section 6.2 validation: restrictive queries vs replicability",
+        ),
+    )
+
+    # More restrictive -> smaller reported pool.
+    pools = [pool for _, _, pool, _ in results]
+    assert pools[0] > pools[1] > pools[2]
+    # More restrictive -> more replicable (the paper's hypothesis).
+    js = [j for _, j, _, _ in results]
+    assert js[2] > js[0] + 0.05
+    assert js[1] > js[0]
+
+
+def test_coupling_ablation(benchmark, paper_world, paper_specs):
+    """Without the narrowness coupling, restriction stops paying off."""
+    flat = build_service(
+        paper_world, seed=SEED, specs=paper_specs,
+        quota_policy=QuotaPolicy(researcher_program=True),
+        behavior=BehaviorParams(narrowness_exponent=0.0),
+    )
+    client = YouTubeClient(flat)
+    spec = topic_by_key("worldcup", paper_specs)
+    def analyze():
+        ju, _, _ = _replicability(client, spec, spec.query)
+        jn, _, _ = _replicability(client, spec, spec.subtopics[3].query)
+        return ju, jn
+
+    j_umbrella, j_narrow = benchmark.pedantic(analyze, rounds=1, iterations=1)
+    # The replicability gain from narrowing shrinks to noise.
+    assert j_narrow < j_umbrella + 0.12
+    write_artifact(
+        "ablation_coupling.txt",
+        "Coupling ablation (narrowness_exponent = 0):\n"
+        f"  umbrella J = {j_umbrella:.3f}, narrow J = {j_narrow:.3f} "
+        "(gain collapses without the pool-size coupling)",
+    )
+
+
+def test_suppression_ablation(benchmark, paper_world, paper_specs):
+    """Without suppression, always-zero hours nearly disappear."""
+    from repro.core import paper_campaign_config, run_campaign
+    from repro.core.hourly import hourly_stats
+
+    def retained_share(specs):
+        service = build_service(
+            paper_world, seed=SEED, specs=specs,
+            quota_policy=QuotaPolicy(researcher_program=True),
+        )
+        config = dataclasses.replace(
+            paper_campaign_config(topics=specs, with_comments=False),
+            collect_metadata=False,
+            n_scheduled=4,
+            skipped_indices=frozenset(),
+            comment_snapshot_indices=(),
+        )
+        campaign = run_campaign(config, YouTubeClient(service))
+        h = hourly_stats(campaign, "capriot")
+        return h.n_retained_hours / h.n_hours
+
+    baseline = benchmark.pedantic(
+        lambda: retained_share(paper_specs), rounds=1, iterations=1
+    )
+    no_suppression = retained_share(
+        tuple(dataclasses.replace(s, suppression=0.0) for s in paper_specs)
+    )
+    assert no_suppression > baseline + 0.2
+    write_artifact(
+        "ablation_suppression.txt",
+        "Suppression ablation (capriot):\n"
+        f"  baseline retained-hour share      = {baseline:.2f}\n"
+        f"  suppression disabled              = {no_suppression:.2f}\n"
+        "(the always-zero hours of Table 2 are the suppression mechanism)",
+    )

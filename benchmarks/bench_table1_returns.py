@@ -1,0 +1,61 @@
+"""Table 1: descriptive statistics for videos returned per topic.
+
+Paper values for reference (min / max / mean / std):
+
+    BLM       639 / 765 / 743.44 / 27.86
+    Brexit    478 / 573 / 559.81 / 21.86
+    Capitol   507 / 590 / 571.81 / 17.35
+    Grammys   564 / 677 / 659.13 / 25.45
+    Higgs     476 / 512 / 507.44 /  8.32
+    World Cup 419 / 516 / 502.50 / 21.96
+
+Shape targets: per-topic means within ~15% of the paper's, stds far below
+means, and the cross-topic ordering of means preserved.
+"""
+
+from __future__ import annotations
+
+from repro.core.report import render_table1
+from repro.stats.descriptive import describe
+
+from conftest import write_artifact
+
+PAPER_MEANS = {
+    "blm": 743.44,
+    "brexit": 559.81,
+    "capriot": 571.81,
+    "grammys": 659.13,
+    "higgs": 507.44,
+    "worldcup": 502.50,
+}
+
+
+def test_table1_returns(benchmark, paper_campaign, paper_specs):
+    def analyze():
+        return {
+            topic: describe(
+                [snap.topic(topic).total_returned for snap in paper_campaign.snapshots]
+            )
+            for topic in paper_campaign.topic_keys
+        }
+
+    stats = benchmark(analyze)
+
+    write_artifact("table1.txt", render_table1(paper_campaign, paper_specs))
+
+    for topic, paper_mean in PAPER_MEANS.items():
+        ours = stats[topic]
+        assert abs(ours.mean - paper_mean) / paper_mean < 0.15, topic
+        assert ours.std < 0.12 * ours.mean, topic
+        assert ours.minimum < ours.mean < ours.maximum, topic
+
+    # Cross-topic ordering of return volumes matches the paper for every
+    # pair the paper separates by more than 5% (Higgs and World Cup are
+    # within 1% of each other there — their order is noise).
+    topics = list(PAPER_MEANS)
+    for i, a in enumerate(topics):
+        for b in topics[i + 1 :]:
+            if abs(PAPER_MEANS[a] - PAPER_MEANS[b]) / PAPER_MEANS[b] < 0.05:
+                continue
+            paper_says_a_bigger = PAPER_MEANS[a] > PAPER_MEANS[b]
+            assert (stats[a].mean > stats[b].mean) == paper_says_a_bigger, (a, b)

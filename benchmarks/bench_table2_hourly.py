@@ -1,0 +1,52 @@
+"""Table 2: per-hour returned-video statistics and the volume/consistency rho.
+
+Paper values for reference (mean / max / rho / N of 672 hours):
+
+    BLM       1.10 / 17 /  **0.13 / 267
+    Brexit    0.83 / 13 / ***0.15 / 324
+    Capitol   0.85 / 28 / ***0.29 / 242
+    Grammys   0.98 / 21 / ***0.26 / 387
+    Higgs     0.75 / 14 /   -0.11 / 216
+    World Cup 0.75 / 31 /   *0.12 / 418
+
+Shape targets: hourly maxima far below the 50/page ceiling (ruling out
+ceiling effects), modal hourly count 0, a large fraction of hours dropped
+as always-zero, and non-negative (mostly positive) volume-consistency
+correlations — the *opposite* of the ceiling-effect prediction.
+"""
+
+from __future__ import annotations
+
+from repro.core.hourly import hourly_stats
+from repro.core.report import render_table2
+
+from conftest import write_artifact
+
+
+def test_table2_hourly(benchmark, paper_campaign, paper_specs):
+    def analyze():
+        return {
+            topic: hourly_stats(paper_campaign, topic)
+            for topic in paper_campaign.topic_keys
+        }
+
+    stats = benchmark(analyze)
+
+    write_artifact("table2.txt", render_table2(paper_campaign, paper_specs))
+
+    rhos = []
+    for topic, h in stats.items():
+        assert h.maximum < 50, f"{topic}: ceiling reached"
+        assert h.ceiling_headroom > 0.3, f"{topic}: too close to the page cap"
+        assert h.minimum == 0
+        assert 0.4 < h.mean < 2.0, topic  # paper band: 0.75-1.10
+        # Between ~25% and ~70% of hours ever return anything.
+        retained_share = h.n_retained_hours / h.n_hours
+        assert 0.15 < retained_share < 0.75, topic
+        rhos.append((topic, h.rho))
+
+    # Volume-consistency correlations: weakly positive overall (the paper's
+    # anti-ceiling finding); allow one topic near zero/negative as in the
+    # paper's Higgs row.
+    positive = [t for t, rho in rhos if rho > 0.02]
+    assert len(positive) >= 4, rhos

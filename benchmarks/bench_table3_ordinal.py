@@ -1,0 +1,67 @@
+"""Table 3: binned ordinal (logit) model of return frequency.
+
+Paper values for reference (standardized betas):
+
+    brexit  ***+1.231   higgs ***+3.10   grammys *+0.171
+    duration ***-0.115  likes **+0.285   views/comments n.s. (collinear)
+    channel views *+0.318  channel subs **-0.378
+    LR chi2 = 1137.63 (p < .001), pseudo-R^2 = 0.079
+
+Shape targets: same signs and significance pattern on the key effects;
+low pseudo-R^2 ("much of the variance is indeed random"); the
+views/comments collinearity behavior under the drop-likes probe.
+"""
+
+from __future__ import annotations
+
+from repro.core.report import render_regression
+from repro.core.returnmodel import fit_binned_ordinal
+
+from conftest import write_artifact
+
+
+def test_table3_binned_ordinal(benchmark, paper_campaign, paper_records):
+    result = benchmark.pedantic(
+        lambda: fit_binned_ordinal(paper_records, paper_campaign.n_collections),
+        rounds=1,
+        iterations=1,
+    )
+
+    write_artifact(
+        "table3.txt",
+        render_regression(result, "Table 3: binned ordinal model (logit link)"),
+    )
+
+    assert result.converged
+    # Key video-level effects, with the paper's signs and significance.
+    assert result.coefficient("duration") < 0
+    assert result.p_value("duration") < 0.01
+    assert result.coefficient("likes") > 0
+    assert result.p_value("likes") < 0.05
+    # Topic effects vs BLM: the three small topics are positive/significant.
+    for topic in ("brexit (topic)", "higgs (topic)", "grammys (topic)"):
+        assert result.coefficient(topic) > 0, topic
+        assert result.p_value(topic) < 0.05, topic
+    # higgs dominates, as in the paper (3.10 vs 1.23 for brexit).
+    assert result.coefficient("higgs (topic)") > result.coefficient("brexit (topic)")
+    # Channel pair: +views / -subs.
+    assert result.coefficient("channel views") > 0
+    assert result.coefficient("channel subs") < 0
+    # Model significant overall but weak fit, like the paper.
+    assert result.lr_p_value < 0.001
+    assert result.pseudo_r_squared < 0.25
+
+
+def test_table3_collinearity_probe(benchmark, paper_campaign, paper_records):
+    """The paper: views/comments 'become significant when likes are
+    dropped from the model'."""
+    def analyze():
+        full = fit_binned_ordinal(paper_records, paper_campaign.n_collections)
+        probe = fit_binned_ordinal(
+            paper_records, paper_campaign.n_collections, drop=("likes",)
+        )
+        return full, probe
+
+    full, probe = benchmark.pedantic(analyze, rounds=1, iterations=1)
+    assert probe.coefficient("views") > full.coefficient("views")
+    assert probe.p_value("views") < 0.05

@@ -1,0 +1,85 @@
+"""Table 4: potential video pool size (pageInfo.totalResults) per topic.
+
+Paper values for reference (min / max / mean / mode):
+
+    BLM       679k  / 1M    / 982k / 1M
+    Brexit    247k  / 786k  / 624k / 613k
+    Capitol   515k  / 1M    / 966k / 1M
+    Grammys   12.8k / 1M    / 150k / 123k
+    Higgs     5.50k / 65.2k / 40.2k/ 39.0k
+    World Cup 634k  / 1M    / 998k / 1M
+
+Shape targets: the same three topics moded at the 1M cap; Higgs smallest by
+an order of magnitude; pool sizes wildly exceeding anything an hourly window
+could contain (time insensitivity); pool size anti-correlated with
+consistency across topics.
+"""
+
+from __future__ import annotations
+
+from repro.core.pools import pool_consistency_coupling, pool_stats
+from repro.core.report import render_table4
+from repro.sampling.pool import TOTAL_RESULTS_CAP
+from repro.stats.correlation import spearman
+
+from conftest import write_artifact
+
+PAPER_MODES = {
+    "blm": 1_000_000,
+    "brexit": 613_000,
+    "capriot": 1_000_000,
+    "grammys": 123_000,
+    "higgs": 39_000,
+    "worldcup": 1_000_000,
+}
+
+
+def test_table4_pools(benchmark, paper_campaign, paper_specs):
+    def analyze():
+        return {
+            topic: pool_stats(paper_campaign, topic)
+            for topic in paper_campaign.topic_keys
+        }
+
+    stats = benchmark(analyze)
+
+    write_artifact("table4.txt", render_table4(paper_campaign, paper_specs))
+
+    for topic, paper_mode in PAPER_MODES.items():
+        ours = stats[topic]
+        assert ours.mode == paper_mode, topic
+        assert ours.maximum <= TOTAL_RESULTS_CAP
+    # Higgs is the smallest by an order of magnitude.
+    assert stats["higgs"].mean * 3 < min(
+        s.mean for t, s in stats.items() if t != "higgs"
+    )
+    # The modal *returned* count per hour is 0 while the modal pool is huge:
+    # the pool ignores the time window entirely.
+    assert stats["worldcup"].minimum > 10_000
+
+
+def test_pool_consistency_anticorrelation(benchmark, paper_campaign):
+    """Section 5's core claim: larger pools, less consistent returns.
+
+    With six topics the rank correlation is coarse (and the paper's own
+    data is not perfectly monotone either — Brexit is more stable than its
+    pool rank suggests), so the assertions are the directional facts the
+    paper actually argues from: negative association overall, the smallest
+    pool the most consistent, and every cap-pinned topic less consistent
+    than every sub-cap topic.
+    """
+    coupling = benchmark(lambda: pool_consistency_coupling(paper_campaign))
+    pools = {topic: mean_pool for topic, mean_pool, _ in coupling}
+    jaccards = {topic: j for topic, _, j in coupling}
+
+    rho = spearman(list(pools.values()), list(jaccards.values()))
+    assert rho.statistic < -0.3, coupling
+
+    smallest = min(pools, key=pools.get)
+    assert smallest == "higgs"
+    assert jaccards[smallest] == max(jaccards.values())
+
+    capped = [t for t, p in pools.items() if p > 900_000]
+    uncapped = [t for t in pools if t not in capped]
+    assert capped and uncapped
+    assert max(jaccards[t] for t in capped) < max(jaccards[t] for t in uncapped)

@@ -1,0 +1,61 @@
+"""Table 5: comment-set Jaccards between first and last collections.
+
+Paper values for reference (TL,NS / N,NS / TL,S / N,S):
+
+    BLM       .329 / .307 / .976 / .983
+    Brexit    .381 / .339 / .999 / .999
+    Capitol   .648 / .625 / .998 / .994
+    Grammys   .728 / .737 / .996 / .992
+    Higgs     .974 / N/A  / .998 / N/A
+    World Cup .470 / .532 / .999 / .999
+
+Shape targets: shared-video (S) columns near 1.0 for every topic — the
+comment endpoints themselves are stable; non-shared (NS) columns clearly
+lower (parent-video churn propagates); Higgs nested cells N/A (2012 reply
+affordance); Higgs the highest NS value (most stable parent sets).
+"""
+
+from __future__ import annotations
+
+from repro.core.comment_audit import comment_audit
+from repro.core.report import render_table5
+
+from conftest import write_artifact
+
+
+def test_table5_comments(benchmark, paper_campaign, paper_specs):
+    spec_by_key = {spec.key: spec for spec in paper_specs}
+
+    def analyze():
+        return {
+            topic: comment_audit(paper_campaign, spec_by_key[topic])
+            for topic in paper_campaign.topic_keys
+        }
+
+    rows = benchmark.pedantic(analyze, rounds=1, iterations=1)
+
+    write_artifact("table5.txt", render_table5(paper_campaign, paper_specs))
+
+    for topic, row in rows.items():
+        # Shared-video comment sets are near-identical: the endpoint is stable.
+        assert row.j_top_level_shared is not None
+        assert row.j_top_level_shared > 0.95, topic
+        # Full-set comparisons are dragged down by parent-video churn.
+        assert row.j_top_level_nonshared is not None
+        assert row.j_top_level_nonshared < row.j_top_level_shared, topic
+
+    # Higgs: no nested comments at all (the paper's N/A cells) ...
+    assert rows["higgs"].j_nested_nonshared is None
+    assert rows["higgs"].j_nested_shared is None
+    # ... and the highest top-level NS value (most stable parent sets).
+    ns_values = {
+        t: r.j_top_level_nonshared for t, r in rows.items() if t != "higgs"
+    }
+    assert rows["higgs"].j_top_level_nonshared > max(ns_values.values())
+
+    # Every other topic has nested comments with near-1.0 shared Jaccards.
+    for topic, row in rows.items():
+        if topic == "higgs":
+            continue
+        assert row.j_nested_shared is not None, topic
+        assert row.j_nested_shared > 0.95, topic

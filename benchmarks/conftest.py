@@ -1,0 +1,70 @@
+"""Shared benchmark fixtures: the paper-scale world and campaign.
+
+Everything here is session-scoped and built once per benchmark run: the
+full six-topic corpus (~8,000 videos), the Data API simulator over it, and
+the paper's exact 16-collection campaign (64,512 hourly search queries,
+with Videos:list/Channels:list metadata on every snapshot and comment
+captures on the first and last).  Individual benchmarks then time and
+validate the *analyses*, printing each table/figure in the paper's layout.
+
+Rendered outputs are also written to ``benchmarks/output/`` so the
+EXPERIMENTS.md paper-vs-measured record can cite stable artifacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro import YouTubeClient, build_service, build_world
+from repro.api.quota import QuotaPolicy
+from repro.core import paper_campaign_config, run_campaign
+from repro.core.returnmodel import build_regression_records
+from repro.world.topics import paper_topics
+
+SEED = 20250209
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def write_artifact(name: str, text: str) -> None:
+    """Persist a rendered table/figure and echo it to stdout."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / name).write_text(text + "\n", encoding="utf-8")
+    print("\n" + text)
+
+
+@pytest.fixture(scope="session")
+def paper_specs():
+    """The six paper topics at full scale."""
+    return paper_topics()
+
+
+@pytest.fixture(scope="session")
+def paper_world(paper_specs):
+    """The full-scale synthetic platform (with comments)."""
+    return build_world(paper_specs, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def paper_service(paper_world, paper_specs):
+    """Simulated Data API over the full world, researcher-program quota."""
+    return build_service(
+        paper_world, seed=SEED, specs=paper_specs,
+        quota_policy=QuotaPolicy(researcher_program=True),
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_campaign(paper_service, paper_specs):
+    """The paper's exact campaign: 16 collections, Feb 9 - Apr 30 2025."""
+    client = YouTubeClient(paper_service)
+    config = paper_campaign_config(topics=paper_specs, with_comments=True)
+    return run_campaign(config, client)
+
+
+@pytest.fixture(scope="session")
+def paper_records(paper_campaign):
+    """The Section 5 regression dataset over the full campaign."""
+    return build_regression_records(paper_campaign)

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Run a compact version of the paper's audit campaign and print its findings.
+
+This is the paper's Section 3-5 in one script: identical hour-binned
+historical queries on a 5-day cadence, then the consistency (Figure 1),
+volume-vs-identity (Figure 2), attrition (Figure 3) and pool-size (Table 4)
+analyses.  A scaled-down world keeps the runtime around a minute; pass
+``--full`` for the paper's exact 16-collection schedule on the full corpus.
+
+Run:  python examples/audit_campaign.py [--full]
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+import time
+
+from repro import YouTubeClient, build_service, build_world
+from repro.api.quota import QuotaPolicy
+from repro.core import paper_campaign_config, run_campaign
+from repro.core import report
+from repro.core.consistency import consistency_series
+from repro.world.corpus import scale_topics
+from repro.world.topics import paper_topics
+
+SEED = 7
+
+
+def main(argv: list[str]) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full", action="store_true",
+        help="paper-exact scale: 16 collections over the full corpus",
+    )
+    parser.add_argument(
+        "--save", metavar="PATH", default=None,
+        help="persist the campaign as JSONL for offline re-analysis",
+    )
+    args = parser.parse_args(argv)
+
+    if args.full:
+        specs = paper_topics()
+        config = paper_campaign_config(topics=specs, with_comments=False)
+    else:
+        specs = scale_topics(paper_topics(), 0.3)
+        config = dataclasses.replace(
+            paper_campaign_config(topics=specs, with_comments=False),
+            n_scheduled=8,
+            skipped_indices=frozenset(),
+        )
+
+    print(
+        f"campaign: {config.n_collections} collections x "
+        f"{config.queries_per_snapshot} hourly queries "
+        f"({config.quota_per_snapshot():,} search units per snapshot)"
+    )
+
+    world = build_world(specs, seed=SEED, with_comments=False)
+    service = build_service(
+        world, seed=SEED, specs=specs,
+        quota_policy=QuotaPolicy(researcher_program=True),
+    )
+    client = YouTubeClient(service)
+
+    started = time.time()
+    campaign = run_campaign(
+        config, client,
+        progress=lambda done, total: print(f"  collected snapshot {done}/{total}"),
+    )
+    print(f"done in {time.time() - started:.1f}s "
+          f"({service.quota.total_used:,} quota units total)\n")
+
+    if args.save:
+        n = campaign.save(args.save)
+        print(f"persisted {n} records to {args.save}\n")
+
+    # -- findings -----------------------------------------------------------
+    print(report.render_table1(campaign, specs), "\n")
+    print(report.render_table2(campaign, specs), "\n")
+    print(report.render_table4(campaign, specs), "\n")
+    print(report.render_figure3(campaign), "\n")
+
+    print("Figure 1 headline numbers (J(first, last) per topic):")
+    for spec in specs:
+        series = consistency_series(campaign, spec.key)
+        final = series[-1]
+        print(
+            f"  {spec.label:10s} J(S_last,S_1) = {final.j_first:.3f}  "
+            f"(= {final.shared_fraction_with_first:.0%} of videos shared); "
+            f"per-step churn: -{final.lost_from_previous} / +{final.gained_since_previous}"
+        )
+    print(
+        "\nReading: identical fully-historical queries drift apart with the "
+        "request date; the smallest topic (Higgs) barely drifts — the "
+        "paper's pool-size/consistency coupling."
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's Section 5: what makes a video come back?
+
+Runs a campaign, counts how often each video is returned, and fits the
+paper's three models — the binned ordinal logit (Table 3), the OLS
+robustness model (Table 6), and the unbinned cloglog ordinal (Table 7) —
+including the collinearity probes the paper describes (dropping ``likes``
+to watch ``views``/``comments`` pick up the popularity effect).
+
+Run:  python examples/bias_regression.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro import YouTubeClient, build_service, build_world
+from repro.api.quota import QuotaPolicy
+from repro.core import paper_campaign_config, run_campaign
+from repro.core.returnmodel import (
+    build_regression_records,
+    fit_binned_ordinal,
+    fit_frequency_ols,
+    fit_unbinned_ordinal,
+)
+from repro.stats.summaries import summarize_model
+from repro.world.corpus import scale_topics
+from repro.world.topics import paper_topics
+
+SEED = 3
+
+
+def main() -> None:
+    specs = scale_topics(paper_topics(), 0.45)
+    config = dataclasses.replace(
+        paper_campaign_config(topics=specs, with_comments=False),
+        n_scheduled=12,
+        skipped_indices=frozenset(),
+    )
+    world = build_world(specs, seed=SEED, with_comments=False)
+    service = build_service(
+        world, seed=SEED, specs=specs,
+        quota_policy=QuotaPolicy(researcher_program=True),
+    )
+    print(f"running {config.n_collections}-collection campaign ...")
+    campaign = run_campaign(config, YouTubeClient(service))
+
+    records = build_regression_records(campaign)
+    print(f"dataset: {len(records)} videos ever returned\n")
+
+    binned = fit_binned_ordinal(records, campaign.n_collections)
+    print(summarize_model(binned, "Binned ordinal logit (paper Table 3)"), "\n")
+
+    ols = fit_frequency_ols(records)
+    print(summarize_model(ols, "OLS with HC1 robust SEs (paper Table 6)"), "\n")
+
+    cloglog = fit_unbinned_ordinal(records)
+    print(summarize_model(cloglog, "Unbinned ordinal cloglog (paper Table 7)"), "\n")
+
+    # -- the paper's collinearity probe -----------------------------------------
+    no_likes = fit_frequency_ols(records, drop=("likes",))
+    print("collinearity probe: drop `likes` and watch `views` absorb the effect")
+    print(f"  views beta with likes in the model:   {ols.coefficient('views'):+.3f} "
+          f"(p={ols.p_value('views'):.3f})")
+    print(f"  views beta with likes dropped:        {no_likes.coefficient('views'):+.3f} "
+          f"(p={no_likes.p_value('views'):.3f})")
+
+    no_subs = fit_frequency_ols(records, drop=("channel subs",))
+    print("\nchannel pair probe (r ~ .97): drop `channel subs`")
+    print(f"  channel views beta, full model:       {ols.coefficient('channel views'):+.3f}")
+    print(f"  channel views beta, subs dropped:     {no_subs.coefficient('channel views'):+.3f}")
+
+    # -- the collinearity structure, as a first-class diagnostic ---------------
+    from repro.core.returnmodel import build_regression_design
+    from repro.stats.diagnostics import collinearity_report
+
+    print()
+    print(collinearity_report(build_regression_design(records)).render())
+    print(
+        "\nReading: shorter and more-liked videos return in more collections; "
+        "small topics (higgs, brexit) return far more consistently than BLM; "
+        "the channel views/subs pair trades off exactly as the paper warns."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Compare the paper's collection strategies head to head (Section 6).
+
+Three ways to collect one topic's videos, each run four times on the
+paper's 5-day cadence and scored on replicability (Jaccard between runs),
+coverage of the true topical corpus (known here because we own the
+simulator), and quota cost:
+
+* hour/day-binned time-split search — the traditional approach the paper
+  shows to be low-ROI;
+* topic-split search over subqueries — the paper's recommendation;
+* the ID-based channel pipeline (Channels:list -> PlaylistItems:list).
+
+Also demonstrates the ``totalResults`` probe-planner: check a query's
+reported pool before committing quota to it.
+
+Run:  python examples/collection_strategies.py
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+from repro import YouTubeClient, build_service, build_world
+from repro.api.quota import QuotaPolicy
+from repro.strategies import (
+    ChannelPipelineStrategy,
+    QueryPlanner,
+    TimeSplitStrategy,
+    TopicSplitStrategy,
+    evaluate_strategy,
+)
+from repro.util.tables import render_table
+from repro.util.timeutil import UTC
+from repro.world.corpus import scale_topics
+from repro.world.topics import paper_topics, topic_by_key
+
+SEED = 11
+
+
+def main() -> None:
+    specs = scale_topics(paper_topics(), 0.4)
+    world = build_world(specs, seed=SEED, with_comments=False)
+    service = build_service(
+        world, seed=SEED, specs=specs,
+        quota_policy=QuotaPolicy(researcher_program=True),
+    )
+    client = YouTubeClient(service)
+    start = datetime(2025, 2, 9, tzinfo=UTC)
+    spec = topic_by_key("worldcup", specs)
+
+    print(f"topic: {spec.label} ({spec.query!r}), corpus size {spec.n_videos}\n")
+
+    # -- probe before you sweep ------------------------------------------------
+    planner = QueryPlanner(pool_threshold=300_000)
+    plan = planner.plan(client, spec)
+    print("planner probes (totalResults per candidate query):")
+    for probe in plan.rejected:
+        print(f"  REJECT  {probe.query!r}: pool {probe.total_results:,}")
+    for probe in plan.accepted:
+        print(f"  accept  {probe.query!r}: pool {probe.total_results:,}")
+    print(f"  probing cost: {plan.probe_units} units\n")
+
+    # -- head-to-head -----------------------------------------------------------
+    strategies = [
+        TimeSplitStrategy(bin_hours=1),
+        TimeSplitStrategy(bin_hours=24),
+        TopicSplitStrategy(),
+        ChannelPipelineStrategy.from_seed_search(client, spec, max_channels=60),
+    ]
+    rows = []
+    for strategy in strategies:
+        ev = evaluate_strategy(strategy, client, spec, start, n_runs=4)
+        rows.append(
+            [
+                ev.strategy,
+                round(ev.j_successive_mean, 3),
+                round(ev.j_first_last, 3),
+                round(ev.coverage, 3),
+                int(ev.units_per_run),
+                round(ev.units_per_unique_video, 1),
+            ]
+        )
+    print(
+        render_table(
+            ["strategy", "J successive", "J first-last", "coverage",
+             "units/run", "units/unique video"],
+            rows,
+            title="Strategy comparison (4 runs each, 5-day cadence)",
+        )
+    )
+    print(
+        "\nReading: time-splitting buys quota cost, not replicability — the "
+        "endpoint churns on the request date regardless of bin size. "
+        "Topic-splitting is cheaper AND more replicable (smaller pools). "
+        "The ID-based channel pipeline is perfectly replicable and costs "
+        "almost nothing, at the price of needing a channel seed set."
+    )
+
+
+if __name__ == "__main__":
+    main()

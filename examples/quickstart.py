@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Quickstart: build a synthetic YouTube, query it like the real Data API.
+
+Demonstrates the basic loop of any YouTube measurement study:
+
+1. search for a topic in a historical window (``Search:list``);
+2. hydrate the returned IDs with metadata (``Videos:list``);
+3. look at the channels behind them (``Channels:list``);
+4. watch the quota meter — search costs 100x what ID lookups do.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import PAPER_TOPICS, YouTubeClient, build_service, build_world
+from repro.util.timeutil import format_rfc3339
+from repro.world.topics import topic_by_key
+
+SEED = 42
+
+
+def main() -> None:
+    # A full-scale synthetic platform: ~8,000 videos across the paper's six
+    # topics, with channels and comments.  Deterministic in the seed.
+    print("building world ...")
+    world = build_world(PAPER_TOPICS, seed=SEED)
+    print(f"  {world.summary()}")
+
+    service = build_service(world, seed=SEED)
+    client = YouTubeClient(service)
+
+    # -- 1. search ----------------------------------------------------------
+    spec = topic_by_key("higgs")
+    print(f"\nsearching {spec.query!r} in its 28-day window ...")
+    page = client.search_page(
+        q=spec.query,
+        order="date",
+        maxResults=10,
+        safeSearch="none",
+        publishedAfter=format_rfc3339(spec.window_start),
+        publishedBefore=format_rfc3339(spec.window_end),
+    )
+    print(f"  reported pool (totalResults): {page['pageInfo']['totalResults']:,}")
+    for item in page["items"][:5]:
+        snippet = item["snippet"]
+        print(f"  {item['id']['videoId']}  {snippet['publishedAt']}  {snippet['title'][:60]}")
+
+    # -- 2. hydrate with Videos:list -----------------------------------------
+    ids = [item["id"]["videoId"] for item in page["items"]]
+    videos = client.videos_list(ids)
+    print(f"\nmetadata for {len(videos)} videos:")
+    for resource in videos[:3]:
+        stats = resource["statistics"]
+        details = resource["contentDetails"]
+        print(
+            f"  {resource['id']}  views={stats['viewCount']:>9}  "
+            f"likes={stats['likeCount']:>7}  duration={details['duration']}"
+        )
+
+    # -- 3. channels ------------------------------------------------------------
+    channel_ids = [v["snippet"]["channelId"] for v in videos]
+    channels = client.channels_list(channel_ids)
+    print(f"\n{len(channels)} distinct channels; first:")
+    chan = channels[0]
+    print(
+        f"  {chan['snippet']['title']}  subs={chan['statistics']['subscriberCount']}  "
+        f"uploads playlist={chan['contentDetails']['relatedPlaylists']['uploads']}"
+    )
+
+    # -- 4. the quota meter ------------------------------------------------------
+    day = service.clock.today()
+    print(f"\nquota used today ({day}): {service.quota.used_on(day)} units")
+    print(f"calls by endpoint: {service.transport.calls_by_endpoint()}")
+    print(
+        "note the asymmetry: each search page costs 100 units, every "
+        "ID-based call costs 1."
+    )
+
+
+if __name__ == "__main__":
+    main()

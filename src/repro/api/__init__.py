@@ -1,0 +1,49 @@
+"""YouTube Data API v3 simulator.
+
+A faithful offline stand-in for the endpoints the paper uses:
+
+* ``Search:list`` (100 quota units) — keyword search with the *audited*
+  behavior from :mod:`repro.sampling` behind the documented interface
+  (paging, 50/page, 500/query, ``pageInfo.totalResults``);
+* ``Videos:list``, ``Channels:list``, ``PlaylistItems:list``,
+  ``CommentThreads:list``, ``Comments:list`` (1 unit each) — stable
+  ID-based endpoints (Appendix B);
+* quota accounting with the 10,000-unit daily default and a researcher
+  program uplift;
+* Google-API-shaped error responses (``quotaExceeded``, ``invalidPageToken``,
+  ...), page tokens, and RFC 3339 / ISO 8601 resource rendering.
+
+Entry points: build a :class:`~repro.api.service.YouTubeService` over a
+world store, then drive it directly or through the ergonomic
+:class:`~repro.api.client.YouTubeClient`.
+"""
+
+from repro.api.client import YouTubeClient
+from repro.api.clock import VirtualClock
+from repro.api.errors import (
+    ApiError,
+    BadRequestError,
+    ForbiddenError,
+    InvalidPageTokenError,
+    NotFoundError,
+    QuotaExceededError,
+    TransientServerError,
+)
+from repro.api.quota import QuotaLedger, QuotaPolicy
+from repro.api.service import YouTubeService, build_service
+
+__all__ = [
+    "YouTubeClient",
+    "YouTubeService",
+    "build_service",
+    "VirtualClock",
+    "QuotaPolicy",
+    "QuotaLedger",
+    "ApiError",
+    "BadRequestError",
+    "QuotaExceededError",
+    "InvalidPageTokenError",
+    "NotFoundError",
+    "ForbiddenError",
+    "TransientServerError",
+]

@@ -1,0 +1,73 @@
+"""The ``Channels:list`` endpoint (ID-based; stable).
+
+Supplies channel statistics for the paper's regression features and the
+``contentDetails.relatedPlaylists.uploads`` playlist ID that anchors the
+recommended channel-pipeline collection strategy (Section 6.1).
+"""
+
+from __future__ import annotations
+
+from repro.api.errors import BadRequestError
+from repro.api.resources import channel_resource, etag_for
+from repro.world.store import PlatformStore
+
+__all__ = ["ChannelsEndpoint", "MAX_IDS_PER_CALL"]
+
+MAX_IDS_PER_CALL = 50
+_VALID_PARTS = {"snippet", "statistics", "contentDetails"}
+
+
+class ChannelsEndpoint:
+    """``youtube.channels().list(...)`` equivalent."""
+
+    endpoint_name = "channels.list"
+
+    def __init__(self, store: PlatformStore, service) -> None:
+        self._store = store
+        self._service = service
+
+    def list(self, part: str = "snippet", id: str | list[str] = "") -> dict:
+        """Fetch up to 50 channels by ID; unknown IDs are omitted."""
+        ids = _normalize_ids(id)
+        parts = _parse_parts(part)
+        as_of = self._service.begin_call(self.endpoint_name)
+
+        items = []
+        for channel_id in ids:
+            channel = self._store.channel(channel_id)
+            if channel is None:
+                continue
+            items.append(channel_resource(channel, as_of, parts))
+
+        return {
+            "kind": "youtube#channelListResponse",
+            "etag": etag_for("channelList", ",".join(ids), as_of.date()),
+            "pageInfo": {"totalResults": len(items), "resultsPerPage": len(items)},
+            "items": items,
+        }
+
+
+def _normalize_ids(id_param: str | list[str]) -> list[str]:
+    if isinstance(id_param, str):
+        ids = [part.strip() for part in id_param.split(",") if part.strip()]
+    elif isinstance(id_param, (list, tuple)):
+        ids = [str(part).strip() for part in id_param if str(part).strip()]
+    else:
+        raise BadRequestError(f"id must be a string or list, got {type(id_param).__name__}")
+    if not ids:
+        raise BadRequestError("channels.list requires at least one id")
+    if len(ids) > MAX_IDS_PER_CALL:
+        raise BadRequestError(
+            f"channels.list accepts at most {MAX_IDS_PER_CALL} ids per call, got {len(ids)}"
+        )
+    return ids
+
+
+def _parse_parts(part: str) -> set[str]:
+    parts = {p.strip() for p in part.split(",") if p.strip()}
+    unknown = parts - _VALID_PARTS
+    if unknown:
+        raise BadRequestError(f"unknown part(s): {sorted(unknown)}")
+    if not parts:
+        raise BadRequestError("part must not be empty")
+    return parts

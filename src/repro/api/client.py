@@ -1,0 +1,169 @@
+"""Ergonomic client over the service: paging iterators, batching, retries.
+
+The raw endpoints mirror the HTTP API one page at a time; research code
+wants "all results for this query".  :class:`YouTubeClient` provides that,
+plus transparent retry on transient 500s (with injectable backoff so tests
+never sleep) and ID batching for the 50-per-call endpoints.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.api.errors import TransientServerError
+from repro.api.service import YouTubeService
+
+__all__ = ["YouTubeClient"]
+
+
+class YouTubeClient:
+    """High-level access patterns over a :class:`YouTubeService`."""
+
+    def __init__(
+        self,
+        service: YouTubeService,
+        max_retries: int = 3,
+        backoff: Callable[[int], None] | None = None,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        self._service = service
+        self._max_retries = max_retries
+        # Default backoff is a no-op: time is virtual in this simulator.
+        self._backoff = backoff or (lambda attempt: None)
+
+    @property
+    def service(self) -> YouTubeService:
+        """The underlying service (clock, quota, transport access)."""
+        return self._service
+
+    def _call(self, fn: Callable[[], dict]) -> dict:
+        """Invoke an endpoint with retry on transient server errors."""
+        attempt = 0
+        while True:
+            try:
+                return fn()
+            except TransientServerError:
+                attempt += 1
+                if attempt > self._max_retries:
+                    raise
+                self._backoff(attempt)
+
+    # -- search ---------------------------------------------------------------
+
+    def search_page(self, **params) -> dict:
+        """One raw search page (100 units)."""
+        return self._call(lambda: self._service.search.list(**params))
+
+    def search_all(self, limit: int = 500, **params) -> list[dict]:
+        """All search result items for a query, across pages (up to 500).
+
+        Each page costs 100 units; callers watching their quota should
+        prefer tight queries (see the planner in :mod:`repro.strategies`).
+        """
+        if limit <= 0:
+            raise ValueError("limit must be positive")
+        params.setdefault("maxResults", 50)
+        items: list[dict] = []
+        page_token: str | None = None
+        while True:
+            page_params = dict(params)
+            if page_token:
+                page_params["pageToken"] = page_token
+            response = self.search_page(**page_params)
+            items.extend(response["items"])
+            page_token = response.get("nextPageToken")
+            if not page_token or len(items) >= limit:
+                return items[:limit]
+
+    def search_video_ids(self, **params) -> list[str]:
+        """Video IDs of all search results for a query."""
+        return [item["id"]["videoId"] for item in self.search_all(**params)]
+
+    # -- ID-based endpoints -----------------------------------------------------
+
+    def videos_list(self, ids: list[str], part: str = "snippet,contentDetails,statistics") -> list[dict]:
+        """Fetch video resources for arbitrarily many IDs (batched by 50)."""
+        resources: list[dict] = []
+        for batch in _batches(ids, 50):
+            response = self._call(
+                lambda b=batch: self._service.videos.list(part=part, id=b)
+            )
+            resources.extend(response["items"])
+        return resources
+
+    def channels_list(self, ids: list[str], part: str = "snippet,statistics,contentDetails") -> list[dict]:
+        """Fetch channel resources for arbitrarily many IDs (batched by 50)."""
+        resources: list[dict] = []
+        for batch in _batches(sorted(set(ids)), 50):
+            response = self._call(
+                lambda b=batch: self._service.channels.list(part=part, id=b)
+            )
+            resources.extend(response["items"])
+        return resources
+
+    def uploads_playlist_id(self, channel_id: str) -> str | None:
+        """A channel's uploads playlist ID, or None if the channel is unknown."""
+        response = self._call(
+            lambda: self._service.channels.list(part="contentDetails", id=channel_id)
+        )
+        items = response["items"]
+        if not items:
+            return None
+        return items[0]["contentDetails"]["relatedPlaylists"]["uploads"]
+
+    def playlist_video_ids(self, playlist_id: str) -> list[str]:
+        """Every video ID in a playlist, fully paginated."""
+        ids: list[str] = []
+        page_token: str | None = None
+        while True:
+            response = self._call(
+                lambda tok=page_token: self._service.playlist_items.list(
+                    part="contentDetails",
+                    playlistId=playlist_id,
+                    maxResults=50,
+                    pageToken=tok,
+                )
+            )
+            ids.extend(item["contentDetails"]["videoId"] for item in response["items"])
+            page_token = response.get("nextPageToken")
+            if not page_token:
+                return ids
+
+    # -- comments ------------------------------------------------------------------
+
+    def comment_threads_all(self, video_id: str, include_replies: bool = True) -> list[dict]:
+        """All comment threads of a video, fully paginated."""
+        part = "snippet,replies" if include_replies else "snippet"
+        threads: list[dict] = []
+        page_token: str | None = None
+        while True:
+            response = self._call(
+                lambda tok=page_token: self._service.comment_threads.list(
+                    part=part, videoId=video_id, maxResults=50, pageToken=tok
+                )
+            )
+            threads.extend(response["items"])
+            page_token = response.get("nextPageToken")
+            if not page_token:
+                return threads
+
+    def comment_replies_all(self, parent_id: str) -> list[dict]:
+        """All replies under a top-level comment, fully paginated."""
+        replies: list[dict] = []
+        page_token: str | None = None
+        while True:
+            response = self._call(
+                lambda tok=page_token: self._service.comments.list(
+                    part="snippet", parentId=parent_id, maxResults=50, pageToken=tok
+                )
+            )
+            replies.extend(response["items"])
+            page_token = response.get("nextPageToken")
+            if not page_token:
+                return replies
+
+
+def _batches(items: list[str], size: int) -> Iterator[list[str]]:
+    for start in range(0, len(items), size):
+        yield items[start : start + size]

@@ -1,0 +1,50 @@
+"""Virtual request clock.
+
+The paper's entire finding hinges on the *request date*: identical queries
+made weeks apart return different data.  The simulator therefore carries an
+explicit clock that campaigns advance between snapshots, instead of reading
+wall time.  Quota accounting also keys its daily buckets off this clock.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+from repro.util.timeutil import UTC, ensure_utc
+
+__all__ = ["VirtualClock"]
+
+
+class VirtualClock:
+    """A settable, monotonically advancing UTC clock."""
+
+    def __init__(self, start: datetime | None = None) -> None:
+        if start is None:
+            start = datetime(2025, 2, 9, tzinfo=UTC)
+        self._now = ensure_utc(start)
+
+    def now(self) -> datetime:
+        """Current simulated time."""
+        return self._now
+
+    def today(self) -> str:
+        """ISO date of the current simulated day (quota bucket key)."""
+        return self._now.date().isoformat()
+
+    def set(self, when: datetime) -> None:
+        """Jump the clock to ``when`` (forwards or backwards).
+
+        Rewinding is permitted because every response is a pure function of
+        the request date: re-running an earlier date reproduces that date's
+        results exactly.  This is what lets evaluations replay the same
+        schedule against multiple strategies on one service.
+        """
+        self._now = ensure_utc(when)
+
+    def advance(self, **timedelta_kwargs: float) -> datetime:
+        """Advance by a timedelta (e.g. ``clock.advance(days=5)``)."""
+        delta = timedelta(**timedelta_kwargs)
+        if delta < timedelta(0):
+            raise ValueError("clock cannot move backwards")
+        self._now = self._now + delta
+        return self._now

@@ -1,0 +1,88 @@
+"""The ``CommentThreads:list`` endpoint (ID-based; Appendix B.2).
+
+Returns a video's comment threads: each item carries the top-level comment
+plus at most five inline replies; complete reply sets come from
+``Comments:list``.  Behavior is stable across request dates except for
+genuinely deleted comments — which is what produces the near-1.0 Jaccard
+values in Table 5's shared-video columns.
+"""
+
+from __future__ import annotations
+
+from repro.api.errors import BadRequestError, NotFoundError
+from repro.api.pagination import paginate
+from repro.api.resources import comment_thread_resource, etag_for
+from repro.util.rng import stable_hash
+from repro.world.store import PlatformStore
+
+__all__ = ["CommentThreadsEndpoint", "MAX_RESULTS"]
+
+MAX_RESULTS = 100
+_VALID_PARTS = {"snippet", "replies"}
+
+
+class CommentThreadsEndpoint:
+    """``youtube.commentThreads().list(...)`` equivalent."""
+
+    endpoint_name = "commentThreads.list"
+
+    def __init__(self, store: PlatformStore, service) -> None:
+        self._store = store
+        self._service = service
+
+    def list(
+        self,
+        part: str = "snippet",
+        videoId: str = "",
+        maxResults: int = 20,
+        pageToken: str | None = None,
+        order: str = "time",
+    ) -> dict:
+        """List the threads of one video, oldest first."""
+        parts = {p.strip() for p in part.split(",") if p.strip()}
+        unknown = parts - _VALID_PARTS
+        if unknown:
+            raise BadRequestError(f"unknown part(s): {sorted(unknown)}")
+        if not videoId:
+            raise BadRequestError("commentThreads.list requires videoId")
+        if order not in ("time", "relevance"):
+            raise BadRequestError(f"order must be time or relevance, got {order!r}")
+        if not 1 <= maxResults <= MAX_RESULTS:
+            raise BadRequestError(
+                f"maxResults must be within [1, {MAX_RESULTS}], got {maxResults}"
+            )
+
+        as_of = self._service.begin_call(self.endpoint_name)
+        video = self._store.video(videoId)
+        if video is None or not video.alive_at(as_of):
+            raise NotFoundError(f"video not found: {videoId}")
+
+        threads = self._store.threads_for_video(videoId, as_of)
+        if order == "relevance":
+            threads = sorted(
+                threads,
+                key=lambda t: (t.top_level.like_count, t.thread_id),
+                reverse=True,
+            )
+
+        fingerprint = str(stable_hash("threads-fingerprint", videoId, order))
+        # commentThreads.list allows up to 100 per page; the shared paginate
+        # helper enforces the search-style 50 bound, so slice manually here.
+        page = paginate(threads, fingerprint, min(maxResults, 50), pageToken)
+        include_replies = "replies" in parts
+        response: dict = {
+            "kind": "youtube#commentThreadListResponse",
+            "etag": etag_for("threadList", videoId, as_of.date(), page.offset),
+            "pageInfo": {
+                "totalResults": len(threads),
+                "resultsPerPage": maxResults,
+            },
+            "items": [
+                comment_thread_resource(t, as_of, include_replies) for t in page.items
+            ],
+        }
+        if page.next_page_token:
+            response["nextPageToken"] = page.next_page_token
+        if page.prev_page_token:
+            response["prevPageToken"] = page.prev_page_token
+        return response

@@ -1,0 +1,69 @@
+"""The ``Comments:list`` endpoint (ID-based; Appendix B.2).
+
+Fetches the *complete* reply set of a thread by its parent comment ID —
+the companion to ``CommentThreads:list``, which inlines at most five
+replies per thread.
+"""
+
+from __future__ import annotations
+
+from repro.api.errors import BadRequestError, NotFoundError
+from repro.api.pagination import paginate
+from repro.api.resources import comment_resource, etag_for
+from repro.util.rng import stable_hash
+from repro.world.store import PlatformStore
+
+__all__ = ["CommentsEndpoint", "MAX_RESULTS"]
+
+MAX_RESULTS = 100
+
+
+class CommentsEndpoint:
+    """``youtube.comments().list(...)`` equivalent."""
+
+    endpoint_name = "comments.list"
+
+    def __init__(self, store: PlatformStore, service) -> None:
+        self._store = store
+        self._service = service
+
+    def list(
+        self,
+        part: str = "snippet",
+        parentId: str = "",
+        maxResults: int = 20,
+        pageToken: str | None = None,
+    ) -> dict:
+        """List all replies under a parent (top-level) comment."""
+        parts = {p.strip() for p in part.split(",") if p.strip()}
+        if parts - {"snippet"}:
+            raise BadRequestError(f"unknown part(s): {sorted(parts - {'snippet'})}")
+        if not parentId:
+            raise BadRequestError("comments.list requires parentId")
+        if not 1 <= maxResults <= MAX_RESULTS:
+            raise BadRequestError(
+                f"maxResults must be within [1, {MAX_RESULTS}], got {maxResults}"
+            )
+
+        as_of = self._service.begin_call(self.endpoint_name)
+        thread = self._store.thread(parentId)
+        if thread is None or not thread.top_level.alive_at(as_of):
+            raise NotFoundError(f"comment not found: {parentId}")
+
+        replies = self._store.replies_for_thread(parentId, as_of)
+        fingerprint = str(stable_hash("comments-fingerprint", parentId))
+        page = paginate(replies, fingerprint, min(maxResults, 50), pageToken)
+        response: dict = {
+            "kind": "youtube#commentListResponse",
+            "etag": etag_for("commentList", parentId, as_of.date(), page.offset),
+            "pageInfo": {
+                "totalResults": len(replies),
+                "resultsPerPage": maxResults,
+            },
+            "items": [comment_resource(c, as_of) for c in page.items],
+        }
+        if page.next_page_token:
+            response["nextPageToken"] = page.next_page_token
+        if page.prev_page_token:
+            response["prevPageToken"] = page.prev_page_token
+        return response

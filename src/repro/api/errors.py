@@ -1,0 +1,92 @@
+"""Google-API-shaped errors.
+
+The real Data API reports failures as an HTTP status plus a JSON body with
+``error.code``, ``error.message`` and a list of ``error.errors`` each
+carrying a ``reason``.  Research client code usually dispatches on the
+``reason`` (``quotaExceeded`` vs ``invalidPageToken`` vs transient 5xx), so
+the simulator reproduces that surface exactly.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ApiError",
+    "BadRequestError",
+    "InvalidPageTokenError",
+    "NotFoundError",
+    "ForbiddenError",
+    "QuotaExceededError",
+    "TransientServerError",
+]
+
+
+class ApiError(Exception):
+    """Base class for simulated API failures."""
+
+    http_status: int = 400
+    reason: str = "badRequest"
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+        self.message = message
+
+    def to_json(self) -> dict:
+        """The Google error envelope, as client libraries see it."""
+        return {
+            "error": {
+                "code": self.http_status,
+                "message": self.message,
+                "errors": [
+                    {
+                        "message": self.message,
+                        "domain": "youtube.api",
+                        "reason": self.reason,
+                    }
+                ],
+            }
+        }
+
+    @property
+    def retriable(self) -> bool:
+        """Whether a client should retry the identical request."""
+        return self.http_status >= 500
+
+
+class BadRequestError(ApiError):
+    """Malformed or unsupported parameters (HTTP 400)."""
+
+    http_status = 400
+    reason = "invalidParameter"
+
+
+class InvalidPageTokenError(BadRequestError):
+    """Unknown or corrupted ``pageToken`` (HTTP 400, invalidPageToken)."""
+
+    reason = "invalidPageToken"
+
+
+class NotFoundError(ApiError):
+    """Referenced entity does not exist (HTTP 404)."""
+
+    http_status = 404
+    reason = "notFound"
+
+
+class ForbiddenError(ApiError):
+    """Access denied, e.g. comments disabled (HTTP 403)."""
+
+    http_status = 403
+    reason = "forbidden"
+
+
+class QuotaExceededError(ForbiddenError):
+    """Daily quota exhausted (HTTP 403, quotaExceeded)."""
+
+    reason = "quotaExceeded"
+
+
+class TransientServerError(ApiError):
+    """Backend hiccup (HTTP 500); safe to retry."""
+
+    http_status = 500
+    reason = "backendError"

@@ -1,0 +1,114 @@
+"""Partial-response ``fields`` filtering.
+
+The real Data API supports a ``fields`` parameter that prunes responses to
+just the named parts — heavily used by researchers to cut bandwidth (e.g.
+``fields=items(id/videoId),nextPageToken,pageInfo/totalResults`` keeps a
+search response to IDs and the pool estimate).  This implements the
+documented expression grammar:
+
+* comma-separated selections: ``a,b``;
+* nested selection with ``/``: ``a/b/c``;
+* sub-selections in parentheses: ``items(id,snippet/title)``;
+* ``*`` matches any key at its level.
+
+Filtering is applied to the already-rendered JSON response, exactly where
+the real API applies it (it never changes semantics, only shape).
+"""
+
+from __future__ import annotations
+
+from repro.api.errors import BadRequestError
+
+__all__ = ["parse_fields", "apply_fields", "filter_response"]
+
+
+def parse_fields(expression: str) -> dict:
+    """Parse a fields expression into a selection tree.
+
+    The tree maps each selected key to its sub-tree ({} = take the whole
+    subtree).  Raises ``BadRequestError`` on malformed expressions.
+    """
+    if not isinstance(expression, str) or not expression.strip():
+        raise BadRequestError("fields expression must be a non-empty string")
+    tree, rest = _parse_group(expression.strip())
+    if rest:
+        raise BadRequestError(f"unexpected trailing characters in fields: {rest!r}")
+    return tree
+
+
+def _parse_group(text: str) -> tuple[dict, str]:
+    """Parse a comma-separated selection group; stop at ')' or end."""
+    tree: dict = {}
+    while True:
+        text = text.lstrip()
+        name, text = _parse_name(text)
+        if not name:
+            raise BadRequestError("empty selector in fields expression")
+        subtree: dict = {}
+        if text.startswith("/"):
+            subtree, text = _parse_path(text[1:])
+        elif text.startswith("("):
+            subtree, text = _parse_group(text[1:])
+            if not text.startswith(")"):
+                raise BadRequestError("unbalanced parentheses in fields expression")
+            text = text[1:]
+        _merge(tree.setdefault(name, {}), subtree)
+        text = text.lstrip()
+        if text.startswith(","):
+            text = text[1:]
+            continue
+        return tree, text
+
+
+def _parse_path(text: str) -> tuple[dict, str]:
+    """Parse the remainder of a slash path (``b/c`` or ``b(x,y)``)."""
+    name, text = _parse_name(text)
+    if not name:
+        raise BadRequestError("dangling '/' in fields expression")
+    subtree: dict = {}
+    if text.startswith("/"):
+        subtree, text = _parse_path(text[1:])
+    elif text.startswith("("):
+        subtree, text = _parse_group(text[1:])
+        if not text.startswith(")"):
+            raise BadRequestError("unbalanced parentheses in fields expression")
+        text = text[1:]
+    return {name: subtree}, text
+
+
+def _parse_name(text: str) -> tuple[str, str]:
+    i = 0
+    while i < len(text) and (text[i].isalnum() or text[i] in "_*"):
+        i += 1
+    return text[:i], text[i:]
+
+
+def _merge(into: dict, other: dict) -> None:
+    for key, sub in other.items():
+        _merge(into.setdefault(key, {}), sub)
+
+
+def apply_fields(payload, tree: dict):
+    """Project a JSON payload through a selection tree."""
+    if not tree:
+        return payload
+    if isinstance(payload, list):
+        return [apply_fields(item, tree) for item in payload]
+    if not isinstance(payload, dict):
+        return payload
+    out = {}
+    for key, value in payload.items():
+        subtree = tree.get(key)
+        if subtree is None and "*" in tree:
+            subtree = tree["*"]
+        if subtree is None:
+            continue
+        out[key] = apply_fields(value, subtree)
+    return out
+
+
+def filter_response(response: dict, fields: str | None) -> dict:
+    """Apply an optional fields expression to a full response."""
+    if fields is None:
+        return response
+    return apply_fields(response, parse_fields(fields))

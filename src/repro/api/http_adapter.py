@@ -1,0 +1,176 @@
+"""Adapter for running the audit pipeline against the *real* Data API.
+
+Everything in :mod:`repro.core` talks to endpoint objects exposing
+``.list(**params) -> dict``.  This module provides the same surface backed
+by HTTPS calls to ``www.googleapis.com/youtube/v3`` so the identical
+collector/campaign/analysis code can run a live audit:
+
+    service = RealYouTubeService(api_key="...")     # needs network + key
+    client = YouTubeClient(service)                 # unchanged
+    campaign = run_campaign(config, client)         # unchanged
+
+Design notes:
+
+* request construction and response handling are pure functions
+  (:func:`build_request_url`, :func:`classify_http_error`), fully unit
+  tested offline; only :meth:`_HttpEndpoint.list` touches the network;
+* quota is tracked client-side with the same :class:`QuotaLedger`, charging
+  *before* the call so a budget overrun fails fast locally instead of
+  burning the project's quota on a 403;
+* error bodies are mapped onto the same exception types the simulator
+  raises, so retry logic and tests transfer unchanged.
+
+This module never runs in this repository's offline test suite beyond its
+pure parts; it exists so a reader with an API key can replicate the paper
+(and compare against the simulator) without modifying any pipeline code.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.parse
+import urllib.request
+from datetime import datetime, timezone
+
+from repro.api.errors import (
+    ApiError,
+    BadRequestError,
+    ForbiddenError,
+    InvalidPageTokenError,
+    NotFoundError,
+    QuotaExceededError,
+    TransientServerError,
+)
+from repro.api.quota import QuotaLedger, QuotaPolicy
+from repro.api.transport import Transport
+
+__all__ = [
+    "API_BASE_URL",
+    "build_request_url",
+    "classify_http_error",
+    "RealYouTubeService",
+]
+
+API_BASE_URL = "https://www.googleapis.com/youtube/v3"
+
+#: endpoint object attribute -> (URL path, quota name)
+_ENDPOINTS = {
+    "search": ("search", "search.list"),
+    "videos": ("videos", "videos.list"),
+    "channels": ("channels", "channels.list"),
+    "playlist_items": ("playlistItems", "playlistItems.list"),
+    "comment_threads": ("commentThreads", "commentThreads.list"),
+    "comments": ("comments", "comments.list"),
+    "video_categories": ("videoCategories", "videoCategories.list"),
+}
+
+
+def build_request_url(path: str, api_key: str, params: dict) -> str:
+    """Construct the HTTPS request URL for one call.
+
+    Parameter values are rendered the way google-api-python-client does:
+    lists become comma-joined strings, booleans lowercase, ``None`` values
+    are dropped.
+    """
+    if not api_key:
+        raise ValueError("api_key must be non-empty")
+    rendered: dict[str, str] = {}
+    for key, value in params.items():
+        if value is None:
+            continue
+        if isinstance(value, (list, tuple)):
+            rendered[key] = ",".join(str(v) for v in value)
+        elif isinstance(value, bool):
+            rendered[key] = "true" if value else "false"
+        else:
+            rendered[key] = str(value)
+    rendered["key"] = api_key
+    query = urllib.parse.urlencode(sorted(rendered.items()))
+    return f"{API_BASE_URL}/{path}?{query}"
+
+
+def classify_http_error(status: int, body: bytes | str) -> ApiError:
+    """Map an HTTP error response onto the simulator's exception types."""
+    if isinstance(body, bytes):
+        body = body.decode("utf-8", errors="replace")
+    reason = ""
+    message = body[:500]
+    try:
+        payload = json.loads(body)
+        error = payload.get("error", {})
+        message = error.get("message", message)
+        errors = error.get("errors") or [{}]
+        reason = errors[0].get("reason", "")
+    except (json.JSONDecodeError, AttributeError, IndexError, TypeError):
+        pass
+
+    if reason == "quotaExceeded":
+        return QuotaExceededError(message)
+    if reason == "invalidPageToken":
+        return InvalidPageTokenError(message)
+    if status == 403:
+        return ForbiddenError(message)
+    if status == 404:
+        return NotFoundError(message)
+    if status >= 500:
+        return TransientServerError(message)
+    return BadRequestError(message)
+
+
+class _HttpEndpoint:
+    """One live endpoint with the simulator's ``.list(**params)`` surface."""
+
+    def __init__(self, service: "RealYouTubeService", path: str, quota_name: str) -> None:
+        self._service = service
+        self._path = path
+        self.endpoint_name = quota_name
+
+    def list(self, **params) -> dict:
+        """Issue one live call (charges local quota first)."""
+        service = self._service
+        day = datetime.now(timezone.utc).date().isoformat()
+        service.quota.charge(self.endpoint_name, day)
+        url = build_request_url(self._path, service.api_key, params)
+        try:
+            with urllib.request.urlopen(url, timeout=service.timeout) as response:
+                body = response.read()
+        except urllib.error.HTTPError as exc:  # pragma: no cover - network
+            raise classify_http_error(exc.code, exc.read()) from exc
+        except urllib.error.URLError as exc:  # pragma: no cover - network
+            raise TransientServerError(f"network error: {exc.reason}") from exc
+        payload = json.loads(body)
+        service.transport.observe(
+            self.endpoint_name,
+            datetime.now(timezone.utc),
+            service.quota.cost_of(self.endpoint_name),
+        )
+        return payload
+
+
+class RealYouTubeService:
+    """Live-API drop-in for :class:`repro.api.service.YouTubeService`.
+
+    Carries the same endpoint attributes, a client-side quota ledger, and a
+    transport log.  It has no virtual clock (the real API's behavior is
+    keyed to wall time — which is the paper's entire point); campaign
+    runners that ``clock.set(...)`` should use
+    :class:`~repro.api.clock.VirtualClock` semantics only against the
+    simulator and a cron schedule against this.
+    """
+
+    def __init__(
+        self,
+        api_key: str,
+        quota_policy: QuotaPolicy | None = None,
+        timeout: float = 30.0,
+    ) -> None:
+        if not api_key:
+            raise ValueError("api_key must be non-empty")
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        self.api_key = api_key
+        self.timeout = timeout
+        self.quota = QuotaLedger(policy=quota_policy or QuotaPolicy())
+        self.transport = Transport()
+        for attribute, (path, quota_name) in _ENDPOINTS.items():
+            setattr(self, attribute, _HttpEndpoint(self, path, quota_name))

@@ -1,0 +1,139 @@
+"""Search query parsing and candidate matching.
+
+The ``q`` parameter supports a small boolean grammar on the real API:
+
+* bare terms are ANDed (``higgs boson`` requires both);
+* ``"quoted phrases"`` must appear verbatim;
+* ``-term`` excludes;
+* ``a|b`` means OR between alternatives.
+
+We implement that grammar against the store's token index (AND terms via
+the inverted index, then phrase/exclusion/OR refinement per candidate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.api.errors import BadRequestError
+from repro.world.store import PlatformStore, tokenize
+
+__all__ = ["ParsedQuery", "parse_query", "match_candidates"]
+
+
+@dataclass(frozen=True)
+class ParsedQuery:
+    """Structured form of a ``q`` parameter."""
+
+    required_tokens: tuple[str, ...] = ()
+    phrases: tuple[str, ...] = ()
+    excluded_tokens: tuple[str, ...] = ()
+    or_groups: tuple[tuple[str, ...], ...] = ()
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the query matches everything (no constraints)."""
+        return not (
+            self.required_tokens or self.phrases or self.excluded_tokens or self.or_groups
+        )
+
+
+def parse_query(q: str) -> ParsedQuery:
+    """Parse a raw ``q`` string into its boolean components."""
+    if not isinstance(q, str):
+        raise BadRequestError(f"q must be a string, got {type(q).__name__}")
+    required: list[str] = []
+    phrases: list[str] = []
+    excluded: list[str] = []
+    or_groups: list[tuple[str, ...]] = []
+
+    for piece in _split_respecting_quotes(q):
+        if piece.startswith('"') and piece.endswith('"') and len(piece) >= 2:
+            phrase = piece[1:-1].strip().lower()
+            if phrase:
+                phrases.append(phrase)
+                required.extend(tokenize(phrase))
+            continue
+        if piece.startswith("-") and len(piece) > 1:
+            excluded.extend(tokenize(piece[1:]))
+            continue
+        if "|" in piece:
+            alternatives = tuple(
+                tok for alt in piece.split("|") for tok in tokenize(alt)
+            )
+            if alternatives:
+                or_groups.append(alternatives)
+            continue
+        required.extend(tokenize(piece))
+
+    return ParsedQuery(
+        required_tokens=tuple(dict.fromkeys(required)),
+        phrases=tuple(phrases),
+        excluded_tokens=tuple(dict.fromkeys(excluded)),
+        or_groups=tuple(or_groups),
+    )
+
+
+def _split_respecting_quotes(q: str) -> list[str]:
+    """Split on whitespace, keeping quoted phrases together."""
+    pieces: list[str] = []
+    current: list[str] = []
+    in_quote = False
+    for ch in q:
+        if ch == '"':
+            in_quote = not in_quote
+            current.append(ch)
+        elif ch.isspace() and not in_quote:
+            if current:
+                pieces.append("".join(current))
+                current = []
+        else:
+            current.append(ch)
+    if current:
+        pieces.append("".join(current))
+    return pieces
+
+
+def match_candidates(store: PlatformStore, parsed: ParsedQuery) -> set[str]:
+    """Video IDs matching a parsed query (text-level; no time filtering).
+
+    An empty query matches the whole corpus, as the real endpoint does when
+    ``q`` is omitted (searches can be filtered purely by channel/time).
+    """
+    candidates = store.candidates_for_tokens(list(parsed.required_tokens))
+    if parsed.or_groups:
+        for group in parsed.or_groups:
+            group_hits: set[str] = set()
+            for token in group:
+                group_hits |= store.candidates_for_tokens([token])
+            candidates &= group_hits
+            if not candidates:
+                return set()
+    if parsed.excluded_tokens:
+        candidates = {
+            vid
+            for vid in candidates
+            if not (set(parsed.excluded_tokens) & store.token_set(vid))
+        }
+    if parsed.phrases:
+        patterns = [_phrase_pattern(phrase) for phrase in parsed.phrases]
+        candidates = {
+            vid
+            for vid in candidates
+            if all(p.search(store.search_text(vid)) for p in patterns)
+        }
+    return candidates
+
+
+def _phrase_pattern(phrase: str):
+    """Word-boundary-aware phrase matcher.
+
+    A plain substring test would let ``"awards grammy"`` match inside
+    ``"awards grammys"``; the lookarounds pin both phrase edges to token
+    boundaries.
+    """
+    import re
+
+    return re.compile(
+        r"(?<![a-z0-9'])" + re.escape(phrase) + r"(?![a-z0-9'])"
+    )

@@ -1,0 +1,74 @@
+"""The ``PlaylistItems:list`` endpoint (ID-based; stable).
+
+Together with ``Channels:list`` this forms the channel-pipeline collection
+strategy the paper recommends over search: uploads playlists are complete
+(no 500-result cap, no sampling) and stable between request dates, except
+for genuinely deleted videos.
+"""
+
+from __future__ import annotations
+
+from repro.api.errors import BadRequestError, NotFoundError
+from repro.api.pagination import paginate
+from repro.api.resources import etag_for, playlist_item_resource
+from repro.util.rng import stable_hash
+from repro.world.store import PlatformStore
+
+__all__ = ["PlaylistItemsEndpoint"]
+
+_VALID_PARTS = {"snippet", "contentDetails"}
+
+
+class PlaylistItemsEndpoint:
+    """``youtube.playlistItems().list(...)`` equivalent."""
+
+    endpoint_name = "playlistItems.list"
+
+    def __init__(self, store: PlatformStore, service) -> None:
+        self._store = store
+        self._service = service
+
+    def list(
+        self,
+        part: str = "snippet",
+        playlistId: str = "",
+        maxResults: int = 5,
+        pageToken: str | None = None,
+    ) -> dict:
+        """List a playlist's items, newest first, fully paginated."""
+        parts = {p.strip() for p in part.split(",") if p.strip()}
+        unknown = parts - _VALID_PARTS
+        if unknown:
+            raise BadRequestError(f"unknown part(s): {sorted(unknown)}")
+        if not playlistId:
+            raise BadRequestError("playlistItems.list requires playlistId")
+
+        channel = self._store.channel_for_playlist(playlistId)
+        if channel is None:
+            raise NotFoundError(f"playlist not found: {playlistId}")
+
+        as_of = self._service.begin_call(self.endpoint_name)
+        uploads = self._store.uploads(channel.channel_id, as_of)
+
+        fingerprint = str(stable_hash("playlist-fingerprint", playlistId))
+        page = paginate(uploads, fingerprint, maxResults, pageToken)
+        items = [
+            playlist_item_resource(
+                video, playlistId, page.offset + i, self._store, as_of
+            )
+            for i, video in enumerate(page.items)
+        ]
+        response: dict = {
+            "kind": "youtube#playlistItemListResponse",
+            "etag": etag_for("playlistItemList", playlistId, as_of.date(), page.offset),
+            "pageInfo": {
+                "totalResults": len(uploads),
+                "resultsPerPage": maxResults,
+            },
+            "items": items,
+        }
+        if page.next_page_token:
+            response["nextPageToken"] = page.next_page_token
+        if page.prev_page_token:
+            response["prevPageToken"] = page.prev_page_token
+        return response

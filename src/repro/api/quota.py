@@ -1,0 +1,103 @@
+"""Quota accounting.
+
+The Data API charges every call against a per-project daily quota:
+
+* ``Search:list`` costs 100 units — the paper stresses how expensive this
+  makes time-split collection (4,032 searches/snapshot = 403,200 units);
+* ID-based list endpoints cost 1 unit;
+* a new client gets 10,000 units/day; the researcher program grants more.
+
+The ledger buckets usage by the *virtual* day and raises
+``QuotaExceededError`` exactly when a charge would cross the limit, so
+collection strategies can be compared on real token economics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.api.errors import QuotaExceededError
+
+__all__ = ["QuotaPolicy", "QuotaLedger", "UNIT_COSTS"]
+
+#: Per-endpoint unit costs (matching the official pricing table).
+UNIT_COSTS = {
+    "search.list": 100,
+    "videos.list": 1,
+    "channels.list": 1,
+    "playlistItems.list": 1,
+    "commentThreads.list": 1,
+    "comments.list": 1,
+    "videoCategories.list": 1,
+}
+
+
+@dataclass(frozen=True)
+class QuotaPolicy:
+    """Daily quota configuration."""
+
+    daily_limit: int = 10_000
+    researcher_program: bool = False
+    researcher_limit: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        if self.daily_limit <= 0 or self.researcher_limit <= 0:
+            raise ValueError("quota limits must be positive")
+
+    @property
+    def effective_limit(self) -> int:
+        """The limit in force given the researcher-program flag."""
+        return self.researcher_limit if self.researcher_program else self.daily_limit
+
+
+@dataclass
+class QuotaLedger:
+    """Tracks unit consumption per virtual day."""
+
+    policy: QuotaPolicy = field(default_factory=QuotaPolicy)
+    _usage: dict[str, int] = field(default_factory=dict)
+    _total: int = 0
+
+    def cost_of(self, endpoint: str) -> int:
+        """Unit cost of an endpoint; unknown endpoints cost 1."""
+        return UNIT_COSTS.get(endpoint, 1)
+
+    def charge(self, endpoint: str, day: str) -> int:
+        """Charge one call on ``day``; returns the day's new usage.
+
+        Raises
+        ------
+        QuotaExceededError
+            If the charge would exceed the daily limit.  The failed call is
+            *not* charged (matching the real API, which rejects before
+            executing).
+        """
+        cost = self.cost_of(endpoint)
+        used = self._usage.get(day, 0)
+        limit = self.policy.effective_limit
+        if used + cost > limit:
+            raise QuotaExceededError(
+                f"daily quota of {limit} units exceeded for {day} "
+                f"(used {used}, {endpoint} costs {cost})"
+            )
+        self._usage[day] = used + cost
+        self._total += cost
+        return self._usage[day]
+
+    def used_on(self, day: str) -> int:
+        """Units consumed on a given day."""
+        return self._usage.get(day, 0)
+
+    def remaining_on(self, day: str) -> int:
+        """Units still available on a given day."""
+        return self.policy.effective_limit - self.used_on(day)
+
+    @property
+    def total_used(self) -> int:
+        """Units consumed over the ledger's lifetime."""
+        return self._total
+
+    def reset(self) -> None:
+        """Clear all usage (a fresh project)."""
+        self._usage.clear()
+        self._total = 0

@@ -1,0 +1,202 @@
+"""Resource rendering: entities -> Data API v3 JSON shapes.
+
+Everything a response carries is rendered here, matching the field names,
+nesting, and string-typed numbers of the real API (statistics counts are
+strings, durations are ISO 8601, timestamps RFC 3339).  Metric values are
+rendered *as of* the request time via the store's growth model.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+from repro.util.rng import stable_hash
+from repro.util.timeutil import format_iso8601_duration, format_rfc3339
+from repro.world.entities import Channel, Comment, CommentThread, Video
+from repro.world.store import PlatformStore
+
+__all__ = [
+    "etag_for",
+    "search_result_resource",
+    "video_resource",
+    "channel_resource",
+    "playlist_item_resource",
+    "comment_resource",
+    "comment_thread_resource",
+]
+
+#: CommentThreads:list inlines at most this many replies per thread; the
+#: rest must be fetched through Comments:list (the paper's Appendix B flow).
+MAX_INLINE_REPLIES = 5
+
+
+def etag_for(*parts: object) -> str:
+    """Deterministic opaque etag for a resource rendering."""
+    return format(stable_hash("etag", *parts) % 16**16, "016x")
+
+
+def search_result_resource(
+    video: Video, store: PlatformStore, as_of: datetime
+) -> dict:
+    """A ``youtube#searchResult`` item (snippet part only, like the paper's queries)."""
+    channel = store.channel(video.channel_id)
+    return {
+        "kind": "youtube#searchResult",
+        "etag": etag_for("search", video.video_id, as_of.date()),
+        "id": {"kind": "youtube#video", "videoId": video.video_id},
+        "snippet": {
+            "publishedAt": format_rfc3339(video.published_at),
+            "channelId": video.channel_id,
+            "title": video.title,
+            "description": video.description,
+            "channelTitle": channel.title if channel else "",
+            "liveBroadcastContent": "none",
+            "publishTime": format_rfc3339(video.published_at),
+        },
+    }
+
+
+def video_resource(
+    video: Video, store: PlatformStore, as_of: datetime, parts: set[str]
+) -> dict:
+    """A ``youtube#video`` resource with the requested parts."""
+    resource: dict = {
+        "kind": "youtube#video",
+        "etag": etag_for("video", video.video_id, as_of.date()),
+        "id": video.video_id,
+    }
+    if "snippet" in parts:
+        channel = store.channel(video.channel_id)
+        resource["snippet"] = {
+            "publishedAt": format_rfc3339(video.published_at),
+            "channelId": video.channel_id,
+            "title": video.title,
+            "description": video.description,
+            "channelTitle": channel.title if channel else "",
+            "tags": list(video.tags),
+            "categoryId": video.category_id,
+            "defaultAudioLanguage": video.language,
+        }
+    if "contentDetails" in parts:
+        resource["contentDetails"] = {
+            "duration": format_iso8601_duration(video.duration_seconds),
+            "dimension": "2d",
+            "definition": video.definition,
+            "caption": "false",
+            "licensedContent": False,
+        }
+    if "statistics" in parts:
+        views, likes, comments = store.metrics_at(video, as_of)
+        resource["statistics"] = {
+            "viewCount": str(views),
+            "likeCount": str(likes),
+            "favoriteCount": "0",
+            "commentCount": str(comments),
+        }
+    return resource
+
+
+def channel_resource(
+    channel: Channel, as_of: datetime, parts: set[str]
+) -> dict:
+    """A ``youtube#channel`` resource with the requested parts."""
+    resource: dict = {
+        "kind": "youtube#channel",
+        "etag": etag_for("channel", channel.channel_id, as_of.date()),
+        "id": channel.channel_id,
+    }
+    if "snippet" in parts:
+        resource["snippet"] = {
+            "title": channel.title,
+            "description": f"{channel.title} on YouTube",
+            "publishedAt": format_rfc3339(channel.created_at),
+            "country": channel.country,
+        }
+    if "statistics" in parts:
+        resource["statistics"] = {
+            "viewCount": str(channel.view_count),
+            "subscriberCount": str(channel.subscriber_count),
+            "hiddenSubscriberCount": False,
+            "videoCount": str(channel.video_count),
+        }
+    if "contentDetails" in parts:
+        resource["contentDetails"] = {
+            "relatedPlaylists": {
+                "uploads": channel.uploads_playlist_id,
+                "likes": "",
+            }
+        }
+    return resource
+
+
+def playlist_item_resource(
+    video: Video, playlist_id: str, position: int, store: PlatformStore, as_of: datetime
+) -> dict:
+    """A ``youtube#playlistItem`` for a video in an uploads playlist."""
+    channel = store.channel(video.channel_id)
+    return {
+        "kind": "youtube#playlistItem",
+        "etag": etag_for("playlistItem", playlist_id, video.video_id, as_of.date()),
+        "id": f"{playlist_id}.{video.video_id}",
+        "snippet": {
+            "publishedAt": format_rfc3339(video.published_at),
+            "channelId": video.channel_id,
+            "title": video.title,
+            "description": video.description,
+            "channelTitle": channel.title if channel else "",
+            "playlistId": playlist_id,
+            "position": position,
+            "resourceId": {"kind": "youtube#video", "videoId": video.video_id},
+        },
+        "contentDetails": {
+            "videoId": video.video_id,
+            "videoPublishedAt": format_rfc3339(video.published_at),
+        },
+    }
+
+
+def comment_resource(comment: Comment, as_of: datetime) -> dict:
+    """A ``youtube#comment`` resource."""
+    snippet = {
+        "videoId": comment.video_id,
+        "textDisplay": comment.text,
+        "textOriginal": comment.text,
+        "authorDisplayName": comment.author_display_name,
+        "likeCount": comment.like_count,
+        "publishedAt": format_rfc3339(comment.published_at),
+        "updatedAt": format_rfc3339(comment.published_at),
+    }
+    if comment.parent_id is not None:
+        snippet["parentId"] = comment.parent_id
+    return {
+        "kind": "youtube#comment",
+        "etag": etag_for("comment", comment.comment_id, as_of.date()),
+        "id": comment.comment_id,
+        "snippet": snippet,
+    }
+
+
+def comment_thread_resource(
+    thread: CommentThread, as_of: datetime, include_replies: bool
+) -> dict:
+    """A ``youtube#commentThread``: top-level comment + up to 5 inline replies."""
+    resource: dict = {
+        "kind": "youtube#commentThread",
+        "etag": etag_for("thread", thread.thread_id, as_of.date()),
+        "id": thread.thread_id,
+        "snippet": {
+            "videoId": thread.video_id,
+            "topLevelComment": comment_resource(thread.top_level, as_of),
+            "canReply": True,
+            "totalReplyCount": thread.total_reply_count,
+            "isPublic": True,
+        },
+    }
+    if include_replies and thread.replies:
+        resource["replies"] = {
+            "comments": [
+                comment_resource(reply, as_of)
+                for reply in thread.replies[:MAX_INLINE_REPLIES]
+            ]
+        }
+    return resource

@@ -1,0 +1,184 @@
+"""The ``Search:list`` endpoint.
+
+The documented interface: keyword/channel/time-window search, 50 results
+per page, at most ~500 per query via page tokens, ``pageInfo.totalResults``
+as a (capped) estimate of the matchable pool, 100 quota units per call —
+*including* every pagination call.
+
+The undocumented behavior — what the paper audits — is delegated to
+:class:`repro.sampling.engine.SearchBehaviorEngine`: density-suppressed,
+churning, popularity-biased sampling keyed to the request date.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timezone
+
+from repro.api.errors import BadRequestError, NotFoundError
+from repro.api.fields import filter_response
+from repro.api.matching import match_candidates, parse_query
+from repro.api.pagination import paginate
+from repro.api.resources import etag_for, search_result_resource
+from repro.sampling.engine import SearchBehaviorEngine
+from repro.util.rng import stable_hash
+from repro.util.timeutil import parse_rfc3339
+from repro.world.store import PlatformStore
+
+__all__ = ["SearchEndpoint", "SEARCH_HARD_CAP", "VALID_ORDERS"]
+
+#: The per-query ceiling: at most 10 pages of 50.
+SEARCH_HARD_CAP = 500
+VALID_ORDERS = ("date", "rating", "relevance", "title", "viewCount")
+_VALID_SAFE_SEARCH = ("none", "moderate", "strict")
+
+#: YouTube removed the relatedToVideoId parameter in 2023 (Section 2 of the
+#: paper); the simulator enforces the same cutoff against its virtual clock.
+RELATED_DEPRECATION_DATE = datetime(2023, 8, 7, tzinfo=timezone.utc)
+
+
+class SearchEndpoint:
+    """``youtube.search().list(...)`` equivalent."""
+
+    endpoint_name = "search.list"
+
+    def __init__(self, store: PlatformStore, engine: SearchBehaviorEngine, service) -> None:
+        self._store = store
+        self._engine = engine
+        self._service = service
+
+    def list(
+        self,
+        part: str = "snippet",
+        q: str | None = None,
+        channelId: str | None = None,
+        maxResults: int = 5,
+        order: str = "relevance",
+        pageToken: str | None = None,
+        publishedAfter: str | None = None,
+        publishedBefore: str | None = None,
+        regionCode: str | None = None,
+        relatedToVideoId: str | None = None,
+        safeSearch: str = "none",
+        type: str = "video",
+        fields: str | None = None,
+    ) -> dict:
+        """Run one search call and return the JSON response envelope."""
+        self._validate(
+            part, q, channelId, relatedToVideoId, maxResults, order, safeSearch, type
+        )
+        after = parse_rfc3339(publishedAfter) if publishedAfter else None
+        before = parse_rfc3339(publishedBefore) if publishedBefore else None
+        if after and before and after >= before:
+            raise BadRequestError("publishedAfter must precede publishedBefore")
+
+        as_of = self._service.begin_call(self.endpoint_name)
+
+        if relatedToVideoId is not None:
+            # Section 2 of the paper: YouTube removed this parameter in
+            # 2023, "effectively eliminating [recommendation crawling] from
+            # being conducted through the API".  The simulator honors the
+            # same timeline against its virtual clock.
+            if as_of >= RELATED_DEPRECATION_DATE:
+                raise BadRequestError(
+                    "relatedToVideoId was deprecated on "
+                    f"{RELATED_DEPRECATION_DATE.date().isoformat()} and is no "
+                    "longer supported"
+                )
+            candidates = self._related_candidates(relatedToVideoId)
+        else:
+            parsed = parse_query(q or "")
+            candidates = match_candidates(self._store, parsed)
+
+        outcome = self._engine.execute(
+            q or f"related:{relatedToVideoId}",
+            candidates,
+            after,
+            before,
+            as_of,
+            order=order,
+            channel_id=channelId,
+        )
+
+        fingerprint = str(
+            stable_hash(
+                "search-fingerprint",
+                q or "",
+                channelId or "",
+                publishedAfter or "",
+                publishedBefore or "",
+                order,
+                type,
+            )
+        )
+        page = paginate(
+            outcome.videos, fingerprint, maxResults, pageToken, hard_cap=SEARCH_HARD_CAP
+        )
+        response: dict = {
+            "kind": "youtube#searchListResponse",
+            "etag": etag_for("searchList", fingerprint, as_of.date(), page.offset),
+            "regionCode": regionCode or "US",
+            "pageInfo": {
+                "totalResults": outcome.total_results,
+                "resultsPerPage": maxResults,
+            },
+            "items": [
+                search_result_resource(v, self._store, as_of) for v in page.items
+            ],
+        }
+        if page.next_page_token:
+            response["nextPageToken"] = page.next_page_token
+        if page.prev_page_token:
+            response["prevPageToken"] = page.prev_page_token
+        return filter_response(response, fields)
+
+    def _related_candidates(self, video_id: str) -> set[str]:
+        """Candidate set for a pre-deprecation relatedToVideoId query.
+
+        Relatedness on the simulated platform: same topic, excluding the
+        seed video itself.  (The real system's notion was opaque; same-topic
+        is the property every research use of the parameter relied on.)
+        """
+        seed_video = self._store.video(video_id)
+        if seed_video is None:
+            raise NotFoundError(f"video not found: {video_id}")
+        return {
+            v.video_id
+            for v in self._store.world.videos_for_topic(seed_video.topic)
+            if v.video_id != video_id
+        }
+
+    def _validate(
+        self,
+        part: str,
+        q: str | None,
+        channel_id: str | None,
+        related_to: str | None,
+        max_results: int,
+        order: str,
+        safe_search: str,
+        type_: str,
+    ) -> None:
+        if "snippet" not in {p.strip() for p in part.split(",")}:
+            raise BadRequestError(f"search.list requires part=snippet, got {part!r}")
+        if q is None and channel_id is None and related_to is None:
+            raise BadRequestError(
+                "search.list requires q, channelId, or relatedToVideoId"
+            )
+        if related_to is not None and q is not None:
+            raise BadRequestError("relatedToVideoId cannot be combined with q")
+        if not isinstance(max_results, int) or not 1 <= max_results <= 50:
+            raise BadRequestError(
+                f"maxResults must be an integer within [1, 50], got {max_results!r}"
+            )
+        if order not in VALID_ORDERS:
+            raise BadRequestError(
+                f"order must be one of {VALID_ORDERS}, got {order!r}"
+            )
+        if safe_search not in _VALID_SAFE_SEARCH:
+            raise BadRequestError(
+                f"safeSearch must be one of {_VALID_SAFE_SEARCH}, got {safe_search!r}"
+            )
+        if type_ != "video":
+            raise BadRequestError(
+                "this simulator implements type=video only (as the paper queries)"
+            )

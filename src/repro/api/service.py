@@ -1,0 +1,101 @@
+"""The assembled YouTube Data API v3 service.
+
+Wires together the platform store, the search behavior engine, the virtual
+clock, quota accounting, and the transport layer, and exposes the endpoint
+objects under the names client code expects::
+
+    service = build_service(world, seed=7)
+    service.search.list(q="higgs boson", order="date", maxResults=50, ...)
+    service.videos.list(part="statistics", id="abc,def")
+
+Every call flows through :meth:`YouTubeService.begin_call`, which injects
+faults, charges quota against the virtual day, and appends to the request
+log — in that order, so a failed call is never billed.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+from repro.api.channels_ep import ChannelsEndpoint
+from repro.api.clock import VirtualClock
+from repro.api.comment_threads import CommentThreadsEndpoint
+from repro.api.comments_ep import CommentsEndpoint
+from repro.api.playlist_items import PlaylistItemsEndpoint
+from repro.api.quota import QuotaLedger, QuotaPolicy
+from repro.api.search import SearchEndpoint
+from repro.api.transport import Transport
+from repro.api.video_categories import VideoCategoriesEndpoint
+from repro.api.videos import VideosEndpoint
+from repro.sampling.engine import BehaviorParams, SearchBehaviorEngine
+from repro.world.entities import World
+from repro.world.store import PlatformStore
+from repro.world.topics import TopicSpec
+
+__all__ = ["YouTubeService", "build_service"]
+
+
+class YouTubeService:
+    """All six endpoints over one world, one clock, one quota ledger."""
+
+    def __init__(
+        self,
+        store: PlatformStore,
+        engine: SearchBehaviorEngine,
+        clock: VirtualClock | None = None,
+        quota: QuotaLedger | None = None,
+        transport: Transport | None = None,
+    ) -> None:
+        self.store = store
+        self.engine = engine
+        self.clock = clock or VirtualClock()
+        self.quota = quota or QuotaLedger()
+        self.transport = transport or Transport()
+
+        self.search = SearchEndpoint(store, engine, self)
+        self.videos = VideosEndpoint(store, self)
+        self.channels = ChannelsEndpoint(store, self)
+        self.playlist_items = PlaylistItemsEndpoint(store, self)
+        self.comment_threads = CommentThreadsEndpoint(store, self)
+        self.comments = CommentsEndpoint(store, self)
+        self.video_categories = VideoCategoriesEndpoint(self)
+
+    def begin_call(self, endpoint: str) -> datetime:
+        """Gate one endpoint call; returns the request timestamp.
+
+        Order matters: transient faults fire before quota so retries are
+        not double-billed, and quota rejection happens before the request
+        is logged so the log reflects completed calls only.
+        """
+        self.transport.faults.maybe_fail(endpoint)
+        day = self.clock.today()
+        self.quota.charge(endpoint, day)
+        now = self.clock.now()
+        self.transport.observe(endpoint, now, self.quota.cost_of(endpoint))
+        return now
+
+
+def build_service(
+    world: World,
+    seed: int,
+    specs: tuple[TopicSpec, ...] | None = None,
+    clock: VirtualClock | None = None,
+    quota_policy: QuotaPolicy | None = None,
+    behavior: BehaviorParams | None = None,
+    transport: Transport | None = None,
+) -> YouTubeService:
+    """Convenience constructor: store + engine + service in one call.
+
+    ``specs`` defaults to the paper's six topics; pass the (possibly
+    scaled) specs the world was built with when they differ.
+    """
+    if specs is None:
+        from repro.world.topics import PAPER_TOPICS
+
+        specs = PAPER_TOPICS
+    store = PlatformStore(world)
+    engine = SearchBehaviorEngine(store, specs, seed=seed, params=behavior)
+    quota = QuotaLedger(policy=quota_policy or QuotaPolicy(researcher_program=True))
+    return YouTubeService(
+        store, engine, clock=clock, quota=quota, transport=transport
+    )

@@ -1,0 +1,57 @@
+"""Page-token encoding.
+
+Real Data API page tokens are opaque strings; clients must treat them as
+such.  Ours encode the query fingerprint and the next offset, base64-packed
+with a short integrity checksum so a token pasted into a *different* query
+(or corrupted) raises ``invalidPageToken`` exactly like the real API.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+
+from repro.api.errors import InvalidPageTokenError
+from repro.util.rng import stable_hash
+
+__all__ = ["encode_page_token", "decode_page_token"]
+
+
+def _fingerprint_checksum(fingerprint: str, offset: int) -> str:
+    return format(stable_hash("page-token", fingerprint, offset) % 16**8, "08x")
+
+
+def encode_page_token(fingerprint: str, offset: int) -> str:
+    """Encode the continuation of a query at ``offset`` as an opaque token."""
+    if offset < 0:
+        raise ValueError("offset must be non-negative")
+    payload = {
+        "o": offset,
+        "c": _fingerprint_checksum(fingerprint, offset),
+    }
+    raw = json.dumps(payload, sort_keys=True).encode("ascii")
+    return base64.urlsafe_b64encode(raw).decode("ascii").rstrip("=")
+
+
+def decode_page_token(fingerprint: str, token: str) -> int:
+    """Decode a token back to an offset, validating it against the query.
+
+    Raises
+    ------
+    InvalidPageTokenError
+        If the token is corrupted or belongs to a different query.
+    """
+    padded = token + "=" * (-len(token) % 4)
+    try:
+        raw = base64.urlsafe_b64decode(padded.encode("ascii"))
+        payload = json.loads(raw.decode("ascii"))
+        offset = int(payload["o"])
+        checksum = str(payload["c"])
+    except (binascii.Error, ValueError, KeyError, UnicodeDecodeError) as exc:
+        raise InvalidPageTokenError(f"malformed pageToken: {token!r}") from exc
+    if offset < 0 or checksum != _fingerprint_checksum(fingerprint, offset):
+        raise InvalidPageTokenError(
+            "pageToken does not match this request's parameters"
+        )
+    return offset

@@ -1,0 +1,102 @@
+"""Request logging, latency modelling, and fault injection.
+
+The transport layer sits underneath every endpoint call.  It gives the
+repository three things a real measurement pipeline has to contend with:
+
+* a complete request log (endpoint, virtual timestamp, quota units) for
+  cost accounting and methodological bookkeeping;
+* a latency model, so strategies can also be compared on wall-clock cost
+  (simulated — nothing sleeps);
+* optional transient fault injection to exercise client retry logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+
+import numpy as np
+
+from repro.api.errors import TransientServerError
+from repro.util.rng import SeedBank
+
+__all__ = ["RequestRecord", "Transport", "LatencyModel", "FaultInjector"]
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """One API call, as the transport saw it."""
+
+    sequence: int
+    endpoint: str
+    at: datetime
+    units: int
+    latency_ms: float
+
+
+class LatencyModel:
+    """Lognormal per-call latency (simulated milliseconds)."""
+
+    def __init__(self, median_ms: float = 120.0, sigma: float = 0.35, seed: int = 0) -> None:
+        if median_ms <= 0:
+            raise ValueError("median_ms must be positive")
+        self._median = median_ms
+        self._sigma = sigma
+        self._rng = SeedBank(seed).generator("transport/latency")
+
+    def draw(self) -> float:
+        """One latency sample in milliseconds."""
+        return float(self._median * np.exp(self._sigma * self._rng.standard_normal()))
+
+
+class FaultInjector:
+    """Injects transient 500s with a fixed probability."""
+
+    def __init__(self, probability: float = 0.0, seed: int = 0) -> None:
+        if not 0.0 <= probability < 1.0:
+            raise ValueError("probability must be in [0, 1)")
+        self._probability = probability
+        self._rng = SeedBank(seed).generator("transport/faults")
+
+    def maybe_fail(self, endpoint: str) -> None:
+        """Raise ``TransientServerError`` with the configured probability."""
+        if self._probability > 0 and self._rng.random() < self._probability:
+            raise TransientServerError(f"transient backend error on {endpoint}")
+
+
+@dataclass
+class Transport:
+    """Collects request records and applies latency/fault models."""
+
+    latency: LatencyModel = field(default_factory=LatencyModel)
+    faults: FaultInjector = field(default_factory=FaultInjector)
+    records: list[RequestRecord] = field(default_factory=list)
+
+    def observe(self, endpoint: str, at: datetime, units: int) -> RequestRecord:
+        """Record one call (after fault injection has passed)."""
+        record = RequestRecord(
+            sequence=len(self.records),
+            endpoint=endpoint,
+            at=at,
+            units=units,
+            latency_ms=self.latency.draw(),
+        )
+        self.records.append(record)
+        return record
+
+    @property
+    def total_calls(self) -> int:
+        """Number of calls that completed."""
+        return len(self.records)
+
+    @property
+    def total_latency_ms(self) -> float:
+        """Sum of simulated latencies (sequential-execution wall clock)."""
+        return sum(r.latency_ms for r in self.records)
+
+    def calls_by_endpoint(self) -> dict[str, int]:
+        """Histogram of completed calls per endpoint."""
+        out: dict[str, int] = {}
+        for record in self.records:
+            out[record.endpoint] = out.get(record.endpoint, 0) + 1
+        return out

@@ -1,0 +1,81 @@
+"""The ``VideoCategories:list`` endpoint.
+
+Research pipelines routinely resolve ``categoryId`` values from search and
+video resources into human-readable names; this is the (static, 1-unit)
+endpoint they use.  We ship the categories the six paper topics actually
+occupy plus the other common assignable ones.
+"""
+
+from __future__ import annotations
+
+from repro.api.errors import BadRequestError, NotFoundError
+from repro.api.resources import etag_for
+
+__all__ = ["VideoCategoriesEndpoint", "CATEGORY_NAMES"]
+
+#: The assignable categories the simulator knows about.
+CATEGORY_NAMES = {
+    "1": "Film & Animation",
+    "2": "Autos & Vehicles",
+    "10": "Music",
+    "15": "Pets & Animals",
+    "17": "Sports",
+    "20": "Gaming",
+    "22": "People & Blogs",
+    "23": "Comedy",
+    "24": "Entertainment",
+    "25": "News & Politics",
+    "26": "Howto & Style",
+    "27": "Education",
+    "28": "Science & Technology",
+}
+
+
+class VideoCategoriesEndpoint:
+    """``youtube.videoCategories().list(...)`` equivalent."""
+
+    endpoint_name = "videoCategories.list"
+
+    def __init__(self, service) -> None:
+        self._service = service
+
+    def list(
+        self,
+        part: str = "snippet",
+        id: str | list[str] | None = None,
+        regionCode: str | None = None,
+    ) -> dict:
+        """List categories by ID or by region (region lists them all)."""
+        if part.strip() != "snippet":
+            raise BadRequestError(f"videoCategories.list supports part=snippet, got {part!r}")
+        if id is None and regionCode is None:
+            raise BadRequestError("videoCategories.list requires id or regionCode")
+        as_of = self._service.begin_call(self.endpoint_name)
+
+        if id is not None:
+            ids = id.split(",") if isinstance(id, str) else list(id)
+            ids = [i.strip() for i in ids if i.strip()]
+            unknown = [i for i in ids if i not in CATEGORY_NAMES]
+            if unknown:
+                raise NotFoundError(f"videoCategoryId not found: {unknown[0]}")
+        else:
+            ids = sorted(CATEGORY_NAMES, key=int)
+
+        items = [
+            {
+                "kind": "youtube#videoCategory",
+                "etag": etag_for("category", category_id),
+                "id": category_id,
+                "snippet": {
+                    "title": CATEGORY_NAMES[category_id],
+                    "assignable": True,
+                    "channelId": "UCBR8-60-B28hp2BmDPdntcQ",  # the real API's constant
+                },
+            }
+            for category_id in ids
+        ]
+        return {
+            "kind": "youtube#videoCategoryListResponse",
+            "etag": etag_for("categoryList", ",".join(ids), as_of.date()),
+            "items": items,
+        }

@@ -1,0 +1,329 @@
+"""Command-line interface: run the paper's pipeline without writing code.
+
+Subcommands::
+
+    python -m repro world       --scale 0.3 --seed 7
+    python -m repro campaign    --scale 0.3 --collections 8 --out camp.jsonl
+    python -m repro analyze     camp.jsonl --all
+    python -m repro export      camp.jsonl --out-dir csv/
+    python -m repro inference   camp.jsonl
+    python -m repro strategies  --topic worldcup --scale 0.3 --runs 4
+    python -m repro serp        --topic grammys --fleet 5
+    python -m repro budget      [--researcher]
+    python -m repro replication --seeds 101 202 303
+
+``campaign`` runs the hour-binned audit on the paper's 5-day cadence and
+persists it as JSONL; ``analyze`` re-renders any table/figure from a saved
+campaign — the same separation of collection and analysis a real
+measurement study has.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from datetime import datetime
+
+from repro.util.timeutil import UTC
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction toolkit for the IMC 2025 YouTube Search API audit.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    world = sub.add_parser("world", help="build a synthetic platform and summarize it")
+    _common_world_args(world)
+
+    campaign = sub.add_parser("campaign", help="run an audit campaign")
+    _common_world_args(campaign)
+    campaign.add_argument("--collections", type=int, default=8,
+                          help="number of collections (paper: 16)")
+    campaign.add_argument("--interval-days", type=int, default=5)
+    campaign.add_argument("--comments", action="store_true",
+                          help="capture comments on the first and last collections")
+    campaign.add_argument("--out", metavar="PATH", default=None,
+                          help="persist the campaign as JSONL")
+    campaign.add_argument("--quiet", action="store_true")
+
+    analyze = sub.add_parser("analyze", help="render tables/figures from a saved campaign")
+    analyze.add_argument("campaign_path", metavar="CAMPAIGN_JSONL")
+    analyze.add_argument("--table", action="append", type=int, choices=(1, 2, 4, 5),
+                         default=None, help="render a numbered paper table")
+    analyze.add_argument("--figure", action="append", type=int, choices=(1, 2, 3, 4),
+                         default=None, help="render a numbered paper figure")
+    analyze.add_argument("--regressions", action="store_true",
+                         help="fit and render Tables 3, 6 and 7")
+    analyze.add_argument("--all", action="store_true", dest="render_all")
+
+    strategies = sub.add_parser("strategies", help="compare collection strategies")
+    _common_world_args(strategies)
+    strategies.add_argument("--topic", default="worldcup")
+    strategies.add_argument("--runs", type=int, default=4)
+
+    serp = sub.add_parser("serp", help="SERP-vs-API agreement audit")
+    _common_world_args(serp)
+    serp.add_argument("--topic", default="grammys")
+    serp.add_argument("--fleet", type=int, default=5, help="sockpuppet fleet size")
+    serp.add_argument("--k", type=int, default=20, help="page depth compared")
+
+    export = sub.add_parser("export", help="export a saved campaign as tidy CSVs")
+    export.add_argument("campaign_path", metavar="CAMPAIGN_JSONL")
+    export.add_argument("--out-dir", default="csv", help="directory for the bundle")
+
+    budget = sub.add_parser("budget", help="quota budget of the paper's campaign design")
+    budget.add_argument("--daily-limit", type=int, default=10_000)
+    budget.add_argument("--researcher", action="store_true")
+
+    inference = sub.add_parser(
+        "inference", help="infer mechanism parameters from a saved campaign"
+    )
+    inference.add_argument("campaign_path", metavar="CAMPAIGN_JSONL")
+    inference.add_argument("--interval-days", type=float, default=5.0)
+
+    replication = sub.add_parser(
+        "replication", help="multi-seed stability check of the headline findings"
+    )
+    replication.add_argument("--seeds", type=int, nargs="+", default=[101, 202, 303])
+    replication.add_argument("--scale", type=float, default=0.2)
+    replication.add_argument("--collections", type=int, default=8)
+
+    return parser
+
+
+def _common_world_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--scale", type=float, default=0.3,
+                        help="corpus scale in (0, 1]; 1.0 = the paper's full size")
+
+
+def _build(args, with_comments: bool):
+    from repro import build_service, build_world
+    from repro.api.quota import QuotaPolicy
+    from repro.world.corpus import scale_topics
+    from repro.world.topics import paper_topics
+
+    specs = scale_topics(paper_topics(), args.scale)
+    world = build_world(specs, seed=args.seed, with_comments=with_comments)
+    service = build_service(
+        world, seed=args.seed, specs=specs,
+        quota_policy=QuotaPolicy(researcher_program=True),
+    )
+    return specs, world, service
+
+
+def _cmd_world(args) -> int:
+    _specs, world, service = _build(args, with_comments=True)
+    print(f"world (seed={args.seed}, scale={args.scale}): {world.summary()}")
+    print(f"store: {service.store.summary()}")
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    from repro.api import YouTubeClient
+    from repro.core import paper_campaign_config, run_campaign
+
+    specs, _world, service = _build(args, with_comments=args.comments)
+    config = paper_campaign_config(topics=specs, with_comments=args.comments)
+    config = dataclasses.replace(
+        config,
+        n_scheduled=args.collections,
+        interval_days=args.interval_days,
+        skipped_indices=frozenset(),
+        comment_snapshot_indices=(0, args.collections - 1) if args.comments else (),
+    )
+    progress = None if args.quiet else (
+        lambda done, total: print(f"collected {done}/{total}", file=sys.stderr)
+    )
+    campaign = run_campaign(config, YouTubeClient(service), progress=progress)
+    print(
+        f"campaign: {campaign.n_collections} collections, "
+        f"{service.quota.total_used:,} quota units"
+    )
+    if args.out:
+        n = campaign.save(args.out)
+        print(f"saved {n} records to {args.out}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.core import report
+    from repro.core.datasets import CampaignResult
+    from repro.world.topics import paper_topics
+
+    campaign = CampaignResult.load(args.campaign_path)
+    specs = tuple(
+        spec for spec in paper_topics() if spec.key in campaign.topic_keys
+    )
+    tables = set(args.table or ())
+    figures = set(args.figure or ())
+    regressions = args.regressions
+    if args.render_all or (not tables and not figures and not regressions):
+        tables = {1, 2, 4, 5}
+        figures = {1, 2, 3, 4}
+        regressions = args.render_all
+
+    renderers = {
+        ("table", 1): lambda: report.render_table1(campaign, specs),
+        ("table", 2): lambda: report.render_table2(campaign, specs),
+        ("table", 4): lambda: report.render_table4(campaign, specs),
+        ("table", 5): lambda: report.render_table5(campaign, specs),
+        ("figure", 1): lambda: report.render_figure1(campaign, specs),
+        ("figure", 2): lambda: report.render_figure2(campaign, specs),
+        ("figure", 3): lambda: report.render_figure3(campaign),
+        ("figure", 4): lambda: report.render_figure4(campaign, specs),
+    }
+    for kind, numbers in (("table", sorted(tables)), ("figure", sorted(figures))):
+        for number in numbers:
+            try:
+                print(renderers[(kind, number)]())
+            except ValueError as exc:
+                print(f"[{kind} {number} unavailable: {exc}]", file=sys.stderr)
+            print()
+
+    if regressions:
+        from repro.core.returnmodel import (
+            build_regression_records,
+            fit_binned_ordinal,
+            fit_frequency_ols,
+            fit_unbinned_ordinal,
+        )
+
+        records = build_regression_records(campaign)
+        print(report.render_regression(
+            fit_binned_ordinal(records, campaign.n_collections),
+            "Table 3: binned ordinal (logit)",
+        ))
+        print()
+        print(report.render_regression(fit_frequency_ols(records), "Table 6: OLS"))
+        print()
+        print(report.render_regression(
+            fit_unbinned_ordinal(records), "Table 7: unbinned ordinal (cloglog)"
+        ))
+    return 0
+
+
+def _cmd_strategies(args) -> int:
+    from repro.api import YouTubeClient
+    from repro.strategies import (
+        ChannelPipelineStrategy,
+        TimeSplitStrategy,
+        TopicSplitStrategy,
+        evaluate_strategy,
+    )
+    from repro.util.tables import render_table
+    from repro.world.topics import topic_by_key
+
+    specs, _world, service = _build(args, with_comments=False)
+    client = YouTubeClient(service)
+    spec = topic_by_key(args.topic, specs)
+    start = datetime(2025, 2, 9, tzinfo=UTC)
+
+    pipeline = ChannelPipelineStrategy.from_seed_search(client, spec, max_channels=60)
+    rows = []
+    for strategy in (TimeSplitStrategy(bin_hours=24), TopicSplitStrategy(), pipeline):
+        ev = evaluate_strategy(strategy, client, spec, start, n_runs=args.runs)
+        rows.append([
+            ev.strategy, round(ev.j_successive_mean, 3), round(ev.j_first_last, 3),
+            round(ev.coverage, 3), int(ev.units_per_run),
+        ])
+    print(render_table(
+        ["strategy", "J successive", "J first-last", "coverage", "units/run"],
+        rows,
+        title=f"strategies on {spec.label} ({args.runs} runs)",
+    ))
+    return 0
+
+
+def _cmd_serp(args) -> int:
+    from repro.api import YouTubeClient
+    from repro.core.serp_audit import serp_audit
+    from repro.serp import SerpRanker, make_fleet
+    from repro.world.topics import topic_by_key
+
+    specs, _world, service = _build(args, with_comments=False)
+    client = YouTubeClient(service)
+    spec = topic_by_key(args.topic, specs)
+    ranker = SerpRanker(service.store, seed=args.seed, page_size=args.k)
+    fleet = make_fleet(args.fleet)
+    result = serp_audit(client, ranker, fleet, spec, service.clock.now(), k=args.k)
+    print(f"SERP audit: {spec.label!r}, fleet of {args.fleet}, k={args.k}")
+    print(f"  mean overlap@{args.k} (API vs SERP): {result.mean_overlap:.3f}")
+    print(f"  mean RBO (API vs SERP):             {result.mean_rbo:.3f}")
+    print(f"  fleet self-overlap (noise floor):   {result.fleet_self_overlap:.3f}")
+    return 0
+
+
+def _cmd_export(args) -> int:
+    from repro.core.datasets import CampaignResult
+    from repro.core.export import export_all
+
+    campaign = CampaignResult.load(args.campaign_path)
+    paths = export_all(campaign, args.out_dir)
+    for path in paths:
+        print(path)
+    return 0
+
+
+def _cmd_budget(args) -> int:
+    from repro.api.quota import QuotaPolicy
+    from repro.core import paper_campaign_config
+    from repro.core.economy import budget_campaign
+
+    policy = QuotaPolicy(
+        daily_limit=args.daily_limit, researcher_program=args.researcher
+    )
+    budget = budget_campaign(paper_campaign_config(), policy)
+    print(budget.render())
+    if not budget.snapshot_fits_in_a_day:
+        print(
+            "warning: a snapshot does not fit in one quota day — collection "
+            "would smear and be internally inconsistent (see "
+            "repro.core.smear)."
+        )
+    return 0
+
+
+def _cmd_inference(args) -> int:
+    from repro.core.datasets import CampaignResult
+    from repro.core.inference import infer_mechanism
+
+    campaign = CampaignResult.load(args.campaign_path)
+    for topic in campaign.topic_keys:
+        print(infer_mechanism(campaign, topic, interval_days=args.interval_days).summary)
+    return 0
+
+
+def _cmd_replication(args) -> int:
+    from repro.core.replication import run_replication
+
+    summary = run_replication(
+        seeds=args.seeds, scale=args.scale, n_collections=args.collections
+    )
+    print(summary.render())
+    return 0
+
+
+_COMMANDS = {
+    "world": _cmd_world,
+    "campaign": _cmd_campaign,
+    "analyze": _cmd_analyze,
+    "strategies": _cmd_strategies,
+    "serp": _cmd_serp,
+    "export": _cmd_export,
+    "budget": _cmd_budget,
+    "inference": _cmd_inference,
+    "replication": _cmd_replication,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)

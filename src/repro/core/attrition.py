@@ -1,0 +1,95 @@
+"""Attrition analysis (Section 4.3, Figure 3).
+
+Each video ever returned for a topic yields a presence (P) / absence (A)
+sequence over the collections; a second-order Markov chain over all
+(topic, video) sequences estimates P(next | last two states).  The paper's
+finding — the "rolling window": P(P|PP) and P(A|AA) dominate, and agreement
+of the two history states strengthens the pull.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.datasets import CampaignResult
+from repro.stats.markov import MarkovChainEstimate, estimate_markov_chain
+
+__all__ = [
+    "PRESENT",
+    "ABSENT",
+    "presence_sequences",
+    "AttritionResult",
+    "attrition_analysis",
+]
+
+PRESENT = "P"
+ABSENT = "A"
+
+
+def presence_sequences(
+    campaign: CampaignResult, topics: list[str] | None = None
+) -> list[str]:
+    """P/A sequences for every (topic, ever-returned video).
+
+    A video enters the universe at its first appearance but its sequence
+    covers *all* collections (it was eligible-but-absent before), matching
+    the paper's treatment of presence/absence states.
+    """
+    if topics is None:
+        topics = list(campaign.topic_keys)
+    sequences: list[str] = []
+    for topic in topics:
+        sets = campaign.sets_for_topic(topic)
+        universe = campaign.ever_returned(topic)
+        for video_id in sorted(universe):
+            sequences.append(
+                "".join(PRESENT if video_id in s else ABSENT for s in sets)
+            )
+    return sequences
+
+
+@dataclass
+class AttritionResult:
+    """Figure 3: the estimated second-order chain plus convenience views."""
+
+    chain: MarkovChainEstimate
+    n_sequences: int
+
+    def probability(self, history: str, next_state: str) -> float:
+        """P(next_state | history) with history like ``"PP"``."""
+        return self.chain.probability(tuple(history), next_state)
+
+    def matrix(self) -> dict[str, dict[str, float]]:
+        """{history: {next_state: probability}} over all 4 histories."""
+        out: dict[str, dict[str, float]] = {}
+        for history in ("".join(h) for h in [(a, b) for a in "PA" for b in "PA"]):
+            out[history] = {
+                s: self.chain.probability(tuple(history), s) for s in (PRESENT, ABSENT)
+            }
+        return out
+
+    @property
+    def is_sticky(self) -> bool:
+        """The paper's qualitative claim: same-state histories dominate.
+
+        P(P|PP) > P(P|AP) > P(P|AA) and symmetrically for absence, with the
+        diagonal (PP->P, AA->A) being each history's most likely outcome.
+        """
+        m = self.matrix()
+        return (
+            m["PP"][PRESENT] > 0.5
+            and m["AA"][ABSENT] > 0.5
+            and m["PP"][PRESENT] > m["AP"][PRESENT]
+            and m["AA"][ABSENT] > m["PA"][ABSENT]
+        )
+
+
+def attrition_analysis(
+    campaign: CampaignResult, topics: list[str] | None = None
+) -> AttritionResult:
+    """Estimate the Figure 3 chain from a campaign."""
+    sequences = presence_sequences(campaign, topics)
+    if not sequences:
+        raise ValueError("no videos were ever returned; nothing to analyze")
+    chain = estimate_markov_chain(sequences, order=2)
+    return AttritionResult(chain=chain, n_sequences=len(sequences))

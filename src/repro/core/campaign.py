@@ -1,0 +1,74 @@
+"""Campaign execution: snapshots on the paper's 5-day cadence.
+
+Advances the service's virtual clock to each scheduled collection date and
+runs the collector; the result is the input every analysis module consumes.
+Long campaigns can checkpoint after every snapshot and resume — a real
+12-week collection survives process restarts the same way.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable
+
+from repro.api.client import YouTubeClient
+from repro.core.collector import SnapshotCollector
+from repro.core.datasets import CampaignResult
+from repro.core.experiments import CampaignConfig
+
+__all__ = ["run_campaign"]
+
+
+def run_campaign(
+    config: CampaignConfig,
+    client: YouTubeClient,
+    progress: Callable[[int, int], None] | None = None,
+    checkpoint_path: str | Path | None = None,
+) -> CampaignResult:
+    """Run the full campaign against a service.
+
+    The clock is *set* to each collection date; determinism of the
+    simulator makes re-runs reproducible.  ``progress`` is called as
+    ``progress(done, total)`` after each snapshot.
+
+    With ``checkpoint_path``, the partial campaign is persisted after every
+    snapshot, and an existing checkpoint is resumed: already-collected
+    snapshots are loaded instead of re-queried (their dates must match the
+    config's schedule).
+    """
+    collector = SnapshotCollector(
+        client, config.topics, collect_metadata=config.collect_metadata
+    )
+    dates = config.collection_dates
+    snapshots = []
+
+    if checkpoint_path is not None and Path(checkpoint_path).exists():
+        previous = CampaignResult.load(checkpoint_path)
+        for snap in previous.snapshots:
+            if snap.index >= len(dates):
+                raise ValueError(
+                    f"checkpoint has snapshot {snap.index} beyond the "
+                    f"{len(dates)}-collection schedule"
+                )
+            if snap.collected_at != dates[snap.index]:
+                raise ValueError(
+                    f"checkpoint snapshot {snap.index} was collected at "
+                    f"{snap.collected_at}, schedule says {dates[snap.index]}"
+                )
+        snapshots = list(previous.snapshots)
+
+    for index in range(len(snapshots), len(dates)):
+        client.service.clock.set(dates[index])
+        with_comments = index in config.comment_snapshot_indices
+        snapshots.append(collector.collect(index, with_comments=with_comments))
+        if checkpoint_path is not None:
+            CampaignResult(
+                topic_keys=tuple(spec.key for spec in config.topics),
+                snapshots=snapshots,
+            ).save(checkpoint_path)
+        if progress is not None:
+            progress(index + 1, len(dates))
+
+    return CampaignResult(
+        topic_keys=tuple(spec.key for spec in config.topics), snapshots=snapshots
+    )

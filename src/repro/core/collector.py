@@ -1,0 +1,136 @@
+"""Snapshot collection: the paper's data-gathering loop.
+
+For every topic, one search query per hour of the 28-day window (binned
+time-split querying, Section 2's "one per X time" strategy), in reverse
+chronological order — followed immediately by Videos:list and
+Channels:list calls for the returned IDs (Appendix B.1's flow), and
+optionally by CommentThreads:list / Comments:list for the comment audit.
+"""
+
+from __future__ import annotations
+
+from datetime import timedelta
+
+from repro.api.client import YouTubeClient
+from repro.api.errors import ForbiddenError, NotFoundError
+from repro.core.datasets import Snapshot, TopicSnapshot
+from repro.util.timeutil import format_rfc3339, hour_range
+from repro.world.topics import TopicSpec
+
+__all__ = ["SnapshotCollector"]
+
+
+class SnapshotCollector:
+    """Collects one full snapshot (all topics) at the current virtual time."""
+
+    def __init__(
+        self,
+        client: YouTubeClient,
+        topics: tuple[TopicSpec, ...],
+        collect_metadata: bool = True,
+    ) -> None:
+        if not topics:
+            raise ValueError("collector requires at least one topic")
+        self._client = client
+        self._topics = topics
+        self._collect_metadata = collect_metadata
+
+    def collect(self, index: int, with_comments: bool = False) -> Snapshot:
+        """Run the full hourly query sweep and return the snapshot."""
+        collected_at = self._client.service.clock.now()
+        topics: dict[str, TopicSnapshot] = {}
+        for spec in self._topics:
+            topics[spec.key] = self._collect_topic(spec, with_comments)
+        return Snapshot(index=index, collected_at=collected_at, topics=topics)
+
+    # -- internals -----------------------------------------------------------
+
+    def _collect_topic(self, spec: TopicSpec, with_comments: bool) -> TopicSnapshot:
+        collected_at = self._client.service.clock.now()
+        hour_video_ids: dict[int, list[str]] = {}
+        pool_sizes: dict[int, int] = {}
+
+        for hour_index, hour_start in enumerate(
+            hour_range(spec.window_start, spec.window_end)
+        ):
+            ids, pool = self._query_hour(spec, hour_start)
+            pool_sizes[hour_index] = pool
+            if ids:
+                hour_video_ids[hour_index] = ids
+
+        snapshot = TopicSnapshot(
+            topic=spec.key,
+            collected_at=collected_at,
+            hour_video_ids=hour_video_ids,
+            pool_sizes=pool_sizes,
+        )
+        if self._collect_metadata:
+            self._attach_metadata(snapshot)
+        if with_comments:
+            self._attach_comments(snapshot)
+        return snapshot
+
+    def _query_hour(self, spec: TopicSpec, hour_start) -> tuple[list[str], int]:
+        """One hourly query: all pages, as the paper's time-split design."""
+        ids: list[str] = []
+        pool = 0
+        page_token: str | None = None
+        while True:
+            params = {
+                "part": "snippet",
+                "q": spec.query,
+                "maxResults": 50,
+                "order": "date",
+                "safeSearch": "none",
+                "publishedAfter": format_rfc3339(hour_start),
+                "publishedBefore": format_rfc3339(hour_start + timedelta(hours=1)),
+                "type": "video",
+            }
+            if page_token:
+                params["pageToken"] = page_token
+            response = self._client.search_page(**params)
+            pool = int(response["pageInfo"]["totalResults"])
+            ids.extend(item["id"]["videoId"] for item in response["items"])
+            page_token = response.get("nextPageToken")
+            if not page_token:
+                return ids, pool
+
+    def _attach_metadata(self, snapshot: TopicSnapshot) -> None:
+        """Videos:list then Channels:list for everything this topic returned."""
+        ids = sorted(snapshot.video_ids)
+        if not ids:
+            return
+        for resource in self._client.videos_list(ids):
+            snapshot.video_meta[resource["id"]] = resource
+        channel_ids = sorted(
+            {r["snippet"]["channelId"] for r in snapshot.video_meta.values()}
+        )
+        for resource in self._client.channels_list(channel_ids):
+            snapshot.channel_meta[resource["id"]] = resource
+
+    def _attach_comments(self, snapshot: TopicSnapshot) -> None:
+        """Full comment capture for every returned video.
+
+        Threads give the top-level comments plus up to five inline replies;
+        threads reporting more replies than were inlined are completed via
+        Comments:list, as Appendix B.2 describes.
+        """
+        for video_id in sorted(snapshot.video_ids):
+            try:
+                threads = self._client.comment_threads_all(video_id)
+            except (NotFoundError, ForbiddenError):
+                continue  # deleted between search and comment fetch
+            top_level: list[dict] = []
+            replies: list[dict] = []
+            for thread in threads:
+                top_level.append(thread["snippet"]["topLevelComment"])
+                inline = thread.get("replies", {}).get("comments", [])
+                total = int(thread["snippet"]["totalReplyCount"])
+                if total > len(inline):
+                    replies.extend(self._client.comment_replies_all(thread["id"]))
+                else:
+                    replies.extend(inline)
+            snapshot.comments[video_id] = {
+                "top_level": top_level,
+                "replies": replies,
+            }

@@ -1,0 +1,112 @@
+"""Comment endpoint stability audit (Appendix B.2, Table 5).
+
+Compares the comment sets captured on the first and last collections:
+
+* **NS (non-shared)** columns: Jaccard over *all* videos returned in each
+  respective collection — low-ish, but only because the parent video sets
+  differ (the search endpoint's churn propagates);
+* **S (shared)** columns: restricted to videos common to both collections —
+  near 1.0, showing the comment endpoints themselves are stable;
+* top-level (TL) and nested (N) comments are audited separately; topics
+  with no replies at all (Higgs, 2012 affordance) yield ``None`` for the
+  nested cells, the paper's N/A.
+
+Comments are filtered to those posted at most ``cutoff_days`` (3 weeks)
+after the topic's focal date, so late comment accretion does not masquerade
+as endpoint inconsistency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import timedelta
+
+from repro.core.consistency import jaccard
+from repro.core.datasets import CampaignResult
+from repro.util.timeutil import parse_rfc3339
+from repro.world.topics import TopicSpec
+
+__all__ = ["CommentAuditRow", "comment_audit"]
+
+CUTOFF_DAYS = 21
+
+
+@dataclass(frozen=True)
+class CommentAuditRow:
+    """One topic's Table 5 row (None = N/A)."""
+
+    topic: str
+    j_top_level_nonshared: float | None
+    j_nested_nonshared: float | None
+    j_top_level_shared: float | None
+    j_nested_shared: float | None
+    n_shared_videos: int
+
+
+def _comment_ids(
+    snapshot_comments: dict[str, dict],
+    videos: set[str],
+    lane: str,
+    cutoff,
+) -> set[str]:
+    out: set[str] = set()
+    for video_id in videos:
+        payload = snapshot_comments.get(video_id)
+        if payload is None:
+            continue
+        for resource in payload.get(lane, ()):
+            published = parse_rfc3339(resource["snippet"]["publishedAt"])
+            if published <= cutoff:
+                out.add(resource["id"])
+    return out
+
+
+def _maybe_jaccard(a: set[str], b: set[str]) -> float | None:
+    """Jaccard, or None when neither side has any comments (Table 5 N/A)."""
+    if not a and not b:
+        return None
+    return jaccard(a, b)
+
+
+def comment_audit(
+    campaign: CampaignResult,
+    spec: TopicSpec,
+    first_index: int = 0,
+    last_index: int = -1,
+) -> CommentAuditRow:
+    """Compute one topic's Table 5 row.
+
+    Requires the campaign to have captured comments on the two compared
+    snapshots (see ``CampaignConfig.comment_snapshot_indices``).
+    """
+    first = campaign.snapshots[first_index].topic(spec.key)
+    last = campaign.snapshots[last_index].topic(spec.key)
+    if not first.comments and not last.comments:
+        raise ValueError(
+            f"no comment captures for topic {spec.key!r}; enable comment "
+            "collection on the compared snapshots"
+        )
+    cutoff = spec.focal_date + timedelta(days=CUTOFF_DAYS)
+
+    first_videos = first.video_ids
+    last_videos = last.video_ids
+    shared = first_videos & last_videos
+
+    tl_first_ns = _comment_ids(first.comments, first_videos, "top_level", cutoff)
+    tl_last_ns = _comment_ids(last.comments, last_videos, "top_level", cutoff)
+    n_first_ns = _comment_ids(first.comments, first_videos, "replies", cutoff)
+    n_last_ns = _comment_ids(last.comments, last_videos, "replies", cutoff)
+
+    tl_first_s = _comment_ids(first.comments, shared, "top_level", cutoff)
+    tl_last_s = _comment_ids(last.comments, shared, "top_level", cutoff)
+    n_first_s = _comment_ids(first.comments, shared, "replies", cutoff)
+    n_last_s = _comment_ids(last.comments, shared, "replies", cutoff)
+
+    return CommentAuditRow(
+        topic=spec.key,
+        j_top_level_nonshared=_maybe_jaccard(tl_first_ns, tl_last_ns),
+        j_nested_nonshared=_maybe_jaccard(n_first_ns, n_last_ns),
+        j_top_level_shared=_maybe_jaccard(tl_first_s, tl_last_s),
+        j_nested_shared=_maybe_jaccard(n_first_s, n_last_s),
+        n_shared_videos=len(shared),
+    )

@@ -1,0 +1,66 @@
+"""Temporal consistency analysis (Section 4.1, Figure 1).
+
+For each collection t, the Jaccard similarity of the returned video-ID set
+with the previous collection and with the very first one, plus the
+asymmetric set differences the paper plots as "error bars" (videos lost
+since t-1, videos gained at t — the latter proving deletions cannot explain
+the drift, since gained videos are *newly visible old content*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.datasets import CampaignResult
+
+__all__ = ["jaccard", "ConsistencyPoint", "consistency_series"]
+
+
+def jaccard(a: set, b: set) -> float:
+    """Jaccard similarity; two empty sets count as identical (1.0)."""
+    if not a and not b:
+        return 1.0
+    return len(a & b) / len(a | b)
+
+
+@dataclass(frozen=True)
+class ConsistencyPoint:
+    """Figure 1 data for one topic at one collection index (t >= 1)."""
+
+    index: int
+    j_previous: float
+    j_first: float
+    lost_from_previous: int  # |S_{t-1} - S_t|
+    gained_since_previous: int  # |S_t - S_{t-1}|
+    set_size: int
+
+    @property
+    def shared_fraction_with_first(self) -> float:
+        """Fraction of this set shared with the first collection.
+
+        The paper notes J ~ 0.3 "equates to only 46% of the videos per set
+        being shared": J = s/(2-s) for equal-size sets, so s = 2J/(1+J).
+        """
+        return 2.0 * self.j_first / (1.0 + self.j_first)
+
+
+def consistency_series(campaign: CampaignResult, topic: str) -> list[ConsistencyPoint]:
+    """The full Figure 1 series for one topic."""
+    sets = campaign.sets_for_topic(topic)
+    if len(sets) < 2:
+        raise ValueError("consistency analysis needs at least two collections")
+    first = sets[0]
+    points: list[ConsistencyPoint] = []
+    for t in range(1, len(sets)):
+        current, previous = sets[t], sets[t - 1]
+        points.append(
+            ConsistencyPoint(
+                index=t,
+                j_previous=jaccard(current, previous),
+                j_first=jaccard(current, first),
+                lost_from_previous=len(previous - current),
+                gained_since_previous=len(current - previous),
+                set_size=len(current),
+            )
+        )
+    return points

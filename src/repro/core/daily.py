@@ -1,0 +1,96 @@
+"""Daily frequency analysis (Section 4.2, Figure 2).
+
+Per topic: the daily return-volume profiles of the first and last
+collections, the average daily profile across all collections, and the
+daily Jaccard similarity between first and last.  The paper's reading: the
+*volume* profile is nearly identical across collections (the API samples a
+stable empirical distribution over time), while the *identity* of the
+returned videos churns — volume and similarity are decoupled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.consistency import jaccard
+from repro.core.datasets import CampaignResult, TopicSnapshot
+
+__all__ = ["DailyPoint", "DailySeries", "daily_series"]
+
+
+@dataclass(frozen=True)
+class DailyPoint:
+    """One day of Figure 2 for one topic."""
+
+    day: int  # 0-based day offset within the topic window
+    count_first: int
+    count_last: int
+    count_mean: float
+    j_first_last: float
+
+
+@dataclass(frozen=True)
+class DailySeries:
+    """A topic's full Figure 2 panel."""
+
+    topic: str
+    points: tuple[DailyPoint, ...]
+    focal_day: int  # index of the topic's D-day within the window
+
+    @property
+    def peak_day(self) -> int:
+        """Day with the highest average return volume."""
+        return max(self.points, key=lambda p: p.count_mean).day
+
+    def profile_correlation(self) -> float:
+        """Pearson correlation of first vs. last daily volume profiles.
+
+        Near 1.0 in the paper ("the average daily frequency distributions
+        per collection map almost perfectly on each other").
+        """
+        first = np.array([p.count_first for p in self.points], dtype=float)
+        last = np.array([p.count_last for p in self.points], dtype=float)
+        if first.std() == 0 or last.std() == 0:
+            return 1.0 if np.allclose(first, last) else 0.0
+        return float(np.corrcoef(first, last)[0, 1])
+
+
+def _daily_ids(ts: TopicSnapshot, n_days: int) -> list[set[str]]:
+    out: list[set[str]] = [set() for _ in range(n_days)]
+    for hour, ids in ts.hour_video_ids.items():
+        day = hour // 24
+        if 0 <= day < n_days:
+            out[day].update(ids)
+    return out
+
+
+def daily_series(
+    campaign: CampaignResult, topic: str, window_days: int | None = None
+) -> DailySeries:
+    """Compute a topic's Figure 2 series from a campaign."""
+    snapshots = [snap.topic(topic) for snap in campaign.snapshots]
+    if len(snapshots) < 2:
+        raise ValueError("daily analysis needs at least two collections")
+    if window_days is None:
+        max_hour = max(max(ts.pool_sizes, default=0) for ts in snapshots)
+        window_days = max_hour // 24 + 1
+
+    per_snapshot = [_daily_ids(ts, window_days) for ts in snapshots]
+    first, last = per_snapshot[0], per_snapshot[-1]
+    points = []
+    for day in range(window_days):
+        counts = [len(daily[day]) for daily in per_snapshot]
+        points.append(
+            DailyPoint(
+                day=day,
+                count_first=len(first[day]),
+                count_last=len(last[day]),
+                count_mean=float(np.mean(counts)),
+                j_first_last=jaccard(first[day], last[day]),
+            )
+        )
+    return DailySeries(
+        topic=topic, points=tuple(points), focal_day=window_days // 2
+    )

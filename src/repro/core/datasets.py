@@ -1,0 +1,172 @@
+"""Snapshot and campaign containers, with JSONL persistence.
+
+A campaign produces one :class:`Snapshot` per collection date; each
+snapshot holds, per topic, the hour-binned search returns, the
+``totalResults`` pool sizes, and (optionally) video/channel metadata and
+raw comment captures.  The analysis modules consume these containers only —
+they never touch the API — so persisted campaigns can be re-analyzed
+offline, exactly like a real measurement study's data directory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from pathlib import Path
+
+from repro.util.jsonio import read_jsonl, write_jsonl
+from repro.util.timeutil import format_rfc3339, parse_rfc3339
+
+__all__ = ["TopicSnapshot", "Snapshot", "CampaignResult"]
+
+
+@dataclass
+class TopicSnapshot:
+    """One topic's returns in one collection."""
+
+    topic: str
+    collected_at: datetime
+    #: hour index within the topic window -> video IDs returned for that hour
+    hour_video_ids: dict[int, list[str]]
+    #: totalResults reported by each hourly query, indexed by hour
+    pool_sizes: dict[int, int]
+    #: video ID -> Videos:list resource (may be missing for gapped IDs)
+    video_meta: dict[str, dict] = field(default_factory=dict)
+    #: channel ID -> Channels:list resource
+    channel_meta: dict[str, dict] = field(default_factory=dict)
+    #: video ID -> {"top_level": [comment resources], "replies": [...]}
+    comments: dict[str, dict] = field(default_factory=dict)
+
+    @property
+    def video_ids(self) -> set[str]:
+        """All video IDs returned in this collection (union over hours)."""
+        out: set[str] = set()
+        for ids in self.hour_video_ids.values():
+            out.update(ids)
+        return out
+
+    @property
+    def total_returned(self) -> int:
+        """Total number of videos returned (hours are disjoint by design)."""
+        return sum(len(ids) for ids in self.hour_video_ids.values())
+
+    def count_for_hour(self, hour: int) -> int:
+        """Videos returned for one hour bin (0 when the hour is absent)."""
+        return len(self.hour_video_ids.get(hour, ()))
+
+
+@dataclass
+class Snapshot:
+    """One collection across all topics."""
+
+    index: int
+    collected_at: datetime
+    topics: dict[str, TopicSnapshot]
+
+    def topic(self, key: str) -> TopicSnapshot:
+        """A topic's slice of this snapshot."""
+        return self.topics[key]
+
+    def video_ids(self, key: str) -> set[str]:
+        """Convenience: a topic's returned video-ID set."""
+        return self.topics[key].video_ids
+
+
+@dataclass
+class CampaignResult:
+    """All snapshots of a campaign, in collection order."""
+
+    topic_keys: tuple[str, ...]
+    snapshots: list[Snapshot]
+
+    def __post_init__(self) -> None:
+        for i, snap in enumerate(self.snapshots):
+            if snap.index != i:
+                raise ValueError(f"snapshot {i} carries index {snap.index}")
+
+    @property
+    def n_collections(self) -> int:
+        """Number of snapshots collected."""
+        return len(self.snapshots)
+
+    def sets_for_topic(self, key: str) -> list[set[str]]:
+        """Video-ID sets per collection for one topic, in order."""
+        return [snap.video_ids(key) for snap in self.snapshots]
+
+    def ever_returned(self, key: str) -> set[str]:
+        """Union of a topic's returned IDs over all collections."""
+        out: set[str] = set()
+        for snap in self.snapshots:
+            out |= snap.video_ids(key)
+        return out
+
+    def merged_video_meta(self, key: str) -> dict[str, dict]:
+        """Per-video metadata, first-seen-wins across collections.
+
+        The Videos:list endpoint occasionally gaps a video in one
+        collection; merging across snapshots recovers near-complete
+        coverage, which is how the paper assembles its regression features.
+        """
+        merged: dict[str, dict] = {}
+        for snap in self.snapshots:
+            for vid, resource in snap.topic(key).video_meta.items():
+                merged.setdefault(vid, resource)
+        return merged
+
+    def merged_channel_meta(self, key: str) -> dict[str, dict]:
+        """Per-channel metadata, first-seen-wins across collections."""
+        merged: dict[str, dict] = {}
+        for snap in self.snapshots:
+            for cid, resource in snap.topic(key).channel_meta.items():
+                merged.setdefault(cid, resource)
+        return merged
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: str | Path) -> int:
+        """Write the campaign as JSONL (one record per topic-snapshot)."""
+        records = [{"kind": "header", "topic_keys": list(self.topic_keys)}]
+        for snap in self.snapshots:
+            for key, ts in snap.topics.items():
+                records.append(
+                    {
+                        "kind": "topic-snapshot",
+                        "index": snap.index,
+                        "collected_at": format_rfc3339(snap.collected_at),
+                        "topic": key,
+                        "hour_video_ids": {str(h): v for h, v in ts.hour_video_ids.items()},
+                        "pool_sizes": {str(h): p for h, p in ts.pool_sizes.items()},
+                        "video_meta": ts.video_meta,
+                        "channel_meta": ts.channel_meta,
+                        "comments": ts.comments,
+                    }
+                )
+        return write_jsonl(path, records)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CampaignResult":
+        """Read a campaign persisted with :meth:`save`."""
+        topic_keys: tuple[str, ...] = ()
+        by_index: dict[int, Snapshot] = {}
+        for record in read_jsonl(path):
+            if record["kind"] == "header":
+                topic_keys = tuple(record["topic_keys"])
+                continue
+            if record["kind"] != "topic-snapshot":
+                raise ValueError(f"unknown record kind: {record['kind']!r}")
+            index = int(record["index"])
+            collected_at = parse_rfc3339(record["collected_at"])
+            snap = by_index.setdefault(
+                index, Snapshot(index=index, collected_at=collected_at, topics={})
+            )
+            snap.topics[record["topic"]] = TopicSnapshot(
+                topic=record["topic"],
+                collected_at=collected_at,
+                hour_video_ids={int(h): v for h, v in record["hour_video_ids"].items()},
+                pool_sizes={int(h): int(p) for h, p in record["pool_sizes"].items()},
+                video_meta=record.get("video_meta", {}),
+                channel_meta=record.get("channel_meta", {}),
+                comments=record.get("comments", {}),
+            )
+        snapshots = [by_index[i] for i in sorted(by_index)]
+        return cls(topic_keys=topic_keys, snapshots=snapshots)

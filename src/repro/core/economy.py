@@ -1,0 +1,133 @@
+"""Quota economics: what collection designs actually cost.
+
+The paper leans on the search endpoint's pricing asymmetry throughout —
+100 units per search call (per page!) against 1 unit for ID-based calls,
+with a 10,000-unit daily default.  This module turns those constants into
+planning arithmetic:
+
+* the unit cost and wall-clock (in quota-days) of a campaign design;
+* feasibility under a given :class:`~repro.api.quota.QuotaPolicy`
+  (the paper's campaign needs 403,200 units per snapshot — a default
+  client would need 41 days of quota for ONE "snapshot");
+* per-strategy cost comparison inputs for the Section 6 discussion.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.api.quota import UNIT_COSTS, QuotaPolicy
+from repro.core.experiments import CampaignConfig
+from repro.util.tables import render_table
+
+__all__ = ["SnapshotCost", "estimate_snapshot_cost", "CampaignBudget", "budget_campaign"]
+
+
+@dataclass(frozen=True)
+class SnapshotCost:
+    """Unit cost breakdown of one snapshot under a campaign design."""
+
+    search_calls: int
+    search_units: int
+    metadata_calls: int
+    metadata_units: int
+
+    @property
+    def total_units(self) -> int:
+        """All units one snapshot consumes."""
+        return self.search_units + self.metadata_units
+
+    @property
+    def search_share(self) -> float:
+        """Fraction of the cost attributable to the search endpoint."""
+        if self.total_units == 0:
+            return 0.0
+        return self.search_units / self.total_units
+
+
+def estimate_snapshot_cost(
+    config: CampaignConfig,
+    expected_returns_per_topic: dict[str, int] | None = None,
+) -> SnapshotCost:
+    """Estimate one snapshot's quota cost.
+
+    Search: one call per hourly bin (bins at this scale never exceed one
+    page).  Metadata: Videos:list batches of 50 over the expected returns,
+    plus roughly one Channels:list batch per topic.
+    """
+    search_calls = config.queries_per_snapshot
+    search_units = search_calls * UNIT_COSTS["search.list"]
+
+    metadata_calls = 0
+    if config.collect_metadata:
+        for spec in config.topics:
+            expected = (
+                expected_returns_per_topic.get(spec.key, spec.return_budget)
+                if expected_returns_per_topic
+                else spec.return_budget
+            )
+            metadata_calls += math.ceil(expected / 50)  # Videos:list batches
+            metadata_calls += math.ceil(spec.n_channels / 50)  # Channels:list
+    metadata_units = metadata_calls * UNIT_COSTS["videos.list"]
+    return SnapshotCost(
+        search_calls=search_calls,
+        search_units=search_units,
+        metadata_calls=metadata_calls,
+        metadata_units=metadata_units,
+    )
+
+
+@dataclass(frozen=True)
+class CampaignBudget:
+    """Feasibility of a campaign under a quota policy."""
+
+    snapshot: SnapshotCost
+    n_collections: int
+    policy: QuotaPolicy
+
+    @property
+    def campaign_units(self) -> int:
+        """Total units for the whole campaign."""
+        return self.snapshot.total_units * self.n_collections
+
+    @property
+    def quota_days_per_snapshot(self) -> int:
+        """Days of quota one snapshot consumes under the policy."""
+        return math.ceil(self.snapshot.total_units / self.policy.effective_limit)
+
+    @property
+    def snapshot_fits_in_a_day(self) -> bool:
+        """Whether a snapshot can be collected on a single quota day.
+
+        When it cannot, the collection must be *smeared* over several days
+        — and because the endpoint churns on the request date, a smeared
+        snapshot is internally inconsistent (see
+        :class:`repro.core.smear.SmearedSnapshotCollector`).
+        """
+        return self.quota_days_per_snapshot <= 1
+
+    def render(self) -> str:
+        """A cost table for reports."""
+        rows = [
+            ["search calls / snapshot", self.snapshot.search_calls],
+            ["search units / snapshot", self.snapshot.search_units],
+            ["metadata units / snapshot", self.snapshot.metadata_units],
+            ["total units / snapshot", self.snapshot.total_units],
+            ["daily quota (policy)", self.policy.effective_limit],
+            ["quota-days per snapshot", self.quota_days_per_snapshot],
+            ["collections", self.n_collections],
+            ["campaign total units", self.campaign_units],
+        ]
+        return render_table(["quantity", "value"], rows, title="Campaign quota budget")
+
+
+def budget_campaign(
+    config: CampaignConfig, policy: QuotaPolicy | None = None
+) -> CampaignBudget:
+    """Budget a campaign design under a quota policy (default client)."""
+    return CampaignBudget(
+        snapshot=estimate_snapshot_cost(config),
+        n_collections=config.n_collections,
+        policy=policy or QuotaPolicy(),
+    )

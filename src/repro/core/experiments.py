@@ -1,0 +1,91 @@
+"""Campaign configuration.
+
+The paper's schedule: the same 4,032 hourly queries (24 hours x 28 days x 6
+topics) every five days from February 9 to April 30, 2025 — 17 scheduled
+collections, of which the April 5 one was skipped "due to a technical
+problem", leaving 16 snapshots over 12 weeks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta
+
+from repro.util.timeutil import UTC
+from repro.world.topics import PAPER_TOPICS, TopicSpec
+
+__all__ = ["CampaignConfig", "paper_campaign_config"]
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Schedule and scope of one audit campaign."""
+
+    topics: tuple[TopicSpec, ...]
+    start_date: datetime
+    interval_days: int = 5
+    n_scheduled: int = 17
+    skipped_indices: frozenset[int] = field(default_factory=frozenset)
+    #: Fetch Videos:list/Channels:list metadata alongside every snapshot.
+    collect_metadata: bool = True
+    #: Snapshot indices (into the *collected* sequence) whose comments to
+    #: fetch; the paper compares first and last only.
+    comment_snapshot_indices: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.start_date.tzinfo is None:
+            raise ValueError("start_date must be timezone-aware")
+        if self.interval_days <= 0 or self.n_scheduled <= 0:
+            raise ValueError("interval_days and n_scheduled must be positive")
+        if any(i < 0 or i >= self.n_scheduled for i in self.skipped_indices):
+            raise ValueError("skipped_indices out of range")
+        if not self.topics:
+            raise ValueError("campaign requires at least one topic")
+
+    @property
+    def collection_dates(self) -> tuple[datetime, ...]:
+        """The dates on which collections actually run (skips removed)."""
+        return tuple(
+            self.start_date + timedelta(days=self.interval_days * i)
+            for i in range(self.n_scheduled)
+            if i not in self.skipped_indices
+        )
+
+    @property
+    def n_collections(self) -> int:
+        """Number of snapshots the campaign produces."""
+        return self.n_scheduled - len(self.skipped_indices)
+
+    @property
+    def queries_per_snapshot(self) -> int:
+        """Hourly search queries per snapshot (24 x window x topics)."""
+        return sum(spec.window_hours for spec in self.topics)
+
+    def quota_per_snapshot(self, search_unit_cost: int = 100) -> int:
+        """Search-quota units one snapshot consumes (before metadata calls)."""
+        return self.queries_per_snapshot * search_unit_cost
+
+
+def paper_campaign_config(
+    topics: tuple[TopicSpec, ...] = PAPER_TOPICS,
+    collect_metadata: bool = True,
+    with_comments: bool = True,
+) -> CampaignConfig:
+    """The paper's exact campaign (Section 3).
+
+    Collections every 5 days from 2025-02-09 through 2025-04-30; the 12th
+    scheduled collection (2025-04-05, index 11) is skipped.  Comments are
+    fetched on the first and last snapshots for the Appendix B.2 audit.
+    """
+    n_scheduled = 17
+    skipped = frozenset({11})
+    n_collections = n_scheduled - len(skipped)
+    return CampaignConfig(
+        topics=topics,
+        start_date=datetime(2025, 2, 9, tzinfo=UTC),
+        interval_days=5,
+        n_scheduled=n_scheduled,
+        skipped_indices=skipped,
+        collect_metadata=collect_metadata,
+        comment_snapshot_indices=(0, n_collections - 1) if with_comments else (),
+    )

@@ -1,0 +1,137 @@
+"""CSV export of every analysis, for plotting outside this repository.
+
+The offline environment has no plotting stack, so the figures ship as data:
+one tidy CSV per paper figure/table, in the exact series the paper plots.
+``export_all`` writes the full bundle from one campaign.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.core.attrition import attrition_analysis
+from repro.core.consistency import consistency_series
+from repro.core.daily import daily_series
+from repro.core.datasets import CampaignResult
+from repro.core.hourly import hourly_stats
+from repro.core.metadata_audit import metadata_series
+from repro.core.pools import pool_stats
+
+__all__ = ["export_all", "write_csv"]
+
+
+def write_csv(path: str | Path, header: list[str], rows: list[list]) -> Path:
+    """Write one CSV file (creating parent directories)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return path
+
+
+def export_figure1(campaign: CampaignResult, directory: Path) -> Path:
+    """Figure 1 series: one row per (topic, comparison index)."""
+    rows = []
+    for topic in campaign.topic_keys:
+        for p in consistency_series(campaign, topic):
+            rows.append(
+                [topic, p.index, p.j_previous, p.j_first,
+                 p.lost_from_previous, p.gained_since_previous, p.set_size]
+            )
+    return write_csv(
+        directory / "figure1_jaccard.csv",
+        ["topic", "t", "j_previous", "j_first", "lost", "gained", "set_size"],
+        rows,
+    )
+
+
+def export_figure2(campaign: CampaignResult, directory: Path) -> Path:
+    """Figure 2 series: one row per (topic, day)."""
+    rows = []
+    for topic in campaign.topic_keys:
+        series = daily_series(campaign, topic)
+        for p in series.points:
+            rows.append(
+                [topic, p.day - series.focal_day, p.count_first, p.count_last,
+                 p.count_mean, p.j_first_last]
+            )
+    return write_csv(
+        directory / "figure2_daily.csv",
+        ["topic", "day_vs_focal", "count_first", "count_last", "count_mean",
+         "j_first_last"],
+        rows,
+    )
+
+
+def export_figure3(campaign: CampaignResult, directory: Path) -> Path:
+    """Figure 3: transition probabilities, one row per history."""
+    matrix = attrition_analysis(campaign).matrix()
+    rows = [
+        [history, probs["P"], probs["A"]]
+        for history, probs in sorted(matrix.items())
+    ]
+    return write_csv(
+        directory / "figure3_markov.csv", ["history", "to_P", "to_A"], rows
+    )
+
+
+def export_figure4(campaign: CampaignResult, directory: Path) -> Path:
+    """Figure 4 series: one row per (topic, comparison index)."""
+    rows = []
+    for topic in campaign.topic_keys:
+        for p in metadata_series(campaign, topic):
+            rows.append(
+                [topic, p.index, p.pct_common_covered_prev,
+                 p.pct_common_covered_first, p.j_meta_prev, p.j_meta_first]
+            )
+    return write_csv(
+        directory / "figure4_metadata.csv",
+        ["topic", "t", "pct_cov_prev", "pct_cov_first", "j_meta_prev",
+         "j_meta_first"],
+        rows,
+    )
+
+
+def export_table_stats(campaign: CampaignResult, directory: Path) -> list[Path]:
+    """Tables 1, 2, and 4 as CSVs."""
+    t1_rows = []
+    t2_rows = []
+    t4_rows = []
+    for topic in campaign.topic_keys:
+        counts = [snap.topic(topic).total_returned for snap in campaign.snapshots]
+        t1_rows.append(
+            [topic, min(counts), max(counts),
+             sum(counts) / len(counts)]
+        )
+        h = hourly_stats(campaign, topic)
+        t2_rows.append(
+            [topic, h.mean, h.minimum, h.maximum, h.std, h.rho, h.rho_p_value,
+             h.n_retained_hours]
+        )
+        p = pool_stats(campaign, topic)
+        t4_rows.append([topic, p.minimum, p.maximum, p.mean, p.mode])
+    return [
+        write_csv(directory / "table1_returns.csv",
+                  ["topic", "min", "max", "mean"], t1_rows),
+        write_csv(directory / "table2_hourly.csv",
+                  ["topic", "mean", "min", "max", "std", "rho", "rho_p", "n"],
+                  t2_rows),
+        write_csv(directory / "table4_pools.csv",
+                  ["topic", "min", "max", "mean", "mode"], t4_rows),
+    ]
+
+
+def export_all(campaign: CampaignResult, directory: str | Path) -> list[Path]:
+    """Write the full CSV bundle; returns the created paths."""
+    directory = Path(directory)
+    paths = [
+        export_figure1(campaign, directory),
+        export_figure2(campaign, directory),
+        export_figure3(campaign, directory),
+        export_figure4(campaign, directory),
+    ]
+    paths.extend(export_table_stats(campaign, directory))
+    return paths

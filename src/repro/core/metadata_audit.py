@@ -1,0 +1,67 @@
+"""Videos:list stability audit (Appendix B.1, Figure 4).
+
+For consecutive (and first-vs-current) collections, restrict attention to
+the video IDs common to both search returns, and measure (a) the share of
+those common IDs for which metadata actually came back in both collections
+and (b) the Jaccard similarity of the metadata-covered subsets.  High,
+pattern-free values mean the ID-based endpoint's occasional gaps are noise
+rather than systematic behavior — the paper's conclusion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.consistency import jaccard
+from repro.core.datasets import CampaignResult
+
+__all__ = ["MetadataPoint", "metadata_series"]
+
+
+@dataclass(frozen=True)
+class MetadataPoint:
+    """Figure 4 data for one topic at one comparison index (t >= 1)."""
+
+    index: int
+    pct_common_covered_prev: float  # metadata present at t and t-1, over common IDs
+    pct_common_covered_first: float  # same against the first collection
+    j_meta_prev: float  # Jaccard of covered subsets, common IDs only
+    j_meta_first: float
+    n_common_prev: int
+    n_common_first: int
+
+
+def metadata_series(campaign: CampaignResult, topic: str) -> list[MetadataPoint]:
+    """The Figure 4 series for one topic."""
+    snapshots = [snap.topic(topic) for snap in campaign.snapshots]
+    if len(snapshots) < 2:
+        raise ValueError("metadata audit needs at least two collections")
+
+    id_sets = [ts.video_ids for ts in snapshots]
+    meta_sets = [set(ts.video_meta) for ts in snapshots]
+    points: list[MetadataPoint] = []
+    for t in range(1, len(snapshots)):
+        common_prev = id_sets[t] & id_sets[t - 1]
+        common_first = id_sets[t] & id_sets[0]
+        covered_prev = meta_sets[t] & meta_sets[t - 1] & common_prev
+        covered_first = meta_sets[t] & meta_sets[0] & common_first
+        points.append(
+            MetadataPoint(
+                index=t,
+                pct_common_covered_prev=(
+                    len(covered_prev) / len(common_prev) if common_prev else 1.0
+                ),
+                pct_common_covered_first=(
+                    len(covered_first) / len(common_first) if common_first else 1.0
+                ),
+                j_meta_prev=jaccard(
+                    meta_sets[t] & common_prev, meta_sets[t - 1] & common_prev
+                ),
+                j_meta_first=jaccard(
+                    meta_sets[t] & common_first, meta_sets[0] & common_first
+                ),
+                n_common_prev=len(common_prev),
+                n_common_first=len(common_first),
+            )
+        )
+    return points

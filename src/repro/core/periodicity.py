@@ -1,0 +1,99 @@
+"""Periodicity analysis of set similarities (Section 6.2 future work).
+
+The paper: "future research can replicate our experiments with more sparse
+collections over a longer period, to check for potential periodicity in set
+similarities."  This module does exactly that over a campaign's rolling
+Jaccard series:
+
+* the autocorrelation function of the J(S_t, S_{t-1}) series;
+* a coarse periodogram (squared DFT magnitudes) over the detrended
+  J(S_t, S_1) series, with the dominant period surfaced;
+* a simple significance gate: a period is only *reported* when its
+  autocorrelation exceeds the white-noise 95% band (±1.96/sqrt(n)).
+
+Under the paper's (and our) mechanism there is no genuine periodicity —
+churn is a drifting window, not a cycle — so on simulated campaigns the
+expected outcome is "no significant period", which is itself the useful
+reference result for anyone running this against the live API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.consistency import consistency_series
+from repro.core.datasets import CampaignResult
+
+__all__ = ["autocorrelation", "PeriodicityResult", "periodicity_analysis"]
+
+
+def autocorrelation(series, max_lag: int | None = None) -> np.ndarray:
+    """Sample autocorrelation of a 1-D series for lags 0..max_lag."""
+    x = np.asarray(list(series), dtype=float)
+    n = x.size
+    if n < 3:
+        raise ValueError("need at least 3 observations")
+    if max_lag is None:
+        max_lag = n - 2
+    max_lag = min(max_lag, n - 1)
+    x = x - x.mean()
+    denom = float((x**2).sum())
+    if denom == 0:
+        return np.concatenate([[1.0], np.zeros(max_lag)])
+    return np.array(
+        [1.0] + [float((x[: n - lag] * x[lag:]).sum()) / denom for lag in range(1, max_lag + 1)]
+    )
+
+
+@dataclass
+class PeriodicityResult:
+    """Periodicity diagnostics for one topic's similarity series."""
+
+    topic: str
+    acf: np.ndarray
+    dominant_period: int | None  # in collection steps; None = nothing significant
+    dominant_power_share: float
+    noise_band: float
+
+    @property
+    def is_periodic(self) -> bool:
+        """Whether any lag's autocorrelation clears the white-noise band."""
+        return self.dominant_period is not None
+
+
+def periodicity_analysis(
+    campaign: CampaignResult, topic: str, max_lag: int | None = None
+) -> PeriodicityResult:
+    """Check a topic's successive-similarity series for cycles."""
+    series = consistency_series(campaign, topic)
+    values = [p.j_previous for p in series]
+    n = len(values)
+    if n < 4:
+        raise ValueError("periodicity analysis needs at least 4 comparisons")
+
+    acf = autocorrelation(values, max_lag)
+    noise_band = 1.96 / np.sqrt(n)
+
+    # Candidate periods: lags >= 2 whose ACF clears the band.
+    significant = [
+        lag for lag in range(2, acf.shape[0]) if acf[lag] > noise_band
+    ]
+    dominant_period: int | None = None
+    power_share = 0.0
+    if significant:
+        detrended = np.asarray(values) - np.mean(values)
+        spectrum = np.abs(np.fft.rfft(detrended)) ** 2
+        if spectrum[1:].sum() > 0:
+            peak_bin = int(np.argmax(spectrum[1:])) + 1
+            power_share = float(spectrum[peak_bin] / spectrum[1:].sum())
+            dominant_period = max(2, round(n / peak_bin))
+
+    return PeriodicityResult(
+        topic=topic,
+        acf=acf,
+        dominant_period=dominant_period,
+        dominant_power_share=power_share,
+        noise_band=float(noise_band),
+    )

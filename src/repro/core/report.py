@@ -1,0 +1,206 @@
+"""Paper-style text rendering of every table and figure.
+
+Each ``render_*`` function takes a campaign (plus whatever analysis inputs
+it needs) and returns the table/series as text in the same row/column
+layout as the paper, so benchmark output can be compared against the
+original side by side.
+"""
+
+from __future__ import annotations
+
+from repro.core.attrition import attrition_analysis
+from repro.core.comment_audit import comment_audit
+from repro.core.consistency import consistency_series
+from repro.core.daily import daily_series
+from repro.core.datasets import CampaignResult
+from repro.core.hourly import hourly_stats
+from repro.core.metadata_audit import metadata_series
+from repro.core.pools import pool_stats
+from repro.stats.descriptive import describe
+from repro.stats.summaries import summarize_model
+from repro.util.tables import format_count, render_table, significance_stars
+from repro.world.topics import TopicSpec
+
+__all__ = [
+    "render_table1",
+    "render_table2",
+    "render_table4",
+    "render_table5",
+    "render_figure1",
+    "render_figure2",
+    "render_figure3",
+    "render_figure4",
+    "render_regression",
+    "topic_labels",
+]
+
+
+def topic_labels(specs: tuple[TopicSpec, ...]) -> dict[str, str]:
+    """key -> display label, as the paper's tables name topics."""
+    return {spec.key: spec.label for spec in specs}
+
+
+def render_table1(campaign: CampaignResult, specs: tuple[TopicSpec, ...]) -> str:
+    """Table 1: videos returned per topic across collections."""
+    labels = topic_labels(specs)
+    rows = []
+    for topic in campaign.topic_keys:
+        counts = [snap.topic(topic).total_returned for snap in campaign.snapshots]
+        d = describe(counts)
+        rows.append(
+            [labels.get(topic, topic), int(d.minimum), int(d.maximum),
+             round(d.mean, 2), round(d.std, 2)]
+        )
+    return render_table(
+        ["topic", "min", "max", "mean", "std"],
+        rows,
+        title="Table 1: videos returned per topic across collections",
+    )
+
+
+def render_table2(campaign: CampaignResult, specs: tuple[TopicSpec, ...]) -> str:
+    """Table 2: per-hour counts and volume-vs-consistency Spearman rho."""
+    labels = topic_labels(specs)
+    rows = []
+    for topic in campaign.topic_keys:
+        h = hourly_stats(campaign, topic)
+        stars = significance_stars(h.rho_p_value)
+        rows.append(
+            [labels.get(topic, topic), round(h.mean, 2), h.minimum, h.maximum,
+             round(h.std, 2), f"{stars}{h.rho:.2f}", h.n_retained_hours]
+        )
+    return render_table(
+        ["topic", "mean", "min", "max", "std", "rho", "N"],
+        rows,
+        title="Table 2: per-hour videos returned (rho vs J(first,last); "
+        "N = hours retained)",
+    )
+
+
+def render_table4(campaign: CampaignResult, specs: tuple[TopicSpec, ...]) -> str:
+    """Table 4: potential video pool size per topic."""
+    labels = topic_labels(specs)
+    rows = []
+    for topic in campaign.topic_keys:
+        p = pool_stats(campaign, topic)
+        rows.append(
+            [labels.get(topic, topic), format_count(p.minimum), format_count(p.maximum),
+             format_count(p.mean), format_count(p.mode)]
+        )
+    return render_table(
+        ["Topic", "Min", "Max", "Mean", "Mode"],
+        rows,
+        title="Table 4: potential video pool size per topic (totalResults)",
+    )
+
+
+def render_table5(campaign: CampaignResult, specs: tuple[TopicSpec, ...]) -> str:
+    """Table 5: first-vs-last comment-set Jaccards."""
+    labels = topic_labels(specs)
+    spec_by_key = {spec.key: spec for spec in specs}
+
+    def fmt(value: float | None) -> str:
+        return "N/A" if value is None else f"{value:.3f}"
+
+    rows = []
+    for topic in campaign.topic_keys:
+        row = comment_audit(campaign, spec_by_key[topic])
+        rows.append(
+            [labels.get(topic, topic), fmt(row.j_top_level_nonshared),
+             fmt(row.j_nested_nonshared), fmt(row.j_top_level_shared),
+             fmt(row.j_nested_shared)]
+        )
+    return render_table(
+        ["topic", "TL, NS", "N, NS", "TL, S", "N, S"],
+        rows,
+        title="Table 5: comment-set Jaccards, first vs last collection "
+        "(TL=top-level, N=nested; NS=all videos, S=shared videos)",
+    )
+
+
+def render_figure1(campaign: CampaignResult, specs: tuple[TopicSpec, ...]) -> str:
+    """Figure 1: rolling Jaccard series with set-difference error bars."""
+    labels = topic_labels(specs)
+    blocks = []
+    for topic in campaign.topic_keys:
+        rows = [
+            [p.index, round(p.j_previous, 3), round(p.j_first, 3),
+             p.lost_from_previous, p.gained_since_previous, p.set_size]
+            for p in consistency_series(campaign, topic)
+        ]
+        blocks.append(
+            render_table(
+                ["t", "J(S_t,S_t-1)", "J(S_t,S_1)", "lost", "gained", "|S_t|"],
+                rows,
+                title=f"Figure 1 [{labels.get(topic, topic)}]",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def render_figure2(campaign: CampaignResult, specs: tuple[TopicSpec, ...]) -> str:
+    """Figure 2: daily return volumes and first-vs-last daily Jaccard."""
+    labels = topic_labels(specs)
+    blocks = []
+    for topic in campaign.topic_keys:
+        series = daily_series(campaign, topic)
+        rows = [
+            [p.day - series.focal_day, p.count_first, p.count_last,
+             round(p.count_mean, 1), round(p.j_first_last, 3)]
+            for p in series.points
+        ]
+        blocks.append(
+            render_table(
+                ["day vs D-day", "first", "last", "mean", "J(first,last)"],
+                rows,
+                title=(
+                    f"Figure 2 [{labels.get(topic, topic)}] "
+                    f"(volume profile corr = {series.profile_correlation():.3f})"
+                ),
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def render_figure3(campaign: CampaignResult) -> str:
+    """Figure 3: second-order Markov transition probabilities."""
+    result = attrition_analysis(campaign)
+    matrix = result.matrix()
+    rows = [
+        [history, round(matrix[history]["P"], 3), round(matrix[history]["A"], 3)]
+        for history in ("PP", "PA", "AP", "AA")
+    ]
+    return render_table(
+        ["history (t-2,t-1)", "-> P", "-> A"],
+        rows,
+        title=(
+            "Figure 3: presence/absence transitions "
+            f"({result.n_sequences} video sequences; sticky={result.is_sticky})"
+        ),
+    )
+
+
+def render_figure4(campaign: CampaignResult, specs: tuple[TopicSpec, ...]) -> str:
+    """Figure 4: Videos:list coverage and metadata-set Jaccards."""
+    labels = topic_labels(specs)
+    blocks = []
+    for topic in campaign.topic_keys:
+        rows = [
+            [p.index, round(p.pct_common_covered_prev, 3),
+             round(p.pct_common_covered_first, 3), round(p.j_meta_prev, 3),
+             round(p.j_meta_first, 3)]
+            for p in metadata_series(campaign, topic)
+        ]
+        blocks.append(
+            render_table(
+                ["t", "%cov prev", "%cov first", "J prev", "J first"],
+                rows,
+                title=f"Figure 4 [{labels.get(topic, topic)}]",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def render_regression(result, title: str) -> str:
+    """Tables 3/6/7: delegate to the shared model summarizer."""
+    return summarize_model(result, title)

@@ -1,0 +1,148 @@
+"""SERP-vs-API comparison (the paper's Section 6.2 future-work direction).
+
+The question: "if the search endpoint has research value beyond data
+collection, for example, as a low-resource way of conducting SERP audits" —
+i.e., how well do Data API search returns proxy what signed-in users
+actually see?
+
+The harness runs a sockpuppet fleet's SERPs and one API search for the same
+query/date, then reports:
+
+* overlap@k between the API's top-k (relevance order) and each SERP;
+* rank-biased overlap (RBO, Webber et al. 2010) for rank-aware agreement;
+* fleet self-consistency (how much SERPs differ *among* identically
+  configured sockpuppets), the audit literature's noise floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+
+import numpy as np
+
+from repro.api.client import YouTubeClient
+from repro.serp.ranker import SerpRanker
+from repro.serp.sockpuppet import SockpuppetProfile
+from repro.util.timeutil import format_rfc3339
+from repro.world.topics import TopicSpec
+
+__all__ = ["overlap_at_k", "rank_biased_overlap", "SerpAuditResult", "serp_audit"]
+
+
+def overlap_at_k(a: list[str], b: list[str], k: int) -> float:
+    """|top-k(a) ∩ top-k(b)| / k (k clipped to the shorter list)."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    k = min(k, len(a), len(b))
+    if k == 0:
+        return 0.0
+    return len(set(a[:k]) & set(b[:k])) / k
+
+
+def rank_biased_overlap(a: list[str], b: list[str], p: float = 0.9) -> float:
+    """Rank-biased overlap of two rankings (extrapolated RBO_ext).
+
+    Top-weighted: agreement at early ranks counts more, governed by the
+    persistence parameter ``p``.  Returns a value in [0, 1].
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError("p must be in (0, 1)")
+    if not a or not b:
+        return 1.0 if not a and not b else 0.0
+    depth = min(len(a), len(b))
+    seen_a: set[str] = set()
+    seen_b: set[str] = set()
+    overlap = 0
+    rbo = 0.0
+    for d in range(1, depth + 1):
+        item_a, item_b = a[d - 1], b[d - 1]
+        if item_a == item_b:
+            overlap += 1
+        else:
+            if item_a in seen_b:
+                overlap += 1
+            if item_b in seen_a:
+                overlap += 1
+        seen_a.add(item_a)
+        seen_b.add(item_b)
+        rbo += (overlap / d) * p ** (d - 1)
+    # Extrapolate the tail assuming agreement stays at the final level.
+    rbo = rbo * (1 - p) + (overlap / depth) * p**depth
+    return float(min(rbo, 1.0))
+
+
+@dataclass
+class SerpAuditResult:
+    """Agreement metrics for one (query, date, fleet) audit."""
+
+    query: str
+    k: int
+    api_video_ids: list[str]
+    serp_video_ids: dict[str, list[str]]  # profile_id -> ranked ids
+    overlap_api_serp: dict[str, float]
+    rbo_api_serp: dict[str, float]
+    fleet_self_overlap: float
+
+    @property
+    def mean_overlap(self) -> float:
+        """Average top-k overlap between the API page and fleet SERPs."""
+        return float(np.mean(list(self.overlap_api_serp.values())))
+
+    @property
+    def mean_rbo(self) -> float:
+        """Average RBO between the API page and fleet SERPs."""
+        return float(np.mean(list(self.rbo_api_serp.values())))
+
+
+def serp_audit(
+    client: YouTubeClient,
+    ranker: SerpRanker,
+    fleet: list[SockpuppetProfile],
+    spec: TopicSpec,
+    as_of: datetime,
+    k: int = 20,
+    query: str | None = None,
+) -> SerpAuditResult:
+    """Run the audit for one topic query at one date."""
+    if not fleet:
+        raise ValueError("audit requires at least one sockpuppet")
+    query = query or spec.query
+
+    api_items = client.search_all(
+        q=query,
+        order="relevance",
+        limit=max(k, 50),
+        safeSearch="none",
+        publishedAfter=format_rfc3339(spec.window_start),
+        publishedBefore=format_rfc3339(spec.window_end),
+    )
+    api_ids = [item["id"]["videoId"] for item in api_items][:k]
+
+    serp_ids: dict[str, list[str]] = {}
+    for profile in fleet:
+        serp_ids[profile.profile_id] = ranker.serp(query, profile, as_of).video_ids[:k]
+
+    overlaps = {
+        pid: overlap_at_k(api_ids, ids, k) for pid, ids in serp_ids.items()
+    }
+    rbos = {
+        pid: rank_biased_overlap(api_ids, ids) for pid, ids in serp_ids.items()
+    }
+
+    pair_overlaps = []
+    profile_ids = list(serp_ids)
+    for i, pa in enumerate(profile_ids):
+        for pb in profile_ids[i + 1 :]:
+            pair_overlaps.append(overlap_at_k(serp_ids[pa], serp_ids[pb], k))
+    self_overlap = float(np.mean(pair_overlaps)) if pair_overlaps else 1.0
+
+    return SerpAuditResult(
+        query=query,
+        k=k,
+        api_video_ids=api_ids,
+        serp_video_ids=serp_ids,
+        overlap_api_serp=overlaps,
+        rbo_api_serp=rbos,
+        fleet_self_overlap=self_overlap,
+    )

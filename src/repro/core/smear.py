@@ -1,0 +1,167 @@
+"""Quota-smeared collection: what a default-quota client actually gets.
+
+The paper's campaign costs 403,200 search units per snapshot; a newly
+created client has 10,000/day.  Such a client cannot take a snapshot in a
+day — it must *smear* the hourly sweep across many days, staying under
+quota each day.  Because the endpoint's returns are keyed to the request
+date, the hours collected on different days come from *different windowed
+sets*: the "snapshot" is internally inconsistent in a way single-day
+collection never is.
+
+:class:`SmearedSnapshotCollector` performs exactly that quota-constrained
+sweep, and :func:`smear_inconsistency` quantifies the damage by re-querying
+a sample of first-day hours on the final day and measuring the drift within
+one nominal snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+
+from repro.api.client import YouTubeClient
+from repro.api.errors import QuotaExceededError
+from repro.api.quota import UNIT_COSTS
+from repro.core.consistency import jaccard
+from repro.core.datasets import TopicSnapshot
+from repro.util.timeutil import format_rfc3339, hour_range
+from repro.world.topics import TopicSpec
+
+__all__ = ["SmearedSnapshot", "SmearedSnapshotCollector", "smear_inconsistency"]
+
+
+@dataclass
+class SmearedSnapshot:
+    """One topic's quota-smeared collection."""
+
+    topic: TopicSnapshot
+    started_at: datetime
+    finished_at: datetime
+    #: hour index -> ISO date the hour was actually queried on
+    hour_query_dates: dict[int, str]
+
+    @property
+    def days_spanned(self) -> int:
+        """Calendar days the sweep needed (1 = a clean snapshot)."""
+        return (self.finished_at.date() - self.started_at.date()).days + 1
+
+
+class SmearedSnapshotCollector:
+    """Hourly sweep that yields to the daily quota and resumes next day."""
+
+    def __init__(self, client: YouTubeClient, reserve_units: int = 0) -> None:
+        """``reserve_units`` is daily headroom kept for other work."""
+        if reserve_units < 0:
+            raise ValueError("reserve_units must be non-negative")
+        self._client = client
+        self._reserve = reserve_units
+
+    def collect_topic(self, spec: TopicSpec) -> SmearedSnapshot:
+        """Sweep one topic's window, rolling to the next day on quota."""
+        service = self._client.service
+        started_at = service.clock.now()
+        hour_video_ids: dict[int, list[str]] = {}
+        pool_sizes: dict[int, int] = {}
+        hour_query_dates: dict[int, str] = {}
+
+        search_cost = UNIT_COSTS["search.list"]
+        for hour_index, hour_start in enumerate(
+            hour_range(spec.window_start, spec.window_end)
+        ):
+            self._ensure_budget(search_cost)
+            ids, pool = self._query_hour(spec, hour_start)
+            pool_sizes[hour_index] = pool
+            hour_query_dates[hour_index] = service.clock.today()
+            if ids:
+                hour_video_ids[hour_index] = ids
+
+        snapshot = TopicSnapshot(
+            topic=spec.key,
+            collected_at=started_at,
+            hour_video_ids=hour_video_ids,
+            pool_sizes=pool_sizes,
+        )
+        return SmearedSnapshot(
+            topic=snapshot,
+            started_at=started_at,
+            finished_at=service.clock.now(),
+            hour_query_dates=hour_query_dates,
+        )
+
+    # -- internals ------------------------------------------------------------
+
+    def _ensure_budget(self, units: int) -> None:
+        """Roll the clock to the next day until ``units`` fit under quota."""
+        service = self._client.service
+        while service.quota.remaining_on(service.clock.today()) < units + self._reserve:
+            tomorrow = (service.clock.now() + timedelta(days=1)).replace(
+                hour=0, minute=0, second=0, microsecond=0
+            )
+            service.clock.set(tomorrow)
+
+    def _query_hour(self, spec: TopicSpec, hour_start) -> tuple[list[str], int]:
+        ids: list[str] = []
+        pool = 0
+        page_token = None
+        while True:
+            params = {
+                "q": spec.query,
+                "maxResults": 50,
+                "order": "date",
+                "safeSearch": "none",
+                "publishedAfter": format_rfc3339(hour_start),
+                "publishedBefore": format_rfc3339(hour_start + timedelta(hours=1)),
+            }
+            if page_token:
+                params["pageToken"] = page_token
+            try:
+                response = self._client.search_page(**params)
+            except QuotaExceededError:
+                # Defensive: _ensure_budget covers single pages, but a
+                # multi-page hour can straddle the boundary.
+                self._ensure_budget(UNIT_COSTS["search.list"])
+                continue
+            pool = int(response["pageInfo"]["totalResults"])
+            ids.extend(item["id"]["videoId"] for item in response["items"])
+            page_token = response.get("nextPageToken")
+            if not page_token:
+                return ids, pool
+
+
+def smear_inconsistency(
+    client: YouTubeClient, spec: TopicSpec, smeared: SmearedSnapshot, sample_hours: int = 48
+) -> float:
+    """Internal inconsistency of a smeared snapshot.
+
+    Re-queries the earliest-collected ``sample_hours`` nonzero hours *now*
+    (i.e., at the end of the smear) and returns 1 - J(original, re-queried)
+    pooled over the sample.  A clean single-day snapshot scores ~0; the
+    longer the smear, the higher the score.
+    """
+    # Earliest-queried hours that actually returned something (the start of
+    # the window is often density-suppressed, so "first day" alone can be
+    # all zeros).
+    nonzero_hours = sorted(
+        (day, h)
+        for h, day in smeared.hour_query_dates.items()
+        if h in smeared.topic.hour_video_ids
+    )
+    early_hours = [h for _day, h in nonzero_hours[:sample_hours]]
+    if not early_hours:
+        return 0.0
+
+    original: set[str] = set()
+    requeried: set[str] = set()
+    hour_starts = list(hour_range(spec.window_start, spec.window_end))
+    for hour in early_hours:
+        original.update(smeared.topic.hour_video_ids.get(hour, ()))
+        hour_start = hour_starts[hour]
+        items = client.search_all(
+            q=spec.query,
+            order="date",
+            safeSearch="none",
+            publishedAfter=format_rfc3339(hour_start),
+            publishedBefore=format_rfc3339(hour_start + timedelta(hours=1)),
+        )
+        requeried.update(item["id"]["videoId"] for item in items)
+    return 1.0 - jaccard(original, requeried)

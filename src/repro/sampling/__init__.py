@@ -1,0 +1,35 @@
+"""The inferred Search:list return mechanism, as an executable model.
+
+The paper's Sections 4-5 infer, from black-box observation, that the search
+endpoint:
+
+1. samples returns from an *empirical distribution of topical interest*,
+   suppressing hours whose relative interest is too low (even when returning
+   them would not exceed any documented cap) — :mod:`repro.sampling.density`;
+2. rolls videos in and out of a request-date-dependent "windowed set" with
+   sticky (second-order-Markov) dynamics — :mod:`repro.sampling.churn`;
+3. favors shorter, more-liked videos — :mod:`repro.sampling.bias`;
+4. reports a time-window-insensitive, 1M-capped ``totalResults`` pool whose
+   size anti-correlates with return consistency — :mod:`repro.sampling.pool`.
+
+:class:`repro.sampling.engine.SearchBehaviorEngine` composes the four into
+the behavior the API simulator's search endpoint executes.  The audit
+pipeline then *re-derives* the paper's findings from the simulator through
+the public API only — a closed loop validating methodology against model.
+"""
+
+from repro.sampling.bias import inclusion_bias
+from repro.sampling.churn import ChurnProcess
+from repro.sampling.density import InterestDensity
+from repro.sampling.engine import BehaviorParams, SearchBehaviorEngine, SearchOutcome
+from repro.sampling.pool import PoolSizeModel
+
+__all__ = [
+    "inclusion_bias",
+    "ChurnProcess",
+    "InterestDensity",
+    "PoolSizeModel",
+    "BehaviorParams",
+    "SearchBehaviorEngine",
+    "SearchOutcome",
+]

@@ -1,0 +1,75 @@
+"""Metadata-driven inclusion bias.
+
+Table 3 of the paper finds that, conditional on being eligible, videos that
+are *shorter* and *more liked* are returned in more collections, channel
+total views push inclusion up while subscriber count pushes it down (the
+author flags the channel pair as possibly spurious — the two are correlated
+at r = 0.97, so we encode the channel effect on their *ratio*, which
+produces exactly that +views/-subs coefficient pattern in a joint
+regression), and views/comments add nothing once likes are in the model
+(they are collinear with likes).
+
+The bias here is a per-video scalar: higher means the behavior engine ranks
+the video closer to the front of the queue when filling an hour's return
+budget.  It is deterministic per video (the noise term is keyed by the
+video ID), so bias is a stable property of the video, as the paper's
+frequency analysis presupposes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import stable_normal
+from repro.world.entities import Channel, Video
+
+__all__ = ["inclusion_bias", "BiasWeights"]
+
+
+class BiasWeights:
+    """Effect sizes of the bias score components (standardized scale)."""
+
+    duration: float = -0.42
+    likes: float = 0.55
+    channel_efficiency: float = 0.30  # log(channel views) - log(channel subs)
+    noise: float = 0.85
+
+
+def _zscore(x: np.ndarray) -> np.ndarray:
+    sd = float(x.std())
+    if sd < 1e-12:
+        return np.zeros_like(x)
+    return (x - float(x.mean())) / sd
+
+
+def inclusion_bias(
+    videos: list[Video],
+    channels: dict[str, Channel],
+    weights: BiasWeights | None = None,
+) -> np.ndarray:
+    """Standardized inclusion-bias scores for a list of videos.
+
+    The score is computed within the given list (typically one topic's
+    corpus), so the standardization is per-topic as in the paper's
+    regressions.  Returns an array aligned with ``videos``.
+    """
+    if weights is None:
+        weights = BiasWeights()
+    if not videos:
+        return np.zeros(0)
+
+    log_dur = np.log([v.duration_seconds for v in videos])
+    log_likes = np.log1p([v.like_count for v in videos])
+    log_ch_views = np.log1p([channels[v.channel_id].view_count for v in videos])
+    log_ch_subs = np.log1p([channels[v.channel_id].subscriber_count for v in videos])
+
+    score = (
+        weights.duration * _zscore(log_dur)
+        + weights.likes * _zscore(log_likes)
+        + weights.channel_efficiency * _zscore(log_ch_views - log_ch_subs)
+    )
+    # The noise term must be a stable property of each *video* (not of the
+    # list it appears in), so it is keyed by the video ID alone.
+    noise = np.array([stable_normal("bias-noise", v.video_id) for v in videos])
+    score = score + weights.noise * noise
+    return _zscore(score)

@@ -1,0 +1,112 @@
+"""Empirical topical-interest density and return suppression.
+
+Section 4.2 of the paper concludes that the search endpoint "samples videos
+from empirical distributions, returning results based on the relative
+density of topical interest and even forcing zero videos to be returned when
+this relative density is adequately low" — while the *shape* of the returned
+volume over time is nearly identical across collections (Figure 2).
+
+This module computes, per topic, the per-hour relative interest profile and
+turns it into per-hour *inclusion probabilities*:
+
+* hours whose interest falls below ``spec.suppression`` x the mean interest
+  are suppressed: their probability is zero, always, in every collection
+  (these are the hours that produce Table 2's huge zero-hour mass and the
+  dropped rows of its N column);
+* eligible videos in the remaining hours are included with probability
+  equal to the query's saturation, with small lognormal jitter per
+  (collection, hour) — which keeps the aggregate per-collection counts in
+  the narrow bands of Table 1 while the identity of returned videos churns.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.util.rng import stable_uniform
+from repro.world.temporal import upload_weights
+from repro.world.topics import TopicSpec
+
+__all__ = ["InterestDensity"]
+
+
+class InterestDensity:
+    """Per-hour interest profile and budget computation for one topic."""
+
+    def __init__(self, spec: TopicSpec, budget_jitter: float = 0.10) -> None:
+        self._spec = spec
+        self._jitter = budget_jitter
+        weights = upload_weights(spec)
+        mean = float(weights.mean())
+        self._relative = weights / mean  # 1.0 == average interest
+        self._suppressed = self._relative < spec.suppression
+
+    @property
+    def spec(self) -> TopicSpec:
+        """The topic this density belongs to."""
+        return self._spec
+
+    @property
+    def n_hours(self) -> int:
+        """Number of hourly bins in the topic window."""
+        return self._relative.shape[0]
+
+    def relative_interest(self, hour: int) -> float:
+        """Interest of an hour relative to the topic mean (1.0 = average)."""
+        self._check_hour(hour)
+        return float(self._relative[hour])
+
+    def is_suppressed(self, hour: int) -> bool:
+        """Whether the API returns zero videos for this hour, always."""
+        self._check_hour(hour)
+        return bool(self._suppressed[hour])
+
+    def suppressed_mask(self) -> np.ndarray:
+        """Boolean mask over the window's hours (True = suppressed)."""
+        return self._suppressed.copy()
+
+    def hour_saturation(
+        self,
+        hour: int,
+        saturation: float,
+        request_label: str,
+    ) -> float:
+        """Per-video inclusion probability for an hour in one collection.
+
+        ``saturation`` is the fraction of eligible videos the engine aims to
+        return for this query (the paper's pool-size/consistency coupling).
+        Suppressed hours return 0.0 — zero videos, always, regardless of how
+        many are eligible.  Unsuppressed hours get the saturation with small
+        multiplicative jitter keyed by (topic, collection, hour), so
+        re-running the identical collection reproduces it exactly while
+        different collections drift slightly.
+
+        The engine includes an eligible video when the normal CDF of its
+        selection score falls below this value — per-video threshold
+        crossing rather than a fixed per-hour count, which is what lets the
+        metadata bias and the churn process act on every video even in
+        sparse hours.
+        """
+        self._check_hour(hour)
+        if self._suppressed[hour]:
+            return 0.0
+        if not 0.0 < saturation <= 1.0:
+            raise ValueError("saturation must be in (0, 1]")
+        jitter_u = stable_uniform(
+            "budget-jitter", self._spec.key, request_label, hour
+        )
+        jitter = math.exp(self._jitter * _probit(jitter_u))
+        return min(saturation * jitter, 0.995)
+
+    def _check_hour(self, hour: int) -> None:
+        if not 0 <= hour < self._relative.shape[0]:
+            raise IndexError(f"hour {hour} outside window of {self.n_hours} hours")
+
+
+def _probit(u: float) -> float:
+    from statistics import NormalDist
+
+    eps = 1e-12
+    return NormalDist().inv_cdf(min(max(u, eps), 1.0 - eps))

@@ -1,0 +1,345 @@
+"""The search behavior engine: what Search:list actually does.
+
+This composes the four mechanism models (density suppression, rolling-window
+churn, metadata bias, pool size) into a single deterministic function
+
+    (query text, candidates, time window, request date) -> (videos, totalResults)
+
+that the API simulator's search endpoint calls.  Determinism contract: the
+outcome depends only on the world seed, the query, and the *request date* —
+never on what was queried before.  Identical historical queries issued on
+the same day agree exactly; issued weeks apart they diverge through churn,
+which is the paper's central finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from bisect import bisect_left
+from datetime import datetime
+from math import exp, sqrt
+
+import numpy as np
+from scipy.special import ndtr
+
+from repro.util.rng import stable_normal
+
+from repro.sampling.bias import inclusion_bias
+from repro.sampling.churn import ChurnProcess
+from repro.sampling.density import InterestDensity
+from repro.sampling.pool import TOTAL_RESULTS_CAP, PoolSizeModel
+from repro.util.timeutil import hour_index
+from repro.world.entities import Video
+from repro.world.store import PlatformStore
+from repro.world.topics import TopicSpec
+
+__all__ = ["BehaviorParams", "SearchOutcome", "SearchBehaviorEngine"]
+
+
+@dataclass(frozen=True)
+class BehaviorParams:
+    """Tunable mechanism parameters (the ablation surface).
+
+    Attributes
+    ----------
+    bias_share:
+        Fraction of selection-score variance carried by the stable
+        metadata bias (vs. the churning latent state).  0 disables the
+        popularity/duration bias entirely.
+    narrowness_exponent:
+        How strongly narrower queries raise the return fraction
+        (``q = saturation * narrowness**-exponent``).  0 disables the
+        pool-size/consistency coupling (Section 5 / Table 4).
+    saturation_cap:
+        Upper bound on the return fraction; below 1.0 so no query is ever
+        perfectly deterministic.
+    budget_jitter:
+        Lognormal sigma of per-(collection, hour) budget noise.
+    collection_budget_sigma:
+        Lognormal sigma of the per-collection-day global budget factor
+        (sets the per-topic spread of returned counts in Table 1).
+    """
+
+    bias_share: float = 0.24
+    narrowness_exponent: float = 0.35
+    saturation_cap: float = 0.97
+    budget_jitter: float = 0.02
+    collection_budget_sigma: float = 0.03
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.bias_share <= 1.0:
+            raise ValueError("bias_share must be in [0, 1]")
+        if self.narrowness_exponent < 0:
+            raise ValueError("narrowness_exponent must be non-negative")
+        if not 0.0 < self.saturation_cap <= 1.0:
+            raise ValueError("saturation_cap must be in (0, 1]")
+
+
+@dataclass
+class SearchOutcome:
+    """What a single search query returns before pagination."""
+
+    videos: list[Video]
+    total_results: int
+
+
+class _TopicRuntime:
+    """Per-topic precomputed state: corpus order, bias, churn, density, pool."""
+
+    def __init__(
+        self,
+        spec: TopicSpec,
+        store: PlatformStore,
+        seed: int,
+        params: BehaviorParams,
+    ) -> None:
+        self.spec = spec
+        self.videos = store.world.videos_for_topic(spec.key)
+        self.index = {v.video_id: i for i, v in enumerate(self.videos)}
+        self.bias = inclusion_bias(self.videos, store.world.channels)
+        self.density = InterestDensity(spec, budget_jitter=params.budget_jitter)
+        self.pool = PoolSizeModel(spec)
+        self.churn = ChurnProcess(spec, len(self.videos), seed)
+        # Precomputed hour offset of each video within the topic window.
+        self.hour_of = np.array(
+            [
+                min(max(hour_index(spec.window_start, v.published_at), 0),
+                    spec.window_hours - 1)
+                for v in self.videos
+            ],
+            dtype=np.int64,
+        )
+        # The return fraction is defined against the *unsuppressed* part of
+        # the corpus: suppressed hours never return anything, so hitting the
+        # topic's return budget requires a correspondingly higher fraction
+        # of the remaining videos.
+        suppressed = self.density.suppressed_mask()
+        unsuppressed_count = int(np.sum(~suppressed[self.hour_of]))
+        self.base_saturation = min(
+            params.saturation_cap,
+            spec.return_budget / max(unsuppressed_count, 1),
+        )
+
+
+class SearchBehaviorEngine:
+    """Executes the inferred search semantics against the platform store."""
+
+    def __init__(
+        self,
+        store: PlatformStore,
+        specs: tuple[TopicSpec, ...],
+        seed: int,
+        params: BehaviorParams | None = None,
+    ) -> None:
+        self._store = store
+        self._params = params or BehaviorParams()
+        self._seed = seed
+        self._topics = {
+            spec.key: _TopicRuntime(spec, store, seed, self._params) for spec in specs
+        }
+        # (query, channelId) -> topic -> (positions, publish times); the
+        # corpus is immutable so this never invalidates.
+        self._partition_cache: dict[
+            tuple[str, str], dict[str, tuple[list[int], list[datetime]]]
+        ] = {}
+
+    @property
+    def params(self) -> BehaviorParams:
+        """The mechanism parameters in effect."""
+        return self._params
+
+    def topic_runtime(self, key: str) -> _TopicRuntime:
+        """Expose a topic's runtime (used by tests and ablations)."""
+        return self._topics[key]
+
+    def execute(
+        self,
+        query_label: str,
+        candidate_ids: set[str],
+        published_after: datetime | None,
+        published_before: datetime | None,
+        as_of: datetime,
+        order: str = "date",
+        channel_id: str | None = None,
+    ) -> SearchOutcome:
+        """Run one search query.
+
+        ``candidate_ids`` is the text-matched candidate set (time-unfiltered;
+        the engine derives query narrowness from it, which is what makes
+        ``totalResults`` — and consistency — insensitive to the time window).
+        """
+        if channel_id is not None:
+            candidate_ids = {
+                vid
+                for vid in candidate_ids
+                if (v := self._store.video(vid)) is not None
+                and v.channel_id == channel_id
+            }
+        request_label = as_of.date().isoformat()
+        partition = self._partition(query_label, channel_id, candidate_ids)
+
+        selected: list[Video] = []
+        total_results = 0
+        for topic_key, (positions, times) in partition.items():
+            runtime = self._topics[topic_key]
+            narrowness = max(len(positions) / max(runtime.spec.n_videos, 1), 1e-6)
+            narrowness = min(narrowness, 1.0)
+            total_results += runtime.pool.total_results(
+                request_label,
+                _window_label(published_after, published_before),
+                narrowness=narrowness,
+            )
+            eligible = self._window_slice(
+                positions, times, published_after, published_before
+            )
+            selected.extend(
+                self._select_for_topic(
+                    runtime, eligible, as_of, request_label, narrowness
+                )
+            )
+
+        total_results = min(total_results, TOTAL_RESULTS_CAP)
+        _order_videos(selected, order, self._store, as_of)
+        return SearchOutcome(videos=selected, total_results=total_results)
+
+    # -- internals -----------------------------------------------------------
+
+    def _partition(
+        self,
+        query_label: str,
+        channel_id: str | None,
+        candidate_ids: set[str],
+    ) -> dict[str, list[int]]:
+        """Split candidates by topic, with per-query memoization.
+
+        Campaigns issue the same query thousands of times (one per hour per
+        collection), so the query-to-topic partition — a pure function of
+        the immutable corpus — is cached.  Positions come out sorted by
+        publish time, which lets window filtering use binary search.
+        """
+        cache_key = (query_label, channel_id or "")
+        cached = self._partition_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        partition: dict[str, tuple[list[int], list[datetime]]] = {}
+        for topic_key, runtime in self._topics.items():
+            # Topic corpus order is publish-time order, so sorted positions
+            # are time-sorted as well; the publish times ride along so window
+            # filtering can binary-search instead of scanning.
+            positions = sorted(
+                runtime.index[vid] for vid in candidate_ids if vid in runtime.index
+            )
+            if positions:
+                times = [runtime.videos[pos].published_at for pos in positions]
+                partition[topic_key] = (positions, times)
+        self._partition_cache[cache_key] = partition
+        return partition
+
+    @staticmethod
+    def _window_slice(
+        positions: list[int],
+        times: list[datetime],
+        published_after: datetime | None,
+        published_before: datetime | None,
+    ) -> list[int]:
+        """Binary-search the time-sorted positions down to the query window."""
+        lo = 0
+        hi = len(positions)
+        if published_after is not None:
+            lo = bisect_left(times, published_after)
+        if published_before is not None:
+            hi = bisect_left(times, published_before)
+        return positions[lo:hi]
+
+    def _select_for_topic(
+        self,
+        runtime: _TopicRuntime,
+        windowed_positions: list[int],
+        as_of: datetime,
+        request_label: str,
+        narrowness: float,
+    ) -> list[Video]:
+        params = self._params
+        # A collection-level budget factor: the total number of videos the
+        # endpoint is willing to return drifts a little between collection
+        # days, which produces the per-topic spread of Table 1.
+        day_factor = exp(
+            params.collection_budget_sigma
+            * stable_normal("collection-budget", runtime.spec.key, request_label)
+        )
+        saturation = min(
+            params.saturation_cap,
+            runtime.base_saturation
+            * day_factor
+            * narrowness ** (-params.narrowness_exponent),
+        )
+
+        # Eligibility: candidate, inside the window (pre-sliced), alive now.
+        eligible_by_hour: dict[int, list[int]] = {}
+        for pos in windowed_positions:
+            video = runtime.videos[pos]
+            if not video.alive_at(as_of):
+                continue
+            eligible_by_hour.setdefault(int(runtime.hour_of[pos]), []).append(pos)
+
+        if not eligible_by_hour:
+            return []
+
+        latent = runtime.churn.latent_at(as_of)
+        a = sqrt(params.bias_share)
+        b = sqrt(1.0 - params.bias_share)
+        out: list[Video] = []
+        for hour, positions in eligible_by_hour.items():
+            q = runtime.density.hour_saturation(hour, saturation, request_label)
+            if q <= 0.0:
+                continue
+            # Per-video threshold crossing: a video is in the hour's
+            # "windowed set" when the CDF of its selection score falls below
+            # the hour's inclusion probability.  Strong metadata bias (high
+            # bias value) and a low latent churn state both pull the score
+            # down, i.e. into the set.
+            scores = np.array(
+                [b * float(latent[pos]) - a * float(runtime.bias[pos]) for pos in positions]
+            )
+            included = ndtr(scores) < q
+            out.extend(
+                runtime.videos[pos] for pos, keep in zip(positions, included) if keep
+            )
+        return out
+
+
+def _window_label(after: datetime | None, before: datetime | None) -> str:
+    a = after.isoformat() if after else "-"
+    b = before.isoformat() if before else "-"
+    return f"{a}/{b}"
+
+
+def _order_videos(
+    videos: list[Video], order: str, store: PlatformStore, as_of: datetime
+) -> None:
+    """Sort in place according to the requested API ordering."""
+    if order == "date":
+        videos.sort(key=lambda v: (v.published_at, v.video_id), reverse=True)
+    elif order == "viewCount":
+        videos.sort(
+            key=lambda v: (store.metrics_at(v, as_of)[0], v.video_id), reverse=True
+        )
+    elif order == "rating":
+        videos.sort(
+            key=lambda v: (store.metrics_at(v, as_of)[1], v.video_id), reverse=True
+        )
+    elif order == "title":
+        videos.sort(key=lambda v: (v.title, v.video_id))
+    elif order == "relevance":
+        # Relevance mixes popularity and recency; the audit never relies on
+        # it, but the endpoint supports it.
+        videos.sort(
+            key=lambda v: (
+                store.metrics_at(v, as_of)[0] * 0.7
+                + store.metrics_at(v, as_of)[1] * 0.3,
+                v.video_id,
+            ),
+            reverse=True,
+        )
+    else:
+        raise ValueError(f"unsupported order: {order!r}")

@@ -1,0 +1,88 @@
+"""The ``pageInfo.totalResults`` pool-size model (Table 4).
+
+The paper's Table 4 observations about the reported result pool:
+
+* it is capped at 1,000,000 and three of the six topics are *moded* at the
+  cap (their underlying estimate usually exceeds it);
+* it ignores the ``publishedAfter``/``publishedBefore`` window entirely
+  ("the API does not take into account time constraints in determining the
+  total pool of available videos") — an hour-long window reports the same
+  pool as the whole topic;
+* it fluctuates between queries (each topic has distinct min/max/mean), but
+  has a clear modal value, suggesting a heaped canonical estimate that the
+  backend usually serves and occasionally replaces with a noisier figure.
+
+The model: with probability ``heap_probability`` return the topic's
+canonical estimate; otherwise draw lognormal noise around it.  Every draw is
+clipped at the 1M cap and rounded to three significant figures (which is
+what makes repeated modal values possible at all).  Narrower queries scale
+the pool by their share of the topic corpus (Section 6.1: probing
+``totalResults`` tells you how specific your query is).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.rng import stable_normal, stable_uniform
+from repro.world.topics import TopicSpec
+
+__all__ = ["PoolSizeModel", "TOTAL_RESULTS_CAP"]
+
+TOTAL_RESULTS_CAP = 1_000_000
+
+
+def _round_sig(value: float, figures: int = 3) -> int:
+    """Round to ``figures`` significant figures (how estimates get heaped)."""
+    if value <= 0:
+        return 0
+    magnitude = math.floor(math.log10(value))
+    scale = 10 ** (magnitude - figures + 1)
+    return int(round(value / scale) * scale)
+
+
+class PoolSizeModel:
+    """Per-query ``totalResults`` draws for a topic."""
+
+    def __init__(self, spec: TopicSpec, heap_probability: float = 0.55) -> None:
+        if not 0.0 <= heap_probability <= 1.0:
+            raise ValueError("heap_probability must be in [0, 1]")
+        self._spec = spec
+        self._heap_probability = heap_probability
+
+    @property
+    def canonical(self) -> int:
+        """The heaped canonical estimate (pre-cap)."""
+        return self._spec.pool_canonical
+
+    def total_results(
+        self,
+        request_label: str,
+        window_label: str,
+        narrowness: float = 1.0,
+    ) -> int:
+        """Draw the reported pool size for one query.
+
+        Parameters
+        ----------
+        request_label:
+            Identifies the request date (e.g. the RFC 3339 collection date).
+        window_label:
+            Identifies the queried window (e.g. the hour).  Included in the
+            draw key so that *different* windows on the same day see
+            different noise — but the *distribution* is window-independent,
+            which is the paper's point about time insensitivity.
+        narrowness:
+            Fraction of the topic corpus a narrower query matches, in
+            (0, 1].  Scales the pool proportionally.
+        """
+        if not 0.0 < narrowness <= 1.0:
+            raise ValueError("narrowness must be in (0, 1]")
+        base = self._spec.pool_canonical * narrowness
+        u = stable_uniform("pool-heap", self._spec.key, request_label, window_label)
+        if u < self._heap_probability:
+            value = base
+        else:
+            z = stable_normal("pool-noise", self._spec.key, request_label, window_label)
+            value = base * math.exp(self._spec.pool_sigma * z)
+        return min(_round_sig(value), TOTAL_RESULTS_CAP)

@@ -1,0 +1,23 @@
+"""Simulated YouTube search-results pages (SERPs) and sockpuppet profiles.
+
+Section 6.2 of the paper proposes, as future work, "employ[ing] similar
+methods to ours to check the consistency between results of sockpuppet
+SERPs and search endpoint results", to learn whether the Data API's search
+endpoint can stand in for expensive browser-based SERP audits.
+
+This package implements that direction:
+
+* :mod:`repro.serp.sockpuppet` — sockpuppet profiles with location and
+  watch-history leanings, like the audit literature builds (Hussein et al.
+  2020; Jung et al. 2025 in the paper's references);
+* :mod:`repro.serp.ranker` — the *user-facing* ranking: personalized,
+  popularity/freshness-weighted, served from the full eligible corpus (the
+  UI does not exhibit the API's windowed-set suppression);
+* :mod:`repro.core.serp_audit` — the comparison harness: overlap@k and
+  rank-biased overlap between sockpuppet SERPs and API returns.
+"""
+
+from repro.serp.ranker import SerpRanker, SerpResult
+from repro.serp.sockpuppet import SockpuppetProfile, make_fleet
+
+__all__ = ["SerpRanker", "SerpResult", "SockpuppetProfile", "make_fleet"]

@@ -1,0 +1,118 @@
+"""The user-facing SERP ranker.
+
+What a signed-in user sees for a query differs from what the Data API
+returns in three audited-relevant ways, all modeled here:
+
+* the SERP ranks by a relevance blend (popularity, freshness relative to
+  the query date, channel authority) rather than the API's windowed-set
+  sampling — it serves from the *full* eligible corpus;
+* it is personalized: geography boosts same-country uploads and watch
+  history boosts leaned-toward topics, plus a per-profile noise term;
+* it is a short ranked page (top-N), not an exhaustive listing.
+
+Determinism mirrors the API engine's contract: the page is a pure function
+of (world seed, query, profile, request date).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+
+import numpy as np
+
+from repro.api.matching import match_candidates, parse_query
+from repro.serp.sockpuppet import SockpuppetProfile
+from repro.util.rng import stable_hash
+from repro.world.entities import Video
+from repro.world.store import PlatformStore
+
+__all__ = ["SerpResult", "SerpRanker"]
+
+DEFAULT_PAGE_SIZE = 20
+
+
+@dataclass
+class SerpResult:
+    """One rendered results page."""
+
+    query: str
+    profile: SockpuppetProfile
+    as_of: datetime
+    videos: list[Video]
+
+    @property
+    def video_ids(self) -> list[str]:
+        """Ranked video IDs, best first."""
+        return [v.video_id for v in self.videos]
+
+
+class SerpRanker:
+    """Personalized ranking over the platform store."""
+
+    def __init__(
+        self,
+        store: PlatformStore,
+        seed: int,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        personalization_strength: float = 0.35,
+    ) -> None:
+        if page_size <= 0:
+            raise ValueError("page_size must be positive")
+        if personalization_strength < 0:
+            raise ValueError("personalization_strength must be non-negative")
+        self._store = store
+        self._seed = seed
+        self._page_size = page_size
+        self._personalization = personalization_strength
+
+    def serp(
+        self, query: str, profile: SockpuppetProfile, as_of: datetime
+    ) -> SerpResult:
+        """Render the results page a profile sees for a query on a date."""
+        parsed = parse_query(query)
+        candidate_ids = sorted(match_candidates(self._store, parsed))
+        scored: list[tuple[float, str]] = []
+        for video_id in candidate_ids:
+            video = self._store.video(video_id)
+            if video is None or not video.alive_at(as_of):
+                continue
+            scored.append((self._score(video, profile, as_of), video_id))
+        scored.sort(reverse=True)
+        videos = [self._store.video(vid) for _, vid in scored[: self._page_size]]
+        return SerpResult(query=query, profile=profile, as_of=as_of, videos=videos)
+
+    # -- internals ----------------------------------------------------------
+
+    def _score(
+        self, video: Video, profile: SockpuppetProfile, as_of: datetime
+    ) -> float:
+        views, likes, _comments = self._store.metrics_at(video, as_of)
+        popularity = np.log1p(views) + 0.5 * np.log1p(likes)
+
+        channel = self._store.channel(video.channel_id)
+        authority = 0.3 * np.log1p(channel.subscriber_count if channel else 0)
+
+        age_days = max((as_of - video.published_at).total_seconds() / 86400.0, 0.0)
+        freshness = -0.25 * np.log1p(age_days)
+
+        geo_boost = 0.0
+        if channel is not None and channel.country == profile.geo:
+            geo_boost = 1.2
+
+        leaning_boost = 3.0 * profile.leaning_for(video.topic)
+
+        noise = self._personalization * _unit_noise(
+            profile.personalization_key, video.video_id, as_of.date().isoformat()
+        )
+        return float(
+            popularity + authority + freshness + geo_boost + leaning_boost + noise
+        )
+
+
+def _unit_noise(*parts: object) -> float:
+    """Deterministic standard-normal-ish noise keyed by the parts."""
+    from statistics import NormalDist
+
+    u = (stable_hash("serp-noise", *parts) + 0.5) / 2**64
+    return NormalDist().inv_cdf(min(max(u, 1e-12), 1 - 1e-12))

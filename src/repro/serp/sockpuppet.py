@@ -1,0 +1,76 @@
+"""Sockpuppet profiles for SERP audits.
+
+A sockpuppet is a synthetic user the audit controls completely: a fresh
+account with a scripted location and watch history.  The profile's only
+role here is to *key the personalization* of the SERP ranker — two
+sockpuppets with identical profiles see identical pages; profiles that
+differ see systematically different ones (geography shifts regional
+content, watch-history leanings shift topical content).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.rng import stable_hash
+
+__all__ = ["SockpuppetProfile", "make_fleet"]
+
+_GEOS = ("US", "GB", "DE", "BR", "IN", "ZA", "JP", "AU")
+
+
+@dataclass(frozen=True)
+class SockpuppetProfile:
+    """One controlled synthetic user."""
+
+    profile_id: str
+    geo: str = "US"
+    #: Topic keys the profile's scripted watch history leans toward, with
+    #: weights in [0, 1] (0 = no history, 1 = heavy exposure).
+    watch_leanings: tuple[tuple[str, float], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.profile_id:
+            raise ValueError("profile_id must be non-empty")
+        for topic, weight in self.watch_leanings:
+            if not 0.0 <= weight <= 1.0:
+                raise ValueError(f"leaning weight for {topic!r} must be in [0, 1]")
+
+    def leaning_for(self, topic: str) -> float:
+        """The profile's watch-history weight toward a topic (0 if none)."""
+        for key, weight in self.watch_leanings:
+            if key == topic:
+                return weight
+        return 0.0
+
+    @property
+    def personalization_key(self) -> int:
+        """Stable key for this profile's personalization noise stream."""
+        return stable_hash(
+            "sockpuppet", self.profile_id, self.geo, self.watch_leanings
+        )
+
+
+def make_fleet(
+    n: int,
+    geo: str = "US",
+    watch_leanings: tuple[tuple[str, float], ...] = (),
+    name_prefix: str = "puppet",
+) -> list[SockpuppetProfile]:
+    """A fleet of identically configured sockpuppets (the audit baseline).
+
+    Identical configurations still get distinct profile IDs — real audits
+    create many accounts to separate personalization from noise, and the
+    ranker keys its noise on the full profile, so fleet members' SERPs
+    differ exactly by that noise term.
+    """
+    if n <= 0:
+        raise ValueError("fleet size must be positive")
+    return [
+        SockpuppetProfile(
+            profile_id=f"{name_prefix}-{i:03d}",
+            geo=geo,
+            watch_leanings=watch_leanings,
+        )
+        for i in range(n)
+    ]

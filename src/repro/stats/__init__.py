@@ -1,0 +1,37 @@
+"""Statistics substrate for the audit analyses.
+
+Implemented from scratch on numpy/scipy (no statsmodels offline):
+
+* :mod:`descriptive` — min/max/mean/std/mode summaries (Tables 1, 2, 4);
+* :mod:`correlation` — Spearman/Pearson with p-values (Table 2, Section 5);
+* :mod:`transforms` — log transforms, standardization, frequency binning;
+* :mod:`design` — design matrices with dummy coding and a reference level;
+* :mod:`ols` — OLS with HC1 robust standard errors and an F test (Table 6);
+* :mod:`ordinal` — proportional-odds cumulative models with logit and
+  complementary log-log links, LR chi-square, McFadden pseudo-R^2
+  (Tables 3 and 7);
+* :mod:`markov` — k-th order Markov chain estimation (Figure 3);
+* :mod:`summaries` — coefficient tables with stars and CIs.
+"""
+
+from repro.stats.correlation import pearson, spearman
+from repro.stats.descriptive import describe, mode_of
+from repro.stats.markov import MarkovChainEstimate, estimate_markov_chain
+from repro.stats.ols import OLSResult, fit_ols
+from repro.stats.ordinal import OrdinalResult, fit_ordinal
+from repro.stats.summaries import CoefficientRow, coefficient_table
+
+__all__ = [
+    "describe",
+    "mode_of",
+    "spearman",
+    "pearson",
+    "fit_ols",
+    "OLSResult",
+    "fit_ordinal",
+    "OrdinalResult",
+    "estimate_markov_chain",
+    "MarkovChainEstimate",
+    "coefficient_table",
+    "CoefficientRow",
+]

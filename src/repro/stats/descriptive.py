@@ -1,0 +1,56 @@
+"""Descriptive statistics matching the paper's table conventions."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Description", "describe", "mode_of"]
+
+
+@dataclass(frozen=True)
+class Description:
+    """min/max/mean/std/mode of a sample (ddof=1 std, as the paper reports)."""
+
+    n: int
+    minimum: float
+    maximum: float
+    mean: float
+    std: float
+    mode: float
+
+    def as_row(self) -> list[float]:
+        """[min, max, mean, std] in the paper's Table 1 column order."""
+        return [self.minimum, self.maximum, self.mean, self.std]
+
+
+def describe(values) -> Description:
+    """Describe a non-empty numeric sample."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot describe an empty sample")
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    return Description(
+        n=int(arr.size),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        mean=float(arr.mean()),
+        std=std,
+        mode=mode_of(arr),
+    )
+
+
+def mode_of(values) -> float:
+    """Most frequent value; ties break toward the smaller value.
+
+    The paper's Table 4 reports modes of ``totalResults`` draws, which are
+    heaped onto round values, so an exact-match mode is meaningful.
+    """
+    arr = list(np.asarray(list(values), dtype=float))
+    if not arr:
+        raise ValueError("cannot take the mode of an empty sample")
+    counts = Counter(arr)
+    best_count = max(counts.values())
+    return float(min(v for v, c in counts.items() if c == best_count))

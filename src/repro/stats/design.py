@@ -1,0 +1,102 @@
+"""Design-matrix assembly with dummy coding.
+
+Builds the matrix the paper's models share: continuous features
+(log-transformed and standardized upstream) plus categorical features dummy
+coded against a reference level (topics vs. BLM, SD quality vs. HD).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DesignMatrix", "build_design"]
+
+
+@dataclass
+class DesignMatrix:
+    """A named design matrix (without intercept; models add their own)."""
+
+    matrix: np.ndarray  # shape (n, p)
+    names: list[str]
+
+    def __post_init__(self) -> None:
+        if self.matrix.ndim != 2:
+            raise ValueError("design matrix must be 2-D")
+        if self.matrix.shape[1] != len(self.names):
+            raise ValueError(
+                f"{self.matrix.shape[1]} columns but {len(self.names)} names"
+            )
+
+    @property
+    def n(self) -> int:
+        """Number of observations."""
+        return self.matrix.shape[0]
+
+    @property
+    def p(self) -> int:
+        """Number of predictors."""
+        return self.matrix.shape[1]
+
+    def column(self, name: str) -> np.ndarray:
+        """A predictor column by name."""
+        return self.matrix[:, self.names.index(name)]
+
+    def drop(self, *names: str) -> "DesignMatrix":
+        """A copy without the named predictors (for collinearity probes)."""
+        keep = [i for i, n in enumerate(self.names) if n not in names]
+        missing = set(names) - set(self.names)
+        if missing:
+            raise KeyError(f"no such predictors: {sorted(missing)}")
+        return DesignMatrix(
+            matrix=self.matrix[:, keep], names=[self.names[i] for i in keep]
+        )
+
+
+def build_design(
+    continuous: dict[str, np.ndarray],
+    categorical: dict[str, tuple[list[str], str]],
+) -> DesignMatrix:
+    """Assemble a design matrix.
+
+    Parameters
+    ----------
+    continuous:
+        name -> column (already transformed/standardized).
+    categorical:
+        name -> (per-row labels, reference level).  One dummy column is
+        created per non-reference level, named ``"<level> (<name>)"`` to
+        match the paper's table row labels.
+    """
+    columns: list[np.ndarray] = []
+    names: list[str] = []
+    n_rows: int | None = None
+
+    for name, (labels, reference) in categorical.items():
+        labels = list(labels)
+        if n_rows is None:
+            n_rows = len(labels)
+        elif len(labels) != n_rows:
+            raise ValueError(f"categorical {name!r} has {len(labels)} rows, expected {n_rows}")
+        levels = sorted(set(labels))
+        if reference not in levels:
+            raise ValueError(f"reference {reference!r} not among levels {levels}")
+        for level in levels:
+            if level == reference:
+                continue
+            columns.append(np.array([1.0 if lab == level else 0.0 for lab in labels]))
+            names.append(f"{level} ({name})")
+
+    for name, column in continuous.items():
+        column = np.asarray(column, dtype=float)
+        if n_rows is None:
+            n_rows = column.shape[0]
+        elif column.shape[0] != n_rows:
+            raise ValueError(f"continuous {name!r} has {column.shape[0]} rows, expected {n_rows}")
+        columns.append(column)
+        names.append(name)
+
+    if not columns:
+        raise ValueError("design requires at least one predictor")
+    return DesignMatrix(matrix=np.column_stack(columns), names=names)

@@ -1,0 +1,82 @@
+"""Coefficient tables in the paper's reporting style.
+
+Each regression table in the paper is rows of
+``Variable | beta (with stars) | SE | 95% CI``; this module renders both
+OLS and ordinal results into that shape so the benchmark output visually
+matches the original tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.stats.ols import OLSResult
+from repro.stats.ordinal import OrdinalResult
+from repro.util.tables import render_table, significance_stars
+
+__all__ = ["CoefficientRow", "coefficient_table", "summarize_model"]
+
+
+@dataclass(frozen=True)
+class CoefficientRow:
+    """One rendered row of a regression table."""
+
+    name: str
+    beta: float
+    std_error: float
+    p_value: float
+    ci_low: float
+    ci_high: float
+
+    @property
+    def stars(self) -> str:
+        """Conventional significance stars for this coefficient."""
+        return significance_stars(self.p_value)
+
+
+def coefficient_table(result: OLSResult | OrdinalResult) -> list[CoefficientRow]:
+    """Extract rows for every predictor (the OLS intercept is skipped)."""
+    rows: list[CoefficientRow] = []
+    if isinstance(result, OLSResult):
+        indices = [i for i, n in enumerate(result.names) if n != "(intercept)"]
+    else:
+        indices = list(range(len(result.names)))
+    for i in indices:
+        rows.append(
+            CoefficientRow(
+                name=result.names[i],
+                beta=float(result.coefficients[i]),
+                std_error=float(result.std_errors[i]),
+                p_value=float(result.p_values[i]),
+                ci_low=float(result.conf_int[i, 0]),
+                ci_high=float(result.conf_int[i, 1]),
+            )
+        )
+    return rows
+
+
+def summarize_model(result: OLSResult | OrdinalResult, title: str) -> str:
+    """Render a paper-style coefficient table plus the fit line."""
+    rows = []
+    for row in coefficient_table(result):
+        rows.append(
+            [
+                row.name,
+                f"{row.stars}{row.beta:.3f}",
+                f"{row.std_error:.3f}",
+                f"[{row.ci_low:.3f}, {row.ci_high:.3f}]",
+            ]
+        )
+    table = render_table(["Variable", "beta", "SE", "95% CI"], rows, title=title)
+    if isinstance(result, OLSResult):
+        fit = (
+            f"F({result.df_model},{result.df_resid}) = {result.f_statistic:.1f}, "
+            f"p = {result.f_p_value:.2g}, R^2 = {result.r_squared:.3f}, N = {result.n}"
+        )
+    else:
+        fit = (
+            f"link = {result.link}, LR chi2 = {result.lr_statistic:.2f}, "
+            f"p = {result.lr_p_value:.2g}, pseudo-R^2 = {result.pseudo_r_squared:.3f}, "
+            f"N = {result.n}"
+        )
+    return table + "\n" + fit

@@ -1,0 +1,43 @@
+"""Feature transforms used by the regression pipeline.
+
+The paper log-transforms all continuous features "to reduce
+multicollinearity" and standardizes them "for better comparison between
+coefficients"; the dependent frequency is binned into four roughly equal
+bins (1-5, 6-10, 11-15, 16) for the main ordinal model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["log1p_standardize", "standardize", "bin_frequency", "PAPER_FREQUENCY_BINS"]
+
+#: The paper's frequency bins for the binned ordinal model (Table 3).
+PAPER_FREQUENCY_BINS = ((1, 5), (6, 10), (11, 15), (16, 16))
+
+
+def standardize(values) -> np.ndarray:
+    """Z-standardize; constant inputs map to all-zeros rather than NaN."""
+    arr = np.asarray(list(values), dtype=float)
+    sd = float(arr.std())
+    if sd < 1e-12:
+        return np.zeros_like(arr)
+    return (arr - float(arr.mean())) / sd
+
+
+def log1p_standardize(values) -> np.ndarray:
+    """log(1+x) then z-standardize (the paper's continuous-feature recipe)."""
+    arr = np.asarray(list(values), dtype=float)
+    if np.any(arr < 0):
+        raise ValueError("log1p transform requires non-negative values")
+    return standardize(np.log1p(arr))
+
+
+def bin_frequency(
+    frequency: int, bins: tuple[tuple[int, int], ...] = PAPER_FREQUENCY_BINS
+) -> int:
+    """Map a return frequency to its ordinal bin index (0-based)."""
+    for index, (lo, hi) in enumerate(bins):
+        if lo <= frequency <= hi:
+            return index
+    raise ValueError(f"frequency {frequency} outside all bins {bins}")

@@ -1,0 +1,35 @@
+"""Collection strategies and the paper's Section 6 recommendations.
+
+The paper's practical output is advice on *how* to collect:
+
+* :mod:`timesplit` — the traditional binned time-split querying the paper
+  shows to be low-ROI (the endpoint churns regardless of bin size);
+* :mod:`topicsplit` — the recommended alternative: decompose the topic
+  into narrower subqueries, whose smaller pools return more consistently;
+* :mod:`channelpipe` — the ID-based pipeline (Channels:list ->
+  PlaylistItems:list) that sidesteps search entirely;
+* :mod:`planner` — quota-aware query planning driven by ``totalResults``
+  probes ("the total number of results ... is a crucial way of assessing
+  how optimal a query is");
+* :mod:`evaluator` — replicability / coverage / quota-cost scoring that
+  turns the paper's qualitative advice into measured comparisons.
+"""
+
+from repro.strategies.base import CollectionResult, CollectionStrategy
+from repro.strategies.channelpipe import ChannelPipelineStrategy
+from repro.strategies.evaluator import StrategyEvaluation, evaluate_strategy
+from repro.strategies.planner import QueryPlan, QueryPlanner
+from repro.strategies.timesplit import TimeSplitStrategy
+from repro.strategies.topicsplit import TopicSplitStrategy
+
+__all__ = [
+    "CollectionStrategy",
+    "CollectionResult",
+    "TimeSplitStrategy",
+    "TopicSplitStrategy",
+    "ChannelPipelineStrategy",
+    "QueryPlanner",
+    "QueryPlan",
+    "StrategyEvaluation",
+    "evaluate_strategy",
+]

@@ -1,0 +1,46 @@
+"""Strategy interface and result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.api.client import YouTubeClient
+from repro.world.topics import TopicSpec
+
+__all__ = ["CollectionResult", "CollectionStrategy"]
+
+
+@dataclass
+class CollectionResult:
+    """What one strategy run produced and what it cost."""
+
+    strategy: str
+    topic: str
+    video_ids: set[str]
+    n_queries: int
+    quota_units: int
+
+    @property
+    def units_per_video(self) -> float:
+        """Quota efficiency: units spent per unique video collected."""
+        if not self.video_ids:
+            return float("inf")
+        return self.quota_units / len(self.video_ids)
+
+
+@runtime_checkable
+class CollectionStrategy(Protocol):
+    """A way of collecting a topic's videos through the API."""
+
+    name: str
+
+    def collect(self, client: YouTubeClient, spec: TopicSpec) -> CollectionResult:
+        """Run the strategy once at the client's current virtual time."""
+        ...
+
+
+def measure_quota(client: YouTubeClient) -> tuple[int, int]:
+    """(total calls, total units) snapshot used to meter one strategy run."""
+    service = client.service
+    return service.transport.total_calls, service.quota.total_used

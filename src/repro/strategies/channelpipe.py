@@ -1,0 +1,86 @@
+"""Channel-pipeline collection (ID-based; the paper's Section 6.1 advice).
+
+Given a set of pre-selected channels (from external sources in real
+studies; here from a seed search or ground truth), fetch each channel's
+uploads playlist via ``Channels:list`` and enumerate it completely via
+``PlaylistItems:list`` — both 1-unit, stable, uncapped endpoints.  The
+paper: "the strategy of pre-selecting channels ... is a viable one as long
+as the search endpoint is not used to collect their videos".
+
+Videos outside the topic window are filtered locally (playlists span a
+channel's whole history), as real pipelines do after download.
+"""
+
+from __future__ import annotations
+
+from repro.api.client import YouTubeClient
+from repro.strategies.base import CollectionResult, measure_quota
+from repro.util.timeutil import parse_rfc3339
+from repro.world.topics import TopicSpec
+
+__all__ = ["ChannelPipelineStrategy"]
+
+
+class ChannelPipelineStrategy:
+    """Channels:list -> PlaylistItems:list over a channel seed set."""
+
+    def __init__(self, channel_ids: list[str]) -> None:
+        if not channel_ids:
+            raise ValueError("channel pipeline requires at least one channel")
+        self.channel_ids = list(dict.fromkeys(channel_ids))
+        self.name = "channel-pipeline"
+
+    def collect(self, client: YouTubeClient, spec: TopicSpec) -> CollectionResult:
+        """Enumerate every seed channel's uploads within the topic window."""
+        calls_before, units_before = measure_quota(client)
+        video_ids: set[str] = set()
+        for channel_id in self.channel_ids:
+            playlist_id = client.uploads_playlist_id(channel_id)
+            if playlist_id is None:
+                continue
+            page_token = None
+            while True:
+                response = client._call(  # noqa: SLF001 - deliberate raw page access
+                    lambda tok=page_token, pl=playlist_id: client.service.playlist_items.list(
+                        part="contentDetails", playlistId=pl, maxResults=50, pageToken=tok
+                    )
+                )
+                for item in response["items"]:
+                    published = parse_rfc3339(item["contentDetails"]["videoPublishedAt"])
+                    if spec.window_start <= published < spec.window_end:
+                        video_ids.add(item["contentDetails"]["videoId"])
+                page_token = response.get("nextPageToken")
+                if not page_token:
+                    break
+        calls_after, units_after = measure_quota(client)
+        return CollectionResult(
+            strategy=self.name,
+            topic=spec.key,
+            video_ids=video_ids,
+            n_queries=calls_after - calls_before,
+            quota_units=units_after - units_before,
+        )
+
+    @classmethod
+    def from_seed_search(
+        cls, client: YouTubeClient, spec: TopicSpec, max_channels: int | None = None
+    ) -> "ChannelPipelineStrategy":
+        """Bootstrap the channel seed set from one umbrella search.
+
+        Mirrors the common real-world pipeline: a single (cheap, imperfect)
+        search to discover channels, then ID-based endpoints for the actual
+        collection.
+        """
+        from repro.util.timeutil import format_rfc3339
+
+        items = client.search_all(
+            q=spec.query,
+            order="date",
+            safeSearch="none",
+            publishedAfter=format_rfc3339(spec.window_start),
+            publishedBefore=format_rfc3339(spec.window_end),
+        )
+        channels = list(dict.fromkeys(item["snippet"]["channelId"] for item in items))
+        if max_channels is not None:
+            channels = channels[:max_channels]
+        return cls(channels)

@@ -1,0 +1,102 @@
+"""Quota-aware query planning via ``totalResults`` probes.
+
+Section 6.1: "The total number of results in the query metadata is a
+crucial way of assessing how optimal a query is (with lower being
+better/more stable)."  The planner operationalizes that: probe each
+candidate query once (100 units each), read its reported pool, and keep the
+cheapest set of queries whose pools fall under a target threshold —
+splitting further only where the pool stays too large.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.api.client import YouTubeClient
+from repro.util.timeutil import format_rfc3339
+from repro.world.topics import TopicSpec
+
+__all__ = ["QueryProbe", "QueryPlan", "QueryPlanner"]
+
+
+@dataclass(frozen=True)
+class QueryProbe:
+    """One probed candidate query."""
+
+    query: str
+    total_results: int
+
+    def acceptable(self, pool_threshold: int) -> bool:
+        """Whether this query's pool is small enough to collect stably."""
+        return self.total_results <= pool_threshold
+
+
+@dataclass
+class QueryPlan:
+    """The planner's output: accepted queries plus diagnostics."""
+
+    topic: str
+    pool_threshold: int
+    accepted: list[QueryProbe] = field(default_factory=list)
+    rejected: list[QueryProbe] = field(default_factory=list)
+    probe_units: int = 0
+
+    @property
+    def estimated_sweep_units(self) -> int:
+        """Search units one full sweep of the accepted queries costs.
+
+        Each accepted query may take up to 10 pages at 100 units; estimate
+        conservatively at 10 pages for pools above 500 and 1-2 otherwise.
+        """
+        units = 0
+        for probe in self.accepted:
+            pages = 10 if probe.total_results > 500 else max(1, probe.total_results // 50 + 1)
+            units += pages * 100
+        return units
+
+
+class QueryPlanner:
+    """Probe-then-plan over a topic's candidate decomposition."""
+
+    def __init__(self, pool_threshold: int = 200_000) -> None:
+        if pool_threshold <= 0:
+            raise ValueError("pool_threshold must be positive")
+        self.pool_threshold = pool_threshold
+
+    def probe(self, client: YouTubeClient, query: str, spec: TopicSpec) -> QueryProbe:
+        """One 100-unit probe of a query's reported pool size."""
+        response = client.search_page(
+            q=query,
+            order="date",
+            maxResults=1,
+            safeSearch="none",
+            publishedAfter=format_rfc3339(spec.window_start),
+            publishedBefore=format_rfc3339(spec.window_end),
+        )
+        return QueryProbe(
+            query=query, total_results=int(response["pageInfo"]["totalResults"])
+        )
+
+    def plan(self, client: YouTubeClient, spec: TopicSpec) -> QueryPlan:
+        """Probe the umbrella query and every subtopic; accept the small ones.
+
+        The umbrella query is accepted only if its pool is already under
+        the threshold (tiny topics like Higgs need no decomposition at
+        all); otherwise the plan consists of the acceptable subqueries.
+        """
+        units_before = client.service.quota.total_used
+        plan = QueryPlan(topic=spec.key, pool_threshold=self.pool_threshold)
+
+        umbrella = self.probe(client, spec.query, spec)
+        if umbrella.acceptable(self.pool_threshold):
+            plan.accepted.append(umbrella)
+        else:
+            plan.rejected.append(umbrella)
+            for sub in spec.subtopics:
+                probe = self.probe(client, sub.query, spec)
+                if probe.acceptable(self.pool_threshold):
+                    plan.accepted.append(probe)
+                else:
+                    plan.rejected.append(probe)
+        plan.probe_units = client.service.quota.total_used - units_before
+        return plan

@@ -1,0 +1,55 @@
+"""Time-split ("one per X time") collection.
+
+The strategy the paper audits: split the observation window into time bins
+and search each bin separately to sidestep the 500-result cap.  The audit's
+verdict: every bin costs 100 units, and the endpoint's churn is
+time-*independent*, so finer bins buy quota cost without buying
+replicability.
+"""
+
+from __future__ import annotations
+
+from datetime import timedelta
+
+from repro.api.client import YouTubeClient
+from repro.strategies.base import CollectionResult, measure_quota
+from repro.util.timeutil import format_rfc3339
+from repro.world.topics import TopicSpec
+
+__all__ = ["TimeSplitStrategy"]
+
+
+class TimeSplitStrategy:
+    """Query the topic window in fixed-size time bins."""
+
+    def __init__(self, bin_hours: int = 1) -> None:
+        if bin_hours <= 0:
+            raise ValueError("bin_hours must be positive")
+        self.bin_hours = bin_hours
+        self.name = f"time-split/{bin_hours}h"
+
+    def collect(self, client: YouTubeClient, spec: TopicSpec) -> CollectionResult:
+        """One full sweep of the topic window in ``bin_hours`` bins."""
+        calls_before, units_before = measure_quota(client)
+        video_ids: set[str] = set()
+        cursor = spec.window_start
+        step = timedelta(hours=self.bin_hours)
+        while cursor < spec.window_end:
+            bin_end = min(cursor + step, spec.window_end)
+            ids = client.search_video_ids(
+                q=spec.query,
+                order="date",
+                safeSearch="none",
+                publishedAfter=format_rfc3339(cursor),
+                publishedBefore=format_rfc3339(bin_end),
+            )
+            video_ids.update(ids)
+            cursor = bin_end
+        calls_after, units_after = measure_quota(client)
+        return CollectionResult(
+            strategy=self.name,
+            topic=spec.key,
+            video_ids=video_ids,
+            n_queries=calls_after - calls_before,
+            quota_units=units_after - units_before,
+        )

@@ -1,0 +1,28 @@
+"""Shared infrastructure: deterministic RNG, time helpers, tables, JSONL I/O.
+
+Everything stochastic in :mod:`repro` draws from :class:`repro.util.rng.SeedBank`
+forks so that identical seeds produce identical worlds, campaigns, and tables.
+"""
+
+from repro.util.rng import SeedBank, stable_hash, stable_uniform, stable_normal
+from repro.util.timeutil import (
+    UTC,
+    day_range,
+    format_rfc3339,
+    hour_index,
+    hour_range,
+    parse_rfc3339,
+)
+
+__all__ = [
+    "SeedBank",
+    "stable_hash",
+    "stable_uniform",
+    "stable_normal",
+    "UTC",
+    "parse_rfc3339",
+    "format_rfc3339",
+    "hour_range",
+    "day_range",
+    "hour_index",
+]

@@ -1,0 +1,96 @@
+"""JSON-lines persistence for campaign snapshots and analysis artifacts.
+
+Snapshots can be large (tens of thousands of video IDs with metadata), so we
+stream one JSON object per line rather than building a single document.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+__all__ = ["write_jsonl", "read_jsonl", "append_jsonl", "dump_json", "load_json"]
+
+
+def _open(path: Path, mode: str):
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def write_jsonl(path: str | Path, records: Iterable[Any]) -> int:
+    """Write records as JSON lines; returns the number of records written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with _open(path, "w") as fh:
+        for record in records:
+            fh.write(json.dumps(record, sort_keys=True, default=_default))
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def append_jsonl(path: str | Path, records: Iterable[Any]) -> int:
+    """Append records to an existing JSONL file (creating it if missing)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with _open(path, "a") as fh:
+        for record in records:
+            fh.write(json.dumps(record, sort_keys=True, default=_default))
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str | Path) -> Iterator[Any]:
+    """Yield records from a JSONL (optionally gzipped) file."""
+    path = Path(path)
+    with _open(path, "r") as fh:
+        for line_number, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line_number}: invalid JSON: {exc}") from exc
+
+
+def dump_json(path: str | Path, payload: Any) -> None:
+    """Write a single pretty-printed JSON document."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True, default=_default)
+        fh.write("\n")
+
+
+def load_json(path: str | Path) -> Any:
+    """Read a single JSON document."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _default(obj: Any) -> Any:
+    """Serialize the extra types our records carry (datetimes, numpy, sets)."""
+    from datetime import datetime
+
+    import numpy as np
+
+    if isinstance(obj, datetime):
+        from repro.util.timeutil import format_rfc3339
+
+        return format_rfc3339(obj)
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (set, frozenset)):
+        return sorted(obj)
+    raise TypeError(f"not JSON serializable: {type(obj).__name__}")

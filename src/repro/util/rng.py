@@ -1,0 +1,181 @@
+"""Deterministic randomness for the whole reproduction.
+
+Two complementary facilities live here:
+
+* :class:`SeedBank` — a hierarchical seed dispenser built on
+  :class:`numpy.random.SeedSequence`.  Components ask for a *named* fork
+  (``bank.fork("world/channels")``) and receive an independent
+  :class:`numpy.random.Generator`.  The name, not call order, determines the
+  stream, so adding a new consumer never perturbs existing ones.
+
+* ``stable_*`` — stateless, content-addressed draws.  These hash a tuple of
+  labels (for example ``("churn", video_id, "2025-02-09")``) into a 64-bit
+  value and map it onto a uniform or normal variate.  They are the backbone of
+  the API behavior engine: the simulated platform must answer a query as a
+  *function of the request date*, independent of how many or in which order
+  queries were issued before it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["SeedBank", "stable_hash", "stable_uniform", "stable_normal"]
+
+_U64 = 2**64
+
+
+def stable_hash(*parts: object) -> int:
+    """Hash arbitrary labels into a stable unsigned 64-bit integer.
+
+    The hash is computed with BLAKE2b over the ``repr``-free, explicitly
+    delimited string rendering of each part, so it is stable across
+    processes and Python versions (unlike :func:`hash`).
+    """
+    h = hashlib.blake2b(digest_size=8)
+    for part in parts:
+        h.update(str(part).encode("utf-8"))
+        h.update(b"\x1f")  # unit separator: ("ab","c") != ("a","bc")
+    return int.from_bytes(h.digest(), "big")
+
+
+def stable_uniform(*parts: object) -> float:
+    """Map labels onto a uniform draw in the open interval (0, 1)."""
+    # +0.5 keeps the result strictly inside (0, 1) so it is always safe to
+    # feed through inverse CDFs.
+    return (stable_hash(*parts) + 0.5) / _U64
+
+
+def stable_normal(*parts: object) -> float:
+    """Map labels onto a standard normal draw via the probit transform."""
+    u = stable_uniform(*parts)
+    # Acklam-style rational approximation is unnecessary; scipy-free probit
+    # using the error function inverse from math (available as erfinv only in
+    # scipy) — use the Beasley-Springer/Moro-free closed form via
+    # statistics.NormalDist, which is exact enough and dependency-free.
+    from statistics import NormalDist
+
+    return NormalDist().inv_cdf(u)
+
+
+class SeedBank:
+    """Hierarchical deterministic seed dispenser.
+
+    Parameters
+    ----------
+    seed:
+        Root seed.  Two banks with the same root seed hand out identical
+        generators for identical fork names.
+
+    Examples
+    --------
+    >>> bank = SeedBank(7)
+    >>> g1 = bank.generator("world/videos")
+    >>> g2 = SeedBank(7).generator("world/videos")
+    >>> float(g1.random()) == float(g2.random())
+    True
+    """
+
+    def __init__(self, seed: int) -> None:
+        if not isinstance(seed, int):
+            raise TypeError(f"seed must be an int, got {type(seed).__name__}")
+        self._seed = seed
+
+    @property
+    def seed(self) -> int:
+        """The root seed this bank was constructed with."""
+        return self._seed
+
+    def fork(self, name: str) -> "SeedBank":
+        """Return a child bank whose streams are independent of the parent's."""
+        return SeedBank(stable_hash("seedbank-fork", self._seed, name) % _U64)
+
+    def generator(self, name: str) -> np.random.Generator:
+        """Return a fresh, independent generator for the named stream."""
+        entropy = stable_hash("seedbank-generator", self._seed, name) % _U64
+        return np.random.default_rng(np.random.SeedSequence(entropy))
+
+    def integers(self, name: str, low: int, high: int, size: int) -> np.ndarray:
+        """Convenience: draw ``size`` integers in ``[low, high)`` from a named stream."""
+        return self.generator(name).integers(low, high, size=size)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SeedBank(seed={self._seed})"
+
+
+def stable_normal_array(n: int, *parts: object) -> np.ndarray:
+    """Vector of ``n`` independent stable normals keyed by ``parts``.
+
+    Uses a counter-based construction: element ``i`` is keyed by
+    ``(*parts, i)`` through a dedicated Generator seeded from the hash, which
+    is much faster than ``n`` separate probit evaluations.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    entropy = stable_hash("stable-normal-array", *parts) % _U64
+    gen = np.random.default_rng(np.random.SeedSequence(entropy))
+    return gen.standard_normal(n)
+
+
+def stable_uniform_array(n: int, *parts: object) -> np.ndarray:
+    """Vector of ``n`` independent stable uniforms keyed by ``parts``."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    entropy = stable_hash("stable-uniform-array", *parts) % _U64
+    gen = np.random.default_rng(np.random.SeedSequence(entropy))
+    return gen.random(n)
+
+
+def spread_evenly(total: float, weights: Iterable[float]) -> list[int]:
+    """Apportion ``total`` into integer counts proportional to ``weights``.
+
+    Uses the largest-remainder method so the counts always sum to
+    ``round(total)``.  Useful for deterministic corpus sizing.
+    """
+    w = np.asarray(list(weights), dtype=float)
+    if w.size == 0:
+        return []
+    if np.any(w < 0):
+        raise ValueError("weights must be non-negative")
+    total_int = int(round(total))
+    s = w.sum()
+    if s <= 0:
+        out = [0] * w.size
+        for i in range(total_int):
+            out[i % w.size] += 1
+        return out
+    exact = w / s * total_int
+    floors = np.floor(exact).astype(int)
+    remainder = total_int - int(floors.sum())
+    if remainder > 0:
+        order = np.argsort(-(exact - floors), kind="stable")
+        for i in order[:remainder]:
+            floors[i] += 1
+    return [int(x) for x in floors]
+
+
+def mix_streams(a: float, b: float, weight: float) -> float:
+    """Convex combination helper kept here for reuse by samplers."""
+    if not 0.0 <= weight <= 1.0:
+        raise ValueError("weight must be within [0, 1]")
+    return a * (1.0 - weight) + b * weight
+
+
+def probit(u: float) -> float:
+    """Inverse standard-normal CDF for scalars (clipped away from {0,1})."""
+    from statistics import NormalDist
+
+    eps = 1e-12
+    return NormalDist().inv_cdf(min(max(u, eps), 1.0 - eps))
+
+
+def logistic(x: float) -> float:
+    """Numerically stable logistic sigmoid."""
+    if x >= 0:
+        return 1.0 / (1.0 + math.exp(-x))
+    e = math.exp(x)
+    return e / (1.0 + e)

@@ -1,0 +1,87 @@
+"""Aligned plain-text tables for benchmark and report output.
+
+The benchmark harness regenerates the paper's tables as text; this module
+owns the formatting so every table in the repository renders consistently.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["render_table", "format_number", "format_count", "significance_stars"]
+
+
+def format_number(value: object, digits: int = 3) -> str:
+    """Format a scalar for table display.
+
+    Integers render without a decimal point; floats are rounded to ``digits``
+    significant-decimal places; ``None`` renders as ``N/A``.
+    """
+    if value is None:
+        return "N/A"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "N/A"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def format_count(value: float) -> str:
+    """Format large counts the way the paper does (``5.50k``, ``1M``)."""
+    if value != value:
+        return "N/A"
+    if value >= 999_500:  # rounds to >= 1.0M at 3 significant figures
+        m = value / 1_000_000
+        return f"{m:.3g}M" if round(m, 2) != int(round(m, 2)) else f"{int(round(m))}M"
+    if value >= 1_000:
+        return f"{value / 1_000:.3g}k"
+    return format_number(float(value))
+
+
+def significance_stars(p_value: float) -> str:
+    """Return the conventional significance stars for a p-value."""
+    if p_value != p_value:
+        return ""
+    if p_value < 0.001:
+        return "***"
+    if p_value < 0.01:
+        return "**"
+    if p_value < 0.05:
+        return "*"
+    return ""
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    digits: int = 3,
+) -> str:
+    """Render a list of rows as an aligned, pipe-delimited text table."""
+    rendered_rows = [[format_number(cell, digits=digits) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(widths[i]) for i, c in enumerate(cells)) + " |"
+
+    sep = "|" + "|".join("-" * (w + 2) for w in widths) + "|"
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append(sep)
+    out.extend(line(row) for row in rendered_rows)
+    return "\n".join(out)

@@ -1,0 +1,161 @@
+"""Time helpers: RFC 3339, hour/day binning, and ISO 8601 durations.
+
+The YouTube Data API exchanges timestamps as RFC 3339 strings
+(``2025-02-09T00:00:00Z``) and video durations as ISO 8601 durations
+(``PT1H2M3S``).  Everything in the reproduction is UTC; naive datetimes are
+rejected at the parsing boundary so they cannot leak into comparisons.
+"""
+
+from __future__ import annotations
+
+import re
+from datetime import datetime, timedelta, timezone
+from typing import Iterator
+
+__all__ = [
+    "UTC",
+    "parse_rfc3339",
+    "format_rfc3339",
+    "parse_iso8601_duration",
+    "format_iso8601_duration",
+    "hour_range",
+    "day_range",
+    "hour_index",
+    "day_index",
+    "floor_hour",
+    "floor_day",
+]
+
+UTC = timezone.utc
+
+_RFC3339 = re.compile(
+    r"^(?P<y>\d{4})-(?P<mo>\d{2})-(?P<d>\d{2})"
+    r"[Tt](?P<h>\d{2}):(?P<mi>\d{2}):(?P<s>\d{2})"
+    r"(?P<frac>\.\d+)?"
+    r"(?P<tz>[Zz]|[+-]\d{2}:\d{2})$"
+)
+
+_ISO_DURATION = re.compile(
+    r"^P(?:(?P<days>\d+)D)?"
+    r"(?:T(?:(?P<hours>\d+)H)?(?:(?P<minutes>\d+)M)?(?:(?P<seconds>\d+)S)?)?$"
+)
+
+
+def parse_rfc3339(value: str) -> datetime:
+    """Parse an RFC 3339 timestamp into an aware UTC datetime.
+
+    Raises
+    ------
+    ValueError
+        If the string is not a valid RFC 3339 timestamp.
+    """
+    if not isinstance(value, str):
+        raise ValueError(f"expected RFC 3339 string, got {type(value).__name__}")
+    m = _RFC3339.match(value.strip())
+    if m is None:
+        raise ValueError(f"invalid RFC 3339 timestamp: {value!r}")
+    frac = m.group("frac")
+    micros = int(round(float(frac) * 1_000_000)) if frac else 0
+    dt = datetime(
+        int(m.group("y")),
+        int(m.group("mo")),
+        int(m.group("d")),
+        int(m.group("h")),
+        int(m.group("mi")),
+        int(m.group("s")),
+        micros,
+        tzinfo=UTC,
+    )
+    tz = m.group("tz")
+    if tz not in ("Z", "z"):
+        sign = 1 if tz[0] == "+" else -1
+        offset = timedelta(hours=int(tz[1:3]), minutes=int(tz[4:6])) * sign
+        dt -= offset
+    return dt
+
+
+def format_rfc3339(dt: datetime) -> str:
+    """Format an aware datetime as an RFC 3339 ``...Z`` string (UTC)."""
+    dt = ensure_utc(dt)
+    return dt.strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+def ensure_utc(dt: datetime) -> datetime:
+    """Reject naive datetimes; convert aware ones to UTC."""
+    if dt.tzinfo is None:
+        raise ValueError("naive datetime not allowed; attach a timezone")
+    return dt.astimezone(UTC)
+
+
+def parse_iso8601_duration(value: str) -> int:
+    """Parse an ISO 8601 duration (subset used by YouTube) into seconds."""
+    m = _ISO_DURATION.match(value)
+    if m is None or value == "P":
+        raise ValueError(f"invalid ISO 8601 duration: {value!r}")
+    days = int(m.group("days") or 0)
+    hours = int(m.group("hours") or 0)
+    minutes = int(m.group("minutes") or 0)
+    seconds = int(m.group("seconds") or 0)
+    return ((days * 24 + hours) * 60 + minutes) * 60 + seconds
+
+
+def format_iso8601_duration(seconds: int) -> str:
+    """Render seconds as a YouTube-style ISO 8601 duration (``PT#H#M#S``)."""
+    if seconds < 0:
+        raise ValueError("duration must be non-negative")
+    if seconds == 0:
+        return "PT0S"
+    minutes, secs = divmod(int(seconds), 60)
+    hours, minutes = divmod(minutes, 60)
+    out = "PT"
+    if hours:
+        out += f"{hours}H"
+    if minutes:
+        out += f"{minutes}M"
+    if secs:
+        out += f"{secs}S"
+    return out
+
+
+def floor_hour(dt: datetime) -> datetime:
+    """Truncate a datetime to the start of its UTC hour."""
+    dt = ensure_utc(dt)
+    return dt.replace(minute=0, second=0, microsecond=0)
+
+
+def floor_day(dt: datetime) -> datetime:
+    """Truncate a datetime to the start of its UTC day."""
+    dt = ensure_utc(dt)
+    return dt.replace(hour=0, minute=0, second=0, microsecond=0)
+
+
+def hour_range(start: datetime, end: datetime) -> Iterator[datetime]:
+    """Yield every hour boundary in ``[start, end)``."""
+    cur = floor_hour(start)
+    end = ensure_utc(end)
+    step = timedelta(hours=1)
+    while cur < end:
+        yield cur
+        cur += step
+
+
+def day_range(start: datetime, end: datetime) -> Iterator[datetime]:
+    """Yield every day boundary in ``[start, end)``."""
+    cur = floor_day(start)
+    end = ensure_utc(end)
+    step = timedelta(days=1)
+    while cur < end:
+        yield cur
+        cur += step
+
+
+def hour_index(anchor: datetime, dt: datetime) -> int:
+    """Integer hour offset of ``dt`` from ``anchor`` (floor division)."""
+    delta = ensure_utc(dt) - ensure_utc(anchor)
+    return int(delta.total_seconds() // 3600)
+
+
+def day_index(anchor: datetime, dt: datetime) -> int:
+    """Integer day offset of ``dt`` from ``anchor`` (floor division)."""
+    delta = ensure_utc(dt) - ensure_utc(anchor)
+    return int(delta.total_seconds() // 86400)

@@ -1,0 +1,34 @@
+"""Synthetic YouTube world: channels, videos, comments, and a queryable store.
+
+The paper audits a live platform we cannot reach offline, so this package
+generates a platform with the statistical structure the audit depends on:
+
+* topic corpora whose upload times follow focal-date interest profiles;
+* heavy-tailed video popularity with the paper's measured correlations
+  (views-likes r~0.92, views-comments r~0.89, channel views-subs r~0.97);
+* channels with realistic ages and upload counts;
+* comment threads with nested replies and timestamps;
+* deletion dynamics and metric growth over time.
+
+The :class:`repro.world.store.PlatformStore` is the only interface the API
+simulator talks to, so the world can be replaced wholesale (e.g. with real
+archived data) without touching the endpoints.
+"""
+
+from repro.world.corpus import build_world
+from repro.world.entities import Channel, Comment, CommentThread, Video, World
+from repro.world.store import PlatformStore
+from repro.world.topics import PAPER_TOPICS, TopicSpec, paper_topics
+
+__all__ = [
+    "build_world",
+    "Channel",
+    "Video",
+    "Comment",
+    "CommentThread",
+    "World",
+    "PlatformStore",
+    "TopicSpec",
+    "PAPER_TOPICS",
+    "paper_topics",
+]

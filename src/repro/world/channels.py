@@ -1,0 +1,71 @@
+"""Channel population generation."""
+
+from __future__ import annotations
+
+from datetime import timedelta
+
+import numpy as np
+
+from repro.world import ids
+from repro.world.entities import Channel
+from repro.world.popularity import draw_channel_metrics
+from repro.world.topics import TopicSpec
+
+__all__ = ["generate_channels"]
+
+_COUNTRIES = ("US", "GB", "CA", "AU", "DE", "FR", "BR", "IN", "JP", "MX")
+
+_NAME_HEADS = (
+    "Daily", "Global", "Prime", "Urban", "Civic", "Atlas", "Vertex", "Echo",
+    "Nova", "Pulse", "Spark", "Delta", "Orbit", "Signal", "Summit", "Harbor",
+)
+_NAME_TAILS = (
+    "News", "Media", "Report", "Studio", "Channel", "Network", "Docs",
+    "Live", "Review", "Lab", "Desk", "Digest", "Stream", "Voice",
+)
+
+
+def generate_channels(
+    spec: TopicSpec, seed: int, rng: np.random.Generator
+) -> list[Channel]:
+    """Generate the channel population for one topic.
+
+    Channel creation dates all precede the topic window start (a channel
+    must exist before it can upload), and metrics follow the correlated
+    model in :mod:`repro.world.popularity`.
+    """
+    n = spec.n_channels
+    metrics = draw_channel_metrics(n, rng)
+    head_idx = rng.integers(0, len(_NAME_HEADS), size=n)
+    tail_idx = rng.integers(0, len(_NAME_TAILS), size=n)
+    country_idx = rng.integers(0, len(_COUNTRIES), size=n)
+
+    channels: list[Channel] = []
+    for i in range(n):
+        cid = ids.channel_id(seed, _channel_ordinal(spec, i))
+        age_days = int(metrics.age_days[i])
+        created = spec.focal_date - timedelta(days=age_days)
+        # Guarantee the channel predates the window even for the youngest.
+        if created >= spec.window_start:
+            created = spec.window_start - timedelta(days=1 + i % 30)
+        channels.append(
+            Channel(
+                channel_id=cid,
+                title=f"{_NAME_HEADS[head_idx[i]]} {_NAME_TAILS[tail_idx[i]]} {i}",
+                created_at=created,
+                country=_COUNTRIES[country_idx[i]],
+                subscriber_count=int(metrics.subscribers[i]),
+                view_count=int(metrics.views[i]),
+                video_count=int(metrics.video_count[i]),
+                uploads_playlist_id=ids.uploads_playlist_id(cid),
+                topic=spec.key,
+            )
+        )
+    return channels
+
+
+def _channel_ordinal(spec: TopicSpec, i: int) -> int:
+    """Topic-scoped ordinal so IDs never collide across topics."""
+    from repro.util.rng import stable_hash
+
+    return stable_hash("channel-ordinal", spec.key) % 10**9 + i

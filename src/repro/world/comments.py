@@ -1,0 +1,126 @@
+"""Comment thread generation.
+
+Comment volume tracks each video's ``comment_count`` metric (capped so the
+simulation stays laptop-scale), timestamps concentrate shortly after upload
+(the paper's comment audit cuts at focal date + 3 weeks to let comments
+consolidate), and a small deletion hazard creates the sub-1.0 Jaccard
+values of Table 5's shared-video columns.  Topics with ``replies_enabled``
+False (Higgs, 2012) generate no nested replies, reproducing the table's
+N/A cells.
+"""
+
+from __future__ import annotations
+
+from datetime import timedelta
+
+import numpy as np
+
+from repro.world import ids
+from repro.world.entities import Comment, CommentThread, Video
+from repro.world.topics import TopicSpec
+
+__all__ = ["generate_threads"]
+
+_MAX_THREADS_PER_VIDEO = 36
+_MAX_REPLIES_PER_THREAD = 8
+_DELETION_HAZARD = 0.012  # fraction of comments eventually deleted
+
+_PHRASES = (
+    "this is huge", "great coverage", "thanks for sharing", "unbelievable",
+    "watching from home", "first", "cannot believe this happened",
+    "well explained", "the audio is off", "what a moment", "history in the making",
+    "who else is here", "respect", "this aged well", "source please",
+)
+_AUTHORS = (
+    "alex", "sam", "jordan", "casey", "riley", "morgan", "taylor", "devon",
+    "quinn", "avery", "kai", "rowan", "lee", "noor", "mira",
+)
+
+
+def generate_threads(
+    spec: TopicSpec,
+    videos: list[Video],
+    seed: int,
+    rng: np.random.Generator,
+) -> dict[str, list[CommentThread]]:
+    """Generate comment threads for every video of a topic.
+
+    Returns a mapping ``video_id -> [CommentThread, ...]`` ordered by the
+    top-level comment's publication time (the API returns threads in a
+    stable order for identical queries).
+    """
+    from repro.util.rng import stable_hash
+
+    out: dict[str, list[CommentThread]] = {}
+    # Topic-scoped ordinal base so thread IDs never collide across topics.
+    ordinal = stable_hash("thread-ordinal", spec.key) % 10**9
+    for video in videos:
+        n_threads = _thread_count(spec, video, rng)
+        threads: list[CommentThread] = []
+        for _ in range(n_threads):
+            thread = _make_thread(spec, video, seed, ordinal, rng)
+            ordinal += 1
+            threads.append(thread)
+        threads.sort(key=lambda t: (t.top_level.published_at, t.thread_id))
+        out[video.video_id] = threads
+    return out
+
+
+def _thread_count(spec: TopicSpec, video: Video, rng: np.random.Generator) -> int:
+    """Thread count: scales with the video's comment metric, capped."""
+    base = min(video.comment_count, 400) / 400.0
+    lam = spec.comment_rate * (0.25 + 1.75 * base)
+    return int(min(rng.poisson(lam), _MAX_THREADS_PER_VIDEO))
+
+
+def _make_thread(
+    spec: TopicSpec,
+    video: Video,
+    seed: int,
+    ordinal: int,
+    rng: np.random.Generator,
+) -> CommentThread:
+    thread_id = ids.comment_id(seed, ordinal)
+    top_time = video.published_at + timedelta(
+        seconds=float(rng.exponential(2.0 * 86400.0)) + 60.0
+    )
+    top = Comment(
+        comment_id=thread_id,
+        video_id=video.video_id,
+        parent_id=None,
+        author_display_name=_AUTHORS[int(rng.integers(0, len(_AUTHORS)))],
+        text=_PHRASES[int(rng.integers(0, len(_PHRASES)))],
+        published_at=top_time,
+        like_count=int(rng.integers(0, 50)),
+        deleted_at=_maybe_deleted(top_time, rng),
+    )
+    replies: list[Comment] = []
+    if spec.replies_enabled:
+        n_replies = int(min(rng.geometric(0.55) - 1, _MAX_REPLIES_PER_THREAD))
+        reply_time = top_time
+        for j in range(n_replies):
+            reply_time = reply_time + timedelta(
+                seconds=float(rng.exponential(0.5 * 86400.0)) + 30.0
+            )
+            replies.append(
+                Comment(
+                    comment_id=ids.reply_id(thread_id, j),
+                    video_id=video.video_id,
+                    parent_id=thread_id,
+                    author_display_name=_AUTHORS[int(rng.integers(0, len(_AUTHORS)))],
+                    text=_PHRASES[int(rng.integers(0, len(_PHRASES)))],
+                    published_at=reply_time,
+                    like_count=int(rng.integers(0, 12)),
+                    deleted_at=_maybe_deleted(reply_time, rng),
+                )
+            )
+    return CommentThread(
+        thread_id=thread_id, video_id=video.video_id, top_level=top, replies=replies
+    )
+
+
+def _maybe_deleted(published_at, rng: np.random.Generator):
+    """A small fraction of comments get deleted months after posting."""
+    if rng.random() < _DELETION_HAZARD:
+        return published_at + timedelta(days=float(rng.uniform(60.0, 4000.0)))
+    return None

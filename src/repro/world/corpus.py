@@ -1,0 +1,234 @@
+"""Corpus assembly: build the full synthetic world from topic specs.
+
+For each topic we generate a channel population, draw upload times from the
+topic's temporal profile, attach correlated popularity metrics, assign
+subtopics (for the topic-splitting strategy), compose searchable text that
+matches the topic's query, and sprinkle a small deletion hazard (the paper
+verifies deletions cannot explain the search endpoint's drift; our audit
+code must face the same confound).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from datetime import datetime, timedelta
+
+import numpy as np
+
+from repro.util.rng import SeedBank, stable_hash
+from repro.world import ids
+from repro.world.channels import generate_channels
+from repro.world.comments import generate_threads
+from repro.world.entities import Video, World
+from repro.world.popularity import draw_video_metrics
+from repro.world.temporal import sample_upload_times
+from repro.world.topics import TopicSpec
+
+__all__ = ["build_world", "scale_topic", "scale_topics"]
+
+_TITLE_FILLER = (
+    "breaking", "live", "full coverage", "explained", "reaction", "analysis",
+    "highlights", "interview", "report", "update", "documentary", "timeline",
+    "what happened", "behind the scenes", "press conference", "recap",
+)
+_DESCRIPTION_FILLER = (
+    "subscribe for more", "follow our coverage", "filmed on location",
+    "sources in the description", "watch until the end", "live from the scene",
+    "more details in our next video", "leave your thoughts below",
+)
+
+#: Fraction of videos that get deleted at some point after upload.
+_DELETION_FRACTION = 0.045
+#: Of the deleted ones, the fraction whose deletion lands inside a typical
+#: campaign window (so collectors actually observe disappearance).
+_DELETE_DURING_CAMPAIGN = 0.25
+
+
+def scale_topic(spec: TopicSpec, scale: float) -> TopicSpec:
+    """Shrink a topic spec for fast tests (scale in (0, 1])."""
+    if not 0.0 < scale <= 1.0:
+        raise ValueError("scale must be in (0, 1]")
+    if scale == 1.0:
+        return spec
+    n_videos = max(30, int(round(spec.n_videos * scale)))
+    return dataclasses.replace(
+        spec,
+        n_videos=n_videos,
+        n_channels=max(10, int(round(spec.n_channels * scale))),
+        return_budget=max(15, min(n_videos, int(round(spec.return_budget * scale)))),
+    )
+
+
+def scale_topics(specs: tuple[TopicSpec, ...], scale: float) -> tuple[TopicSpec, ...]:
+    """Scale every spec in a tuple."""
+    return tuple(scale_topic(s, scale) for s in specs)
+
+
+def build_world(
+    specs: tuple[TopicSpec, ...],
+    seed: int,
+    with_comments: bool = True,
+) -> World:
+    """Generate the complete platform for the given topics.
+
+    The build is deterministic in ``seed``: identical seeds produce
+    identical worlds down to every ID, timestamp, and metric.
+    """
+    if len({s.key for s in specs}) != len(specs):
+        raise ValueError("duplicate topic keys")
+    bank = SeedBank(seed)
+    channels = {}
+    videos = {}
+    threads_by_video: dict[str, list] = {}
+
+    for spec in specs:
+        topic_rng = bank.generator(f"world/{spec.key}")
+        topic_channels = generate_channels(spec, seed, topic_rng)
+        for chan in topic_channels:
+            channels[chan.channel_id] = chan
+        topic_videos = _generate_videos(spec, topic_channels, seed, topic_rng)
+        for video in topic_videos:
+            videos[video.video_id] = video
+        if with_comments:
+            comment_rng = bank.generator(f"world/{spec.key}/comments")
+            threads_by_video.update(
+                generate_threads(spec, topic_videos, seed, comment_rng)
+            )
+
+    return World(
+        seed=seed,
+        channels=channels,
+        videos=videos,
+        threads_by_video=threads_by_video,
+        topic_names=tuple(s.key for s in specs),
+    )
+
+
+def _generate_videos(
+    spec: TopicSpec,
+    topic_channels: list,
+    seed: int,
+    rng: np.random.Generator,
+) -> list[Video]:
+    n = spec.n_videos
+    upload_times = sample_upload_times(spec, n, rng)
+    metrics = draw_video_metrics(n, rng, era_year=spec.focal_date.year)
+
+    # Popular channels upload more: weight by a mild power of subscribers.
+    weights = np.array([c.subscriber_count for c in topic_channels], dtype=float)
+    weights = weights**0.3
+    weights /= weights.sum()
+    channel_idx = rng.choice(len(topic_channels), size=n, p=weights)
+
+    subtopic_labels = _assign_subtopics(spec, n, rng)
+    deleted_at = _assign_deletions(spec, upload_times, rng)
+
+    base_ordinal = stable_hash("video-ordinal", spec.key) % 10**9
+    filler_idx = rng.integers(0, len(_TITLE_FILLER), size=n)
+    desc_idx = rng.integers(0, len(_DESCRIPTION_FILLER), size=n)
+
+    videos: list[Video] = []
+    for i in range(n):
+        channel = topic_channels[int(channel_idx[i])]
+        sub = subtopic_labels[i]
+        title, description, tags = _compose_text(
+            spec, sub, _TITLE_FILLER[filler_idx[i]], _DESCRIPTION_FILLER[desc_idx[i]], i
+        )
+        videos.append(
+            Video(
+                video_id=ids.video_id(seed, base_ordinal + i),
+                channel_id=channel.channel_id,
+                title=title,
+                description=description,
+                tags=tags,
+                published_at=upload_times[i],
+                duration_seconds=int(metrics.duration_seconds[i]),
+                definition=str(metrics.definition[i]),
+                category_id=spec.category_id,
+                topic=spec.key,
+                view_count=int(metrics.views[i]),
+                like_count=int(metrics.likes[i]),
+                comment_count=int(metrics.comments[i]),
+                deleted_at=deleted_at[i],
+            )
+        )
+    return videos
+
+
+def _assign_subtopics(
+    spec: TopicSpec, n: int, rng: np.random.Generator
+) -> list[str | None]:
+    """Assign each video to a subtopic (or None for the general remainder)."""
+    labels: list[str | None] = [None] * n
+    if not spec.subtopics:
+        return labels
+    names = [s.name for s in spec.subtopics]
+    shares = np.array([s.share for s in spec.subtopics], dtype=float)
+    general = max(0.0, 1.0 - shares.sum())
+    probs = np.concatenate([shares, [general]])
+    probs /= probs.sum()
+    choices = rng.choice(len(names) + 1, size=n, p=probs)
+    for i, c in enumerate(choices):
+        labels[i] = names[c] if c < len(names) else None
+    return labels
+
+
+def _assign_deletions(
+    spec: TopicSpec, upload_times: list[datetime], rng: np.random.Generator
+) -> list[datetime | None]:
+    """Draw deletion timestamps for a small fraction of videos.
+
+    Most deletions land long before any audit campaign (old content
+    disappearing over the years); a minority are placed 5-11 years after
+    upload so that campaigns auditing old topics can observe mid-campaign
+    disappearance too.
+    """
+    out: list[datetime | None] = [None] * len(upload_times)
+    for i, uploaded in enumerate(upload_times):
+        if rng.random() >= _DELETION_FRACTION:
+            continue
+        if rng.random() < _DELETE_DURING_CAMPAIGN:
+            delay_days = float(rng.uniform(5 * 365.0, 11 * 365.0))
+        else:
+            delay_days = float(rng.uniform(30.0, 3.5 * 365.0))
+        out[i] = uploaded + timedelta(days=delay_days)
+    return out
+
+
+def _compose_text(
+    spec: TopicSpec,
+    subtopic_name: str | None,
+    title_filler: str,
+    description_filler: str,
+    ordinal: int,
+) -> tuple[str, str, tuple[str, ...]]:
+    """Compose title/description/tags so query matching works as intended.
+
+    Every video's text contains the topic query terms (so the topic query
+    matches the whole corpus); subtopic videos additionally contain their
+    subtopic query terms (so narrower queries match only their slice).
+    """
+    sub_query = ""
+    if subtopic_name is not None:
+        for s in spec.subtopics:
+            if s.name == subtopic_name:
+                sub_query = s.query
+                break
+    title_parts = [spec.query.title()]
+    if sub_query:
+        title_parts.append(sub_query)
+    title_parts.append(title_filler)
+    title_parts.append(f"#{ordinal}")
+    title = " - ".join(title_parts)
+    description = (
+        f"{spec.label} coverage: {spec.query}. "
+        + (f"Focus: {sub_query}. " if sub_query else "")
+        + description_filler
+        + "."
+    )
+    tags = tuple(
+        dict.fromkeys(  # preserve order, drop duplicates
+            spec.query.split() + (sub_query.split() if sub_query else []) + [spec.key]
+        )
+    )
+    return title, description, tags

@@ -1,0 +1,164 @@
+"""Entity types for the synthetic platform.
+
+These are plain, frozen-ish dataclasses: the generator owns their creation
+and the :class:`~repro.world.store.PlatformStore` owns indexed access and
+time-dependent views (metric growth, deletion visibility).  Metric fields on
+the entities are *asymptotic* values; the store scales them down for
+early-in-life reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+
+__all__ = ["Channel", "Video", "Comment", "CommentThread", "World"]
+
+
+@dataclass
+class Channel:
+    """A channel: the creator-side entity videos hang off.
+
+    ``view_count``/``subscriber_count`` are highly correlated on the real
+    platform (the paper measures r = 0.97); the generator enforces that.
+    """
+
+    channel_id: str
+    title: str
+    created_at: datetime
+    country: str
+    subscriber_count: int
+    view_count: int
+    video_count: int
+    uploads_playlist_id: str
+    topic: str
+
+    def __post_init__(self) -> None:
+        if self.subscriber_count < 0 or self.view_count < 0 or self.video_count < 0:
+            raise ValueError(f"channel {self.channel_id}: negative metric")
+
+
+@dataclass
+class Video:
+    """A video with the metadata surface the Data API exposes.
+
+    ``view_count``/``like_count``/``comment_count`` are asymptotic totals;
+    ask the store for values *as of* a date.  ``deleted_at`` is ``None`` for
+    videos that survive the whole simulation.
+    """
+
+    video_id: str
+    channel_id: str
+    title: str
+    description: str
+    tags: tuple[str, ...]
+    published_at: datetime
+    duration_seconds: int
+    definition: str  # "hd" | "sd"
+    category_id: str
+    topic: str
+    view_count: int
+    like_count: int
+    comment_count: int
+    deleted_at: datetime | None = None
+    language: str = "en"
+
+    def __post_init__(self) -> None:
+        if self.definition not in ("hd", "sd"):
+            raise ValueError(f"video {self.video_id}: bad definition {self.definition!r}")
+        if self.duration_seconds <= 0:
+            raise ValueError(f"video {self.video_id}: non-positive duration")
+        if min(self.view_count, self.like_count, self.comment_count) < 0:
+            raise ValueError(f"video {self.video_id}: negative metric")
+
+    def alive_at(self, when: datetime) -> bool:
+        """Whether the video exists (uploaded and not yet deleted) at ``when``."""
+        if self.published_at > when:
+            return False
+        return self.deleted_at is None or self.deleted_at > when
+
+
+@dataclass
+class Comment:
+    """A single comment; ``parent_id`` is ``None`` for top-level comments."""
+
+    comment_id: str
+    video_id: str
+    parent_id: str | None
+    author_display_name: str
+    text: str
+    published_at: datetime
+    like_count: int
+    deleted_at: datetime | None = None
+
+    def alive_at(self, when: datetime) -> bool:
+        """Whether the comment exists at ``when``."""
+        if self.published_at > when:
+            return False
+        return self.deleted_at is None or self.deleted_at > when
+
+    @property
+    def is_reply(self) -> bool:
+        """True for nested replies, False for top-level comments."""
+        return self.parent_id is not None
+
+
+@dataclass
+class CommentThread:
+    """A top-level comment plus its replies, as CommentThreads:list groups them."""
+
+    thread_id: str
+    video_id: str
+    top_level: Comment
+    replies: list[Comment] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.top_level.parent_id is not None:
+            raise ValueError("thread top-level comment must not have a parent")
+        for reply in self.replies:
+            if reply.parent_id != self.thread_id:
+                raise ValueError(
+                    f"reply {reply.comment_id} does not point at thread {self.thread_id}"
+                )
+
+    @property
+    def total_reply_count(self) -> int:
+        """Number of replies in the thread."""
+        return len(self.replies)
+
+
+@dataclass
+class World:
+    """The complete generated platform handed to :class:`PlatformStore`."""
+
+    seed: int
+    channels: dict[str, Channel]
+    videos: dict[str, Video]
+    threads_by_video: dict[str, list[CommentThread]]
+    topic_names: tuple[str, ...]
+
+    def videos_for_topic(self, topic: str) -> list[Video]:
+        """All videos generated for a topic, sorted by upload time."""
+        vids = [v for v in self.videos.values() if v.topic == topic]
+        vids.sort(key=lambda v: (v.published_at, v.video_id))
+        return vids
+
+    def channel_of(self, video: Video) -> Channel:
+        """The channel that uploaded ``video``."""
+        return self.channels[video.channel_id]
+
+    def summary(self) -> dict[str, int]:
+        """Entity counts, handy for logging and sanity checks."""
+        n_threads = sum(len(t) for t in self.threads_by_video.values())
+        n_replies = sum(
+            len(thread.replies)
+            for threads in self.threads_by_video.values()
+            for thread in threads
+        )
+        return {
+            "channels": len(self.channels),
+            "videos": len(self.videos),
+            "threads": n_threads,
+            "replies": n_replies,
+            "topics": len(self.topic_names),
+        }

@@ -1,0 +1,106 @@
+"""YouTube-format identifier minting.
+
+Real YouTube IDs are fixed-width strings over the URL-safe base64 alphabet:
+
+* video IDs: 11 characters (``dQw4w9WgXcQ``);
+* channel IDs: ``UC`` + 22 characters; the channel's uploads playlist shares
+  the suffix with prefix ``UU``;
+* comment IDs: ``Ug`` + a longer body; replies carry ``<thread>.<suffix>``.
+
+We mint IDs deterministically from labels so that the same seed always
+produces the same world, and collisions are structurally impossible within a
+run (the label encodes the entity's ordinal).
+"""
+
+from __future__ import annotations
+
+from repro.util.rng import stable_hash
+
+__all__ = [
+    "video_id",
+    "channel_id",
+    "uploads_playlist_id",
+    "comment_id",
+    "reply_id",
+    "is_video_id",
+    "is_channel_id",
+    "is_playlist_id",
+]
+
+_ALPHABET = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_"
+
+
+def _encode(value: int, length: int) -> str:
+    chars = []
+    for _ in range(length):
+        value, rem = divmod(value, 64)
+        chars.append(_ALPHABET[rem])
+    return "".join(chars)
+
+
+def _mint(kind: str, seed: int, ordinal: int, length: int) -> str:
+    # Two hash lanes give us up to 128 bits of material, plenty for 24 chars.
+    hi = stable_hash("id", kind, seed, ordinal, "hi")
+    lo = stable_hash("id", kind, seed, ordinal, "lo")
+    return _encode((hi << 64) | lo, length)
+
+
+def video_id(seed: int, ordinal: int) -> str:
+    """Mint an 11-character video ID."""
+    return _mint("video", seed, ordinal, 11)
+
+
+def channel_id(seed: int, ordinal: int) -> str:
+    """Mint a ``UC``-prefixed 24-character channel ID."""
+    return "UC" + _mint("channel", seed, ordinal, 22)
+
+
+def uploads_playlist_id(chan_id: str) -> str:
+    """Derive the uploads playlist ID from a channel ID (``UC…`` -> ``UU…``).
+
+    This mirrors the real platform, where the uploads playlist shares the
+    channel ID suffix.
+    """
+    if not is_channel_id(chan_id):
+        raise ValueError(f"not a channel id: {chan_id!r}")
+    return "UU" + chan_id[2:]
+
+
+def comment_id(seed: int, ordinal: int) -> str:
+    """Mint a ``Ug``-prefixed top-level comment (thread) ID."""
+    return "Ug" + _mint("comment", seed, ordinal, 24)
+
+
+def reply_id(thread_id: str, ordinal: int) -> str:
+    """Mint a reply ID nested under a thread ID (``<thread>.<suffix>``)."""
+    suffix = _mint("reply", stable_hash(thread_id), ordinal, 22)
+    return f"{thread_id}.{suffix}"
+
+
+def is_video_id(value: str) -> bool:
+    """Check the shape (not existence) of a video ID."""
+    return (
+        isinstance(value, str)
+        and len(value) == 11
+        and all(c in _ALPHABET for c in value)
+    )
+
+
+def is_channel_id(value: str) -> bool:
+    """Check the shape of a channel ID."""
+    return (
+        isinstance(value, str)
+        and len(value) == 24
+        and value.startswith("UC")
+        and all(c in _ALPHABET for c in value[2:])
+    )
+
+
+def is_playlist_id(value: str) -> bool:
+    """Check the shape of an uploads playlist ID."""
+    return (
+        isinstance(value, str)
+        and len(value) == 24
+        and value.startswith("UU")
+        and all(c in _ALPHABET for c in value[2:])
+    )

@@ -1,0 +1,216 @@
+"""Indexed, time-aware access to the generated world.
+
+The store is the only surface the API simulator reads from.  It provides:
+
+* token-indexed candidate lookup for keyword search (with phrase and
+  exclusion support handled by :mod:`repro.api.matching` on top);
+* existence filtering *as of* a request date (uploads in the future and
+  deleted videos are invisible);
+* metric growth: the entity metrics are asymptotic totals, scaled down by a
+  saturating growth curve for reads early in a video's life;
+* channel uploads as playlists (for ``PlaylistItems:list``);
+* comment threads with deletion filtering.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_left, bisect_right
+from datetime import datetime
+
+from repro.world.entities import Channel, Comment, CommentThread, Video, World
+
+__all__ = ["PlatformStore", "tokenize"]
+
+_TOKEN_RE = re.compile(r"[a-z0-9']+")
+
+#: Michaelis-Menten half-life (days) of the metric growth curve.
+_GROWTH_HALF_LIFE_DAYS = 21.0
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercase word tokens of a text fragment."""
+    return _TOKEN_RE.findall(text.lower())
+
+
+def growth_factor(age_days: float) -> float:
+    """Fraction of asymptotic engagement accrued after ``age_days`` days.
+
+    A saturating curve with a 21-day half-life: videos a year old sit at
+    ~95% of their final metrics, so historical audits see near-stable
+    values, while fresh videos visibly grow between snapshots.
+    """
+    if age_days <= 0:
+        return 0.0
+    return age_days / (age_days + _GROWTH_HALF_LIFE_DAYS)
+
+
+class PlatformStore:
+    """Read-side indexes over a :class:`~repro.world.entities.World`."""
+
+    def __init__(self, world: World) -> None:
+        self._world = world
+        self._videos = world.videos
+        self._channels = world.channels
+        self._threads_by_video = world.threads_by_video
+
+        # Inverted index: token -> set of video ids.
+        self._token_index: dict[str, set[str]] = {}
+        # Per-video searchable text (for phrase matching) and token sets.
+        self._search_text: dict[str, str] = {}
+        self._token_sets: dict[str, frozenset[str]] = {}
+        # Per-channel uploads sorted by publish time.
+        self._uploads: dict[str, list[Video]] = {}
+        # Global list sorted by publish time for window slicing.
+        self._by_time: list[Video] = sorted(
+            world.videos.values(), key=lambda v: (v.published_at, v.video_id)
+        )
+        self._publish_times: list[datetime] = [v.published_at for v in self._by_time]
+        self._playlist_to_channel: dict[str, str] = {}
+        self._threads_by_id: dict[str, CommentThread] = {}
+
+        for video in self._by_time:
+            text = " ".join((video.title, video.description, " ".join(video.tags)))
+            lowered = text.lower()
+            tokens = frozenset(tokenize(lowered))
+            self._search_text[video.video_id] = lowered
+            self._token_sets[video.video_id] = tokens
+            for token in tokens:
+                self._token_index.setdefault(token, set()).add(video.video_id)
+            self._uploads.setdefault(video.channel_id, []).append(video)
+
+        for channel in world.channels.values():
+            self._playlist_to_channel[channel.uploads_playlist_id] = channel.channel_id
+            self._uploads.setdefault(channel.channel_id, [])
+
+        for threads in world.threads_by_video.values():
+            for thread in threads:
+                self._threads_by_id[thread.thread_id] = thread
+
+    # -- basic lookups ------------------------------------------------------
+
+    @property
+    def world(self) -> World:
+        """The underlying world (ground truth for strategy evaluation)."""
+        return self._world
+
+    def video(self, video_id: str) -> Video | None:
+        """Video by ID, or None if it never existed."""
+        return self._videos.get(video_id)
+
+    def channel(self, channel_id: str) -> Channel | None:
+        """Channel by ID, or None."""
+        return self._channels.get(channel_id)
+
+    def channel_for_playlist(self, playlist_id: str) -> Channel | None:
+        """Resolve an uploads playlist ID back to its channel."""
+        channel_id = self._playlist_to_channel.get(playlist_id)
+        return self._channels.get(channel_id) if channel_id else None
+
+    def thread(self, thread_id: str) -> CommentThread | None:
+        """Comment thread by ID, or None."""
+        return self._threads_by_id.get(thread_id)
+
+    # -- search-side queries -------------------------------------------------
+
+    def candidates_for_tokens(self, tokens: list[str]) -> set[str]:
+        """Video IDs whose token set contains every token (AND semantics)."""
+        if not tokens:
+            return set(self._videos)
+        sets = []
+        for token in tokens:
+            postings = self._token_index.get(token)
+            if not postings:
+                return set()
+            sets.append(postings)
+        sets.sort(key=len)
+        result = set(sets[0])
+        for postings in sets[1:]:
+            result &= postings
+            if not result:
+                break
+        return result
+
+    def search_text(self, video_id: str) -> str:
+        """The lowercased searchable text of a video (title+description+tags)."""
+        return self._search_text[video_id]
+
+    def token_set(self, video_id: str) -> frozenset[str]:
+        """The token set of a video's searchable text."""
+        return self._token_sets[video_id]
+
+    def videos_in_window(
+        self,
+        published_after: datetime | None,
+        published_before: datetime | None,
+        as_of: datetime,
+    ) -> list[Video]:
+        """Videos uploaded in ``[after, before)`` and alive at ``as_of``."""
+        lo = 0
+        hi = len(self._by_time)
+        if published_after is not None:
+            lo = bisect_left(self._publish_times, published_after)
+        if published_before is not None:
+            hi = bisect_right(self._publish_times, published_before)
+        return [v for v in self._by_time[lo:hi] if v.alive_at(as_of)]
+
+    # -- channel uploads ------------------------------------------------------
+
+    def uploads(self, channel_id: str, as_of: datetime) -> list[Video]:
+        """A channel's uploads playlist: alive videos, newest first."""
+        uploads = self._uploads.get(channel_id, [])
+        alive = [v for v in uploads if v.alive_at(as_of)]
+        alive.reverse()  # stored oldest-first; playlists list newest first
+        return alive
+
+    # -- comments --------------------------------------------------------------
+
+    def threads_for_video(self, video_id: str, as_of: datetime) -> list[CommentThread]:
+        """Threads on a video visible at ``as_of``.
+
+        A thread disappears with its top-level comment (as on the real
+        platform); surviving threads have their replies filtered to those
+        alive at ``as_of``.
+        """
+        visible: list[CommentThread] = []
+        for thread in self._threads_by_video.get(video_id, []):
+            if not thread.top_level.alive_at(as_of):
+                continue
+            replies = [r for r in thread.replies if r.alive_at(as_of)]
+            visible.append(
+                CommentThread(
+                    thread_id=thread.thread_id,
+                    video_id=thread.video_id,
+                    top_level=thread.top_level,
+                    replies=replies,
+                )
+            )
+        return visible
+
+    def replies_for_thread(self, thread_id: str, as_of: datetime) -> list[Comment]:
+        """Alive replies of a thread at ``as_of`` (Comments:list semantics)."""
+        thread = self._threads_by_id.get(thread_id)
+        if thread is None:
+            return []
+        return [r for r in thread.replies if r.alive_at(as_of)]
+
+    # -- time-dependent metrics -------------------------------------------------
+
+    def metrics_at(self, video: Video, when: datetime) -> tuple[int, int, int]:
+        """(views, likes, comments) of a video as of ``when``."""
+        age_days = (when - video.published_at).total_seconds() / 86400.0
+        g = growth_factor(age_days)
+        return (
+            int(round(video.view_count * g)),
+            int(round(video.like_count * g)),
+            int(round(video.comment_count * g)),
+        )
+
+    def summary(self) -> dict[str, int]:
+        """Index sizes, for logging."""
+        return {
+            "videos": len(self._videos),
+            "channels": len(self._channels),
+            "tokens": len(self._token_index),
+            "threads": len(self._threads_by_id),
+        }

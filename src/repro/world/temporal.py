@@ -1,0 +1,105 @@
+"""Temporal upload-density profiles around a topic's focal date.
+
+The paper observes (Figure 2) that most videos cluster around each topic's
+"D-day", with topic-specific shapes: BLM peaks *after* its focal date (on
+Blackout Tuesday), the World Cup stays active throughout the tournament, and
+one-off events (Brexit, Capitol, Grammys, Higgs) spike and decay.  These
+profiles drive both corpus generation (when videos are uploaded) and the API
+behavior engine's notion of "relative topical interest".
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import numpy as np
+
+from repro.world.topics import TopicSpec
+
+__all__ = ["hour_grid", "upload_weights", "daily_weights", "sample_upload_times"]
+
+
+def hour_grid(spec: TopicSpec) -> list[datetime]:
+    """The window's hourly bin starts: ``window_days*2*24`` datetimes."""
+    start = spec.window_start
+    return [start + timedelta(hours=h) for h in range(spec.window_hours)]
+
+
+def _event_shape(spec: TopicSpec, t_days: np.ndarray) -> np.ndarray:
+    """Event intensity as a function of days since the focal date.
+
+    ``t_days`` is signed: negative before the focal date.  All profiles are
+    a baseline plus a peak; they differ in where the peak sits and how it
+    decays.
+    """
+    peak_at = spec.peak_offset_days if spec.profile == "offset_peak" else 0.0
+    rel = t_days - peak_at
+    # Rise: Gaussian shoulder before the peak (anticipation builds quickly).
+    rise = np.exp(-0.5 * (np.minimum(rel, 0.0) / spec.peak_width_days) ** 2)
+    # Fall: exponential decay after the peak (interest fades slowly).
+    fall = np.exp(-np.maximum(rel, 0.0) / spec.decay_days)
+    peak = np.where(rel <= 0.0, rise, fall)
+    if spec.profile == "sustained":
+        # An ongoing event (tournament) holds an elevated plateau after the
+        # focal date instead of decaying to baseline.
+        plateau = np.where(t_days >= 0.0, 0.55, 0.0)
+        peak = np.maximum(peak, plateau)
+    if spec.profile == "offset_peak":
+        # A secondary, smaller bump at the focal date itself (the triggering
+        # event) ahead of the main peak.
+        trigger = 0.45 * np.exp(-0.5 * (t_days / spec.peak_width_days) ** 2)
+        trigger *= np.where(t_days <= 0.5, 1.0, np.exp(-np.maximum(t_days, 0.0) / 2.0))
+        peak = np.maximum(peak, trigger)
+    return spec.baseline_level + (1.0 - spec.baseline_level) * peak
+
+
+def _diurnal(hours_of_day: np.ndarray) -> np.ndarray:
+    """Hour-of-day modulation: uploads peak in the (UTC) evening."""
+    phase = 2.0 * np.pi * (hours_of_day - 17.0) / 24.0
+    return 1.0 + 0.45 * np.cos(phase)
+
+
+def upload_weights(spec: TopicSpec) -> np.ndarray:
+    """Normalized per-hour upload weights over the topic window.
+
+    The result sums to 1 and is strictly positive (the baseline guarantees
+    some activity everywhere, matching the paper's observation that even
+    quiet hours have *eligible* videos the API chooses not to return).
+    """
+    hours = np.arange(spec.window_hours, dtype=float)
+    t_days = (hours - spec.window_days * 24.0) / 24.0  # signed days from focal
+    shape = _event_shape(spec, t_days)
+    shape = shape * _diurnal(hours % 24.0)
+    total = shape.sum()
+    if total <= 0:  # pragma: no cover - baseline makes this unreachable
+        raise ValueError(f"topic {spec.key}: degenerate upload profile")
+    return shape / total
+
+
+def daily_weights(spec: TopicSpec) -> np.ndarray:
+    """Per-day weights (summing the hourly profile within each day)."""
+    w = upload_weights(spec)
+    return w.reshape(spec.window_days * 2, 24).sum(axis=1)
+
+
+def sample_upload_times(
+    spec: TopicSpec, n: int, rng: np.random.Generator
+) -> list[datetime]:
+    """Draw ``n`` upload timestamps following the topic's hourly profile.
+
+    Hours are drawn from the profile; within an hour the minute/second are
+    uniform.  The result is sorted, which downstream corpus assembly relies
+    on for stable video ordinals.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    weights = upload_weights(spec)
+    hour_starts = hour_grid(spec)
+    hour_choices = rng.choice(len(weights), size=n, p=weights)
+    offsets = rng.integers(0, 3600, size=n)
+    times = [
+        hour_starts[int(h)] + timedelta(seconds=int(s))
+        for h, s in zip(hour_choices, offsets)
+    ]
+    times.sort()
+    return times

@@ -1,0 +1,283 @@
+"""Topic specifications, including the paper's six audit topics.
+
+A :class:`TopicSpec` bundles everything the generator and the API behavior
+engine need to know about a topic:
+
+* the search query and focal date (Appendix A of the paper);
+* the size and temporal shape of the upload corpus around the focal date;
+* the ``pageInfo.totalResults`` pool model parameters (Table 4);
+* the per-collection return budget (Table 1) and churn stability;
+* subtopics used by the topic-splitting strategy (Section 6.1).
+
+The concrete numbers for the six paper topics are calibrated so the audit
+pipeline regenerates the *shapes* of Tables 1-4 and Figures 1-3: Higgs is
+tiny and stable, BLM/Capitol/World Cup are huge (pool mode pinned at the 1M
+cap) and churny, Brexit and Grammys sit in between.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+
+from repro.util.timeutil import UTC
+
+__all__ = ["TopicSpec", "SubtopicSpec", "PAPER_TOPICS", "paper_topics", "topic_by_key"]
+
+
+@dataclass(frozen=True)
+class SubtopicSpec:
+    """A narrower query within a topic, used by the topic-split strategy."""
+
+    name: str
+    query: str
+    share: float  # fraction of the topic's videos tagged with this subtopic
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.share <= 1.0:
+            raise ValueError(f"subtopic {self.name}: share must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class TopicSpec:
+    """Complete description of one audit topic."""
+
+    key: str
+    label: str
+    query: str
+    focal_date: datetime
+    category_id: str
+    window_days: int = 14
+    # --- corpus shape -----------------------------------------------------
+    n_videos: int = 1000
+    n_channels: int = 320
+    profile: str = "impulse"  # "impulse" | "offset_peak" | "sustained"
+    peak_offset_days: float = 0.0
+    peak_width_days: float = 1.6
+    decay_days: float = 4.0
+    baseline_level: float = 0.12
+    # --- API behavior knobs ----------------------------------------------
+    return_budget: int = 600  # expected videos returned per full collection
+    churn_volatility: float = 1.0  # scales day-to-day latent drift
+    suppression: float = 0.75  # hours below this fraction of mean density return 0
+    pool_canonical: int = 500_000  # the "heaped" totalResults estimate
+    pool_sigma: float = 0.25  # lognormal spread of non-heaped pool draws
+    # --- comments ---------------------------------------------------------
+    comment_rate: float = 6.0  # mean threads per returned-scale video
+    replies_enabled: bool = True
+    # --- decomposition ----------------------------------------------------
+    subtopics: tuple[SubtopicSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.focal_date.tzinfo is None:
+            raise ValueError(f"topic {self.key}: focal_date must be timezone-aware")
+        if self.profile not in ("impulse", "offset_peak", "sustained"):
+            raise ValueError(f"topic {self.key}: unknown profile {self.profile!r}")
+        if self.return_budget > self.n_videos:
+            raise ValueError(
+                f"topic {self.key}: return_budget {self.return_budget} exceeds "
+                f"corpus size {self.n_videos}"
+            )
+        if self.window_days <= 0:
+            raise ValueError(f"topic {self.key}: window_days must be positive")
+        share_sum = sum(s.share for s in self.subtopics)
+        if self.subtopics and share_sum > 1.0 + 1e-9:
+            raise ValueError(f"topic {self.key}: subtopic shares sum to {share_sum} > 1")
+
+    @property
+    def window_start(self) -> datetime:
+        """Start of the 28-day collection window (focal date - window_days)."""
+        from datetime import timedelta
+
+        return self.focal_date - timedelta(days=self.window_days)
+
+    @property
+    def window_end(self) -> datetime:
+        """End of the collection window (focal date + window_days)."""
+        from datetime import timedelta
+
+        return self.focal_date + timedelta(days=self.window_days)
+
+    @property
+    def window_hours(self) -> int:
+        """Number of hourly bins in the collection window."""
+        return self.window_days * 2 * 24
+
+    @property
+    def saturation(self) -> float:
+        """Fraction of the eligible corpus returned per collection.
+
+        This is the quantity the paper's Section 5 links to consistency:
+        topics whose return budget nearly exhausts the eligible pool (Higgs)
+        cannot churn much, so they stay consistent across collections.
+        """
+        return self.return_budget / self.n_videos
+
+
+def _d(y: int, m: int, d: int) -> datetime:
+    return datetime(y, m, d, tzinfo=UTC)
+
+
+def paper_topics() -> tuple[TopicSpec, ...]:
+    """The six topics of the paper (Appendix A), calibrated to its tables."""
+    return (
+        TopicSpec(
+            key="blm",
+            label="BLM",
+            query="black lives matter",
+            focal_date=_d(2020, 5, 25),  # killing of George Floyd
+            category_id="25",
+            n_videos=1850,
+            n_channels=560,
+            profile="offset_peak",
+            peak_offset_days=8.0,  # topical peak on Blackout Tuesday (June 2)
+            peak_width_days=2.2,
+            decay_days=5.0,
+            baseline_level=0.10,
+            return_budget=743,
+            churn_volatility=1.0,
+            suppression=0.80,
+            pool_canonical=1_350_000,  # clips to the 1M cap -> mode 1M
+            pool_sigma=0.20,
+            comment_rate=9.0,
+            subtopics=(
+                SubtopicSpec("floyd", "george floyd protest", 0.30),
+                SubtopicSpec("blackout", "blackout tuesday", 0.18),
+                SubtopicSpec("march", "blm march", 0.22),
+                SubtopicSpec("speech", "blm speech", 0.15),
+            ),
+        ),
+        TopicSpec(
+            key="brexit",
+            label="Brexit",
+            query="brexit referendum",
+            focal_date=_d(2016, 6, 23),  # day of the referendum
+            category_id="25",
+            n_videos=1000,
+            n_channels=310,
+            profile="impulse",
+            peak_width_days=1.4,
+            decay_days=4.5,
+            baseline_level=0.16,
+            return_budget=560,
+            churn_volatility=0.55,  # smaller pool -> more stable returns
+            suppression=0.70,
+            pool_canonical=613_000,
+            pool_sigma=0.16,
+            comment_rate=8.0,
+            subtopics=(
+                SubtopicSpec("leave", "vote leave campaign", 0.28),
+                SubtopicSpec("remain", "remain campaign", 0.24),
+                SubtopicSpec("results", "referendum results", 0.26),
+            ),
+        ),
+        TopicSpec(
+            key="capriot",
+            label="Capitol",
+            query="us capitol",
+            focal_date=_d(2021, 1, 6),  # January 6th attack
+            category_id="25",
+            n_videos=1430,
+            n_channels=450,
+            profile="impulse",
+            peak_width_days=1.1,
+            decay_days=3.2,
+            baseline_level=0.08,
+            return_budget=572,
+            churn_volatility=0.95,
+            suppression=0.90,
+            pool_canonical=1_250_000,
+            pool_sigma=0.22,
+            comment_rate=8.5,
+            subtopics=(
+                SubtopicSpec("certification", "electoral college certification", 0.22),
+                SubtopicSpec("riot", "capitol riot footage", 0.30),
+                SubtopicSpec("response", "national guard capitol", 0.18),
+            ),
+        ),
+        TopicSpec(
+            key="grammys",
+            label="Grammys",
+            query="grammy awards",
+            focal_date=_d(2024, 2, 4),  # awards ceremony
+            category_id="24",
+            n_videos=1400,
+            n_channels=440,
+            profile="impulse",
+            peak_width_days=1.3,
+            decay_days=3.8,
+            baseline_level=0.14,
+            return_budget=659,
+            churn_volatility=0.82,
+            suppression=0.60,
+            pool_canonical=123_000,
+            pool_sigma=0.85,  # paper: min 12.8k, max 1M -> very wide spread
+            comment_rate=7.5,
+            subtopics=(
+                SubtopicSpec("performances", "grammy performance", 0.32),
+                SubtopicSpec("redcarpet", "grammys red carpet", 0.20),
+                SubtopicSpec("winners", "grammy winners", 0.24),
+            ),
+        ),
+        TopicSpec(
+            key="higgs",
+            label="Higgs",
+            query="higgs boson",
+            focal_date=_d(2012, 7, 4),  # discovery announcement
+            category_id="28",
+            n_videos=585,
+            n_channels=190,
+            profile="impulse",
+            peak_width_days=1.8,
+            decay_days=5.5,
+            baseline_level=0.10,
+            return_budget=507,
+            churn_volatility=0.18,  # tiny pool -> near-total, stable returns
+            suppression=0.35,
+            pool_canonical=39_000,
+            pool_sigma=0.35,
+            comment_rate=5.0,
+            replies_enabled=False,  # 2012 reply affordance differs (Table 5 N/A)
+            subtopics=(
+                SubtopicSpec("cern", "cern announcement", 0.30),
+                SubtopicSpec("explainer", "higgs boson explained", 0.34),
+            ),
+        ),
+        TopicSpec(
+            key="worldcup",
+            label="World Cup",
+            query="fifa world cup",
+            focal_date=_d(2014, 6, 12),  # opening match
+            category_id="17",
+            n_videos=1250,
+            n_channels=390,
+            profile="sustained",  # tournament keeps running after the focal date
+            peak_width_days=1.5,
+            decay_days=10.0,
+            baseline_level=0.30,
+            return_budget=502,
+            churn_volatility=1.0,
+            suppression=0.75,
+            pool_canonical=1_600_000,
+            pool_sigma=0.15,
+            comment_rate=7.0,
+            subtopics=(
+                SubtopicSpec("brazil", "brazil world cup", 0.24),
+                SubtopicSpec("opening", "world cup opening ceremony", 0.16),
+                SubtopicSpec("goals", "world cup goals", 0.28),
+                SubtopicSpec("messi", "messi world cup", 0.14),
+            ),
+        ),
+    )
+
+
+#: Module-level tuple for callers that just want the list.
+PAPER_TOPICS: tuple[TopicSpec, ...] = paper_topics()
+
+
+def topic_by_key(key: str, topics: tuple[TopicSpec, ...] = PAPER_TOPICS) -> TopicSpec:
+    """Look a topic up by its short key, raising ``KeyError`` if unknown."""
+    for spec in topics:
+        if spec.key == key:
+            return spec
+    raise KeyError(f"unknown topic key: {key!r}")

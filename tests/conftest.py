@@ -1,0 +1,89 @@
+"""Shared fixtures: a small world, a service over it, and a mini campaign.
+
+Everything expensive is session-scoped; tests must treat these as
+read-only (build your own service if you need to mutate clock/quota
+aggressively — see the ``fresh_*`` factories).
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+import pytest
+
+from repro.api import QuotaPolicy, YouTubeClient, build_service
+from repro.core import paper_campaign_config, run_campaign
+from repro.util.timeutil import UTC
+from repro.world import build_world
+from repro.world.corpus import scale_topics
+from repro.world.topics import paper_topics
+
+SEED = 20250209
+SCALE = 0.15
+
+
+@pytest.fixture(scope="session")
+def small_specs():
+    """The paper's six topics, scaled down for fast tests."""
+    return scale_topics(paper_topics(), SCALE)
+
+
+@pytest.fixture(scope="session")
+def small_world(small_specs):
+    """A deterministic small world with comments."""
+    return build_world(small_specs, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def session_service(small_world, small_specs):
+    """A shared service over the small world (read-mostly)."""
+    return build_service(small_world, seed=SEED, specs=small_specs)
+
+
+@pytest.fixture(scope="session")
+def session_client(session_service):
+    """A shared client over the shared service."""
+    return YouTubeClient(session_service)
+
+
+@pytest.fixture()
+def fresh_service(small_world, small_specs):
+    """A service with pristine clock/quota, for mutation-heavy tests."""
+    return build_service(small_world, seed=SEED, specs=small_specs)
+
+
+@pytest.fixture()
+def fresh_client(fresh_service):
+    """A client over a pristine service."""
+    return YouTubeClient(fresh_service)
+
+
+@pytest.fixture(scope="session")
+def mini_campaign(small_world, small_specs):
+    """A 10-collection campaign (metadata + first/last comments) on the
+    paper's cadence, used by all analysis tests.
+
+    Ten collections (not fewer) because the attrition analysis conditions
+    on ever-returned videos; very short campaigns bias the AA-history row
+    toward P and mask the rolling-window stickiness the paper reports."""
+    import dataclasses
+
+    service = build_service(
+        small_world, seed=SEED, specs=small_specs,
+        quota_policy=QuotaPolicy(researcher_program=True),
+    )
+    client = YouTubeClient(service)
+    cfg = paper_campaign_config(topics=small_specs, with_comments=True)
+    cfg = dataclasses.replace(
+        cfg,
+        n_scheduled=10,
+        skipped_indices=frozenset(),
+        comment_snapshot_indices=(0, 9),
+    )
+    return run_campaign(cfg, client)
+
+
+@pytest.fixture(scope="session")
+def campaign_start():
+    """The paper's first collection date."""
+    return datetime(2025, 2, 9, tzinfo=UTC)

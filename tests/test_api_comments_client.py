@@ -1,0 +1,188 @@
+"""Tests for comment endpoints and the high-level client."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import YouTubeClient, build_service
+from repro.api.errors import (
+    BadRequestError,
+    NotFoundError,
+    QuotaExceededError,
+    TransientServerError,
+)
+from repro.api.quota import QuotaPolicy
+from repro.api.transport import FaultInjector, Transport
+from repro.world.topics import topic_by_key
+
+
+@pytest.fixture()
+def commented_video(fresh_service, small_specs):
+    """A video ID that definitely has comment threads."""
+    spec = topic_by_key("blm", small_specs)
+    response = fresh_service.search.list(q=spec.query, order="date", maxResults=50)
+    for item in response["items"]:
+        vid = item["id"]["videoId"]
+        threads = fresh_service.comment_threads.list(
+            part="snippet", videoId=vid, maxResults=50
+        )
+        if threads["items"]:
+            return vid
+    pytest.skip("no commented video found in sample")
+
+
+class TestCommentThreads:
+    def test_thread_shape(self, fresh_service, commented_video):
+        response = fresh_service.comment_threads.list(
+            part="snippet,replies", videoId=commented_video, maxResults=50
+        )
+        thread = response["items"][0]
+        assert thread["kind"] == "youtube#commentThread"
+        top = thread["snippet"]["topLevelComment"]
+        assert top["kind"] == "youtube#comment"
+        assert top["snippet"]["videoId"] == commented_video
+        assert "parentId" not in top["snippet"]
+
+    def test_inline_replies_capped_at_five(self, fresh_service, commented_video):
+        response = fresh_service.comment_threads.list(
+            part="snippet,replies", videoId=commented_video, maxResults=50
+        )
+        for thread in response["items"]:
+            inline = thread.get("replies", {}).get("comments", [])
+            assert len(inline) <= 5
+            assert thread["snippet"]["totalReplyCount"] >= len(inline)
+
+    def test_unknown_video_404(self, fresh_service):
+        with pytest.raises(NotFoundError):
+            fresh_service.comment_threads.list(part="snippet", videoId="AAAAAAAAAAA")
+
+    def test_validation(self, fresh_service, commented_video):
+        with pytest.raises(BadRequestError):
+            fresh_service.comment_threads.list(part="snippet")
+        with pytest.raises(BadRequestError):
+            fresh_service.comment_threads.list(
+                part="snippet", videoId=commented_video, order="newest"
+            )
+        with pytest.raises(BadRequestError):
+            fresh_service.comment_threads.list(
+                part="snippet", videoId=commented_video, maxResults=0
+            )
+
+
+class TestCommentsList:
+    def _thread_with_replies(self, service, video_id):
+        response = service.comment_threads.list(
+            part="snippet,replies", videoId=video_id, maxResults=50
+        )
+        for thread in response["items"]:
+            if thread["snippet"]["totalReplyCount"] > 0:
+                return thread
+        return None
+
+    def test_replies_belong_to_parent(self, fresh_service, commented_video):
+        thread = self._thread_with_replies(fresh_service, commented_video)
+        if thread is None:
+            pytest.skip("no thread with replies")
+        response = fresh_service.comments.list(
+            part="snippet", parentId=thread["id"], maxResults=50
+        )
+        assert len(response["items"]) == thread["snippet"]["totalReplyCount"]
+        for reply in response["items"]:
+            assert reply["snippet"]["parentId"] == thread["id"]
+
+    def test_unknown_parent_404(self, fresh_service):
+        with pytest.raises(NotFoundError):
+            fresh_service.comments.list(part="snippet", parentId="Ug" + "A" * 24)
+
+    def test_requires_parent(self, fresh_service):
+        with pytest.raises(BadRequestError):
+            fresh_service.comments.list(part="snippet")
+
+
+class TestClient:
+    def test_search_all_crosses_pages(self, fresh_client, small_specs):
+        spec = topic_by_key("blm", small_specs)
+        items = fresh_client.search_all(q=spec.query, order="date")
+        assert len(items) > 50  # more than one page
+        ids = [i["id"]["videoId"] for i in items]
+        assert len(ids) == len(set(ids))
+
+    def test_search_all_limit(self, fresh_client, small_specs):
+        spec = topic_by_key("blm", small_specs)
+        items = fresh_client.search_all(q=spec.query, order="date", limit=30)
+        assert len(items) == 30
+
+    def test_videos_list_batching(self, fresh_client, small_specs):
+        spec = topic_by_key("blm", small_specs)
+        ids = fresh_client.search_video_ids(q=spec.query, order="date")
+        assert len(ids) > 50
+        day = fresh_client.service.clock.today()
+        used_before = fresh_client.service.quota.used_on(day)
+        resources = fresh_client.videos_list(ids)
+        used_after = fresh_client.service.quota.used_on(day)
+        expected_calls = -(-len(ids) // 50)  # ceil division
+        assert used_after - used_before == expected_calls
+        assert len(resources) >= 0.9 * len(ids)
+
+    def test_retry_on_transient_errors(self, small_world, small_specs):
+        transport = Transport(faults=FaultInjector(probability=0.3, seed=5))
+        service = build_service(
+            small_world, seed=20250209, specs=small_specs, transport=transport
+        )
+        attempts: list[int] = []
+        client = YouTubeClient(service, max_retries=5, backoff=attempts.append)
+        spec = topic_by_key("higgs", small_specs)
+        items = client.search_all(q=spec.query, order="date")
+        assert items  # succeeded despite 30% fault rate
+        assert attempts  # retries actually happened
+
+    def test_retry_exhaustion_raises(self, small_world, small_specs):
+        transport = Transport(faults=FaultInjector(probability=0.95, seed=5))
+        service = build_service(
+            small_world, seed=20250209, specs=small_specs, transport=transport
+        )
+        client = YouTubeClient(service, max_retries=2)
+        spec = topic_by_key("higgs", small_specs)
+        with pytest.raises(TransientServerError):
+            for _ in range(50):
+                client.search_page(q=spec.query, maxResults=5)
+
+    def test_quota_exhaustion_not_retried(self, small_world, small_specs):
+        service = build_service(
+            small_world, seed=20250209, specs=small_specs,
+            quota_policy=QuotaPolicy(daily_limit=250),
+        )
+        client = YouTubeClient(service)
+        spec = topic_by_key("higgs", small_specs)
+        client.search_page(q=spec.query, maxResults=5)
+        client.search_page(q=spec.query, maxResults=5)
+        with pytest.raises(QuotaExceededError):
+            client.search_page(q=spec.query, maxResults=5)
+
+    def test_uploads_playlist_helper(self, fresh_client, small_specs):
+        spec = topic_by_key("worldcup", small_specs)
+        ids = fresh_client.search_video_ids(q=spec.query, order="date")
+        resources = fresh_client.videos_list(ids[:1], part="snippet")
+        channel_id = resources[0]["snippet"]["channelId"]
+        playlist = fresh_client.uploads_playlist_id(channel_id)
+        assert playlist and playlist.startswith("UU")
+        assert fresh_client.uploads_playlist_id("UC" + "A" * 22) is None
+        videos = fresh_client.playlist_video_ids(playlist)
+        assert resources[0]["id"] in videos
+
+    def test_comment_threads_all_completes_replies(self, fresh_client, small_specs):
+        spec = topic_by_key("blm", small_specs)
+        ids = fresh_client.search_video_ids(q=spec.query, order="date")
+        for vid in ids[:20]:
+            threads = fresh_client.comment_threads_all(vid)
+            for thread in threads:
+                total = thread["snippet"]["totalReplyCount"]
+                if total > 5:
+                    replies = fresh_client.comment_replies_all(thread["id"])
+                    assert len(replies) == total
+                    return
+        pytest.skip("no thread with >5 replies in sample")
+
+    def test_invalid_max_retries(self, fresh_service):
+        with pytest.raises(ValueError):
+            YouTubeClient(fresh_service, max_retries=-1)

@@ -1,0 +1,151 @@
+"""Tests for partial-response fields filtering and resource rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.errors import BadRequestError
+from repro.api.fields import apply_fields, filter_response, parse_fields
+from repro.api.resources import (
+    comment_resource,
+    comment_thread_resource,
+    etag_for,
+    video_resource,
+)
+from repro.util.timeutil import parse_iso8601_duration, parse_rfc3339
+from repro.world.topics import topic_by_key
+
+
+class TestParseFields:
+    def test_flat(self):
+        assert parse_fields("a,b") == {"a": {}, "b": {}}
+
+    def test_slash_path(self):
+        assert parse_fields("a/b/c") == {"a": {"b": {"c": {}}}}
+
+    def test_parenthesized(self):
+        assert parse_fields("items(id,snippet/title)") == {
+            "items": {"id": {}, "snippet": {"title": {}}}
+        }
+
+    def test_realistic_search_expression(self):
+        tree = parse_fields("items(id/videoId),nextPageToken,pageInfo/totalResults")
+        assert tree == {
+            "items": {"id": {"videoId": {}}},
+            "nextPageToken": {},
+            "pageInfo": {"totalResults": {}},
+        }
+
+    def test_wildcard(self):
+        assert parse_fields("items/*") == {"items": {"*": {}}}
+
+    def test_merge_duplicates(self):
+        assert parse_fields("a/b,a/c") == {"a": {"b": {}, "c": {}}}
+
+    @pytest.mark.parametrize("bad", ["", "a(", "a(b", "a)b", "/a", "a/", "a,,b"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(BadRequestError):
+            parse_fields(bad)
+
+
+class TestApplyFields:
+    def test_projects_nested(self):
+        payload = {"a": {"x": 1, "y": 2}, "b": 3, "c": 4}
+        assert apply_fields(payload, parse_fields("a/x,b")) == {"a": {"x": 1}, "b": 3}
+
+    def test_lists_mapped(self):
+        payload = {"items": [{"id": 1, "junk": 0}, {"id": 2, "junk": 0}]}
+        assert apply_fields(payload, parse_fields("items/id")) == {
+            "items": [{"id": 1}, {"id": 2}]
+        }
+
+    def test_missing_keys_ignored(self):
+        assert apply_fields({"a": 1}, parse_fields("zzz")) == {}
+
+    def test_wildcard_keeps_all(self):
+        payload = {"a": {"x": 1}, "b": {"x": 2}}
+        assert apply_fields(payload, parse_fields("*/x")) == payload
+
+    def test_none_passthrough(self):
+        assert filter_response({"a": 1}, None) == {"a": 1}
+
+
+class TestFieldsThroughEndpoints:
+    def test_search_fields(self, fresh_service, small_specs):
+        spec = topic_by_key("higgs", small_specs)
+        response = fresh_service.search.list(
+            q=spec.query, maxResults=5,
+            fields="items(id/videoId),pageInfo/totalResults",
+        )
+        assert set(response) <= {"items", "pageInfo", "nextPageToken"}
+        assert set(response["pageInfo"]) == {"totalResults"}
+        for item in response["items"]:
+            assert set(item) == {"id"}
+            assert set(item["id"]) == {"videoId"}
+
+    def test_videos_fields(self, fresh_service, small_specs):
+        spec = topic_by_key("higgs", small_specs)
+        ids = [
+            i["id"]["videoId"]
+            for i in fresh_service.search.list(q=spec.query, maxResults=5)["items"]
+        ]
+        response = fresh_service.videos.list(
+            part="statistics", id=ids, fields="items(id,statistics/viewCount)"
+        )
+        for item in response["items"]:
+            assert set(item) == {"id", "statistics"}
+            assert set(item["statistics"]) == {"viewCount"}
+
+
+class TestResources:
+    @pytest.fixture()
+    def any_video(self, small_world):
+        return next(iter(small_world.videos.values()))
+
+    def test_etag_stable_and_opaque(self):
+        a = etag_for("x", 1)
+        assert a == etag_for("x", 1)
+        assert a != etag_for("x", 2)
+        assert len(a) == 16
+
+    def test_video_resource_parts(self, any_video, session_service):
+        store = session_service.store
+        as_of = session_service.clock.now()
+        full = video_resource(
+            any_video, store, as_of, {"snippet", "contentDetails", "statistics"}
+        )
+        assert full["kind"] == "youtube#video"
+        assert parse_rfc3339(full["snippet"]["publishedAt"]) == any_video.published_at
+        assert (
+            parse_iso8601_duration(full["contentDetails"]["duration"])
+            == any_video.duration_seconds
+        )
+        # Metrics at request time never exceed the asymptotic totals.
+        assert int(full["statistics"]["viewCount"]) <= any_video.view_count
+
+        only_snippet = video_resource(any_video, store, as_of, {"snippet"})
+        assert "statistics" not in only_snippet
+
+    def test_comment_resources(self, small_world, session_service):
+        as_of = session_service.clock.now()
+        thread = next(
+            t for threads in small_world.threads_by_video.values() for t in threads
+            if t.replies
+        )
+        rendered = comment_thread_resource(thread, as_of, include_replies=True)
+        assert rendered["snippet"]["totalReplyCount"] == len(thread.replies)
+        inline = rendered["replies"]["comments"]
+        assert len(inline) <= 5
+        reply = comment_resource(thread.replies[0], as_of)
+        assert reply["snippet"]["parentId"] == thread.thread_id
+        top = comment_resource(thread.top_level, as_of)
+        assert "parentId" not in top["snippet"]
+
+    def test_thread_without_replies_has_no_replies_key(self, small_world, session_service):
+        as_of = session_service.clock.now()
+        thread = next(
+            t for threads in small_world.threads_by_video.values() for t in threads
+            if not t.replies
+        )
+        rendered = comment_thread_resource(thread, as_of, include_replies=True)
+        assert "replies" not in rendered

@@ -1,0 +1,126 @@
+"""Tests for the 500-results-per-query hard cap (10 pages of 50).
+
+Uses a purpose-built single-topic world large enough that one query's
+eligible set exceeds 500 — the regime where the real endpoint stops
+issuing page tokens even though ``totalResults`` says there is more.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+import pytest
+
+from repro.api import QuotaPolicy, YouTubeClient, build_service
+from repro.api.search import SEARCH_HARD_CAP
+from repro.util.timeutil import UTC, format_rfc3339
+from repro.world import build_world
+from repro.world.topics import SubtopicSpec, TopicSpec
+
+BIG_TOPIC = TopicSpec(
+    key="megatopic",
+    label="Mega",
+    query="mega event coverage",
+    focal_date=datetime(2024, 6, 1, tzinfo=UTC),
+    category_id="24",
+    n_videos=900,
+    n_channels=200,
+    return_budget=800,
+    churn_volatility=0.5,
+    suppression=0.0,  # keep (almost) everything eligible
+    pool_canonical=2_000_000,
+    subtopics=(SubtopicSpec("slice", "mega slice", 0.3),),
+)
+
+
+@pytest.fixture(scope="module")
+def big_service():
+    world = build_world((BIG_TOPIC,), seed=77, with_comments=False)
+    return build_service(
+        world, seed=77, specs=(BIG_TOPIC,),
+        quota_policy=QuotaPolicy(researcher_program=True),
+    )
+
+
+def _full_window_params(**extra):
+    params = dict(
+        q=BIG_TOPIC.query,
+        order="date",
+        maxResults=50,
+        safeSearch="none",
+        publishedAfter=format_rfc3339(BIG_TOPIC.window_start),
+        publishedBefore=format_rfc3339(BIG_TOPIC.window_end),
+    )
+    params.update(extra)
+    return params
+
+
+class TestHardCap:
+    def test_walk_stops_at_500(self, big_service):
+        seen: list[str] = []
+        token = None
+        pages = 0
+        while True:
+            params = _full_window_params()
+            if token:
+                params["pageToken"] = token
+            response = big_service.search.list(**params)
+            seen.extend(i["id"]["videoId"] for i in response["items"])
+            pages += 1
+            token = response.get("nextPageToken")
+            if not token:
+                break
+        assert pages == SEARCH_HARD_CAP // 50  # exactly 10 pages
+        assert len(seen) == SEARCH_HARD_CAP
+        assert len(set(seen)) == SEARCH_HARD_CAP
+        # The pool says there is far more than we were allowed to fetch.
+        assert response["pageInfo"]["totalResults"] > SEARCH_HARD_CAP
+
+    def test_client_search_all_respects_cap(self, big_service):
+        client = YouTubeClient(big_service)
+        items = client.search_all(**_full_window_params())
+        assert len(items) == SEARCH_HARD_CAP
+
+    def test_eligible_exceeds_cap(self, big_service):
+        """Sanity: the scenario actually has > 500 selectable videos
+        (otherwise this file tests nothing)."""
+        client = YouTubeClient(big_service)
+        # Split the window in two; each half is under the cap, and their
+        # union exceeds it — proving the cap (not eligibility) bound us.
+        mid = BIG_TOPIC.focal_date
+        first = client.search_all(
+            **_full_window_params(publishedBefore=format_rfc3339(mid))
+        )
+        second = client.search_all(
+            **_full_window_params(publishedAfter=format_rfc3339(mid))
+        )
+        union = {i["id"]["videoId"] for i in first} | {
+            i["id"]["videoId"] for i in second
+        }
+        assert len(union) > SEARCH_HARD_CAP
+
+    def test_time_splitting_circumvents_cap(self, big_service):
+        """Section 2's motivation for time-split querying: binning the
+        window recovers videos the capped single query cannot reach."""
+        client = YouTubeClient(big_service)
+        capped = {
+            i["id"]["videoId"] for i in client.search_all(**_full_window_params())
+        }
+        from datetime import timedelta
+
+        union: set[str] = set()
+        cursor = BIG_TOPIC.window_start
+        while cursor < BIG_TOPIC.window_end:
+            bin_end = min(cursor + timedelta(days=7), BIG_TOPIC.window_end)
+            union.update(
+                i["id"]["videoId"]
+                for i in client.search_all(
+                    **_full_window_params(
+                        publishedAfter=format_rfc3339(cursor),
+                        publishedBefore=format_rfc3339(bin_end),
+                    )
+                )
+            )
+            cursor = bin_end
+        assert len(union) > len(capped)
+        assert capped <= union | capped  # capped page is a prefix of the same day's state

@@ -1,0 +1,114 @@
+"""Offline tests for the live-API adapter (pure parts only)."""
+
+from __future__ import annotations
+
+import json
+import urllib.parse
+
+import pytest
+
+from repro.api.errors import (
+    BadRequestError,
+    ForbiddenError,
+    InvalidPageTokenError,
+    NotFoundError,
+    QuotaExceededError,
+    TransientServerError,
+)
+from repro.api.http_adapter import (
+    API_BASE_URL,
+    RealYouTubeService,
+    build_request_url,
+    classify_http_error,
+)
+
+
+class TestBuildRequestUrl:
+    def test_basic(self):
+        url = build_request_url("search", "KEY", {"q": "higgs boson", "maxResults": 50})
+        assert url.startswith(f"{API_BASE_URL}/search?")
+        parsed = urllib.parse.parse_qs(urllib.parse.urlparse(url).query)
+        assert parsed["q"] == ["higgs boson"]
+        assert parsed["maxResults"] == ["50"]
+        assert parsed["key"] == ["KEY"]
+
+    def test_lists_comma_joined(self):
+        url = build_request_url("videos", "K", {"id": ["a", "b", "c"]})
+        parsed = urllib.parse.parse_qs(urllib.parse.urlparse(url).query)
+        assert parsed["id"] == ["a,b,c"]
+
+    def test_none_dropped_bool_lowered(self):
+        url = build_request_url("search", "K", {"pageToken": None, "flag": True})
+        query = urllib.parse.urlparse(url).query
+        assert "pageToken" not in query
+        assert "flag=true" in query
+
+    def test_url_encoding(self):
+        url = build_request_url("search", "K", {"q": "a&b =c"})
+        assert "a%26b" in url
+
+    def test_requires_key(self):
+        with pytest.raises(ValueError):
+            build_request_url("search", "", {})
+
+
+class TestClassifyHttpError:
+    def _body(self, reason: str, message: str = "m") -> str:
+        return json.dumps(
+            {"error": {"code": 403, "message": message,
+                       "errors": [{"reason": reason}]}}
+        )
+
+    def test_quota_exceeded(self):
+        err = classify_http_error(403, self._body("quotaExceeded"))
+        assert isinstance(err, QuotaExceededError)
+
+    def test_invalid_page_token(self):
+        err = classify_http_error(400, self._body("invalidPageToken"))
+        assert isinstance(err, InvalidPageTokenError)
+
+    def test_plain_403(self):
+        err = classify_http_error(403, self._body("forbidden"))
+        assert isinstance(err, ForbiddenError)
+        assert not isinstance(err, QuotaExceededError)
+
+    def test_404(self):
+        assert isinstance(classify_http_error(404, "{}"), NotFoundError)
+
+    def test_5xx_retriable(self):
+        err = classify_http_error(503, b"Service Unavailable")
+        assert isinstance(err, TransientServerError)
+        assert err.retriable
+
+    def test_400_default(self):
+        assert isinstance(classify_http_error(400, "not even json"), BadRequestError)
+
+    def test_message_extracted(self):
+        err = classify_http_error(403, self._body("quotaExceeded", "out of juice"))
+        assert "out of juice" in err.message
+
+
+class TestRealService:
+    def test_surface_matches_simulator(self):
+        service = RealYouTubeService(api_key="KEY")
+        for attribute in (
+            "search", "videos", "channels", "playlist_items",
+            "comment_threads", "comments", "video_categories",
+        ):
+            endpoint = getattr(service, attribute)
+            assert hasattr(endpoint, "list")
+            assert endpoint.endpoint_name.endswith(".list")
+
+    def test_quota_charged_before_network(self):
+        """With a zero-ish budget the call must fail locally, offline."""
+        from repro.api.quota import QuotaPolicy
+
+        service = RealYouTubeService(api_key="KEY", quota_policy=QuotaPolicy(daily_limit=50))
+        with pytest.raises(QuotaExceededError):
+            service.search.list(q="anything")  # 100 > 50: no socket touched
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RealYouTubeService(api_key="")
+        with pytest.raises(ValueError):
+            RealYouTubeService(api_key="K", timeout=0)

@@ -1,0 +1,171 @@
+"""Tests for the ID-based endpoints: Videos, Channels, PlaylistItems."""
+
+from __future__ import annotations
+
+from datetime import timedelta
+
+import pytest
+
+from repro.api.errors import BadRequestError, NotFoundError
+from repro.util.timeutil import parse_iso8601_duration, parse_rfc3339
+from repro.world.topics import topic_by_key
+
+
+@pytest.fixture()
+def some_video_ids(fresh_service, small_specs):
+    spec = topic_by_key("grammys", small_specs)
+    response = fresh_service.search.list(q=spec.query, order="date", maxResults=50)
+    return [i["id"]["videoId"] for i in response["items"]]
+
+
+class TestVideosList:
+    def test_resource_shape(self, fresh_service, some_video_ids):
+        response = fresh_service.videos.list(
+            part="snippet,contentDetails,statistics", id=some_video_ids[:10]
+        )
+        assert response["kind"] == "youtube#videoListResponse"
+        resource = response["items"][0]
+        assert resource["kind"] == "youtube#video"
+        assert set(resource) >= {"id", "snippet", "contentDetails", "statistics"}
+        # Statistics are strings, like the real API.
+        assert isinstance(resource["statistics"]["viewCount"], str)
+        # Duration is valid ISO 8601.
+        assert parse_iso8601_duration(resource["contentDetails"]["duration"]) > 0
+        assert resource["contentDetails"]["definition"] in ("hd", "sd")
+
+    def test_partial_parts(self, fresh_service, some_video_ids):
+        response = fresh_service.videos.list(part="statistics", id=some_video_ids[:3])
+        resource = response["items"][0]
+        assert "statistics" in resource
+        assert "snippet" not in resource
+        assert "contentDetails" not in resource
+
+    def test_comma_string_ids(self, fresh_service, some_video_ids):
+        response = fresh_service.videos.list(
+            part="snippet", id=",".join(some_video_ids[:5])
+        )
+        assert len(response["items"]) >= 4  # allow one metadata gap
+
+    def test_unknown_ids_omitted_silently(self, fresh_service, some_video_ids):
+        response = fresh_service.videos.list(
+            part="snippet", id=[some_video_ids[0], "AAAAAAAAAAA"]
+        )
+        returned = {r["id"] for r in response["items"]}
+        assert "AAAAAAAAAAA" not in returned
+
+    def test_costs_one_unit(self, fresh_service, some_video_ids):
+        day = fresh_service.clock.today()
+        before = fresh_service.quota.used_on(day)
+        fresh_service.videos.list(part="snippet", id=some_video_ids[:10])
+        assert fresh_service.quota.used_on(day) == before + 1
+
+    def test_too_many_ids_rejected(self, fresh_service):
+        with pytest.raises(BadRequestError):
+            fresh_service.videos.list(part="snippet", id=["x"] * 51)
+
+    def test_empty_ids_rejected(self, fresh_service):
+        with pytest.raises(BadRequestError):
+            fresh_service.videos.list(part="snippet", id="")
+
+    def test_unknown_part_rejected(self, fresh_service, some_video_ids):
+        with pytest.raises(BadRequestError):
+            fresh_service.videos.list(part="fileDetails", id=some_video_ids[:1])
+
+    def test_gaps_are_rare_and_day_dependent(self, fresh_service, some_video_ids):
+        # Gaps exist but are non-systematic: the union over days recovers all.
+        ids = some_video_ids[:40]
+        day1 = {
+            r["id"]
+            for r in fresh_service.videos.list(part="snippet", id=ids)["items"]
+        }
+        fresh_service.clock.advance(days=1)
+        day2 = {
+            r["id"]
+            for r in fresh_service.videos.list(part="snippet", id=ids)["items"]
+        }
+        assert len(day1) >= len(ids) - 4
+        assert len(day1 | day2) >= len(day1)
+
+    def test_stable_metrics_for_old_videos(self, fresh_service, some_video_ids):
+        vid = some_video_ids[0]
+        first = fresh_service.videos.list(part="statistics", id=vid)["items"]
+        fresh_service.clock.advance(days=30)
+        second = fresh_service.videos.list(part="statistics", id=vid)["items"]
+        if first and second:
+            v1 = int(first[0]["statistics"]["viewCount"])
+            v2 = int(second[0]["statistics"]["viewCount"])
+            assert v2 >= v1
+            assert v2 - v1 < 0.05 * max(v1, 1)  # year-old content barely grows
+
+
+class TestChannelsList:
+    def test_resource_shape(self, fresh_service, some_video_ids):
+        video = fresh_service.videos.list(part="snippet", id=some_video_ids[:1])
+        channel_id = video["items"][0]["snippet"]["channelId"]
+        response = fresh_service.channels.list(
+            part="snippet,statistics,contentDetails", id=channel_id
+        )
+        resource = response["items"][0]
+        assert resource["kind"] == "youtube#channel"
+        assert resource["id"] == channel_id
+        assert int(resource["statistics"]["subscriberCount"]) >= 0
+        uploads = resource["contentDetails"]["relatedPlaylists"]["uploads"]
+        assert uploads.startswith("UU")
+        # Channel creation predates now.
+        created = parse_rfc3339(resource["snippet"]["publishedAt"])
+        assert created < fresh_service.clock.now()
+
+    def test_unknown_channel_omitted(self, fresh_service):
+        response = fresh_service.channels.list(part="snippet", id="UC" + "A" * 22)
+        assert response["items"] == []
+
+    def test_validation(self, fresh_service):
+        with pytest.raises(BadRequestError):
+            fresh_service.channels.list(part="snippet", id=[])
+        with pytest.raises(BadRequestError):
+            fresh_service.channels.list(part="invalid", id="UC" + "A" * 22)
+
+
+class TestPlaylistItems:
+    def _uploads_playlist(self, service, small_specs):
+        spec = topic_by_key("worldcup", small_specs)
+        item = service.search.list(q=spec.query, maxResults=1)["items"][0]
+        channel_id = item["snippet"]["channelId"]
+        chan = service.channels.list(part="contentDetails", id=channel_id)
+        return chan["items"][0]["contentDetails"]["relatedPlaylists"]["uploads"]
+
+    def test_full_listing_newest_first(self, fresh_service, small_specs):
+        playlist = self._uploads_playlist(fresh_service, small_specs)
+        response = fresh_service.playlist_items.list(
+            part="snippet,contentDetails", playlistId=playlist, maxResults=50
+        )
+        assert response["kind"] == "youtube#playlistItemListResponse"
+        times = [i["contentDetails"]["videoPublishedAt"] for i in response["items"]]
+        assert times == sorted(times, reverse=True)
+        positions = [i["snippet"]["position"] for i in response["items"]]
+        assert positions == list(range(len(positions)))
+
+    def test_stability_across_days(self, fresh_service, small_specs):
+        playlist = self._uploads_playlist(fresh_service, small_specs)
+        first = fresh_service.playlist_items.list(
+            part="contentDetails", playlistId=playlist, maxResults=50
+        )
+        fresh_service.clock.advance(days=30)
+        later = fresh_service.playlist_items.list(
+            part="contentDetails", playlistId=playlist, maxResults=50
+        )
+        ids_first = [i["contentDetails"]["videoId"] for i in first["items"]]
+        ids_later = [i["contentDetails"]["videoId"] for i in later["items"]]
+        # ID-based endpoints are stable (modulo genuine deletions).
+        assert set(ids_later) <= set(ids_first)
+        assert len(set(ids_first) - set(ids_later)) <= 1
+
+    def test_unknown_playlist(self, fresh_service):
+        with pytest.raises(NotFoundError):
+            fresh_service.playlist_items.list(
+                part="snippet", playlistId="UU" + "A" * 22
+            )
+
+    def test_requires_playlist_id(self, fresh_service):
+        with pytest.raises(BadRequestError):
+            fresh_service.playlist_items.list(part="snippet")

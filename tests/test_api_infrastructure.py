@@ -1,0 +1,187 @@
+"""Tests for API infrastructure: errors, quota, clock, tokens, transport."""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.api.clock import VirtualClock
+from repro.api.errors import (
+    ApiError,
+    BadRequestError,
+    InvalidPageTokenError,
+    NotFoundError,
+    QuotaExceededError,
+    TransientServerError,
+)
+from repro.api.quota import UNIT_COSTS, QuotaLedger, QuotaPolicy
+from repro.api.tokens import decode_page_token, encode_page_token
+from repro.api.transport import FaultInjector, LatencyModel, Transport
+from repro.util.timeutil import UTC
+
+
+class TestErrors:
+    def test_error_envelope_shape(self):
+        err = QuotaExceededError("out of units")
+        body = err.to_json()
+        assert body["error"]["code"] == 403
+        assert body["error"]["errors"][0]["reason"] == "quotaExceeded"
+        assert "out of units" in body["error"]["message"]
+
+    def test_retriable_only_5xx(self):
+        assert TransientServerError("x").retriable
+        assert not QuotaExceededError("x").retriable
+        assert not BadRequestError("x").retriable
+        assert not NotFoundError("x").retriable
+
+    def test_hierarchy(self):
+        assert issubclass(QuotaExceededError, ApiError)
+        assert issubclass(InvalidPageTokenError, BadRequestError)
+
+
+class TestQuota:
+    def test_unit_costs_match_documentation(self):
+        assert UNIT_COSTS["search.list"] == 100
+        assert UNIT_COSTS["videos.list"] == 1
+        assert UNIT_COSTS["playlistItems.list"] == 1
+
+    def test_default_daily_limit(self):
+        ledger = QuotaLedger()
+        # 100 searches fit exactly in the 10k default.
+        for _ in range(100):
+            ledger.charge("search.list", "2025-02-09")
+        with pytest.raises(QuotaExceededError):
+            ledger.charge("search.list", "2025-02-09")
+
+    def test_failed_charge_not_billed(self):
+        ledger = QuotaLedger(policy=QuotaPolicy(daily_limit=150))
+        ledger.charge("search.list", "d")
+        with pytest.raises(QuotaExceededError):
+            ledger.charge("search.list", "d")
+        assert ledger.used_on("d") == 100  # the rejected call cost nothing
+        # A cheap call still fits.
+        ledger.charge("videos.list", "d")
+        assert ledger.used_on("d") == 101
+
+    def test_daily_buckets_independent(self):
+        ledger = QuotaLedger(policy=QuotaPolicy(daily_limit=100))
+        ledger.charge("search.list", "day1")
+        ledger.charge("search.list", "day2")
+        assert ledger.used_on("day1") == 100
+        assert ledger.remaining_on("day3") == 100
+
+    def test_researcher_program(self):
+        ledger = QuotaLedger(policy=QuotaPolicy(researcher_program=True))
+        for _ in range(200):
+            ledger.charge("search.list", "d")
+        assert ledger.used_on("d") == 20_000  # above the default 10k
+
+    def test_total_and_reset(self):
+        ledger = QuotaLedger()
+        ledger.charge("videos.list", "a")
+        ledger.charge("videos.list", "b")
+        assert ledger.total_used == 2
+        ledger.reset()
+        assert ledger.total_used == 0
+        assert ledger.used_on("a") == 0
+
+    def test_unknown_endpoint_costs_one(self):
+        assert QuotaLedger().cost_of("captions.list") == 1
+
+    def test_invalid_policy(self):
+        with pytest.raises(ValueError):
+            QuotaPolicy(daily_limit=0)
+
+
+class TestClock:
+    def test_default_start(self):
+        clock = VirtualClock()
+        assert clock.now() == datetime(2025, 2, 9, tzinfo=UTC)
+
+    def test_advance(self):
+        clock = VirtualClock()
+        clock.advance(days=5)
+        assert clock.now() == datetime(2025, 2, 14, tzinfo=UTC)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(days=-1)
+
+    def test_set_allows_rewind(self):
+        clock = VirtualClock()
+        clock.advance(days=10)
+        clock.set(datetime(2025, 2, 9, tzinfo=UTC))
+        assert clock.today() == "2025-02-09"
+
+    def test_naive_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock(datetime(2025, 1, 1))
+
+
+class TestPageTokens:
+    def test_roundtrip(self):
+        token = encode_page_token("fp", 50)
+        assert decode_page_token("fp", token) == 50
+
+    def test_wrong_fingerprint_rejected(self):
+        token = encode_page_token("query-a", 50)
+        with pytest.raises(InvalidPageTokenError):
+            decode_page_token("query-b", token)
+
+    def test_corrupted_token_rejected(self):
+        token = encode_page_token("fp", 50)
+        with pytest.raises(InvalidPageTokenError):
+            decode_page_token("fp", token[:-2] + "zz")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(InvalidPageTokenError):
+            decode_page_token("fp", "!!!not-base64!!!")
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            encode_page_token("fp", -1)
+
+    def test_opaque(self):
+        token = encode_page_token("fp", 100)
+        assert "100" not in token or token != "100"  # not the bare number
+
+
+class TestTransport:
+    def test_latency_positive(self):
+        model = LatencyModel(median_ms=100, seed=1)
+        draws = [model.draw() for _ in range(100)]
+        assert all(d > 0 for d in draws)
+        assert 50 < sum(draws) / len(draws) < 250
+
+    def test_fault_injector_probability(self):
+        injector = FaultInjector(probability=0.5, seed=1)
+        failures = 0
+        for _ in range(400):
+            try:
+                injector.maybe_fail("x")
+            except TransientServerError:
+                failures += 1
+        assert 120 < failures < 280
+
+    def test_fault_injector_zero_never_fails(self):
+        injector = FaultInjector(probability=0.0)
+        for _ in range(100):
+            injector.maybe_fail("x")
+
+    def test_records_and_histogram(self):
+        transport = Transport()
+        at = datetime(2025, 2, 9, tzinfo=UTC)
+        transport.observe("search.list", at, 100)
+        transport.observe("videos.list", at + timedelta(seconds=1), 1)
+        transport.observe("search.list", at + timedelta(seconds=2), 100)
+        assert transport.total_calls == 3
+        assert transport.calls_by_endpoint() == {"search.list": 2, "videos.list": 1}
+        assert transport.total_latency_ms > 0
+        assert [r.sequence for r in transport.records] == [0, 1, 2]
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            LatencyModel(median_ms=0)
+        with pytest.raises(ValueError):
+            FaultInjector(probability=1.0)

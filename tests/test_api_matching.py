@@ -1,0 +1,102 @@
+"""Tests for search query parsing and matching."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.errors import BadRequestError
+from repro.api.matching import match_candidates, parse_query
+from repro.world import PlatformStore
+
+
+@pytest.fixture(scope="module")
+def store(request):
+    from repro.world import build_world
+    from repro.world.corpus import scale_topics
+    from repro.world.topics import paper_topics
+
+    return PlatformStore(
+        build_world(scale_topics(paper_topics(), 0.12), seed=21, with_comments=False)
+    )
+
+
+class TestParseQuery:
+    def test_plain_terms_anded(self):
+        parsed = parse_query("higgs boson")
+        assert parsed.required_tokens == ("higgs", "boson")
+        assert not parsed.phrases
+        assert not parsed.excluded_tokens
+
+    def test_case_normalized(self):
+        parsed = parse_query("Higgs BOSON")
+        assert parsed.required_tokens == ("higgs", "boson")
+
+    def test_quoted_phrase(self):
+        parsed = parse_query('"grammy awards" ceremony')
+        assert parsed.phrases == ("grammy awards",)
+        assert set(parsed.required_tokens) == {"grammy", "awards", "ceremony"}
+
+    def test_exclusion(self):
+        parsed = parse_query("world cup -brazil")
+        assert parsed.excluded_tokens == ("brazil",)
+        assert parsed.required_tokens == ("world", "cup")
+
+    def test_or_group(self):
+        parsed = parse_query("brexit leave|remain")
+        assert parsed.required_tokens == ("brexit",)
+        assert parsed.or_groups == (("leave", "remain"),)
+
+    def test_duplicates_removed(self):
+        parsed = parse_query("cup cup cup")
+        assert parsed.required_tokens == ("cup",)
+
+    def test_empty_query(self):
+        assert parse_query("").is_empty
+        assert parse_query("   ").is_empty
+
+    def test_non_string_rejected(self):
+        with pytest.raises(BadRequestError):
+            parse_query(123)  # type: ignore[arg-type]
+
+
+class TestMatchCandidates:
+    def test_topic_query_matches_topic_only(self, store):
+        parsed = parse_query("higgs boson")
+        hits = match_candidates(store, parsed)
+        assert hits
+        assert all(store.video(v).topic == "higgs" for v in hits)
+
+    def test_and_semantics(self, store):
+        both = match_candidates(store, parse_query("higgs brexit"))
+        assert both == set()
+
+    def test_phrase_restricts(self, store):
+        loose = match_candidates(store, parse_query("grammy awards"))
+        phrased = match_candidates(store, parse_query('"grammy awards"'))
+        assert phrased <= loose
+        assert phrased  # the phrase appears verbatim in generated titles
+
+    def test_phrase_must_be_verbatim(self, store):
+        # Words present but never adjacent in this order.
+        reversed_phrase = match_candidates(store, parse_query('"awards grammy"'))
+        assert reversed_phrase == set()
+
+    def test_exclusion_removes(self, store):
+        base = match_candidates(store, parse_query("fifa world cup"))
+        excluded = match_candidates(store, parse_query("fifa world cup -brazil"))
+        assert excluded < base
+        for vid in base - excluded:
+            assert "brazil" in store.token_set(vid)
+
+    def test_or_group_unions(self, store):
+        brazil = match_candidates(store, parse_query("world cup brazil"))
+        messi = match_candidates(store, parse_query("world cup messi"))
+        either = match_candidates(store, parse_query("world cup brazil|messi"))
+        assert either == brazil | messi
+
+    def test_empty_query_matches_everything(self, store):
+        hits = match_candidates(store, parse_query(""))
+        assert len(hits) == len(store.world.videos)
+
+    def test_nonsense_matches_nothing(self, store):
+        assert match_candidates(store, parse_query("xyzzy plugh")) == set()

@@ -1,0 +1,209 @@
+"""Tests for the Search:list endpoint (interface semantics)."""
+
+from __future__ import annotations
+
+from datetime import timedelta
+
+import pytest
+
+from repro.api.errors import BadRequestError, InvalidPageTokenError
+from repro.util.timeutil import format_rfc3339
+from repro.world.topics import topic_by_key
+
+
+def hour_window(spec, offset_hours=0):
+    start = spec.focal_date + timedelta(hours=offset_hours)
+    return format_rfc3339(start), format_rfc3339(start + timedelta(hours=1))
+
+
+class TestSearchList:
+    def test_response_envelope(self, fresh_service, small_specs):
+        spec = topic_by_key("higgs", small_specs)
+        response = fresh_service.search.list(
+            q=spec.query, order="date", maxResults=50,
+            publishedAfter=format_rfc3339(spec.window_start),
+            publishedBefore=format_rfc3339(spec.window_end),
+        )
+        assert response["kind"] == "youtube#searchListResponse"
+        assert "etag" in response
+        assert response["pageInfo"]["resultsPerPage"] == 50
+        assert response["pageInfo"]["totalResults"] > 0
+        item = response["items"][0]
+        assert item["kind"] == "youtube#searchResult"
+        assert item["id"]["kind"] == "youtube#video"
+        assert len(item["id"]["videoId"]) == 11
+        assert "publishedAt" in item["snippet"]
+        assert "channelId" in item["snippet"]
+
+    def test_charges_100_units(self, fresh_service, small_specs):
+        spec = topic_by_key("higgs", small_specs)
+        day = fresh_service.clock.today()
+        fresh_service.search.list(q=spec.query, maxResults=5)
+        assert fresh_service.quota.used_on(day) == 100
+
+    def test_pagination_walk(self, fresh_service, small_specs):
+        spec = topic_by_key("blm", small_specs)
+        seen: list[str] = []
+        token = None
+        pages = 0
+        while True:
+            kwargs = dict(
+                q=spec.query, order="date", maxResults=20,
+                publishedAfter=format_rfc3339(spec.window_start),
+                publishedBefore=format_rfc3339(spec.window_end),
+            )
+            if token:
+                kwargs["pageToken"] = token
+            response = fresh_service.search.list(**kwargs)
+            ids = [i["id"]["videoId"] for i in response["items"]]
+            seen.extend(ids)
+            pages += 1
+            token = response.get("nextPageToken")
+            if not token:
+                break
+        assert pages >= 2
+        assert len(seen) == len(set(seen))  # no duplicates across pages
+        # Every pagination call was billed at 100 units.
+        assert fresh_service.quota.used_on(fresh_service.clock.today()) == pages * 100
+
+    def test_prev_page_token(self, fresh_service, small_specs):
+        spec = topic_by_key("blm", small_specs)
+        first = fresh_service.search.list(q=spec.query, maxResults=10)
+        second = fresh_service.search.list(
+            q=spec.query, maxResults=10, pageToken=first["nextPageToken"]
+        )
+        assert "prevPageToken" in second
+        back = fresh_service.search.list(
+            q=spec.query, maxResults=10, pageToken=second["prevPageToken"]
+        )
+        assert [i["id"]["videoId"] for i in back["items"]] == [
+            i["id"]["videoId"] for i in first["items"]
+        ]
+
+    def test_token_from_other_query_rejected(self, fresh_service, small_specs):
+        blm = topic_by_key("blm", small_specs)
+        higgs = topic_by_key("higgs", small_specs)
+        response = fresh_service.search.list(q=blm.query, maxResults=10)
+        with pytest.raises(InvalidPageTokenError):
+            fresh_service.search.list(
+                q=higgs.query, maxResults=10, pageToken=response["nextPageToken"]
+            )
+
+    def test_reverse_chronological(self, fresh_service, small_specs):
+        spec = topic_by_key("grammys", small_specs)
+        response = fresh_service.search.list(q=spec.query, order="date", maxResults=50)
+        times = [i["snippet"]["publishedAt"] for i in response["items"]]
+        assert times == sorted(times, reverse=True)
+
+    def test_window_parameters_respected(self, fresh_service, small_specs):
+        spec = topic_by_key("brexit", small_specs)
+        after, before = hour_window(spec)
+        response = fresh_service.search.list(
+            q=spec.query, order="date", maxResults=50,
+            publishedAfter=after, publishedBefore=before,
+        )
+        for item in response["items"]:
+            assert after <= item["snippet"]["publishedAt"] < before
+
+    def test_channel_id_filter(self, fresh_service, small_specs):
+        spec = topic_by_key("worldcup", small_specs)
+        any_item = fresh_service.search.list(q=spec.query, maxResults=1)["items"][0]
+        channel_id = any_item["snippet"]["channelId"]
+        response = fresh_service.search.list(
+            q=spec.query, channelId=channel_id, maxResults=50
+        )
+        assert response["items"]
+        assert all(i["snippet"]["channelId"] == channel_id for i in response["items"])
+
+    def test_channel_only_search(self, fresh_service, small_specs):
+        spec = topic_by_key("worldcup", small_specs)
+        any_item = fresh_service.search.list(q=spec.query, maxResults=1)["items"][0]
+        channel_id = any_item["snippet"]["channelId"]
+        response = fresh_service.search.list(channelId=channel_id, maxResults=50)
+        assert all(i["snippet"]["channelId"] == channel_id for i in response["items"])
+
+    # -- validation ---------------------------------------------------------
+
+    def test_requires_q_or_channel(self, fresh_service):
+        with pytest.raises(BadRequestError):
+            fresh_service.search.list()
+
+    def test_max_results_bounds(self, fresh_service, small_specs):
+        spec = topic_by_key("higgs", small_specs)
+        with pytest.raises(BadRequestError):
+            fresh_service.search.list(q=spec.query, maxResults=0)
+        with pytest.raises(BadRequestError):
+            fresh_service.search.list(q=spec.query, maxResults=51)
+
+    def test_bad_order_rejected(self, fresh_service, small_specs):
+        spec = topic_by_key("higgs", small_specs)
+        with pytest.raises(BadRequestError):
+            fresh_service.search.list(q=spec.query, order="recent")
+
+    def test_bad_window_rejected(self, fresh_service, small_specs):
+        spec = topic_by_key("higgs", small_specs)
+        with pytest.raises(BadRequestError):
+            fresh_service.search.list(
+                q=spec.query,
+                publishedAfter="2025-01-02T00:00:00Z",
+                publishedBefore="2025-01-01T00:00:00Z",
+            )
+
+    def test_bad_timestamp_rejected(self, fresh_service, small_specs):
+        spec = topic_by_key("higgs", small_specs)
+        with pytest.raises(ValueError):
+            fresh_service.search.list(q=spec.query, publishedAfter="yesterday")
+
+    def test_non_video_type_rejected(self, fresh_service, small_specs):
+        spec = topic_by_key("higgs", small_specs)
+        with pytest.raises(BadRequestError):
+            fresh_service.search.list(q=spec.query, type="channel")
+
+    def test_part_must_include_snippet(self, fresh_service, small_specs):
+        spec = topic_by_key("higgs", small_specs)
+        with pytest.raises(BadRequestError):
+            fresh_service.search.list(part="statistics", q=spec.query)
+
+    def test_bad_safesearch_rejected(self, fresh_service, small_specs):
+        spec = topic_by_key("higgs", small_specs)
+        with pytest.raises(BadRequestError):
+            fresh_service.search.list(q=spec.query, safeSearch="extreme")
+
+
+class TestSearchBehaviorThroughApi:
+    def test_same_day_repeatability(self, fresh_service, small_specs):
+        spec = topic_by_key("capriot", small_specs)
+        kwargs = dict(
+            q=spec.query, order="date", maxResults=50,
+            publishedAfter=format_rfc3339(spec.window_start),
+            publishedBefore=format_rfc3339(spec.window_end),
+        )
+        a = fresh_service.search.list(**kwargs)
+        b = fresh_service.search.list(**kwargs)
+        assert [i["id"]["videoId"] for i in a["items"]] == [
+            i["id"]["videoId"] for i in b["items"]
+        ]
+
+    def test_cross_date_churn(self, fresh_service, small_specs):
+        spec = topic_by_key("blm", small_specs)
+        kwargs = dict(
+            q=spec.query, order="date", maxResults=50,
+            publishedAfter=format_rfc3339(spec.window_start),
+            publishedBefore=format_rfc3339(spec.window_end),
+        )
+        first = {i["id"]["videoId"] for i in fresh_service.search.list(**kwargs)["items"]}
+        fresh_service.clock.advance(days=60)
+        later = {i["id"]["videoId"] for i in fresh_service.search.list(**kwargs)["items"]}
+        assert first != later  # fully historical query, different results
+
+    def test_total_results_capped_at_1m(self, fresh_service, small_specs):
+        spec = topic_by_key("worldcup", small_specs)
+        values = set()
+        for offset in range(20):
+            after, before = hour_window(spec, offset)
+            response = fresh_service.search.list(
+                q=spec.query, maxResults=5,
+                publishedAfter=after, publishedBefore=before,
+            )
+            values.add(response["pageInfo"]["totalResults"])
+        assert max(values) <= 1_000_000

@@ -1,0 +1,76 @@
+"""Tests for service wiring: begin_call ordering, build defaults, books."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import QuotaPolicy, build_service
+from repro.api.errors import QuotaExceededError, TransientServerError
+from repro.api.transport import FaultInjector, Transport
+from repro.world.topics import topic_by_key
+
+
+class TestBeginCall:
+    def test_faults_fire_before_quota(self, small_world, small_specs):
+        """A faulted call must not be billed — otherwise retries would be
+        double-charged against the daily budget."""
+        transport = Transport(faults=FaultInjector(probability=0.999, seed=1))
+        service = build_service(
+            small_world, seed=20250209, specs=small_specs, transport=transport
+        )
+        spec = topic_by_key("higgs", small_specs)
+        day = service.clock.today()
+        with pytest.raises(TransientServerError):
+            for _ in range(50):
+                service.search.list(q=spec.query, maxResults=5)
+        # Whatever failed was never billed; usage reflects successes only.
+        successes = transport.total_calls
+        assert service.quota.used_on(day) == successes * 100
+
+    def test_quota_rejection_not_logged(self, small_world, small_specs):
+        service = build_service(
+            small_world, seed=20250209, specs=small_specs,
+            quota_policy=QuotaPolicy(daily_limit=150),
+        )
+        spec = topic_by_key("higgs", small_specs)
+        service.search.list(q=spec.query, maxResults=5)
+        calls_before = service.transport.total_calls
+        with pytest.raises(QuotaExceededError):
+            service.search.list(q=spec.query, maxResults=5)
+        assert service.transport.total_calls == calls_before
+
+    def test_request_log_carries_units(self, fresh_service, small_specs):
+        spec = topic_by_key("higgs", small_specs)
+        fresh_service.search.list(q=spec.query, maxResults=5)
+        fresh_service.video_categories.list(regionCode="US")
+        records = fresh_service.transport.records
+        assert records[-2].units == 100
+        assert records[-1].units == 1
+
+    def test_quota_resets_across_virtual_days(self, small_world, small_specs):
+        service = build_service(
+            small_world, seed=20250209, specs=small_specs,
+            quota_policy=QuotaPolicy(daily_limit=100),
+        )
+        spec = topic_by_key("higgs", small_specs)
+        service.search.list(q=spec.query, maxResults=5)
+        with pytest.raises(QuotaExceededError):
+            service.search.list(q=spec.query, maxResults=5)
+        service.clock.advance(days=1)
+        service.search.list(q=spec.query, maxResults=5)  # fresh bucket
+
+
+class TestBuildService:
+    def test_default_researcher_quota(self, small_world, small_specs):
+        service = build_service(small_world, seed=1, specs=small_specs)
+        assert service.quota.policy.researcher_program
+
+    def test_all_endpoints_present(self, fresh_service):
+        for name in (
+            "search", "videos", "channels", "playlist_items",
+            "comment_threads", "comments", "video_categories",
+        ):
+            assert hasattr(fresh_service, name)
+
+    def test_engine_and_store_shared(self, fresh_service):
+        assert fresh_service.store is fresh_service.search._store  # noqa: SLF001

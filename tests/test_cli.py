@@ -1,0 +1,138 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_world_defaults(self):
+        args = build_parser().parse_args(["world"])
+        assert args.command == "world"
+        assert args.scale == 0.3
+        assert args.seed == 7
+
+    def test_campaign_args(self):
+        args = build_parser().parse_args(
+            ["campaign", "--collections", "4", "--out", "x.jsonl", "--comments"]
+        )
+        assert args.collections == 4
+        assert args.out == "x.jsonl"
+        assert args.comments
+
+    def test_analyze_args(self):
+        args = build_parser().parse_args(
+            ["analyze", "c.jsonl", "--table", "1", "--figure", "3"]
+        )
+        assert args.table == [1]
+        assert args.figure == [3]
+
+    def test_invalid_table_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze", "c.jsonl", "--table", "9"])
+
+
+class TestCommands:
+    def test_world_command(self, capsys):
+        assert main(["world", "--scale", "0.05", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "world (seed=1" in out
+        assert "videos" in out
+
+    def test_campaign_analyze_roundtrip(self, tmp_path, capsys):
+        path = str(tmp_path / "campaign.jsonl")
+        code = main(
+            ["campaign", "--scale", "0.05", "--seed", "1",
+             "--collections", "3", "--out", path, "--quiet"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 collections" in out
+
+        assert main(["analyze", path, "--table", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Higgs" in out
+
+    def test_analyze_figures(self, tmp_path, capsys):
+        path = str(tmp_path / "campaign.jsonl")
+        main(["campaign", "--scale", "0.05", "--seed", "2",
+              "--collections", "3", "--out", path, "--quiet"])
+        capsys.readouterr()
+        assert main(["analyze", path, "--figure", "1", "--figure", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "PP" in out
+
+    def test_analyze_table5_unavailable_without_comments(self, tmp_path, capsys):
+        path = str(tmp_path / "campaign.jsonl")
+        main(["campaign", "--scale", "0.05", "--seed", "2",
+              "--collections", "3", "--out", path, "--quiet"])
+        capsys.readouterr()
+        assert main(["analyze", path, "--table", "5"]) == 0
+        captured = capsys.readouterr()
+        assert "unavailable" in captured.err
+
+    def test_strategies_command(self, capsys):
+        assert main(
+            ["strategies", "--scale", "0.08", "--seed", "1",
+             "--topic", "higgs", "--runs", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "time-split/24h" in out
+        assert "channel-pipeline" in out
+
+    def test_serp_command(self, capsys):
+        assert main(
+            ["serp", "--scale", "0.08", "--seed", "1", "--topic", "grammys",
+             "--fleet", "3", "--k", "10"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "SERP audit" in out
+        assert "noise floor" in out
+
+
+class TestNewCommands:
+    def test_export_command(self, tmp_path, capsys):
+        path = str(tmp_path / "c.jsonl")
+        main(["campaign", "--scale", "0.05", "--seed", "3",
+              "--collections", "3", "--out", path, "--quiet"])
+        capsys.readouterr()
+        out_dir = str(tmp_path / "csv")
+        assert main(["export", path, "--out-dir", out_dir]) == 0
+        out = capsys.readouterr().out
+        assert "figure1_jaccard.csv" in out
+        assert (tmp_path / "csv" / "figure3_markov.csv").exists()
+
+    def test_budget_command(self, capsys):
+        assert main(["budget"]) == 0
+        out = capsys.readouterr()
+        assert "quota-days per snapshot" in out.out
+        assert "smear" in out.out  # the default client gets the warning
+        assert main(["budget", "--researcher"]) == 0
+        out = capsys.readouterr().out
+        assert "smear" not in out  # researcher quota fits in a day
+
+    def test_inference_command(self, tmp_path, capsys):
+        path = str(tmp_path / "c.jsonl")
+        main(["campaign", "--scale", "0.05", "--seed", "3",
+              "--collections", "4", "--out", path, "--quiet"])
+        capsys.readouterr()
+        assert main(["inference", path]) == 0
+        out = capsys.readouterr().out
+        assert "pool ~" in out
+        assert "higgs" in out
+
+    def test_replication_command(self, capsys):
+        assert main(
+            ["replication", "--seeds", "11", "22", "--scale", "0.06",
+             "--collections", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "stability across seeds" in out

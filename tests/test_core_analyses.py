@@ -1,0 +1,249 @@
+"""Tests for the analysis modules: consistency, hourly, daily, attrition,
+pools, metadata audit, comment audit."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.attrition import attrition_analysis, presence_sequences
+from repro.core.comment_audit import comment_audit
+from repro.core.consistency import consistency_series, jaccard
+from repro.core.daily import daily_series
+from repro.core.hourly import hourly_stats
+from repro.core.metadata_audit import metadata_series
+from repro.core.pools import pool_consistency_coupling, pool_stats
+from repro.sampling.pool import TOTAL_RESULTS_CAP
+from repro.world.topics import topic_by_key
+
+
+class TestJaccard:
+    def test_basic(self):
+        assert jaccard({1, 2}, {2, 3}) == pytest.approx(1 / 3)
+        assert jaccard({1}, {1}) == 1.0
+        assert jaccard(set(), set()) == 1.0
+        assert jaccard({1}, set()) == 0.0
+
+
+class TestConsistency:
+    def test_series_length(self, mini_campaign):
+        series = consistency_series(mini_campaign, "blm")
+        assert len(series) == mini_campaign.n_collections - 1
+        assert [p.index for p in series] == list(range(1, 10))
+
+    def test_jaccard_bounds(self, mini_campaign):
+        for topic in mini_campaign.topic_keys:
+            for p in consistency_series(mini_campaign, topic):
+                assert 0.0 <= p.j_previous <= 1.0
+                assert 0.0 <= p.j_first <= 1.0
+
+    def test_decay_over_time(self, mini_campaign):
+        # J(S_t, S_1) at the end is below J(S_2, S_1) for a churny topic.
+        series = consistency_series(mini_campaign, "blm")
+        assert series[-1].j_first < series[0].j_first
+
+    def test_higgs_most_consistent(self, mini_campaign):
+        finals = {
+            topic: consistency_series(mini_campaign, topic)[-1].j_first
+            for topic in mini_campaign.topic_keys
+        }
+        assert finals["higgs"] == max(finals.values())
+        assert finals["higgs"] > 0.7
+
+    def test_error_bars_both_directions(self, mini_campaign):
+        # Videos are both lost and gained: deletion alone cannot explain it.
+        series = consistency_series(mini_campaign, "worldcup")
+        assert sum(p.lost_from_previous for p in series) > 0
+        assert sum(p.gained_since_previous for p in series) > 0
+
+    def test_shared_fraction_formula(self, mini_campaign):
+        p = consistency_series(mini_campaign, "blm")[-1]
+        # Paper: J ~ 0.3 equates to ~46% shared.
+        assert p.shared_fraction_with_first == pytest.approx(
+            2 * p.j_first / (1 + p.j_first)
+        )
+
+    def test_needs_two_collections(self, mini_campaign):
+        from repro.core.datasets import CampaignResult
+
+        single = CampaignResult(
+            topic_keys=mini_campaign.topic_keys,
+            snapshots=mini_campaign.snapshots[:1],
+        )
+        with pytest.raises(ValueError):
+            consistency_series(single, "blm")
+
+
+class TestHourly:
+    def test_stats_shape(self, mini_campaign, small_specs):
+        for spec in small_specs:
+            h = hourly_stats(mini_campaign, spec.key)
+            assert h.minimum == 0  # the modal hour returns nothing
+            assert h.maximum < 50  # far below the page ceiling
+            assert h.ceiling_headroom > 0.0
+            assert 0 < h.n_retained_hours < h.n_hours
+            assert h.mean * h.n_hours * mini_campaign.n_collections == pytest.approx(
+                sum(
+                    snap.topic(spec.key).total_returned
+                    for snap in mini_campaign.snapshots
+                ),
+                rel=1e-9,
+            )
+
+    def test_retained_hours_have_returns(self, mini_campaign):
+        h = hourly_stats(mini_campaign, "brexit")
+        ever_nonzero = set()
+        for snap in mini_campaign.snapshots:
+            ever_nonzero.update(snap.topic("brexit").hour_video_ids)
+        assert h.n_retained_hours == len(ever_nonzero)
+
+
+class TestDaily:
+    def test_series_shape(self, mini_campaign, small_specs):
+        spec = topic_by_key("grammys", small_specs)
+        series = daily_series(mini_campaign, "grammys")
+        assert len(series.points) == spec.window_days * 2
+        assert series.focal_day == spec.window_days
+
+    def test_volume_profile_stable_across_collections(self, mini_campaign):
+        # The paper: daily volume profiles map almost perfectly onto each
+        # other even though the videos churn.
+        for topic in ("blm", "worldcup", "capriot"):
+            series = daily_series(mini_campaign, topic)
+            assert series.profile_correlation() > 0.75
+
+    def test_volume_identity_decoupled(self, mini_campaign):
+        # High volume correlation does NOT mean high identity overlap.
+        series = daily_series(mini_campaign, "blm")
+        mean_daily_j = np.mean(
+            [p.j_first_last for p in series.points if p.count_first + p.count_last > 0]
+        )
+        assert series.profile_correlation() > mean_daily_j
+
+    def test_peak_near_topical_peak(self, mini_campaign, small_specs):
+        spec = topic_by_key("brexit", small_specs)
+        series = daily_series(mini_campaign, "brexit")
+        assert abs(series.peak_day - series.focal_day) <= 2
+        blm = daily_series(mini_campaign, "blm")
+        # BLM peaks AFTER its focal date (Blackout Tuesday).
+        assert blm.peak_day > blm.focal_day + 4
+
+    def test_counts_match_snapshots(self, mini_campaign):
+        series = daily_series(mini_campaign, "higgs")
+        total_first = sum(p.count_first for p in series.points)
+        assert total_first == mini_campaign.snapshots[0].topic("higgs").total_returned
+
+
+class TestAttrition:
+    def test_sequences_cover_universe(self, mini_campaign):
+        sequences = presence_sequences(mini_campaign, ["higgs"])
+        assert len(sequences) == len(mini_campaign.ever_returned("higgs"))
+        assert all(len(s) == mini_campaign.n_collections for s in sequences)
+        assert all(set(s) <= {"P", "A"} for s in sequences)
+        assert all("P" in s for s in sequences)  # ever-returned means >=1 P
+
+    def test_sticky_rolling_window(self, mini_campaign):
+        result = attrition_analysis(mini_campaign)
+        m = result.matrix()
+        # The paper's Figure 3 pattern.
+        assert result.is_sticky
+        assert m["PP"]["P"] > 0.8
+        assert m["AA"]["A"] > 0.6
+        assert m["PP"]["P"] > m["AP"]["P"] > m["PA"]["P"]
+
+    def test_rows_normalized(self, mini_campaign):
+        result = attrition_analysis(mini_campaign)
+        for history, row in result.matrix().items():
+            assert row["P"] + row["A"] == pytest.approx(1.0), history
+
+
+class TestPools:
+    def test_stats_per_topic(self, mini_campaign, small_specs):
+        for spec in small_specs:
+            p = pool_stats(mini_campaign, spec.key)
+            assert p.minimum <= p.mean <= p.maximum
+            assert p.maximum <= TOTAL_RESULTS_CAP
+            assert p.n_draws == spec.window_hours * mini_campaign.n_collections
+
+    def test_big_topics_at_cap(self, mini_campaign):
+        for topic in ("blm", "capriot", "worldcup"):
+            assert pool_stats(mini_campaign, topic).at_cap
+
+    def test_small_topics_below_cap(self, mini_campaign, small_specs):
+        for topic in ("brexit", "grammys", "higgs"):
+            stats = pool_stats(mini_campaign, topic)
+            assert not stats.at_cap
+            spec = topic_by_key(topic, small_specs)
+            # Mode sits at the heaped canonical estimate (3 sig figs).
+            assert stats.mode == pytest.approx(spec.pool_canonical, rel=0.01)
+
+    def test_pool_size_vs_consistency_coupling(self, mini_campaign):
+        coupling = pool_consistency_coupling(mini_campaign)
+        by_pool = sorted(coupling, key=lambda t: t[1])
+        # The smallest pool (higgs) is the most consistent.
+        assert by_pool[0][0] == "higgs"
+        assert by_pool[0][2] == max(j for _, _, j in coupling)
+
+    def test_pool_dwarfs_any_time_window(self, mini_campaign):
+        # totalResults is time-insensitive: even hour-windows report pools
+        # orders of magnitude above what an hour could contain.
+        p = pool_stats(mini_campaign, "higgs")
+        max_hourly_return = hourly_stats(mini_campaign, "higgs").maximum
+        assert p.minimum > 100 * max(max_hourly_return, 1)
+
+
+class TestMetadataAudit:
+    def test_series_high_coverage(self, mini_campaign):
+        for topic in mini_campaign.topic_keys:
+            series = metadata_series(mini_campaign, topic)
+            assert len(series) == mini_campaign.n_collections - 1
+            for p in series:
+                assert p.pct_common_covered_prev > 0.9
+                assert p.j_meta_prev > 0.9
+
+    def test_gaps_nonsystematic(self, mini_campaign):
+        # Coverage does not trend down over comparisons (errors, not policy).
+        series = metadata_series(mini_campaign, "blm")
+        first_half = np.mean([p.pct_common_covered_prev for p in series[:2]])
+        second_half = np.mean([p.pct_common_covered_prev for p in series[-2:]])
+        assert abs(first_half - second_half) < 0.1
+
+
+class TestCommentAudit:
+    def test_shared_videos_near_perfect(self, mini_campaign, small_specs):
+        for spec in small_specs:
+            row = comment_audit(mini_campaign, spec)
+            if row.j_top_level_shared is not None:
+                assert row.j_top_level_shared > 0.95
+
+    def test_nonshared_lower_than_shared(self, mini_campaign, small_specs):
+        spec = topic_by_key("blm", small_specs)
+        row = comment_audit(mini_campaign, spec)
+        assert row.j_top_level_nonshared is not None
+        assert row.j_top_level_shared is not None
+        assert row.j_top_level_nonshared < row.j_top_level_shared
+
+    def test_higgs_nested_na(self, mini_campaign, small_specs):
+        spec = topic_by_key("higgs", small_specs)
+        row = comment_audit(mini_campaign, spec)
+        assert row.j_nested_nonshared is None  # 2012 reply affordance
+        assert row.j_nested_shared is None
+        assert row.j_top_level_nonshared is not None
+
+    def test_requires_comment_captures(self, mini_campaign, small_specs):
+        from repro.core.datasets import CampaignResult
+
+        spec = topic_by_key("blm", small_specs)
+        # Middle snapshots carry no comment captures; re-index them to
+        # satisfy the container invariant.
+        import dataclasses
+
+        stripped = CampaignResult(
+            topic_keys=mini_campaign.topic_keys,
+            snapshots=[
+                dataclasses.replace(mini_campaign.snapshots[1], index=0),
+                dataclasses.replace(mini_campaign.snapshots[2], index=1),
+            ],
+        )
+        with pytest.raises(ValueError):
+            comment_audit(stripped, spec)

@@ -1,0 +1,241 @@
+"""Tests for campaign configuration, collection, and persistence."""
+
+from __future__ import annotations
+
+import dataclasses
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.core.datasets import CampaignResult
+from repro.core.experiments import CampaignConfig, paper_campaign_config
+from repro.util.timeutil import UTC
+
+
+class TestPaperConfig:
+    def test_schedule_matches_paper(self):
+        cfg = paper_campaign_config()
+        dates = cfg.collection_dates
+        assert len(dates) == 16  # 17 scheduled, one skipped
+        assert dates[0] == datetime(2025, 2, 9, tzinfo=UTC)
+        assert dates[-1] == datetime(2025, 4, 30, tzinfo=UTC)
+        # April 5 (index 11) was skipped.
+        assert datetime(2025, 4, 5, tzinfo=UTC) not in dates
+        # Gaps are 5 days except the 10-day hole around the skip.
+        gaps = {(b - a).days for a, b in zip(dates, dates[1:])}
+        assert gaps == {5, 10}
+
+    def test_queries_per_snapshot(self):
+        cfg = paper_campaign_config()
+        assert cfg.queries_per_snapshot == 4032  # 24h x 28d x 6 topics
+        assert cfg.quota_per_snapshot() == 403_200
+
+    def test_comment_snapshots_first_and_last(self):
+        cfg = paper_campaign_config()
+        assert cfg.comment_snapshot_indices == (0, 15)
+        cfg_none = paper_campaign_config(with_comments=False)
+        assert cfg_none.comment_snapshot_indices == ()
+
+    def test_validation(self):
+        from repro.world.topics import PAPER_TOPICS
+
+        with pytest.raises(ValueError):
+            CampaignConfig(
+                topics=PAPER_TOPICS, start_date=datetime(2025, 1, 1), n_scheduled=5
+            )
+        with pytest.raises(ValueError):
+            CampaignConfig(
+                topics=PAPER_TOPICS,
+                start_date=datetime(2025, 1, 1, tzinfo=UTC),
+                n_scheduled=5,
+                skipped_indices=frozenset({5}),
+            )
+        with pytest.raises(ValueError):
+            CampaignConfig(topics=(), start_date=datetime(2025, 1, 1, tzinfo=UTC))
+
+
+class TestCampaignResult:
+    def test_snapshot_count_and_dates(self, mini_campaign):
+        assert mini_campaign.n_collections == 10
+        assert [s.index for s in mini_campaign.snapshots] == list(range(10))
+        deltas = [
+            (b.collected_at - a.collected_at).days
+            for a, b in zip(mini_campaign.snapshots, mini_campaign.snapshots[1:])
+        ]
+        assert all(d == 5 for d in deltas)
+
+    def test_topic_coverage(self, mini_campaign, small_specs):
+        assert set(mini_campaign.topic_keys) == {s.key for s in small_specs}
+        for snap in mini_campaign.snapshots:
+            for spec in small_specs:
+                assert spec.key in snap.topics
+
+    def test_returned_counts_near_budget(self, mini_campaign, small_specs):
+        for spec in small_specs:
+            counts = [
+                snap.topic(spec.key).total_returned
+                for snap in mini_campaign.snapshots
+            ]
+            mean = sum(counts) / len(counts)
+            assert 0.65 * spec.return_budget <= mean <= 1.25 * spec.return_budget
+
+    def test_hours_disjoint_within_snapshot(self, mini_campaign):
+        for snap in mini_campaign.snapshots:
+            for ts in snap.topics.values():
+                all_ids = [v for ids in ts.hour_video_ids.values() for v in ids]
+                assert len(all_ids) == len(set(all_ids))
+
+    def test_pool_sizes_for_every_hour(self, mini_campaign, small_specs):
+        for spec in small_specs:
+            for snap in mini_campaign.snapshots:
+                assert len(snap.topic(spec.key).pool_sizes) == spec.window_hours
+
+    def test_metadata_attached(self, mini_campaign, small_specs):
+        for spec in small_specs:
+            ts = mini_campaign.snapshots[0].topic(spec.key)
+            assert ts.video_meta
+            coverage = len(ts.video_meta) / max(len(ts.video_ids), 1)
+            assert coverage > 0.9  # gaps are rare
+            assert ts.channel_meta
+
+    def test_comments_on_first_and_last_only(self, mini_campaign):
+        has_comments = [
+            any(ts.comments for ts in snap.topics.values())
+            for snap in mini_campaign.snapshots
+        ]
+        assert has_comments[0] and has_comments[-1]
+        assert not any(has_comments[1:-1])
+
+    def test_merged_meta_first_wins(self, mini_campaign):
+        topic = mini_campaign.topic_keys[0]
+        merged = mini_campaign.merged_video_meta(topic)
+        ever = mini_campaign.ever_returned(topic)
+        assert set(merged) <= ever
+        assert len(merged) >= 0.97 * len(ever)
+
+    def test_index_mismatch_rejected(self, mini_campaign):
+        snapshots = list(mini_campaign.snapshots)
+        snapshots[0] = dataclasses.replace(snapshots[0], index=3)
+        with pytest.raises(ValueError):
+            CampaignResult(topic_keys=mini_campaign.topic_keys, snapshots=snapshots)
+
+
+class TestPersistence:
+    def test_roundtrip(self, mini_campaign, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        mini_campaign.save(path)
+        loaded = CampaignResult.load(path)
+        assert loaded.topic_keys == mini_campaign.topic_keys
+        assert loaded.n_collections == mini_campaign.n_collections
+        for topic in mini_campaign.topic_keys:
+            assert loaded.sets_for_topic(topic) == mini_campaign.sets_for_topic(topic)
+        ts_orig = mini_campaign.snapshots[0].topic(topic)
+        ts_load = loaded.snapshots[0].topic(topic)
+        assert ts_load.pool_sizes == ts_orig.pool_sizes
+        assert ts_load.video_meta == ts_orig.video_meta
+        assert ts_load.comments == ts_orig.comments
+
+    def test_gzip_roundtrip(self, mini_campaign, tmp_path):
+        path = tmp_path / "campaign.jsonl.gz"
+        mini_campaign.save(path)
+        loaded = CampaignResult.load(path)
+        assert loaded.n_collections == mini_campaign.n_collections
+
+
+class TestQuotaAccounting:
+    def test_snapshot_quota_cost(self, small_world, small_specs):
+        """One snapshot costs queries x 100 plus the cheap metadata calls."""
+        from repro.api import QuotaPolicy, YouTubeClient, build_service
+        from repro.core.collector import SnapshotCollector
+
+        service = build_service(
+            small_world, seed=20250209, specs=small_specs,
+            quota_policy=QuotaPolicy(researcher_program=True),
+        )
+        client = YouTubeClient(service)
+        collector = SnapshotCollector(client, small_specs, collect_metadata=False)
+        collector.collect(0)
+        expected_searches = sum(spec.window_hours for spec in small_specs)
+        day = service.clock.today()
+        # Hourly bins never exceed 50 results at this scale -> 1 page each.
+        assert service.quota.used_on(day) == expected_searches * 100
+
+
+class TestCheckpointing:
+    def _config(self, small_specs, n):
+        cfg = paper_campaign_config(topics=small_specs, with_comments=False)
+        return dataclasses.replace(
+            cfg, n_scheduled=n, skipped_indices=frozenset(),
+            comment_snapshot_indices=(), collect_metadata=False,
+        )
+
+    def test_resume_skips_collected_snapshots(self, small_world, small_specs, tmp_path):
+        from repro.api import QuotaPolicy, YouTubeClient, build_service
+        from repro.core.campaign import run_campaign
+
+        checkpoint = tmp_path / "check.jsonl"
+
+        # First run: 2 of 4 collections, then "crash".
+        service1 = build_service(
+            small_world, seed=20250209, specs=small_specs,
+            quota_policy=QuotaPolicy(researcher_program=True),
+        )
+        partial = run_campaign(
+            self._config(small_specs, 2), YouTubeClient(service1),
+            checkpoint_path=checkpoint,
+        )
+        assert checkpoint.exists()
+        assert partial.n_collections == 2
+
+        # Second run with the full schedule resumes from the checkpoint.
+        service2 = build_service(
+            small_world, seed=20250209, specs=small_specs,
+            quota_policy=QuotaPolicy(researcher_program=True),
+        )
+        calls_before = service2.transport.total_calls
+        full = run_campaign(
+            self._config(small_specs, 4), YouTubeClient(service2),
+            checkpoint_path=checkpoint,
+        )
+        assert full.n_collections == 4
+        # Only 2 new snapshots' worth of searches were issued.
+        new_calls = service2.transport.total_calls - calls_before
+        expected = 2 * sum(spec.window_hours for spec in small_specs)
+        assert new_calls == expected
+        # Resumed snapshots equal what a clean run would have produced
+        # (determinism in the request date).
+        service3 = build_service(
+            small_world, seed=20250209, specs=small_specs,
+            quota_policy=QuotaPolicy(researcher_program=True),
+        )
+        clean = run_campaign(self._config(small_specs, 4), YouTubeClient(service3))
+        for i in range(4):
+            for topic in full.topic_keys:
+                assert full.snapshots[i].video_ids(topic) == clean.snapshots[
+                    i
+                ].video_ids(topic)
+
+    def test_mismatched_checkpoint_rejected(self, small_world, small_specs, tmp_path):
+        from repro.api import QuotaPolicy, YouTubeClient, build_service
+        from repro.core.campaign import run_campaign
+
+        checkpoint = tmp_path / "check.jsonl"
+        service = build_service(
+            small_world, seed=20250209, specs=small_specs,
+            quota_policy=QuotaPolicy(researcher_program=True),
+        )
+        run_campaign(
+            self._config(small_specs, 2), YouTubeClient(service),
+            checkpoint_path=checkpoint,
+        )
+        # Resuming under a different schedule (shifted start) must fail.
+        shifted = dataclasses.replace(
+            self._config(small_specs, 4),
+            start_date=datetime(2025, 3, 1, tzinfo=UTC),
+        )
+        service2 = build_service(
+            small_world, seed=20250209, specs=small_specs,
+            quota_policy=QuotaPolicy(researcher_program=True),
+        )
+        with pytest.raises(ValueError, match="schedule"):
+            run_campaign(shifted, YouTubeClient(service2), checkpoint_path=checkpoint)

@@ -1,0 +1,178 @@
+"""Tests for quota economics, smeared collection, and mechanism inference."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.api.quota import QuotaPolicy
+from repro.core import paper_campaign_config
+from repro.core.economy import budget_campaign, estimate_snapshot_cost
+from repro.core.inference import infer_mechanism, lincoln_petersen
+from repro.core.smear import SmearedSnapshotCollector, smear_inconsistency
+from repro.world.topics import topic_by_key
+
+
+class TestEconomy:
+    def test_paper_snapshot_cost(self):
+        cfg = paper_campaign_config()
+        cost = estimate_snapshot_cost(cfg)
+        assert cost.search_calls == 4032
+        assert cost.search_units == 403_200
+        assert cost.metadata_units > 0
+        assert cost.search_share > 0.99  # search dominates utterly
+
+    def test_default_client_needs_41_days(self):
+        budget = budget_campaign(paper_campaign_config())
+        assert budget.quota_days_per_snapshot == 41
+        assert not budget.snapshot_fits_in_a_day
+        assert budget.campaign_units > 6_000_000
+
+    def test_researcher_client_fits(self):
+        budget = budget_campaign(
+            paper_campaign_config(), QuotaPolicy(researcher_program=True)
+        )
+        assert budget.snapshot_fits_in_a_day
+
+    def test_metadata_free_design(self):
+        cfg = dataclasses.replace(paper_campaign_config(), collect_metadata=False)
+        cost = estimate_snapshot_cost(cfg)
+        assert cost.metadata_units == 0
+
+    def test_render(self):
+        text = budget_campaign(paper_campaign_config()).render()
+        assert "quota-days per snapshot" in text
+        assert "403200" in text
+
+
+class TestSmear:
+    def test_small_quota_smears_collection(self, small_world, small_specs):
+        from repro.api import YouTubeClient, build_service
+
+        # A quota of 40 searches/day against a 672-hour sweep.
+        service = build_service(
+            small_world, seed=20250209, specs=small_specs,
+            quota_policy=QuotaPolicy(daily_limit=4_000),
+        )
+        client = YouTubeClient(service)
+        spec = topic_by_key("higgs", small_specs)
+        collector = SmearedSnapshotCollector(client)
+        smeared = collector.collect_topic(spec)
+        # 672 hourly searches at 40/day -> ~17 calendar days.
+        assert smeared.days_spanned >= 15
+        assert set(smeared.hour_query_dates) == set(smeared.topic.pool_sizes)
+        assert len(set(smeared.hour_query_dates.values())) == smeared.days_spanned
+
+    def test_big_quota_single_day(self, fresh_client, small_specs):
+        spec = topic_by_key("higgs", small_specs)
+        collector = SmearedSnapshotCollector(fresh_client)
+        smeared = collector.collect_topic(spec)
+        assert smeared.days_spanned == 1
+
+    def test_smeared_snapshot_internally_inconsistent(self, small_world, small_specs):
+        """The emergent cost of smearing: hours collected early no longer
+        match what the same query returns by the end of the sweep."""
+        from repro.api import YouTubeClient, build_service
+
+        spec = topic_by_key("blm", small_specs)
+
+        # Clean single-day snapshot: re-querying any hour the same day is
+        # exact, so internal inconsistency is zero.
+        clean_service = build_service(
+            small_world, seed=20250209, specs=small_specs,
+            quota_policy=QuotaPolicy(researcher_program=True),
+        )
+        clean_client = YouTubeClient(clean_service)
+        clean = SmearedSnapshotCollector(clean_client).collect_topic(spec)
+        assert smear_inconsistency(clean_client, spec, clean) == pytest.approx(0.0)
+
+        # Starved client: the sweep smears over weeks and drifts internally.
+        starved_service = build_service(
+            small_world, seed=20250209, specs=small_specs,
+            quota_policy=QuotaPolicy(daily_limit=2_000),  # 20 searches/day
+        )
+        starved_client = YouTubeClient(starved_service)
+        smeared = SmearedSnapshotCollector(starved_client).collect_topic(spec)
+        assert smeared.days_spanned > 20
+        # Give the re-query step fresh quota (it is diagnostic, not part of
+        # the client's budget).
+        starved_service.quota.policy = QuotaPolicy(researcher_program=True)  # type: ignore[misc]
+        drift = smear_inconsistency(starved_client, spec, smeared)
+        assert drift > 0.05
+
+    def test_reserve_units_validation(self, fresh_client):
+        with pytest.raises(ValueError):
+            SmearedSnapshotCollector(fresh_client, reserve_units=-1)
+
+
+class TestLincolnPetersen:
+    def test_exact_when_fully_overlapping(self):
+        assert lincoln_petersen(100, 100, 100) == pytest.approx(100, rel=0.02)
+
+    def test_half_overlap_doubles(self):
+        assert lincoln_petersen(100, 100, 50) == pytest.approx(200, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lincoln_petersen(10, 10, 11)
+        with pytest.raises(ValueError):
+            lincoln_petersen(-1, 10, 5)
+
+    def test_synthetic_population_recovery(self):
+        import numpy as np
+
+        rng = np.random.default_rng(4)
+        population = np.arange(1000)
+        estimates = []
+        for _ in range(30):
+            s1 = set(rng.choice(population, 400, replace=False))
+            s2 = set(rng.choice(population, 400, replace=False))
+            estimates.append(lincoln_petersen(len(s1), len(s2), len(s1 & s2)))
+        assert np.mean(estimates) == pytest.approx(1000, rel=0.05)
+
+
+class TestMechanismInference:
+    def test_near_saturated_topic_recovered_exactly(self, mini_campaign, small_specs):
+        spec = topic_by_key("higgs", small_specs)
+        inferred = infer_mechanism(mini_campaign, "higgs")
+        mean_returned = sum(
+            snap.topic("higgs").total_returned for snap in mini_campaign.snapshots
+        ) / mini_campaign.n_collections
+        # Higgs returns almost everything, so LP is nearly unbiased.
+        assert mean_returned <= inferred.pool_estimate <= spec.n_videos * 1.15
+        assert inferred.saturation_estimate > 0.8
+
+    def test_bounds_for_churny_topic(self, mini_campaign, small_specs):
+        spec = topic_by_key("blm", small_specs)
+        inferred = infer_mechanism(mini_campaign, "blm")
+        mean_returned = sum(
+            snap.topic("blm").total_returned for snap in mini_campaign.snapshots
+        ) / mini_campaign.n_collections
+        # Pool estimate: above what one collection returns (there IS hidden
+        # mass) and below the corpus (heterogeneity bias -> lower bound).
+        assert mean_returned < inferred.pool_estimate < spec.n_videos
+        assert 0.0 < inferred.saturation_estimate <= 1.0
+
+    def test_churn_ordering(self, mini_campaign):
+        """Higgs must look slower-churning than BLM to the auditor."""
+        higgs = infer_mechanism(mini_campaign, "higgs")
+        blm = infer_mechanism(mini_campaign, "blm")
+        assert higgs.jaccard_floor > blm.jaccard_floor
+        assert higgs.fit_rmse < 0.2 and blm.fit_rmse < 0.2
+
+    def test_summary_renders(self, mini_campaign):
+        assert "pool" in infer_mechanism(mini_campaign, "brexit").summary
+
+    def test_needs_three_collections(self, mini_campaign):
+        from repro.core.datasets import CampaignResult
+
+        short = CampaignResult(
+            topic_keys=mini_campaign.topic_keys,
+            snapshots=[
+                dataclasses.replace(mini_campaign.snapshots[i], index=i)
+                for i in range(2)
+            ],
+        )
+        with pytest.raises(ValueError):
+            infer_mechanism(short, "blm")

@@ -1,0 +1,153 @@
+"""Edge cases across modules that the main suites do not reach."""
+
+from __future__ import annotations
+
+import dataclasses
+from datetime import datetime
+
+import pytest
+
+from repro.core.datasets import CampaignResult, Snapshot, TopicSnapshot
+from repro.core.inference import infer_mechanism
+from repro.util.timeutil import UTC
+
+
+def _synthetic_campaign(sets_by_index: list[dict[int, list[str]]]) -> CampaignResult:
+    """A minimal hand-built campaign for one topic ('t')."""
+    snapshots = []
+    for index, hours in enumerate(sets_by_index):
+        ts = TopicSnapshot(
+            topic="t",
+            collected_at=datetime(2025, 2, 9 + index, tzinfo=UTC),
+            hour_video_ids=hours,
+            pool_sizes={h: 1000 for h in hours},
+        )
+        snapshots.append(
+            Snapshot(
+                index=index,
+                collected_at=ts.collected_at,
+                topics={"t": ts},
+            )
+        )
+    return CampaignResult(topic_keys=("t",), snapshots=snapshots)
+
+
+class TestInferenceEdges:
+    def test_disjoint_collections_rejected(self):
+        campaign = _synthetic_campaign(
+            [{0: ["a", "b"]}, {0: ["c", "d"]}, {0: ["e", "f"]}]
+        )
+        with pytest.raises(ValueError, match="overlap"):
+            infer_mechanism(campaign, "t")
+
+    def test_fully_stable_topic(self):
+        campaign = _synthetic_campaign(
+            [{0: ["a", "b", "c"]}] * 4
+        )
+        inferred = infer_mechanism(campaign, "t")
+        # Identical sets: the pool is exactly the set, saturation ~ 1.
+        assert inferred.pool_estimate == pytest.approx(3.0, abs=0.4)
+        assert inferred.saturation_estimate > 0.85
+        assert inferred.fit_rmse < 0.05
+
+
+class TestCliRegressions:
+    def test_analyze_regressions_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = str(tmp_path / "c.jsonl")
+        # Needs metadata for the regression features -> no --quiet shortcut.
+        main(["campaign", "--scale", "0.06", "--seed", "5",
+              "--collections", "4", "--out", path, "--quiet"])
+        capsys.readouterr()
+        assert main(["analyze", path, "--regressions"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "Table 6" in out
+        assert "cloglog" in out
+
+
+class TestSmearReserve:
+    def test_reserve_units_respected(self, small_world, small_specs):
+        """With a reserve, the collector leaves that much quota untouched
+        every day it sweeps."""
+        from repro.api import QuotaPolicy, YouTubeClient, build_service
+        from repro.core.smear import SmearedSnapshotCollector
+        from repro.world.topics import topic_by_key
+
+        service = build_service(
+            small_world, seed=20250209, specs=small_specs,
+            quota_policy=QuotaPolicy(daily_limit=5_000),
+        )
+        client = YouTubeClient(service)
+        spec = topic_by_key("higgs", small_specs)
+        collector = SmearedSnapshotCollector(client, reserve_units=1_000)
+        smeared = collector.collect_topic(spec)
+        # Every swept day used at most (limit - reserve) units.
+        for day in set(smeared.hour_query_dates.values()):
+            assert service.quota.used_on(day) <= 5_000 - 1_000 + 100
+
+
+class TestDatasetEdges:
+    def test_empty_topic_snapshot(self):
+        ts = TopicSnapshot(
+            topic="t",
+            collected_at=datetime(2025, 1, 1, tzinfo=UTC),
+            hour_video_ids={},
+            pool_sizes={},
+        )
+        assert ts.video_ids == set()
+        assert ts.total_returned == 0
+        assert ts.count_for_hour(5) == 0
+
+    def test_campaign_ever_returned_union(self):
+        campaign = _synthetic_campaign([{0: ["a"]}, {1: ["b"]}, {0: ["a", "c"]}])
+        assert campaign.ever_returned("t") == {"a", "b", "c"}
+
+    def test_save_load_empty_meta(self, tmp_path):
+        campaign = _synthetic_campaign([{0: ["a"]}, {0: ["a"]}])
+        path = tmp_path / "c.jsonl"
+        campaign.save(path)
+        loaded = CampaignResult.load(path)
+        assert loaded.sets_for_topic("t") == campaign.sets_for_topic("t")
+        assert loaded.merged_video_meta("t") == {}
+
+
+class TestEngineEmptyWindows:
+    def test_window_outside_corpus(self, session_service, small_specs):
+        """A historical window with no uploads returns nothing (but still
+        reports a big pool — time insensitivity)."""
+        from repro.util.timeutil import format_rfc3339
+        from repro.world.topics import topic_by_key
+
+        spec = topic_by_key("brexit", small_specs)
+        response = session_service.search.list(
+            q=spec.query, order="date", maxResults=50,
+            publishedAfter="1999-01-01T00:00:00Z",
+            publishedBefore="1999-02-01T00:00:00Z",
+        )
+        assert response["items"] == []
+        assert response["pageInfo"]["totalResults"] > 10_000
+
+    def test_inverted_clock_pre_upload(self, small_world, small_specs):
+        """Searching *before* the content era finds nothing alive."""
+        from repro.api import build_service
+        from repro.api.clock import VirtualClock
+        from repro.world.topics import topic_by_key
+
+        spec = topic_by_key("grammys", small_specs)  # uploads in 2024
+        service = build_service(
+            small_world, seed=20250209, specs=small_specs,
+            clock=VirtualClock(datetime(2010, 1, 1, tzinfo=UTC)),
+        )
+        response = service.search.list(q=spec.query, order="date", maxResults=50)
+        assert response["items"] == []
+
+
+class TestScaledSpecConsistency:
+    def test_engine_uses_scaled_spec_sizes(self, small_specs, session_service):
+        """base_saturation must be computed against the *scaled* corpus."""
+        for spec in small_specs:
+            runtime = session_service.engine.topic_runtime(spec.key)
+            assert len(runtime.videos) == spec.n_videos
+            assert 0.0 < runtime.base_saturation <= 0.97

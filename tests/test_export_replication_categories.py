@@ -1,0 +1,125 @@
+"""Tests for CSV export, multi-seed replication, and videoCategories."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.api.errors import BadRequestError, NotFoundError
+from repro.core.export import export_all, write_csv
+from repro.core.replication import ReplicationSummary, run_replication
+
+
+class TestExport:
+    def test_write_csv(self, tmp_path):
+        path = write_csv(tmp_path / "sub" / "x.csv", ["a", "b"], [[1, 2], [3, 4]])
+        with open(path) as fh:
+            rows = list(csv.reader(fh))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_export_all_bundle(self, mini_campaign, tmp_path):
+        paths = export_all(mini_campaign, tmp_path)
+        names = {p.name for p in paths}
+        assert names == {
+            "figure1_jaccard.csv", "figure2_daily.csv", "figure3_markov.csv",
+            "figure4_metadata.csv", "table1_returns.csv", "table2_hourly.csv",
+            "table4_pools.csv",
+        }
+        for path in paths:
+            assert path.exists()
+            with open(path) as fh:
+                rows = list(csv.reader(fh))
+            assert len(rows) > 1  # header + data
+
+    def test_figure1_rows_complete(self, mini_campaign, tmp_path):
+        export_all(mini_campaign, tmp_path)
+        with open(tmp_path / "figure1_jaccard.csv") as fh:
+            rows = list(csv.DictReader(fh))
+        expected = len(mini_campaign.topic_keys) * (mini_campaign.n_collections - 1)
+        assert len(rows) == expected
+        assert {row["topic"] for row in rows} == set(mini_campaign.topic_keys)
+        for row in rows:
+            assert 0.0 <= float(row["j_first"]) <= 1.0
+
+    def test_figure3_rows(self, mini_campaign, tmp_path):
+        export_all(mini_campaign, tmp_path)
+        with open(tmp_path / "figure3_markov.csv") as fh:
+            rows = list(csv.DictReader(fh))
+        assert {row["history"] for row in rows} == {"PP", "PA", "AP", "AA"}
+        for row in rows:
+            assert float(row["to_P"]) + float(row["to_A"]) == pytest.approx(1.0)
+
+
+class TestReplication:
+    @pytest.fixture(scope="class")
+    def summary(self):
+        # Three tiny replicates; this is the expensive test of the suite.
+        return run_replication(seeds=[101, 202, 303], scale=0.12, n_collections=6)
+
+    def test_all_qualitative_claims_hold(self, summary):
+        stability = summary.sign_stability()
+        assert stability["duration < 0"] >= 2 / 3
+        assert stability["higgs > 0"] == 1.0
+        # At this tiny test scale Brexit occasionally edges Higgs; the
+        # full-scale claim is asserted in the benchmarks.
+        assert stability["higgs most consistent"] >= 2 / 3
+        assert stability["pool-consistency rho < 0"] == 1.0
+        assert stability["P(P|PP) > 0.5"] == 1.0
+        assert stability["P(A|AA) > 0.5"] == 1.0
+
+    def test_metric_bands(self, summary):
+        bands = summary.metric_bands()
+        mean_pp, std_pp = bands["P(P|PP)"]
+        assert mean_pp > 0.8
+        assert std_pp < 0.1
+        mean_higgs, _ = bands["J_final(higgs)"]
+        mean_blm, _ = bands["J_final(blm)"]
+        assert mean_higgs > mean_blm
+
+    def test_render(self, summary):
+        text = summary.render()
+        assert "sign/ordering stability" in text
+        assert "Metric bands" in text
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            run_replication(seeds=[])
+
+    def test_empty_summary(self):
+        summary = ReplicationSummary()
+        assert summary.n == 0
+        assert summary.sign_stability() == {}
+        assert summary.metric_bands() == {}
+
+
+class TestVideoCategories:
+    def test_by_id(self, fresh_service):
+        response = fresh_service.video_categories.list(id="25")
+        assert response["items"][0]["snippet"]["title"] == "News & Politics"
+        assert response["items"][0]["id"] == "25"
+
+    def test_by_region_lists_all(self, fresh_service):
+        response = fresh_service.video_categories.list(regionCode="US")
+        titles = {i["snippet"]["title"] for i in response["items"]}
+        assert {"Sports", "Music", "Science & Technology"} <= titles
+
+    def test_topic_categories_resolvable(self, fresh_service, small_specs):
+        # Every category the topic specs use must resolve.
+        ids = sorted({spec.category_id for spec in small_specs})
+        response = fresh_service.video_categories.list(id=ids)
+        assert len(response["items"]) == len(ids)
+
+    def test_unknown_id_404(self, fresh_service):
+        with pytest.raises(NotFoundError):
+            fresh_service.video_categories.list(id="999")
+
+    def test_requires_selector(self, fresh_service):
+        with pytest.raises(BadRequestError):
+            fresh_service.video_categories.list()
+
+    def test_costs_one_unit(self, fresh_service):
+        day = fresh_service.clock.today()
+        before = fresh_service.quota.used_on(day)
+        fresh_service.video_categories.list(regionCode="US")
+        assert fresh_service.quota.used_on(day) == before + 1

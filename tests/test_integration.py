@@ -1,0 +1,127 @@
+"""End-to-end integration: the full audit loop on a small world.
+
+These tests exercise the complete paper pipeline through the public API
+only: build world -> service -> campaign -> every analysis -> every
+report renderer, and verify the cross-module invariants that individual
+unit tests cannot see.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import report
+from repro.core.attrition import attrition_analysis
+from repro.core.consistency import consistency_series
+from repro.core.returnmodel import build_regression_records, fit_frequency_ols
+
+
+class TestFullPipeline:
+    def test_campaign_is_deterministic(self, small_world, small_specs, mini_campaign):
+        """Re-running the identical campaign reproduces every video set."""
+        import dataclasses
+
+        from repro.api import QuotaPolicy, YouTubeClient, build_service
+        from repro.core import paper_campaign_config, run_campaign
+
+        service = build_service(
+            small_world, seed=20250209, specs=small_specs,
+            quota_policy=QuotaPolicy(researcher_program=True),
+        )
+        cfg = paper_campaign_config(topics=small_specs, with_comments=False)
+        cfg = dataclasses.replace(
+            cfg, n_scheduled=3, skipped_indices=frozenset(),
+            comment_snapshot_indices=(),
+        )
+        rerun = run_campaign(cfg, YouTubeClient(service))
+        for topic in rerun.topic_keys:
+            for i in range(3):
+                assert rerun.snapshots[i].video_ids(topic) == mini_campaign.snapshots[
+                    i
+                ].video_ids(topic)
+
+    def test_search_ids_resolve_through_id_endpoints(self, mini_campaign, fresh_client):
+        """Every ID search returns must exist on the platform (via Videos:list)."""
+        topic = "grammys"
+        ids = sorted(mini_campaign.snapshots[0].video_ids(topic))[:50]
+        resources = fresh_client.videos_list(ids, part="snippet")
+        assert len(resources) >= 0.9 * len(ids)
+        for resource in resources:
+            assert resource["id"] in ids
+
+    def test_regression_consistent_with_consistency_analysis(self, mini_campaign):
+        """Topics the Jaccard analysis ranks as stable must carry positive
+        regression coefficients, and vice versa — two analyses, one truth."""
+        records = build_regression_records(mini_campaign)
+        ols = fit_frequency_ols(records)
+        j_final = {
+            t: consistency_series(mini_campaign, t)[-1].j_first
+            for t in mini_campaign.topic_keys
+        }
+        # higgs: most stable by Jaccard AND largest positive topic effect.
+        assert j_final["higgs"] == max(j_final.values())
+        topic_betas = {
+            name: ols.coefficient(name)
+            for name in ols.names
+            if name.endswith("(topic)")
+        }
+        assert topic_betas["higgs (topic)"] == max(topic_betas.values())
+
+    def test_attrition_matches_observed_frequencies(self, mini_campaign):
+        """The Markov chain's stationary implication: high P(P|PP) coexists
+        with a large always-present mass in the frequency distribution."""
+        result = attrition_analysis(mini_campaign)
+        records = build_regression_records(mini_campaign)
+        n = mini_campaign.n_collections
+        always = sum(1 for r in records if r.frequency == n)
+        assert result.probability("PP", "P") > 0.8
+        assert always / len(records) > 0.2
+
+    def test_all_reports_render_on_one_campaign(self, mini_campaign, small_specs):
+        texts = [
+            report.render_table1(mini_campaign, small_specs),
+            report.render_table2(mini_campaign, small_specs),
+            report.render_table4(mini_campaign, small_specs),
+            report.render_table5(mini_campaign, small_specs),
+            report.render_figure1(mini_campaign, small_specs),
+            report.render_figure2(mini_campaign, small_specs),
+            report.render_figure3(mini_campaign),
+            report.render_figure4(mini_campaign, small_specs),
+        ]
+        for text in texts:
+            assert text.strip()
+            assert "|" in text  # all are tables
+
+    def test_quota_books_balance(self, small_world, small_specs):
+        """Transport log and quota ledger must agree to the unit."""
+        import dataclasses
+
+        from repro.api import QuotaPolicy, YouTubeClient, build_service
+        from repro.core import paper_campaign_config, run_campaign
+
+        service = build_service(
+            small_world, seed=20250209, specs=small_specs,
+            quota_policy=QuotaPolicy(researcher_program=True),
+        )
+        cfg = paper_campaign_config(topics=small_specs, with_comments=False)
+        cfg = dataclasses.replace(
+            cfg, n_scheduled=2, skipped_indices=frozenset(),
+            comment_snapshot_indices=(),
+        )
+        run_campaign(cfg, YouTubeClient(service))
+        by_endpoint = service.transport.calls_by_endpoint()
+        expected = sum(
+            count * service.quota.cost_of(endpoint)
+            for endpoint, count in by_endpoint.items()
+        )
+        assert service.quota.total_used == expected
+
+    def test_paper_quota_math(self):
+        """The paper's headline cost: 4,032 searches/snapshot = 403,200 units,
+        far beyond the default 10k/day quota."""
+        from repro.api.quota import QuotaPolicy
+        from repro.core import paper_campaign_config
+
+        cfg = paper_campaign_config()
+        assert cfg.quota_per_snapshot() == 403_200
+        assert cfg.quota_per_snapshot() > 40 * QuotaPolicy().daily_limit

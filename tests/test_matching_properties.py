@@ -1,0 +1,126 @@
+"""Property-style tests: the token-index matcher vs a naive full scan.
+
+The inverted-index fast path in :meth:`PlatformStore.candidates_for_tokens`
+and the boolean refinement in :func:`match_candidates` must agree exactly
+with a brute-force scan over every video's text, for any query built from
+the corpus vocabulary.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.matching import match_candidates, parse_query
+from repro.world import PlatformStore, build_world
+from repro.world.corpus import scale_topics
+from repro.world.store import tokenize
+from repro.world.topics import paper_topics
+
+_STORE_CACHE: dict = {}
+
+
+def _store() -> PlatformStore:
+    if "store" not in _STORE_CACHE:
+        world = build_world(
+            scale_topics(paper_topics(), 0.06), seed=404, with_comments=False
+        )
+        _STORE_CACHE["store"] = PlatformStore(world)
+    return _STORE_CACHE["store"]
+
+
+def _vocabulary() -> list[str]:
+    store = _store()
+    vocab = set()
+    for video_id in list(store.world.videos)[:200]:
+        vocab.update(store.token_set(video_id))
+    return sorted(vocab)
+
+
+def naive_match(store: PlatformStore, parsed) -> set[str]:
+    """Brute-force evaluation of a parsed query over every video."""
+    out = set()
+    for video_id in store.world.videos:
+        tokens = store.token_set(video_id)
+        if any(tok not in tokens for tok in parsed.required_tokens):
+            continue
+        if any(tok in tokens for tok in parsed.excluded_tokens):
+            continue
+        ok = True
+        for group in parsed.or_groups:
+            if not any(tok in tokens for tok in group):
+                ok = False
+                break
+        if not ok:
+            continue
+        text = store.search_text(video_id)
+        from repro.api.matching import _phrase_pattern
+
+        if any(not _phrase_pattern(p).search(text) for p in parsed.phrases):
+            continue
+        out.add(video_id)
+    return out
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_index_matches_naive_scan(data):
+    store = _store()
+    vocab = _vocabulary()
+    n_terms = data.draw(st.integers(min_value=1, max_value=3))
+    terms = [data.draw(st.sampled_from(vocab)) for _ in range(n_terms)]
+    if data.draw(st.booleans()):
+        terms.append("-" + data.draw(st.sampled_from(vocab)))
+    if data.draw(st.booleans()):
+        a = data.draw(st.sampled_from(vocab))
+        b = data.draw(st.sampled_from(vocab))
+        terms.append(f"{a}|{b}")
+    query = " ".join(terms)
+    parsed = parse_query(query)
+    assert match_candidates(store, parsed) == naive_match(store, parsed)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.data())
+def test_phrase_queries_match_naive_scan(data):
+    store = _store()
+    # Build a phrase from an actual title so it sometimes matches.
+    video_id = data.draw(st.sampled_from(sorted(store.world.videos)))
+    title_tokens = tokenize(store.world.videos[video_id].title)
+    if len(title_tokens) < 2:
+        return
+    start = data.draw(st.integers(min_value=0, max_value=len(title_tokens) - 2))
+    phrase = " ".join(title_tokens[start : start + 2])
+    parsed = parse_query(f'"{phrase}"')
+    result = match_candidates(store, parsed)
+    # Note: the source video itself need not match — adjacent *tokens* can
+    # span punctuation ("Cup - world"), and phrase matching is verbatim on
+    # the raw text, exactly like the real endpoint.  The property under
+    # test is index/naive agreement.
+    assert result == naive_match(store, parsed)
+
+
+def test_subset_relation_under_conjunction():
+    """Adding terms can only shrink the candidate set."""
+    store = _store()
+    base = match_candidates(store, parse_query("world cup"))
+    narrower = match_candidates(store, parse_query("world cup goals"))
+    assert narrower <= base
+
+
+def test_exclusion_complement():
+    """q and (q -t) partition exactly on token presence."""
+    store = _store()
+    base = match_candidates(store, parse_query("black lives matter"))
+    excluded = match_candidates(store, parse_query("black lives matter -blackout"))
+    removed = base - excluded
+    assert all("blackout" in store.token_set(v) for v in removed)
+    assert all("blackout" not in store.token_set(v) for v in excluded)
+
+
+@pytest.mark.parametrize("query", ["", "   ", "-only -exclusions"])
+def test_degenerate_queries_agree(query):
+    store = _store()
+    parsed = parse_query(query)
+    assert match_candidates(store, parsed) == naive_match(store, parsed)

@@ -1,0 +1,132 @@
+"""Tests for the periodicity analysis and the relatedToVideoId timeline."""
+
+from __future__ import annotations
+
+from datetime import datetime, timezone
+
+import numpy as np
+import pytest
+
+from repro.api.errors import BadRequestError, NotFoundError
+from repro.api.search import RELATED_DEPRECATION_DATE
+from repro.core.periodicity import autocorrelation, periodicity_analysis
+from repro.world.topics import topic_by_key
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self):
+        acf = autocorrelation([1.0, 2.0, 3.0, 2.0, 1.0])
+        assert acf[0] == 1.0
+
+    def test_constant_series(self):
+        acf = autocorrelation([5.0] * 10, max_lag=4)
+        assert acf[0] == 1.0
+        assert np.allclose(acf[1:], 0.0)
+
+    def test_periodic_series_peaks_at_period(self):
+        series = [0.0, 1.0] * 12  # period 2
+        acf = autocorrelation(series, max_lag=6)
+        assert acf[2] > 0.8
+        assert acf[1] < 0.0
+
+    def test_bounds(self):
+        rng = np.random.default_rng(0)
+        acf = autocorrelation(rng.standard_normal(50), max_lag=20)
+        assert np.all(acf <= 1.0 + 1e-12)
+        assert np.all(acf >= -1.0 - 1e-12)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            autocorrelation([1.0, 2.0])
+
+
+class TestPeriodicityAnalysis:
+    def test_no_spurious_periodicity_in_campaign(self, mini_campaign):
+        """The mechanism is drift, not cycle: the analysis should come back
+        clean (or at most borderline) on simulated campaigns."""
+        flagged = [
+            topic
+            for topic in mini_campaign.topic_keys
+            if periodicity_analysis(mini_campaign, topic).is_periodic
+        ]
+        assert len(flagged) <= 1  # allow one borderline false positive
+
+    def test_result_fields(self, mini_campaign):
+        result = periodicity_analysis(mini_campaign, "blm")
+        assert result.topic == "blm"
+        assert result.acf[0] == 1.0
+        assert result.noise_band > 0
+        assert 0.0 <= result.dominant_power_share <= 1.0
+
+    def test_needs_enough_comparisons(self, mini_campaign):
+        from repro.core.datasets import CampaignResult
+
+        import dataclasses
+
+        short = CampaignResult(
+            topic_keys=mini_campaign.topic_keys,
+            snapshots=[
+                dataclasses.replace(mini_campaign.snapshots[i], index=i)
+                for i in range(3)
+            ],
+        )
+        with pytest.raises(ValueError):
+            periodicity_analysis(short, "blm")
+
+    def test_detects_injected_cycle(self):
+        """Sanity: a hand-built alternating presence series IS flagged."""
+        from repro.core.periodicity import PeriodicityResult, autocorrelation
+
+        series = [0.9, 0.3] * 8
+        acf = autocorrelation(series, max_lag=6)
+        band = 1.96 / np.sqrt(len(series))
+        assert acf[2] > band  # the machinery would flag this series
+
+
+class TestRelatedToVideoId:
+    def _seed_video(self, service, small_specs):
+        spec = topic_by_key("brexit", small_specs)
+        return (
+            spec,
+            service.search.list(q=spec.query, maxResults=1)["items"][0]["id"]["videoId"],
+        )
+
+    def test_pre_deprecation_returns_same_topic(self, small_world, small_specs):
+        from repro.api import build_service
+        from repro.api.clock import VirtualClock
+
+        service = build_service(
+            small_world, seed=20250209, specs=small_specs,
+            clock=VirtualClock(datetime(2022, 6, 1, tzinfo=timezone.utc)),
+        )
+        spec, seed_id = self._seed_video(service, small_specs)
+        response = service.search.list(relatedToVideoId=seed_id, maxResults=25)
+        assert response["items"]
+        store = service.store
+        for item in response["items"]:
+            video = store.video(item["id"]["videoId"])
+            assert video.topic == spec.key
+            assert video.video_id != seed_id
+
+    def test_post_deprecation_rejected(self, fresh_service, small_specs):
+        # The fresh service's clock starts in 2025 — after the cutoff.
+        assert fresh_service.clock.now() >= RELATED_DEPRECATION_DATE
+        _spec, seed_id = self._seed_video(fresh_service, small_specs)
+        with pytest.raises(BadRequestError, match="deprecated"):
+            fresh_service.search.list(relatedToVideoId=seed_id, maxResults=5)
+
+    def test_unknown_seed_video_404(self, small_world, small_specs):
+        from repro.api import build_service
+        from repro.api.clock import VirtualClock
+
+        service = build_service(
+            small_world, seed=20250209, specs=small_specs,
+            clock=VirtualClock(datetime(2022, 6, 1, tzinfo=timezone.utc)),
+        )
+        with pytest.raises(NotFoundError):
+            service.search.list(relatedToVideoId="AAAAAAAAAAA", maxResults=5)
+
+    def test_cannot_combine_with_q(self, fresh_service, small_specs):
+        _spec, seed_id = self._seed_video(fresh_service, small_specs)
+        with pytest.raises(BadRequestError, match="combined"):
+            fresh_service.search.list(q="anything", relatedToVideoId=seed_id)

@@ -1,0 +1,259 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta, timezone
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.tokens import decode_page_token, encode_page_token
+from repro.core.consistency import jaccard
+from repro.stats.correlation import pearson, spearman
+from repro.stats.descriptive import describe, mode_of
+from repro.stats.markov import estimate_markov_chain
+from repro.util.rng import spread_evenly, stable_hash, stable_uniform
+from repro.util.tables import format_count, format_number, render_table
+from repro.util.timeutil import (
+    UTC,
+    format_iso8601_duration,
+    format_rfc3339,
+    parse_iso8601_duration,
+    parse_rfc3339,
+)
+
+# -- time encodings ----------------------------------------------------------
+
+aware_datetimes = st.datetimes(
+    min_value=datetime(2005, 1, 1),
+    max_value=datetime(2035, 1, 1),
+).map(lambda dt: dt.replace(tzinfo=UTC, microsecond=0))
+
+
+@given(aware_datetimes)
+def test_rfc3339_roundtrip(dt):
+    assert parse_rfc3339(format_rfc3339(dt)) == dt
+
+
+@given(st.integers(min_value=0, max_value=10 * 86400))
+def test_iso_duration_roundtrip(seconds):
+    assert parse_iso8601_duration(format_iso8601_duration(seconds)) == seconds
+
+
+# -- hashing and stable draws --------------------------------------------------
+
+@given(st.lists(st.text(max_size=20), min_size=1, max_size=5))
+def test_stable_hash_deterministic_and_bounded(parts):
+    a = stable_hash(*parts)
+    b = stable_hash(*parts)
+    assert a == b
+    assert 0 <= a < 2**64
+
+
+@given(st.text(max_size=30), st.integers())
+def test_stable_uniform_in_open_interval(label, salt):
+    u = stable_uniform(label, salt)
+    assert 0.0 < u < 1.0
+
+
+@given(
+    st.floats(min_value=0, max_value=10_000, allow_nan=False),
+    st.lists(st.floats(min_value=0, max_value=100, allow_nan=False), min_size=1, max_size=20),
+)
+def test_spread_evenly_sums_to_total(total, weights):
+    counts = spread_evenly(total, weights)
+    assert sum(counts) == round(total)
+    assert all(c >= 0 for c in counts)
+
+
+# -- page tokens ----------------------------------------------------------------
+
+@given(st.text(min_size=1, max_size=50), st.integers(min_value=0, max_value=10_000))
+def test_page_token_roundtrip(fingerprint, offset):
+    token = encode_page_token(fingerprint, offset)
+    assert decode_page_token(fingerprint, token) == offset
+
+
+@given(
+    st.text(min_size=1, max_size=20),
+    st.text(min_size=1, max_size=20),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_page_token_rejects_cross_query(fp_a, fp_b, offset):
+    from repro.api.errors import InvalidPageTokenError
+
+    if fp_a == fp_b:
+        return
+    token = encode_page_token(fp_a, offset)
+    with pytest.raises(InvalidPageTokenError):
+        decode_page_token(fp_b, token)
+
+
+# -- set similarity ---------------------------------------------------------------
+
+id_sets = st.sets(st.integers(min_value=0, max_value=200), max_size=60)
+
+
+@given(id_sets, id_sets)
+def test_jaccard_bounds_and_symmetry(a, b):
+    j = jaccard(a, b)
+    assert 0.0 <= j <= 1.0
+    assert j == jaccard(b, a)
+
+
+@given(id_sets)
+def test_jaccard_identity(a):
+    assert jaccard(a, a) == 1.0
+
+
+@given(id_sets, id_sets, id_sets)
+def test_jaccard_monotone_under_shared_growth(a, b, extra):
+    """Adding the same elements to both sets never lowers similarity."""
+    j_before = jaccard(a, b)
+    j_after = jaccard(a | extra, b | extra)
+    assert j_after >= j_before - 1e-12
+
+
+# -- descriptive stats --------------------------------------------------------------
+
+float_samples = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=100
+)
+
+
+@given(float_samples)
+def test_describe_invariants(values):
+    d = describe(values)
+    # Allow a couple of ULPs: numpy's mean of identical values can differ
+    # from them by one rounding step.
+    tol = 1e-9 * max(1.0, abs(d.minimum), abs(d.maximum))
+    assert d.minimum - tol <= d.mean <= d.maximum + tol
+    assert d.std >= 0
+    assert d.minimum <= d.mode <= d.maximum
+    assert d.n == len(values)
+
+
+@given(float_samples)
+def test_mode_is_a_member(values):
+    assert mode_of(values) in [float(v) for v in values]
+
+
+# -- correlations ------------------------------------------------------------------
+
+paired = st.lists(
+    st.tuples(
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+    ),
+    min_size=5,
+    max_size=60,
+)
+
+
+@given(paired)
+def test_correlations_bounded(pairs):
+    x = [p[0] for p in pairs]
+    y = [p[1] for p in pairs]
+    for fn in (pearson, spearman):
+        result = fn(x, y)
+        assert -1.0 <= result.statistic <= 1.0
+        assert 0.0 <= result.p_value <= 1.0
+
+
+@given(st.lists(st.floats(min_value=-100, max_value=100, allow_nan=False),
+                min_size=5, max_size=50, unique=True))
+def test_spearman_of_monotone_map_is_one(xs):
+    from hypothesis import assume
+
+    ys = [x**3 for x in xs]
+    # Cubing can underflow distinct tiny floats onto the same value, which
+    # creates ties in y but not x; restrict to injective cases.
+    assume(len(set(ys)) == len(ys))
+    assert spearman(xs, ys).statistic == pytest.approx(1.0)
+
+
+# -- markov estimation ----------------------------------------------------------------
+
+pa_sequences = st.lists(
+    st.text(alphabet="PA", min_size=3, max_size=20), min_size=1, max_size=40
+)
+
+
+@given(pa_sequences)
+def test_markov_rows_normalized(sequences):
+    chain = estimate_markov_chain(sequences, order=2)
+    for history in chain.histories():
+        total = sum(chain.probabilities[history].values())
+        assert total == pytest.approx(1.0)
+        assert chain.observations(history) >= 1
+
+
+@given(pa_sequences)
+def test_markov_counts_match_windows(sequences):
+    chain = estimate_markov_chain(sequences, order=2)
+    expected = sum(max(0, len(s) - 2) for s in sequences)
+    observed = sum(chain.observations(h) for h in chain.histories())
+    assert observed == expected
+
+
+# -- table formatting -----------------------------------------------------------------
+
+@given(st.floats(min_value=0, max_value=5e7, allow_nan=False))
+def test_format_count_never_crashes_and_is_nonempty(value):
+    out = format_count(value)
+    assert out
+    assert "e+" not in out  # no scientific notation leaks into tables
+
+
+@given(
+    st.lists(
+        st.lists(st.floats(allow_nan=False, allow_infinity=False), min_size=2, max_size=2),
+        min_size=1,
+        max_size=10,
+    )
+)
+def test_render_table_alignment(rows):
+    out = render_table(["a", "b"], rows)
+    widths = {len(line) for line in out.splitlines()}
+    assert len(widths) == 1
+
+
+# -- engine-level property: same-day determinism -----------------------------------------
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=120), st.integers(min_value=0, max_value=23))
+def test_search_same_day_determinism(day_offset, hour):
+    """For ANY request datetime, two identical searches agree exactly."""
+    from tests.conftest import SEED  # reuse the cached small world via import
+
+    # Build once per process (module-level cache).
+    engine, store, spec = _engine_fixture()
+    from repro.world.store import tokenize
+
+    as_of = datetime(2025, 2, 9, tzinfo=timezone.utc) + timedelta(
+        days=day_offset, hours=hour
+    )
+    candidates = store.candidates_for_tokens(tokenize(spec.query))
+    a = engine.execute(spec.query, candidates, spec.window_start, spec.window_end, as_of)
+    b = engine.execute(spec.query, candidates, spec.window_start, spec.window_end, as_of)
+    assert [v.video_id for v in a.videos] == [v.video_id for v in b.videos]
+    assert a.total_results == b.total_results
+
+
+_ENGINE_CACHE: dict = {}
+
+
+def _engine_fixture():
+    if "engine" not in _ENGINE_CACHE:
+        from repro.sampling.engine import SearchBehaviorEngine
+        from repro.world import PlatformStore, build_world
+        from repro.world.corpus import scale_topics
+        from repro.world.topics import paper_topics
+
+        specs = scale_topics(paper_topics(), 0.08)
+        store = PlatformStore(build_world(specs, seed=99, with_comments=False))
+        engine = SearchBehaviorEngine(store, specs, seed=99)
+        _ENGINE_CACHE["engine"] = (engine, store, specs[4])
+    return _ENGINE_CACHE["engine"]

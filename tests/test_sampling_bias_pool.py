@@ -1,0 +1,126 @@
+"""Tests for the inclusion-bias and pool-size models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sampling.bias import BiasWeights, inclusion_bias
+from repro.sampling.pool import TOTAL_RESULTS_CAP, PoolSizeModel, _round_sig
+from repro.world import build_world
+from repro.world.corpus import scale_topics
+from repro.world.topics import paper_topics, topic_by_key
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(
+        scale_topics(paper_topics(), 0.2), seed=31, with_comments=False
+    )
+
+
+class TestInclusionBias:
+    def test_standardized_output(self, world):
+        videos = world.videos_for_topic("blm")
+        bias = inclusion_bias(videos, world.channels)
+        assert bias.shape == (len(videos),)
+        assert abs(float(bias.mean())) < 1e-9
+        assert float(bias.std()) == pytest.approx(1.0)
+
+    def test_deterministic_per_video(self, world):
+        videos = world.videos_for_topic("blm")
+        b1 = inclusion_bias(videos, world.channels)
+        b2 = inclusion_bias(videos, world.channels)
+        np.testing.assert_array_equal(b1, b2)
+
+    def test_shorter_videos_scored_higher(self, world):
+        videos = world.videos_for_topic("worldcup")
+        bias = inclusion_bias(videos, world.channels)
+        durations = np.log([v.duration_seconds for v in videos])
+        r = np.corrcoef(durations, bias)[0, 1]
+        assert r < -0.1  # the paper's negative duration effect
+
+    def test_liked_videos_scored_higher(self, world):
+        videos = world.videos_for_topic("worldcup")
+        bias = inclusion_bias(videos, world.channels)
+        likes = np.log1p([v.like_count for v in videos])
+        r = np.corrcoef(likes, bias)[0, 1]
+        assert r > 0.15  # the paper's positive likes effect
+
+    def test_empty_list(self, world):
+        assert inclusion_bias([], world.channels).shape == (0,)
+
+    def test_zero_noise_is_pure_metadata(self, world):
+        videos = world.videos_for_topic("higgs")
+        weights = BiasWeights()
+        weights.noise = 0.0
+        bias = inclusion_bias(videos, world.channels, weights)
+        likes = np.log1p([v.like_count for v in videos])
+        assert np.corrcoef(likes, bias)[0, 1] > 0.4
+
+
+class TestRoundSig:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(123_456, 123_000), (987_654, 988_000), (5_512, 5_510), (999, 999), (0, 0)],
+    )
+    def test_rounding(self, value, expected):
+        assert _round_sig(value) == expected
+
+
+class TestPoolSizeModel:
+    def test_deterministic(self):
+        model = PoolSizeModel(topic_by_key("brexit"))
+        a = model.total_results("2025-02-09", "w1")
+        b = model.total_results("2025-02-09", "w1")
+        assert a == b
+
+    def test_cap_enforced(self):
+        model = PoolSizeModel(topic_by_key("worldcup"))  # canonical 1.6M
+        draws = [model.total_results("d", f"w{i}") for i in range(500)]
+        assert max(draws) == TOTAL_RESULTS_CAP
+
+    def test_large_topics_moded_at_cap(self):
+        for key in ("blm", "capriot", "worldcup"):
+            model = PoolSizeModel(topic_by_key(key))
+            draws = [model.total_results("d", f"w{i}") for i in range(500)]
+            from collections import Counter
+
+            mode, _count = Counter(draws).most_common(1)[0]
+            assert mode == TOTAL_RESULTS_CAP
+
+    def test_small_topics_moded_at_canonical(self):
+        for key in ("brexit", "higgs"):
+            spec = topic_by_key(key)
+            model = PoolSizeModel(spec)
+            draws = [model.total_results("d", f"w{i}") for i in range(500)]
+            from collections import Counter
+
+            mode, _ = Counter(draws).most_common(1)[0]
+            assert mode == _round_sig(spec.pool_canonical)
+
+    def test_window_insensitive_distribution(self):
+        # Different windows draw different values, but the heaped canonical
+        # dominates both: the pool does not shrink for tiny windows.
+        model = PoolSizeModel(topic_by_key("higgs"))
+        hourly = [model.total_results("d", f"hour-{i}") for i in range(300)]
+        daily = [model.total_results("d", f"day-{i}") for i in range(300)]
+        assert abs(np.mean(hourly) - np.mean(daily)) < 0.15 * np.mean(daily)
+
+    def test_narrowness_scales_pool(self):
+        model = PoolSizeModel(topic_by_key("brexit"))
+        full = model.total_results("d", "w", narrowness=1.0)
+        quarter = model.total_results("d", "w", narrowness=0.25)
+        assert quarter < full
+        assert quarter == pytest.approx(full * 0.25, rel=0.05)
+
+    def test_bad_narrowness_rejected(self):
+        model = PoolSizeModel(topic_by_key("brexit"))
+        with pytest.raises(ValueError):
+            model.total_results("d", "w", narrowness=0.0)
+        with pytest.raises(ValueError):
+            model.total_results("d", "w", narrowness=1.5)
+
+    def test_bad_heap_probability_rejected(self):
+        with pytest.raises(ValueError):
+            PoolSizeModel(topic_by_key("brexit"), heap_probability=1.5)

@@ -1,0 +1,169 @@
+"""Tests for interest-density suppression and the churn process."""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.sampling.churn import ChurnProcess, daily_rho, fast_daily_rho
+from repro.sampling.density import InterestDensity
+from repro.util.timeutil import UTC
+from repro.world.topics import paper_topics, topic_by_key
+
+
+class TestInterestDensity:
+    def test_suppression_mask_shape(self):
+        spec = topic_by_key("blm")
+        density = InterestDensity(spec)
+        mask = density.suppressed_mask()
+        assert mask.shape == (spec.window_hours,)
+        assert 0 < mask.sum() < spec.window_hours  # some but not all suppressed
+
+    def test_peak_hours_not_suppressed(self):
+        spec = topic_by_key("brexit")
+        density = InterestDensity(spec)
+        # The focal-date hours are the topic's peak.
+        focal_hour = spec.window_days * 24
+        assert not density.is_suppressed(focal_hour + 12)
+
+    def test_suppressed_hours_zero_probability(self):
+        spec = topic_by_key("capriot")
+        density = InterestDensity(spec)
+        suppressed_hours = np.where(density.suppressed_mask())[0]
+        assert suppressed_hours.size
+        h = int(suppressed_hours[0])
+        assert density.hour_saturation(h, saturation=0.9, request_label="d") == 0.0
+
+    def test_probability_capped_below_one(self):
+        spec = topic_by_key("higgs")
+        density = InterestDensity(spec, budget_jitter=0.5)
+        unsuppressed = int(np.where(~density.suppressed_mask())[0][0])
+        for i in range(50):
+            q = density.hour_saturation(unsuppressed, 0.97, f"d{i}")
+            assert 0.0 < q <= 0.995
+
+    def test_probability_deterministic_per_request(self):
+        spec = topic_by_key("grammys")
+        density = InterestDensity(spec)
+        unsuppressed = int(np.where(~density.suppressed_mask())[0][0])
+        a = density.hour_saturation(unsuppressed, 0.5, "2025-02-09")
+        b = density.hour_saturation(unsuppressed, 0.5, "2025-02-09")
+        assert a == b
+
+    def test_probability_varies_between_collections(self):
+        spec = topic_by_key("grammys")
+        density = InterestDensity(spec)
+        unsuppressed = int(np.where(~density.suppressed_mask())[0][0])
+        values = {density.hour_saturation(unsuppressed, 0.5, f"d{i}") for i in range(20)}
+        assert len(values) > 1
+
+    def test_probability_tracks_saturation(self):
+        spec = topic_by_key("blm")
+        density = InterestDensity(spec, budget_jitter=0.0)
+        unsuppressed = int(np.where(~density.suppressed_mask())[0][0])
+        low = density.hour_saturation(unsuppressed, 0.3, "d")
+        high = density.hour_saturation(unsuppressed, 0.9, "d")
+        assert high == pytest.approx(3 * low)
+
+    def test_bad_saturation_rejected(self):
+        spec = topic_by_key("blm")
+        density = InterestDensity(spec)
+        unsuppressed = int(np.where(~density.suppressed_mask())[0][0])
+        with pytest.raises(ValueError):
+            density.hour_saturation(unsuppressed, 0.0, "d")
+
+    def test_out_of_range_hour_rejected(self):
+        density = InterestDensity(topic_by_key("blm"))
+        with pytest.raises(IndexError):
+            density.is_suppressed(10_000)
+
+    def test_relative_interest_averages_one(self):
+        spec = topic_by_key("worldcup")
+        density = InterestDensity(spec)
+        values = [density.relative_interest(h) for h in range(density.n_hours)]
+        assert np.mean(values) == pytest.approx(1.0)
+
+
+class TestChurnRhos:
+    def test_rho_decreases_with_volatility(self):
+        assert daily_rho(0.2) > daily_rho(1.0) > daily_rho(3.0)
+        assert fast_daily_rho(1.0) < daily_rho(1.0)
+
+    def test_negative_volatility_rejected(self):
+        with pytest.raises(ValueError):
+            daily_rho(-1)
+        with pytest.raises(ValueError):
+            fast_daily_rho(-0.5)
+
+
+class TestChurnProcess:
+    def _process(self, key="blm", n=400, seed=3):
+        return ChurnProcess(topic_by_key(key), n, seed)
+
+    def test_same_day_same_state(self):
+        p = self._process()
+        d = datetime(2025, 2, 9, tzinfo=UTC)
+        a = p.latent_at(d)
+        b = p.latent_at(d + timedelta(hours=23))
+        np.testing.assert_array_equal(a, b)
+
+    def test_pure_function_of_day(self):
+        # Querying out of order must not change any day's state.
+        d0 = datetime(2025, 2, 9, tzinfo=UTC)
+        p1 = self._process()
+        forward = [p1.latent_at(d0 + timedelta(days=k)).copy() for k in (0, 5, 10)]
+        p2 = self._process()
+        direct = p2.latent_at(d0 + timedelta(days=10))
+        np.testing.assert_array_equal(forward[2], direct)
+        # And rewinding reproduces day 0 exactly.
+        np.testing.assert_array_equal(p2.latent_at(d0), forward[0])
+
+    def test_stationary_marginals(self):
+        p = self._process(n=4000)
+        d = datetime(2025, 3, 1, tzinfo=UTC)
+        u = p.latent_at(d)
+        assert abs(float(u.mean())) < 0.08
+        assert float(u.std()) == pytest.approx(1.0, abs=0.08)
+
+    def test_correlation_decays_with_lag(self):
+        p = self._process(n=4000)
+        d0 = datetime(2025, 2, 9, tzinfo=UTC)
+        u0 = p.latent_at(d0).copy()
+        u5 = p.latent_at(d0 + timedelta(days=5)).copy()
+        u80 = p.latent_at(d0 + timedelta(days=80)).copy()
+        c5 = np.corrcoef(u0, u5)[0, 1]
+        c80 = np.corrcoef(u0, u80)[0, 1]
+        assert c5 > 0.7  # short-run stickiness
+        assert c80 < c5 - 0.3  # long-run compounding drift
+
+    def test_volatility_controls_decay(self):
+        d0 = datetime(2025, 2, 9, tzinfo=UTC)
+        stable = ChurnProcess(topic_by_key("higgs"), 3000, 3)  # volatility 0.18
+        churny = ChurnProcess(topic_by_key("blm"), 3000, 3)  # volatility 1.0
+        cs = np.corrcoef(
+            stable.latent_at(d0).copy(),
+            stable.latent_at(d0 + timedelta(days=60)),
+        )[0, 1]
+        cc = np.corrcoef(
+            churny.latent_at(d0).copy(),
+            churny.latent_at(d0 + timedelta(days=60)),
+        )[0, 1]
+        assert cs > cc + 0.2
+
+    def test_pre_epoch_clamped(self):
+        p = self._process(key="higgs")  # epoch 2012-07-18
+        early = p.latent_at(datetime(2000, 1, 1, tzinfo=UTC))
+        epoch_day = p.latent_at(p.epoch)
+        np.testing.assert_array_equal(early, epoch_day)
+
+    def test_seed_sensitivity(self):
+        d = datetime(2025, 2, 9, tzinfo=UTC)
+        a = self._process(seed=1).latent_at(d)
+        b = self._process(seed=2).latent_at(d)
+        assert not np.allclose(a, b)
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            ChurnProcess(topic_by_key("blm"), -1, 0)

@@ -1,0 +1,256 @@
+"""Tests for the search behavior engine (the inferred mechanism)."""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.sampling.engine import BehaviorParams, SearchBehaviorEngine
+from repro.util.timeutil import UTC
+from repro.world import PlatformStore, build_world
+from repro.world.corpus import scale_topics
+from repro.world.store import tokenize
+from repro.world.topics import paper_topics, topic_by_key
+
+D0 = datetime(2025, 2, 9, tzinfo=UTC)
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return scale_topics(paper_topics(), 0.2)
+
+
+@pytest.fixture(scope="module")
+def store(specs):
+    return PlatformStore(build_world(specs, seed=13, with_comments=False))
+
+
+@pytest.fixture(scope="module")
+def engine(store, specs):
+    return SearchBehaviorEngine(store, specs, seed=13)
+
+
+def run_query(engine, store, spec, as_of, query=None, after=None, before=None):
+    query = query or spec.query
+    candidates = store.candidates_for_tokens(tokenize(query))
+    return engine.execute(
+        query,
+        candidates,
+        after if after is not None else spec.window_start,
+        before if before is not None else spec.window_end,
+        as_of,
+    )
+
+
+class TestDeterminism:
+    def test_same_day_identical(self, engine, store, specs):
+        spec = specs[0]
+        a = run_query(engine, store, spec, D0)
+        b = run_query(engine, store, spec, D0 + timedelta(hours=7))
+        assert [v.video_id for v in a.videos] == [v.video_id for v in b.videos]
+
+    def test_fresh_engine_identical(self, store, specs):
+        spec = specs[1]
+        e1 = SearchBehaviorEngine(store, specs, seed=13)
+        e2 = SearchBehaviorEngine(store, specs, seed=13)
+        a = run_query(e1, store, spec, D0)
+        b = run_query(e2, store, spec, D0)
+        assert {v.video_id for v in a.videos} == {v.video_id for v in b.videos}
+
+    def test_query_order_independence(self, store, specs):
+        # Querying other topics first must not change a topic's result.
+        e1 = SearchBehaviorEngine(store, specs, seed=13)
+        for spec in specs[:3]:
+            run_query(e1, store, spec, D0)
+        late = run_query(e1, store, specs[4], D0)
+        e2 = SearchBehaviorEngine(store, specs, seed=13)
+        direct = run_query(e2, store, specs[4], D0)
+        assert {v.video_id for v in late.videos} == {v.video_id for v in direct.videos}
+
+
+class TestChurnBehavior:
+    def test_sets_drift_with_request_date(self, engine, store, specs):
+        spec = topic_by_key("blm", specs)
+        s0 = {v.video_id for v in run_query(engine, store, spec, D0).videos}
+        s1 = {v.video_id for v in run_query(engine, store, spec, D0 + timedelta(days=5)).videos}
+        s16 = {v.video_id for v in run_query(engine, store, spec, D0 + timedelta(days=80)).videos}
+        j01 = len(s0 & s1) / len(s0 | s1)
+        j016 = len(s0 & s16) / len(s0 | s16)
+        assert 0.5 < j01 < 1.0  # successive: similar but not identical
+        assert j016 < j01  # drift compounds
+
+    def test_gains_and_losses_both_occur(self, engine, store, specs):
+        spec = topic_by_key("worldcup", specs)
+        s0 = {v.video_id for v in run_query(engine, store, spec, D0).videos}
+        s1 = {v.video_id for v in run_query(engine, store, spec, D0 + timedelta(days=40)).videos}
+        assert s0 - s1, "some videos must drop out"
+        assert s1 - s0, "some videos must drop in (ruling out deletion-only drift)"
+
+    def test_higgs_far_more_stable_than_blm(self, engine, store, specs):
+        def j_first_last(key):
+            spec = topic_by_key(key, specs)
+            a = {v.video_id for v in run_query(engine, store, spec, D0).videos}
+            b = {
+                v.video_id
+                for v in run_query(engine, store, spec, D0 + timedelta(days=80)).videos
+            }
+            return len(a & b) / len(a | b)
+
+        assert j_first_last("higgs") > j_first_last("blm") + 0.2
+
+
+class TestWindowHandling:
+    def test_results_respect_window(self, engine, store, specs):
+        spec = topic_by_key("brexit", specs)
+        mid = spec.focal_date
+        out = run_query(engine, store, spec, D0, after=mid, before=mid + timedelta(days=2))
+        assert out.videos
+        for video in out.videos:
+            assert mid <= video.published_at < mid + timedelta(days=2)
+
+    def test_hourly_decomposition_equals_full_window(self, engine, store, specs):
+        # The per-hour mechanism means a full-window query is exactly the
+        # union of its hourly sub-queries (paging aside).
+        spec = topic_by_key("higgs", specs)
+        full = {v.video_id for v in run_query(engine, store, spec, D0).videos}
+        union = set()
+        cursor = spec.window_start
+        while cursor < spec.window_end:
+            out = run_query(
+                engine, store, spec, D0, after=cursor, before=cursor + timedelta(hours=1)
+            )
+            union |= {v.video_id for v in out.videos}
+            cursor += timedelta(hours=1)
+        assert union == full
+
+    def test_date_order_is_reverse_chronological(self, engine, store, specs):
+        spec = topic_by_key("grammys", specs)
+        out = run_query(engine, store, spec, D0)
+        times = [v.published_at for v in out.videos]
+        assert times == sorted(times, reverse=True)
+
+    def test_other_orders(self, engine, store, specs):
+        spec = topic_by_key("grammys", specs)
+        candidates = store.candidates_for_tokens(tokenize(spec.query))
+        for order, key in (
+            ("viewCount", lambda v: store.metrics_at(v, D0)[0]),
+            ("rating", lambda v: store.metrics_at(v, D0)[1]),
+        ):
+            out = engine.execute(
+                spec.query, candidates, spec.window_start, spec.window_end, D0,
+                order=order,
+            )
+            values = [key(v) for v in out.videos]
+            assert values == sorted(values, reverse=True)
+        out = engine.execute(
+            spec.query, candidates, spec.window_start, spec.window_end, D0,
+            order="title",
+        )
+        titles = [v.title for v in out.videos]
+        assert titles == sorted(titles)
+
+    def test_unknown_order_rejected(self, engine, store, specs):
+        spec = specs[0]
+        with pytest.raises(ValueError):
+            run_query_with_order(engine, store, spec, "mostRecent")
+
+
+def run_query_with_order(engine, store, spec, order):
+    candidates = store.candidates_for_tokens(tokenize(spec.query))
+    return engine.execute(
+        spec.query, candidates, spec.window_start, spec.window_end, D0, order=order
+    )
+
+
+class TestNarrownessCoupling:
+    def test_narrow_queries_return_higher_fraction(self, engine, store, specs):
+        # The mechanism behind "narrower queries are more consistent": a
+        # subquery's smaller pool is sampled at a boosted saturation, so a
+        # larger fraction of its eligible videos is returned every time.
+        spec = topic_by_key("worldcup", specs)
+        sub = spec.subtopics[2].query  # "world cup goals"
+
+        def returned_fraction(query):
+            candidates = store.candidates_for_tokens(tokenize(query))
+            eligible = [v for v in candidates if store.video(v).topic == "worldcup"]
+            out = run_query(engine, store, spec, D0, query=query)
+            return len(out.videos) / max(len(eligible), 1)
+
+        assert returned_fraction(sub) > returned_fraction(spec.query) + 0.05
+
+    def test_narrow_query_smaller_pool(self, engine, store, specs):
+        spec = topic_by_key("brexit", specs)
+        full = run_query(engine, store, spec, D0)
+        sub = run_query(engine, store, spec, D0, query=spec.subtopics[0].query)
+        assert sub.total_results < full.total_results
+
+    def test_disabling_coupling(self, store, specs):
+        flat = SearchBehaviorEngine(
+            store, specs, seed=13, params=BehaviorParams(narrowness_exponent=0.0)
+        )
+        spec = topic_by_key("worldcup", specs)
+        sub_q = spec.subtopics[0].query
+        full_sat = flat.topic_runtime("worldcup").base_saturation
+        out_sub = run_query(flat, store, spec, D0, query=sub_q)
+        candidates = store.candidates_for_tokens(tokenize(sub_q))
+        wc_cands = [v for v in candidates if store.video(v).topic == "worldcup"]
+        # With exponent 0 the subquery returns ~the same fraction as the
+        # umbrella query instead of a boosted one.
+        assert len(out_sub.videos) <= len(wc_cands)
+        assert len(out_sub.videos) / max(len(wc_cands), 1) < full_sat + 0.25
+
+
+class TestPools:
+    def test_total_results_time_window_insensitive(self, engine, store, specs):
+        spec = topic_by_key("capriot", specs)
+        hour = run_query(
+            engine, store, spec, D0,
+            after=spec.focal_date, before=spec.focal_date + timedelta(hours=1),
+        )
+        full = run_query(engine, store, spec, D0)
+        # Same order of magnitude despite a 672x smaller window.
+        assert hour.total_results > full.total_results / 10
+
+    def test_empty_candidates(self, engine, specs):
+        out = engine.execute("nonsense", set(), None, None, D0)
+        assert out.videos == []
+        assert out.total_results == 0
+
+    def test_channel_filter(self, engine, store, specs):
+        spec = topic_by_key("grammys", specs)
+        all_out = run_query(engine, store, spec, D0)
+        channel_id = all_out.videos[0].channel_id
+        candidates = store.candidates_for_tokens(tokenize(spec.query))
+        out = engine.execute(
+            spec.query, candidates, spec.window_start, spec.window_end, D0,
+            channel_id=channel_id,
+        )
+        assert out.videos
+        assert all(v.channel_id == channel_id for v in out.videos)
+
+
+class TestBehaviorParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BehaviorParams(bias_share=1.5)
+        with pytest.raises(ValueError):
+            BehaviorParams(narrowness_exponent=-1)
+        with pytest.raises(ValueError):
+            BehaviorParams(saturation_cap=0.0)
+
+    def test_bias_share_zero_removes_popularity_signal(self, store, specs):
+        spec = topic_by_key("blm", specs)
+        biased = SearchBehaviorEngine(
+            store, specs, seed=13, params=BehaviorParams(bias_share=0.8)
+        )
+        unbiased = SearchBehaviorEngine(
+            store, specs, seed=13, params=BehaviorParams(bias_share=0.0)
+        )
+
+        def mean_log_likes(engine):
+            out = run_query(engine, store, spec, D0)
+            return np.mean([np.log1p(v.like_count) for v in out.videos])
+
+        assert mean_log_likes(biased) > mean_log_likes(unbiased)

@@ -1,0 +1,168 @@
+"""Tests for descriptive stats, correlation, transforms, and design matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.stats.correlation import pearson, spearman
+from repro.stats.descriptive import describe, mode_of
+from repro.stats.design import DesignMatrix, build_design
+from repro.stats.transforms import (
+    PAPER_FREQUENCY_BINS,
+    bin_frequency,
+    log1p_standardize,
+    standardize,
+)
+
+
+class TestDescribe:
+    def test_basic(self):
+        d = describe([1, 2, 3, 4, 5])
+        assert d.minimum == 1 and d.maximum == 5
+        assert d.mean == 3.0
+        assert d.std == pytest.approx(np.std([1, 2, 3, 4, 5], ddof=1))
+        assert d.n == 5
+
+    def test_single_value(self):
+        d = describe([7])
+        assert d.std == 0.0
+        assert d.mode == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            describe([])
+
+    def test_mode(self):
+        assert mode_of([1, 2, 2, 3]) == 2
+        assert mode_of([1, 1, 2, 2]) == 1  # tie breaks low
+        with pytest.raises(ValueError):
+            mode_of([])
+
+
+class TestCorrelation:
+    def test_pearson_matches_scipy(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(200)
+        y = 0.5 * x + rng.standard_normal(200)
+        ours = pearson(x, y)
+        theirs = sps.pearsonr(x, y)
+        assert ours.statistic == pytest.approx(theirs.statistic, abs=1e-10)
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-6)
+
+    def test_spearman_matches_scipy(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(150)
+        y = x**3 + rng.standard_normal(150)
+        ours = spearman(x, y)
+        theirs = sps.spearmanr(x, y)
+        assert ours.statistic == pytest.approx(theirs.statistic, abs=1e-10)
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-6)
+
+    def test_spearman_with_ties(self):
+        x = [1, 1, 2, 2, 3, 3, 4, 5]
+        y = [2, 1, 2, 3, 3, 4, 4, 5]
+        ours = spearman(x, y)
+        theirs = sps.spearmanr(x, y)
+        assert ours.statistic == pytest.approx(theirs.statistic, abs=1e-10)
+
+    def test_perfect_monotone(self):
+        result = spearman([1, 2, 3, 4], [10, 20, 30, 40])
+        assert result.statistic == pytest.approx(1.0)
+        assert result.p_value == 0.0
+
+    def test_constant_input(self):
+        result = pearson([1, 1, 1, 1], [1, 2, 3, 4])
+        assert result.statistic == 0.0
+        assert result.p_value == 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson([1, 2], [1, 2, 3])
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            spearman([1, 2], [3, 4])
+
+
+class TestTransforms:
+    def test_standardize(self):
+        z = standardize([1.0, 2.0, 3.0])
+        assert z.mean() == pytest.approx(0.0)
+        assert z.std() == pytest.approx(1.0)
+
+    def test_standardize_constant(self):
+        z = standardize([5, 5, 5])
+        np.testing.assert_array_equal(z, [0, 0, 0])
+
+    def test_log1p_standardize(self):
+        z = log1p_standardize([0, 10, 100, 1000])
+        assert z.mean() == pytest.approx(0.0, abs=1e-12)
+        # Log compresses: spacing between large values shrinks.
+        assert z[3] - z[2] < 3 * (z[1] - z[0])
+
+    def test_log1p_negative_rejected(self):
+        with pytest.raises(ValueError):
+            log1p_standardize([-1, 2])
+
+    def test_paper_bins(self):
+        assert bin_frequency(1) == 0
+        assert bin_frequency(5) == 0
+        assert bin_frequency(6) == 1
+        assert bin_frequency(10) == 1
+        assert bin_frequency(11) == 2
+        assert bin_frequency(15) == 2
+        assert bin_frequency(16) == 3
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            bin_frequency(0)
+        with pytest.raises(ValueError):
+            bin_frequency(17, PAPER_FREQUENCY_BINS)
+
+
+class TestDesign:
+    def test_dummy_coding(self):
+        design = build_design(
+            continuous={"x": np.array([1.0, 2.0, 3.0])},
+            categorical={"topic": (["a", "b", "a"], "a")},
+        )
+        assert design.names == ["b (topic)", "x"]
+        np.testing.assert_array_equal(design.column("b (topic)"), [0, 1, 0])
+
+    def test_reference_level_omitted(self):
+        design = build_design(
+            continuous={},
+            categorical={"topic": (["a", "b", "c"], "b")},
+        )
+        assert set(design.names) == {"a (topic)", "c (topic)"}
+
+    def test_unknown_reference_rejected(self):
+        with pytest.raises(ValueError):
+            build_design(continuous={}, categorical={"t": (["a", "b"], "z")})
+
+    def test_row_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            build_design(
+                continuous={"x": np.array([1.0, 2.0])},
+                categorical={"t": (["a", "b", "c"], "a")},
+            )
+
+    def test_drop(self):
+        design = build_design(
+            continuous={"x": np.zeros(3), "y": np.ones(3)},
+            categorical={},
+        )
+        dropped = design.drop("x")
+        assert dropped.names == ["y"]
+        with pytest.raises(KeyError):
+            design.drop("zzz")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            build_design(continuous={}, categorical={})
+
+    def test_matrix_validation(self):
+        with pytest.raises(ValueError):
+            DesignMatrix(matrix=np.zeros((3, 2)), names=["only-one"])

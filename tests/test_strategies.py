@@ -1,0 +1,171 @@
+"""Tests for the collection strategies and the quota-aware planner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.strategies import (
+    ChannelPipelineStrategy,
+    QueryPlanner,
+    TimeSplitStrategy,
+    TopicSplitStrategy,
+    evaluate_strategy,
+)
+from repro.world.topics import topic_by_key
+
+
+class TestTimeSplit:
+    def test_daily_bins_cost(self, fresh_client, small_specs):
+        spec = topic_by_key("higgs", small_specs)
+        result = TimeSplitStrategy(bin_hours=24).collect(fresh_client, spec)
+        assert result.strategy == "time-split/24h"
+        assert result.n_queries >= 28  # one query per day minimum
+        assert result.quota_units >= 28 * 100
+        assert result.video_ids
+
+    def test_finer_bins_cost_more(self, fresh_client, small_specs):
+        spec = topic_by_key("higgs", small_specs)
+        daily = TimeSplitStrategy(bin_hours=24).collect(fresh_client, spec)
+        hourly = TimeSplitStrategy(bin_hours=1).collect(fresh_client, spec)
+        assert hourly.quota_units > daily.quota_units
+        # ...but do not reach a different population (same churn mechanism).
+        overlap = len(daily.video_ids & hourly.video_ids) / len(
+            daily.video_ids | hourly.video_ids
+        )
+        assert overlap > 0.9
+
+    def test_bad_bin_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSplitStrategy(bin_hours=0)
+
+    def test_units_per_video(self, fresh_client, small_specs):
+        spec = topic_by_key("higgs", small_specs)
+        result = TimeSplitStrategy(bin_hours=24).collect(fresh_client, spec)
+        assert result.units_per_video == pytest.approx(
+            result.quota_units / len(result.video_ids)
+        )
+
+
+class TestTopicSplit:
+    def test_queries_include_subtopics(self, small_specs):
+        spec = topic_by_key("worldcup", small_specs)
+        strategy = TopicSplitStrategy()
+        queries = strategy.queries_for(spec)
+        assert spec.query in queries
+        assert all(sub.query in queries for sub in spec.subtopics)
+
+    def test_without_umbrella(self, small_specs):
+        spec = topic_by_key("worldcup", small_specs)
+        queries = TopicSplitStrategy(include_umbrella=False).queries_for(spec)
+        assert spec.query not in queries
+
+    def test_umbrella_falls_back_when_no_subtopics(self, small_specs):
+        import dataclasses
+
+        spec = dataclasses.replace(topic_by_key("higgs", small_specs), subtopics=())
+        queries = TopicSplitStrategy(include_umbrella=False).queries_for(spec)
+        assert queries == [spec.query]
+
+    def test_cheaper_than_hourly_timesplit(self, fresh_client, small_specs):
+        spec = topic_by_key("worldcup", small_specs)
+        split = TopicSplitStrategy().collect(fresh_client, spec)
+        hourly = TimeSplitStrategy(bin_hours=1).collect(fresh_client, spec)
+        assert split.quota_units < hourly.quota_units / 5
+
+
+class TestChannelPipeline:
+    def test_requires_channels(self):
+        with pytest.raises(ValueError):
+            ChannelPipelineStrategy([])
+
+    def test_collects_window_videos_only(self, fresh_client, small_specs):
+        spec = topic_by_key("brexit", small_specs)
+        pipeline = ChannelPipelineStrategy.from_seed_search(
+            fresh_client, spec, max_channels=20
+        )
+        result = pipeline.collect(fresh_client, spec)
+        assert result.video_ids
+        store = fresh_client.service.store
+        for vid in result.video_ids:
+            video = store.video(vid)
+            assert spec.window_start <= video.published_at < spec.window_end
+
+    def test_id_endpoints_only_after_seed(self, fresh_client, small_specs):
+        spec = topic_by_key("brexit", small_specs)
+        pipeline = ChannelPipelineStrategy.from_seed_search(
+            fresh_client, spec, max_channels=10
+        )
+        calls_before = dict(fresh_client.service.transport.calls_by_endpoint())
+        pipeline.collect(fresh_client, spec)
+        calls_after = fresh_client.service.transport.calls_by_endpoint()
+        assert calls_after.get("search.list", 0) == calls_before.get("search.list", 0)
+        assert calls_after["playlistItems.list"] > calls_before.get(
+            "playlistItems.list", 0
+        )
+
+    def test_perfectly_replicable(self, fresh_client, small_specs, campaign_start):
+        spec = topic_by_key("grammys", small_specs)
+        pipeline = ChannelPipelineStrategy.from_seed_search(
+            fresh_client, spec, max_channels=15
+        )
+        evaluation = evaluate_strategy(
+            pipeline, fresh_client, spec, campaign_start, n_runs=3
+        )
+        assert evaluation.j_successive_mean == pytest.approx(1.0)
+        assert evaluation.j_first_last == pytest.approx(1.0)
+
+
+class TestEvaluator:
+    def test_paper_ranking(self, fresh_client, small_specs, campaign_start):
+        """Section 6's qualitative ranking: channel pipeline >= topic split >
+        time split on replicability; time split costs the most."""
+        spec = topic_by_key("worldcup", small_specs)
+        time_split = evaluate_strategy(
+            TimeSplitStrategy(bin_hours=24), fresh_client, spec, campaign_start,
+            n_runs=3,
+        )
+        topic_split = evaluate_strategy(
+            TopicSplitStrategy(), fresh_client, spec, campaign_start, n_runs=3
+        )
+        assert topic_split.j_first_last > time_split.j_first_last
+        assert topic_split.units_per_run < time_split.units_per_run
+
+    def test_coverage_against_ground_truth(self, fresh_client, small_specs, campaign_start):
+        spec = topic_by_key("higgs", small_specs)
+        evaluation = evaluate_strategy(
+            TimeSplitStrategy(bin_hours=24), fresh_client, spec, campaign_start,
+            n_runs=2,
+        )
+        assert 0.5 < evaluation.coverage <= 1.0  # higgs is near-saturated
+
+    def test_needs_two_runs(self, fresh_client, small_specs, campaign_start):
+        spec = topic_by_key("higgs", small_specs)
+        with pytest.raises(ValueError):
+            evaluate_strategy(
+                TimeSplitStrategy(), fresh_client, spec, campaign_start, n_runs=1
+            )
+
+
+class TestPlanner:
+    def test_tiny_topic_accepted_whole(self, fresh_client, small_specs):
+        spec = topic_by_key("higgs", small_specs)
+        plan = QueryPlanner(pool_threshold=200_000).plan(fresh_client, spec)
+        assert [p.query for p in plan.accepted] == [spec.query]
+        assert plan.rejected == []
+        assert plan.probe_units == 100
+
+    def test_huge_topic_decomposed(self, fresh_client, small_specs):
+        spec = topic_by_key("worldcup", small_specs)
+        plan = QueryPlanner(pool_threshold=300_000).plan(fresh_client, spec)
+        assert spec.query in [p.query for p in plan.rejected]
+        # Probing cost: umbrella + each subtopic.
+        assert plan.probe_units == (1 + len(spec.subtopics)) * 100
+
+    def test_estimated_sweep_units(self, fresh_client, small_specs):
+        spec = topic_by_key("higgs", small_specs)
+        plan = QueryPlanner(pool_threshold=200_000).plan(fresh_client, spec)
+        assert plan.estimated_sweep_units >= 100
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            QueryPlanner(pool_threshold=0)

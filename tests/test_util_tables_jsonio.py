@@ -1,0 +1,135 @@
+"""Tests for table rendering and JSONL persistence."""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+import numpy as np
+import pytest
+
+from repro.util.jsonio import append_jsonl, dump_json, load_json, read_jsonl, write_jsonl
+from repro.util.tables import (
+    format_count,
+    format_number,
+    render_table,
+    significance_stars,
+)
+from repro.util.timeutil import UTC
+
+
+class TestFormatNumber:
+    def test_none(self):
+        assert format_number(None) == "N/A"
+
+    def test_nan(self):
+        assert format_number(float("nan")) == "N/A"
+
+    def test_int(self):
+        assert format_number(42) == "42"
+
+    def test_float_rounding(self):
+        assert format_number(3.14159, digits=2) == "3.14"
+
+    def test_whole_float(self):
+        assert format_number(5.0) == "5"
+
+    def test_string_passthrough(self):
+        assert format_number("abc") == "abc"
+
+
+class TestFormatCount:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (1_000_000, "1M"),
+            (982_000, "982k"),
+            (999_900, "1M"),
+            (12_800, "12.8k"),
+            (5_500, "5.5k"),
+            (639, "639"),
+            (1_350_000, "1.35M"),
+        ],
+    )
+    def test_values(self, value, expected):
+        assert format_count(value) == expected
+
+
+class TestStars:
+    @pytest.mark.parametrize(
+        "p,stars",
+        [(0.0001, "***"), (0.005, "**"), (0.03, "*"), (0.2, ""), (float("nan"), "")],
+    )
+    def test_thresholds(self, p, stars):
+        assert significance_stars(p) == stars
+
+
+class TestRenderTable:
+    def test_basic(self):
+        out = render_table(["a", "b"], [[1, 2], [30, 4.5]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "| a " in lines[1]
+        assert "| 30" in lines[4]
+
+    def test_alignment(self):
+        out = render_table(["col"], [["x"], ["longer"]])
+        widths = {len(line) for line in out.splitlines()}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_wrong_row_width(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+
+class TestJsonl:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        records = [{"x": 1}, {"y": [1, 2]}, "plain string"]
+        assert write_jsonl(path, records) == 3
+        assert list(read_jsonl(path)) == records
+
+    def test_gzip_roundtrip(self, tmp_path):
+        path = tmp_path / "data.jsonl.gz"
+        write_jsonl(path, [{"k": i} for i in range(100)])
+        assert len(list(read_jsonl(path))) == 100
+
+    def test_append(self, tmp_path):
+        path = tmp_path / "a.jsonl"
+        write_jsonl(path, [{"n": 1}])
+        append_jsonl(path, [{"n": 2}])
+        assert [r["n"] for r in read_jsonl(path)] == [1, 2]
+
+    def test_special_types(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        write_jsonl(
+            path,
+            [
+                {
+                    "dt": datetime(2025, 2, 9, tzinfo=UTC),
+                    "arr": np.array([1, 2]),
+                    "i64": np.int64(7),
+                    "f64": np.float64(1.5),
+                    "set": {3, 1, 2},
+                }
+            ],
+        )
+        [record] = list(read_jsonl(path))
+        assert record["dt"] == "2025-02-09T00:00:00Z"
+        assert record["arr"] == [1, 2]
+        assert record["i64"] == 7
+        assert record["set"] == [1, 2, 3]
+
+    def test_invalid_json_reports_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            list(read_jsonl(path))
+
+    def test_unserializable_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            write_jsonl(tmp_path / "x.jsonl", [{"obj": object()}])
+
+    def test_dump_load_json(self, tmp_path):
+        path = tmp_path / "doc.json"
+        dump_json(path, {"a": [1, 2], "b": "c"})
+        assert load_json(path) == {"a": [1, 2], "b": "c"}

@@ -1,0 +1,129 @@
+"""Tests for RFC 3339 / ISO 8601 / binning helpers."""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.util.timeutil import (
+    UTC,
+    day_index,
+    day_range,
+    ensure_utc,
+    floor_day,
+    floor_hour,
+    format_iso8601_duration,
+    format_rfc3339,
+    hour_index,
+    hour_range,
+    parse_iso8601_duration,
+    parse_rfc3339,
+)
+
+
+class TestRfc3339:
+    def test_roundtrip(self):
+        dt = datetime(2025, 2, 9, 13, 45, 12, tzinfo=UTC)
+        assert parse_rfc3339(format_rfc3339(dt)) == dt
+
+    def test_parse_z_suffix(self):
+        dt = parse_rfc3339("2016-06-23T00:00:00Z")
+        assert dt == datetime(2016, 6, 23, tzinfo=UTC)
+
+    def test_parse_lowercase_and_fraction(self):
+        dt = parse_rfc3339("2020-05-25t10:20:30.500z")
+        assert dt.microsecond == 500_000
+
+    def test_parse_offset(self):
+        dt = parse_rfc3339("2021-01-06T05:00:00+05:00")
+        assert dt == datetime(2021, 1, 6, 0, 0, tzinfo=UTC)
+
+    def test_parse_negative_offset(self):
+        dt = parse_rfc3339("2021-01-06T00:00:00-03:30")
+        assert dt == datetime(2021, 1, 6, 3, 30, tzinfo=UTC)
+
+    @pytest.mark.parametrize(
+        "bad", ["", "2021-01-06", "not a date", "2021-13-01T00:00:00Z", 42]
+    )
+    def test_parse_invalid(self, bad):
+        with pytest.raises(ValueError):
+            parse_rfc3339(bad)
+
+    def test_format_rejects_naive(self):
+        with pytest.raises(ValueError):
+            format_rfc3339(datetime(2021, 1, 1))
+
+    def test_ensure_utc_converts(self):
+        from datetime import timezone
+
+        eastern = timezone(timedelta(hours=-5))
+        dt = datetime(2021, 1, 6, 0, 0, tzinfo=eastern)
+        assert ensure_utc(dt).hour == 5
+
+
+class TestIsoDuration:
+    @pytest.mark.parametrize(
+        "text,seconds",
+        [
+            ("PT0S", 0),
+            ("PT30S", 30),
+            ("PT4M", 240),
+            ("PT1H2M3S", 3723),
+            ("P1DT1S", 86401),
+            ("PT10H", 36000),
+        ],
+    )
+    def test_parse(self, text, seconds):
+        assert parse_iso8601_duration(text) == seconds
+
+    @pytest.mark.parametrize("seconds", [0, 5, 59, 60, 3600, 3723, 86401])
+    def test_roundtrip(self, seconds):
+        assert parse_iso8601_duration(format_iso8601_duration(seconds)) == seconds
+
+    @pytest.mark.parametrize("bad", ["", "P", "1H", "PT1X"])
+    def test_parse_invalid(self, bad):
+        with pytest.raises(ValueError):
+            parse_iso8601_duration(bad)
+
+    def test_format_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_iso8601_duration(-1)
+
+
+class TestBinning:
+    def test_hour_range_length(self):
+        start = datetime(2025, 2, 9, tzinfo=UTC)
+        hours = list(hour_range(start, start + timedelta(days=2)))
+        assert len(hours) == 48
+        assert hours[0] == start
+        assert hours[-1] == start + timedelta(hours=47)
+
+    def test_hour_range_empty(self):
+        start = datetime(2025, 2, 9, tzinfo=UTC)
+        assert list(hour_range(start, start)) == []
+
+    def test_day_range(self):
+        start = datetime(2025, 2, 9, 5, tzinfo=UTC)
+        days = list(day_range(start, start + timedelta(days=3)))
+        assert len(days) == 4  # floored start day + 3 (partial end)
+        assert all(d.hour == 0 for d in days)
+
+    def test_floor_hour(self):
+        dt = datetime(2025, 2, 9, 13, 45, 12, tzinfo=UTC)
+        assert floor_hour(dt) == datetime(2025, 2, 9, 13, tzinfo=UTC)
+
+    def test_floor_day(self):
+        dt = datetime(2025, 2, 9, 13, 45, 12, tzinfo=UTC)
+        assert floor_day(dt) == datetime(2025, 2, 9, tzinfo=UTC)
+
+    def test_hour_index(self):
+        anchor = datetime(2025, 2, 9, tzinfo=UTC)
+        assert hour_index(anchor, anchor) == 0
+        assert hour_index(anchor, anchor + timedelta(hours=5, minutes=30)) == 5
+        assert hour_index(anchor, anchor - timedelta(hours=1)) == -1
+
+    def test_day_index(self):
+        anchor = datetime(2025, 2, 9, tzinfo=UTC)
+        assert day_index(anchor, anchor + timedelta(days=5)) == 5
+        assert day_index(anchor, anchor + timedelta(hours=23)) == 0

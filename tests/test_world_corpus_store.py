@@ -1,0 +1,220 @@
+"""Tests for corpus generation and the platform store."""
+
+from __future__ import annotations
+
+from datetime import timedelta
+
+import numpy as np
+import pytest
+
+from repro.world import build_world
+from repro.world.entities import Video
+from repro.world.store import PlatformStore, growth_factor, tokenize
+from repro.world.topics import topic_by_key
+
+
+@pytest.fixture(scope="module")
+def store(small_world_module):
+    return PlatformStore(small_world_module)
+
+
+@pytest.fixture(scope="module")
+def small_world_module():
+    from repro.world.corpus import scale_topics
+    from repro.world.topics import paper_topics
+
+    return build_world(scale_topics(paper_topics(), 0.15), seed=77)
+
+
+class TestWorldGeneration:
+    def test_determinism(self, small_world_module):
+        from repro.world.corpus import scale_topics
+        from repro.world.topics import paper_topics
+
+        again = build_world(scale_topics(paper_topics(), 0.15), seed=77)
+        assert set(again.videos) == set(small_world_module.videos)
+        vid = next(iter(again.videos))
+        assert again.videos[vid].title == small_world_module.videos[vid].title
+
+    def test_different_seed_different_world(self, small_world_module):
+        from repro.world.corpus import scale_topics
+        from repro.world.topics import paper_topics
+
+        other = build_world(scale_topics(paper_topics(), 0.15), seed=78)
+        assert set(other.videos) != set(small_world_module.videos)
+
+    def test_topic_corpus_sizes(self, small_world_module):
+        from repro.world.corpus import scale_topics
+        from repro.world.topics import paper_topics
+
+        for spec in scale_topics(paper_topics(), 0.15):
+            assert len(small_world_module.videos_for_topic(spec.key)) == spec.n_videos
+
+    def test_videos_within_topic_window(self, small_world_module):
+        from repro.world.corpus import scale_topics
+        from repro.world.topics import paper_topics
+
+        for spec in scale_topics(paper_topics(), 0.15):
+            for video in small_world_module.videos_for_topic(spec.key):
+                assert spec.window_start <= video.published_at < spec.window_end
+
+    def test_every_video_has_channel(self, small_world_module):
+        for video in small_world_module.videos.values():
+            assert video.channel_id in small_world_module.channels
+
+    def test_channels_predate_uploads(self, small_world_module):
+        for video in small_world_module.videos.values():
+            channel = small_world_module.channels[video.channel_id]
+            assert channel.created_at < video.published_at
+
+    def test_query_terms_present_in_text(self, small_world_module):
+        from repro.world.corpus import scale_topics
+        from repro.world.topics import paper_topics
+
+        for spec in scale_topics(paper_topics(), 0.15):
+            for video in small_world_module.videos_for_topic(spec.key)[:20]:
+                text = (video.title + " " + video.description).lower()
+                tokens = set(tokenize(text)) | set(t.lower() for t in video.tags)
+                for term in tokenize(spec.query):
+                    assert term in tokens
+
+    def test_subtopic_assignment_marks_text(self, small_world_module):
+        spec = topic_by_key("worldcup")
+        sub_tokens = set(tokenize(spec.subtopics[0].query))  # brazil world cup
+        hits = 0
+        for video in small_world_module.videos_for_topic("worldcup"):
+            tokens = set(tokenize(video.title)) | set(t.lower() for t in video.tags)
+            if sub_tokens <= tokens:
+                hits += 1
+        n = len(small_world_module.videos_for_topic("worldcup"))
+        assert 0.1 <= hits / n <= 0.45  # share ~0.24 with sampling noise
+
+    def test_some_deletions_exist(self, small_world_module):
+        deleted = [v for v in small_world_module.videos.values() if v.deleted_at]
+        assert 0 < len(deleted) < 0.15 * len(small_world_module.videos)
+
+    def test_duplicate_topic_keys_rejected(self):
+        from repro.world.topics import PAPER_TOPICS
+
+        with pytest.raises(ValueError):
+            build_world((PAPER_TOPICS[0], PAPER_TOPICS[0]), seed=1)
+
+    def test_summary_counts(self, small_world_module):
+        summary = small_world_module.summary()
+        assert summary["videos"] == len(small_world_module.videos)
+        assert summary["topics"] == 6
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        assert tokenize("Higgs BOSON found!") == ["higgs", "boson", "found"]
+
+    def test_keeps_apostrophes_and_digits(self):
+        assert tokenize("2024's game") == ["2024's", "game"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+
+class TestGrowthFactor:
+    def test_zero_age(self):
+        assert growth_factor(0) == 0.0
+        assert growth_factor(-5) == 0.0
+
+    def test_monotone_saturating(self):
+        values = [growth_factor(d) for d in (1, 7, 21, 90, 365, 3650)]
+        assert values == sorted(values)
+        assert values[-1] > 0.99
+        assert growth_factor(21) == pytest.approx(0.5)
+
+
+class TestStore:
+    def test_candidates_and_semantics(self, store):
+        higgs = store.candidates_for_tokens(["higgs", "boson"])
+        assert higgs
+        # AND semantics: adding an unrelated token empties the set.
+        assert store.candidates_for_tokens(["higgs", "brexit"]) == set()
+
+    def test_unknown_token_empty(self, store):
+        assert store.candidates_for_tokens(["zzzznonexistent"]) == set()
+
+    def test_empty_tokens_match_all(self, store):
+        assert len(store.candidates_for_tokens([])) == len(store.world.videos)
+
+    def test_videos_in_window(self, store):
+        spec = topic_by_key("brexit")
+        mid = spec.focal_date
+        vids = store.videos_in_window(mid, mid + timedelta(days=1), spec.window_end)
+        assert all(mid <= v.published_at < mid + timedelta(days=1) for v in vids)
+
+    def test_alive_filtering(self, store):
+        deleted = [v for v in store.world.videos.values() if v.deleted_at]
+        assert deleted
+        victim = deleted[0]
+        before = store.videos_in_window(
+            victim.published_at, victim.published_at + timedelta(seconds=1),
+            victim.published_at + timedelta(days=1),
+        )
+        after = store.videos_in_window(
+            victim.published_at, victim.published_at + timedelta(seconds=1),
+            victim.deleted_at + timedelta(days=1),
+        )
+        assert victim.video_id in {v.video_id for v in before}
+        assert victim.video_id not in {v.video_id for v in after}
+
+    def test_uploads_newest_first(self, store):
+        channel_id = next(iter(store.world.channels))
+        spec = topic_by_key(store.world.channels[channel_id].topic)
+        uploads = store.uploads(channel_id, spec.window_end + timedelta(days=365))
+        times = [v.published_at for v in uploads]
+        assert times == sorted(times, reverse=True)
+
+    def test_metrics_growth_over_time(self, store):
+        video = next(iter(store.world.videos.values()))
+        early = store.metrics_at(video, video.published_at + timedelta(days=2))
+        late = store.metrics_at(video, video.published_at + timedelta(days=2000))
+        assert early[0] < late[0] <= video.view_count
+
+    def test_threads_deletion_filtering(self, store):
+        # A thread disappears with its top-level comment.
+        for vid, threads in store.world.threads_by_video.items():
+            for thread in threads:
+                if thread.top_level.deleted_at is not None:
+                    visible = store.threads_for_video(
+                        vid, thread.top_level.deleted_at + timedelta(days=1)
+                    )
+                    assert thread.thread_id not in {t.thread_id for t in visible}
+                    return
+        pytest.skip("no deleted top-level comment in this world")
+
+    def test_channel_for_playlist(self, store):
+        channel = next(iter(store.world.channels.values()))
+        assert store.channel_for_playlist(channel.uploads_playlist_id) is channel
+        assert store.channel_for_playlist("UUnonexistent") is None
+
+
+class TestEntities:
+    def test_video_validation(self):
+        from datetime import datetime
+
+        from repro.util.timeutil import UTC
+
+        with pytest.raises(ValueError):
+            Video(
+                video_id="x" * 11, channel_id="UC" + "x" * 22, title="t",
+                description="d", tags=(), published_at=datetime(2020, 1, 1, tzinfo=UTC),
+                duration_seconds=0, definition="hd", category_id="25", topic="t",
+                view_count=1, like_count=1, comment_count=1,
+            )
+        with pytest.raises(ValueError):
+            Video(
+                video_id="x" * 11, channel_id="UC" + "x" * 22, title="t",
+                description="d", tags=(), published_at=datetime(2020, 1, 1, tzinfo=UTC),
+                duration_seconds=10, definition="4k", category_id="25", topic="t",
+                view_count=1, like_count=1, comment_count=1,
+            )
+
+    def test_alive_at(self, store):
+        video = next(iter(store.world.videos.values()))
+        assert not video.alive_at(video.published_at - timedelta(seconds=1))
+        assert video.alive_at(video.published_at + timedelta(seconds=1))

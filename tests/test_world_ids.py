@@ -1,0 +1,76 @@
+"""Tests for YouTube-format ID minting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.world import ids
+
+
+class TestVideoIds:
+    def test_shape(self):
+        vid = ids.video_id(1, 0)
+        assert ids.is_video_id(vid)
+        assert len(vid) == 11
+
+    def test_deterministic(self):
+        assert ids.video_id(1, 5) == ids.video_id(1, 5)
+
+    def test_distinct_by_ordinal_and_seed(self):
+        assert ids.video_id(1, 0) != ids.video_id(1, 1)
+        assert ids.video_id(1, 0) != ids.video_id(2, 0)
+
+    def test_no_collisions_in_bulk(self):
+        vids = {ids.video_id(7, i) for i in range(20_000)}
+        assert len(vids) == 20_000
+
+
+class TestChannelIds:
+    def test_shape(self):
+        cid = ids.channel_id(1, 0)
+        assert ids.is_channel_id(cid)
+        assert cid.startswith("UC")
+        assert len(cid) == 24
+
+    def test_uploads_playlist_derivation(self):
+        cid = ids.channel_id(1, 3)
+        pl = ids.uploads_playlist_id(cid)
+        assert ids.is_playlist_id(pl)
+        assert pl[2:] == cid[2:]  # shared suffix, like the real platform
+
+    def test_uploads_playlist_rejects_non_channel(self):
+        with pytest.raises(ValueError):
+            ids.uploads_playlist_id("dQw4w9WgXcQ")
+
+
+class TestCommentIds:
+    def test_thread_shape(self):
+        tid = ids.comment_id(1, 0)
+        assert tid.startswith("Ug")
+        assert len(tid) == 26
+
+    def test_reply_nested_under_thread(self):
+        tid = ids.comment_id(1, 0)
+        rid = ids.reply_id(tid, 0)
+        assert rid.startswith(tid + ".")
+
+    def test_reply_distinct_by_ordinal(self):
+        tid = ids.comment_id(1, 0)
+        assert ids.reply_id(tid, 0) != ids.reply_id(tid, 1)
+
+
+class TestValidators:
+    @pytest.mark.parametrize(
+        "value", ["", "short", "x" * 11 + "!", None, 123, "UCabc"]
+    )
+    def test_is_video_id_rejects(self, value):
+        if isinstance(value, str) and len(value) == 11:
+            assert not ids.is_video_id(value)
+        else:
+            assert not ids.is_video_id(value)  # type: ignore[arg-type]
+
+    def test_is_channel_id_rejects_video(self):
+        assert not ids.is_channel_id(ids.video_id(1, 0))
+
+    def test_is_playlist_id_rejects_channel(self):
+        assert not ids.is_playlist_id(ids.channel_id(1, 0))

@@ -1,0 +1,92 @@
+"""Tests for the correlated popularity metric generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util.rng import SeedBank
+from repro.world.popularity import draw_channel_metrics, draw_video_metrics
+
+
+@pytest.fixture(scope="module")
+def video_draws():
+    rng = SeedBank(9).generator("pop")
+    return draw_video_metrics(8000, rng, era_year=2020)
+
+
+@pytest.fixture(scope="module")
+def channel_draws():
+    rng = SeedBank(9).generator("chan")
+    return draw_channel_metrics(8000, rng)
+
+
+class TestVideoMetrics:
+    def test_shapes_and_positivity(self, video_draws):
+        d = video_draws
+        assert d.views.shape == (8000,)
+        assert d.views.min() >= 1
+        assert d.likes.min() >= 0
+        assert d.comments.min() >= 0
+        assert d.duration_seconds.min() >= 5
+
+    def test_likes_bounded_by_views(self, video_draws):
+        assert np.all(video_draws.likes <= video_draws.views)
+        assert np.all(video_draws.comments <= video_draws.views)
+
+    def test_views_likes_correlation_matches_paper(self, video_draws):
+        r = np.corrcoef(np.log1p(video_draws.views), np.log1p(video_draws.likes))[0, 1]
+        assert 0.87 <= r <= 0.96  # paper: r = 0.92
+
+    def test_views_comments_correlation_matches_paper(self, video_draws):
+        r = np.corrcoef(
+            np.log1p(video_draws.views), np.log1p(video_draws.comments)
+        )[0, 1]
+        assert 0.84 <= r <= 0.94  # paper: r = 0.89
+
+    def test_heavy_tail(self, video_draws):
+        # Top percentile dwarfs the median: lognormal-like skew.
+        assert np.quantile(video_draws.views, 0.99) > 50 * np.median(video_draws.views)
+
+    def test_duration_mixture(self, video_draws):
+        shorts = np.mean(video_draws.duration_seconds < 70)
+        assert 0.08 <= shorts <= 0.25  # the short-clip mode exists
+
+    def test_definition_era_dependence(self):
+        rng = SeedBank(1).generator("a")
+        old = draw_video_metrics(4000, rng, era_year=2012)
+        rng = SeedBank(1).generator("b")
+        new = draw_video_metrics(4000, rng, era_year=2024)
+        hd_old = np.mean(old.definition == "hd")
+        hd_new = np.mean(new.definition == "hd")
+        assert hd_new > hd_old + 0.2
+
+    def test_zero_size(self):
+        rng = SeedBank(1).generator("z")
+        d = draw_video_metrics(0, rng, era_year=2020)
+        assert d.views.shape == (0,)
+
+    def test_negative_rejected(self):
+        rng = SeedBank(1).generator("z")
+        with pytest.raises(ValueError):
+            draw_video_metrics(-1, rng, era_year=2020)
+
+
+class TestChannelMetrics:
+    def test_views_subs_correlation_matches_paper(self, channel_draws):
+        r = np.corrcoef(
+            np.log1p(channel_draws.views), np.log1p(channel_draws.subscribers)
+        )[0, 1]
+        assert 0.94 <= r <= 0.99  # paper: r = 0.97
+
+    def test_ages_bounded(self, channel_draws):
+        assert channel_draws.age_days.min() >= 180
+        assert channel_draws.age_days.max() <= 14 * 365
+
+    def test_video_counts_positive(self, channel_draws):
+        assert channel_draws.video_count.min() >= 1
+
+    def test_negative_rejected(self):
+        rng = SeedBank(1).generator("z")
+        with pytest.raises(ValueError):
+            draw_channel_metrics(-2, rng)

@@ -1,0 +1,171 @@
+"""Tests for topic specs and temporal profiles."""
+
+from __future__ import annotations
+
+import dataclasses
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.util.rng import SeedBank
+from repro.util.timeutil import UTC
+from repro.world.corpus import scale_topic, scale_topics
+from repro.world.temporal import (
+    daily_weights,
+    hour_grid,
+    sample_upload_times,
+    upload_weights,
+)
+from repro.world.topics import PAPER_TOPICS, SubtopicSpec, TopicSpec, topic_by_key
+
+
+class TestPaperTopics:
+    def test_six_topics(self):
+        assert len(PAPER_TOPICS) == 6
+        assert {s.key for s in PAPER_TOPICS} == {
+            "blm", "brexit", "capriot", "grammys", "higgs", "worldcup",
+        }
+
+    def test_queries_match_appendix_a(self):
+        by_key = {s.key: s.query for s in PAPER_TOPICS}
+        assert by_key["blm"] == "black lives matter"
+        assert by_key["brexit"] == "brexit referendum"
+        assert by_key["capriot"] == "us capitol"
+        assert by_key["grammys"] == "grammy awards"
+        assert by_key["higgs"] == "higgs boson"
+        assert by_key["worldcup"] == "fifa world cup"
+
+    def test_focal_dates_match_appendix_a(self):
+        by_key = {s.key: s.focal_date for s in PAPER_TOPICS}
+        assert by_key["blm"] == datetime(2020, 5, 25, tzinfo=UTC)
+        assert by_key["brexit"] == datetime(2016, 6, 23, tzinfo=UTC)
+        assert by_key["capriot"] == datetime(2021, 1, 6, tzinfo=UTC)
+        assert by_key["grammys"] == datetime(2024, 2, 4, tzinfo=UTC)
+        assert by_key["higgs"] == datetime(2012, 7, 4, tzinfo=UTC)
+        assert by_key["worldcup"] == datetime(2014, 6, 12, tzinfo=UTC)
+
+    def test_window_is_28_days(self):
+        for spec in PAPER_TOPICS:
+            assert spec.window_end - spec.window_start == timedelta(days=28)
+            assert spec.window_hours == 672
+
+    def test_higgs_is_smallest_and_most_saturated(self):
+        higgs = topic_by_key("higgs")
+        others = [s for s in PAPER_TOPICS if s.key != "higgs"]
+        assert all(higgs.n_videos < s.n_videos for s in others)
+        assert all(higgs.saturation > s.saturation for s in others)
+
+    def test_higgs_has_replies_disabled(self):
+        assert not topic_by_key("higgs").replies_enabled
+        assert topic_by_key("blm").replies_enabled
+
+    def test_pool_canonicals_order(self):
+        # The three "small" topics of Table 4 must be below the 1M cap.
+        for key in ("brexit", "grammys", "higgs"):
+            assert topic_by_key(key).pool_canonical < 1_000_000
+        for key in ("blm", "capriot", "worldcup"):
+            assert topic_by_key(key).pool_canonical > 1_000_000
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(KeyError):
+            topic_by_key("nonexistent")
+
+
+class TestTopicSpecValidation:
+    def _base(self, **kwargs):
+        defaults = dict(
+            key="t", label="T", query="some topic", category_id="25",
+            focal_date=datetime(2020, 1, 1, tzinfo=UTC),
+        )
+        defaults.update(kwargs)
+        return TopicSpec(**defaults)
+
+    def test_naive_focal_rejected(self):
+        with pytest.raises(ValueError):
+            self._base(focal_date=datetime(2020, 1, 1))
+
+    def test_bad_profile_rejected(self):
+        with pytest.raises(ValueError):
+            self._base(profile="exotic")
+
+    def test_budget_exceeding_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            self._base(n_videos=100, return_budget=101)
+
+    def test_subtopic_share_validation(self):
+        with pytest.raises(ValueError):
+            SubtopicSpec("x", "x q", 0.0)
+        with pytest.raises(ValueError):
+            self._base(
+                subtopics=(SubtopicSpec("a", "a", 0.6), SubtopicSpec("b", "b", 0.6))
+            )
+
+
+class TestScaling:
+    def test_scale_preserves_keys(self):
+        scaled = scale_topics(PAPER_TOPICS, 0.2)
+        assert [s.key for s in scaled] == [s.key for s in PAPER_TOPICS]
+
+    def test_scale_shrinks_and_stays_valid(self):
+        for spec in scale_topics(PAPER_TOPICS, 0.1):
+            assert spec.return_budget <= spec.n_videos
+
+    def test_scale_one_is_identity(self):
+        assert scale_topic(PAPER_TOPICS[0], 1.0) is PAPER_TOPICS[0]
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            scale_topic(PAPER_TOPICS[0], 0.0)
+        with pytest.raises(ValueError):
+            scale_topic(PAPER_TOPICS[0], 1.5)
+
+
+class TestTemporalProfiles:
+    def test_weights_normalized_positive(self):
+        for spec in PAPER_TOPICS:
+            w = upload_weights(spec)
+            assert w.shape == (spec.window_hours,)
+            assert np.all(w > 0)
+            assert w.sum() == pytest.approx(1.0)
+
+    def test_daily_weights_sum(self):
+        spec = topic_by_key("brexit")
+        d = daily_weights(spec)
+        assert d.shape == (28,)
+        assert d.sum() == pytest.approx(1.0)
+
+    def test_impulse_peaks_at_focal(self):
+        spec = topic_by_key("brexit")
+        d = daily_weights(spec)
+        assert abs(int(np.argmax(d)) - 14) <= 1
+
+    def test_blm_peak_is_offset(self):
+        spec = topic_by_key("blm")
+        d = daily_weights(spec)
+        # Peak around Blackout Tuesday: focal day + ~8.
+        assert 20 <= int(np.argmax(d)) <= 24
+
+    def test_sustained_stays_elevated(self):
+        spec = topic_by_key("worldcup")
+        d = daily_weights(spec)
+        # Post-focal days stay clearly above the pre-focal baseline.
+        assert d[18:27].mean() > 2.0 * d[2:10].mean()
+
+    def test_hour_grid_matches_window(self):
+        spec = topic_by_key("higgs")
+        grid = hour_grid(spec)
+        assert grid[0] == spec.window_start
+        assert grid[-1] == spec.window_end - timedelta(hours=1)
+
+    def test_sample_upload_times_sorted_in_window(self):
+        spec = topic_by_key("grammys")
+        rng = SeedBank(1).generator("t")
+        times = sample_upload_times(spec, 500, rng)
+        assert times == sorted(times)
+        assert all(spec.window_start <= t < spec.window_end for t in times)
+
+    def test_sample_negative_rejected(self):
+        rng = SeedBank(1).generator("t")
+        with pytest.raises(ValueError):
+            sample_upload_times(PAPER_TOPICS[0], -1, rng)
