@@ -1,0 +1,17 @@
+# Repository verification targets.
+#
+#   make verify    tier-1 test suite + documentation link check
+#   make test      tier-1 test suite only
+#   make doclinks  README.md / docs/*.md cross-reference check only
+
+PYTHON ?= python
+
+.PHONY: verify test doclinks
+
+verify: test doclinks
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+doclinks:
+	$(PYTHON) tools/check_doc_links.py

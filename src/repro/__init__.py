@@ -13,6 +13,11 @@ The package has three layers:
 3. **Practice** — the collection strategies the paper evaluates and
    recommends (:mod:`repro.strategies`).
 
+Cross-cutting the layers, :mod:`repro.obs` provides tracing, metrics, and
+quota accounting for collection runs (attach a
+:class:`~repro.obs.CampaignObserver` via ``build_service(...,
+observer=...)``); see ``docs/OBSERVABILITY.md``.
+
 Quickstart::
 
     from repro import build_world, build_service, YouTubeClient
@@ -26,6 +31,7 @@ Quickstart::
 
 from repro.api import YouTubeClient, YouTubeService, build_service
 from repro.core import paper_campaign_config, run_campaign
+from repro.obs import CampaignObserver, NullObserver
 from repro.world import PAPER_TOPICS, PlatformStore, build_world
 
 __version__ = "1.0.0"
@@ -39,5 +45,7 @@ __all__ = [
     "YouTubeService",
     "PlatformStore",
     "PAPER_TOPICS",
+    "CampaignObserver",
+    "NullObserver",
     "__version__",
 ]

@@ -10,8 +10,9 @@ from __future__ import annotations
 
 from typing import Callable, Iterator
 
-from repro.api.errors import TransientServerError
+from repro.api.errors import ApiError, TransientServerError
 from repro.api.service import YouTubeService
+from repro.obs.observer import NullObserver, Observer
 
 __all__ = ["YouTubeClient"]
 
@@ -24,6 +25,7 @@ class YouTubeClient:
         service: YouTubeService,
         max_retries: int = 3,
         backoff: Callable[[int], None] | None = None,
+        observer: Observer | None = None,
     ) -> None:
         if max_retries < 0:
             raise ValueError("max_retries must be non-negative")
@@ -31,50 +33,77 @@ class YouTubeClient:
         self._max_retries = max_retries
         # Default backoff is a no-op: time is virtual in this simulator.
         self._backoff = backoff or (lambda attempt: None)
+        # Inherit the service's observer so one attachment point covers
+        # the whole stack; retries/errors are client-level events the
+        # service cannot see (a retried call never reached begin_call).
+        self._observer = (
+            observer or getattr(service, "observer", None) or NullObserver()
+        )
 
     @property
     def service(self) -> YouTubeService:
         """The underlying service (clock, quota, transport access)."""
         return self._service
 
-    def _call(self, fn: Callable[[], dict]) -> dict:
+    @property
+    def observer(self) -> Observer:
+        """The observability hooks this client reports retries/errors to."""
+        return self._observer
+
+    def _call(self, fn: Callable[[], dict], endpoint: str = "unknown") -> dict:
         """Invoke an endpoint with retry on transient server errors."""
         attempt = 0
         while True:
             try:
                 return fn()
-            except TransientServerError:
+            except TransientServerError as exc:
                 attempt += 1
                 if attempt > self._max_retries:
+                    self._observer.on_api_error(endpoint, exc)
                     raise
+                self._observer.on_api_retry(endpoint, attempt, exc)
                 self._backoff(attempt)
+            except ApiError as exc:
+                self._observer.on_api_error(endpoint, exc)
+                raise
 
     # -- search ---------------------------------------------------------------
 
     def search_page(self, **params) -> dict:
         """One raw search page (100 units)."""
-        return self._call(lambda: self._service.search.list(**params))
+        return self._call(
+            lambda: self._service.search.list(**params), endpoint="search.list"
+        )
 
     def search_all(self, limit: int = 500, **params) -> list[dict]:
         """All search result items for a query, across pages (up to 500).
 
-        Each page costs 100 units; callers watching their quota should
-        prefer tight queries (see the planner in :mod:`repro.strategies`).
+        ``limit`` truncates the *result list*, not the paging: the page on
+        which the limit is reached has already been fetched in full, so it
+        is billed its full 100 units even when only part of it is returned.
+        A ``limit`` of 120 therefore fetches 3 pages (300 units) and
+        returns 120 items — quota is charged per page, never per item.
+        Callers watching their quota should prefer tight queries (see the
+        planner in :mod:`repro.strategies`) or page-aligned limits.
         """
         if limit <= 0:
             raise ValueError("limit must be positive")
         params.setdefault("maxResults", 50)
         items: list[dict] = []
+        pages = 0
         page_token: str | None = None
         while True:
             page_params = dict(params)
             if page_token:
                 page_params["pageToken"] = page_token
             response = self.search_page(**page_params)
+            pages += 1
             items.extend(response["items"])
             page_token = response.get("nextPageToken")
             if not page_token or len(items) >= limit:
-                return items[:limit]
+                items = items[:limit]
+                self._observer.on_search_query(pages, len(items))
+                return items
 
     def search_video_ids(self, **params) -> list[str]:
         """Video IDs of all search results for a query."""
@@ -87,7 +116,8 @@ class YouTubeClient:
         resources: list[dict] = []
         for batch in _batches(ids, 50):
             response = self._call(
-                lambda b=batch: self._service.videos.list(part=part, id=b)
+                lambda b=batch: self._service.videos.list(part=part, id=b),
+                endpoint="videos.list",
             )
             resources.extend(response["items"])
         return resources
@@ -97,7 +127,8 @@ class YouTubeClient:
         resources: list[dict] = []
         for batch in _batches(sorted(set(ids)), 50):
             response = self._call(
-                lambda b=batch: self._service.channels.list(part=part, id=b)
+                lambda b=batch: self._service.channels.list(part=part, id=b),
+                endpoint="channels.list",
             )
             resources.extend(response["items"])
         return resources
@@ -105,7 +136,8 @@ class YouTubeClient:
     def uploads_playlist_id(self, channel_id: str) -> str | None:
         """A channel's uploads playlist ID, or None if the channel is unknown."""
         response = self._call(
-            lambda: self._service.channels.list(part="contentDetails", id=channel_id)
+            lambda: self._service.channels.list(part="contentDetails", id=channel_id),
+            endpoint="channels.list",
         )
         items = response["items"]
         if not items:
@@ -123,7 +155,8 @@ class YouTubeClient:
                     playlistId=playlist_id,
                     maxResults=50,
                     pageToken=tok,
-                )
+                ),
+                endpoint="playlistItems.list",
             )
             ids.extend(item["contentDetails"]["videoId"] for item in response["items"])
             page_token = response.get("nextPageToken")
@@ -141,7 +174,8 @@ class YouTubeClient:
             response = self._call(
                 lambda tok=page_token: self._service.comment_threads.list(
                     part=part, videoId=video_id, maxResults=50, pageToken=tok
-                )
+                ),
+                endpoint="commentThreads.list",
             )
             threads.extend(response["items"])
             page_token = response.get("nextPageToken")
@@ -156,7 +190,8 @@ class YouTubeClient:
             response = self._call(
                 lambda tok=page_token: self._service.comments.list(
                     part="snippet", parentId=parent_id, maxResults=50, pageToken=tok
-                )
+                ),
+                endpoint="comments.list",
             )
             replies.extend(response["items"])
             page_token = response.get("nextPageToken")

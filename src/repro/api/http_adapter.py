@@ -28,6 +28,7 @@ pure parts; it exists so a reader with an API key can replicate the paper
 from __future__ import annotations
 
 import json
+import time
 import urllib.parse
 import urllib.request
 from datetime import datetime, timezone
@@ -43,6 +44,7 @@ from repro.api.errors import (
 )
 from repro.api.quota import QuotaLedger, QuotaPolicy
 from repro.api.transport import Transport
+from repro.obs.observer import NullObserver, Observer
 
 __all__ = [
     "API_BASE_URL",
@@ -131,18 +133,29 @@ class _HttpEndpoint:
         day = datetime.now(timezone.utc).date().isoformat()
         service.quota.charge(self.endpoint_name, day)
         url = build_request_url(self._path, service.api_key, params)
+        started = time.perf_counter()
         try:
             with urllib.request.urlopen(url, timeout=service.timeout) as response:
                 body = response.read()
         except urllib.error.HTTPError as exc:  # pragma: no cover - network
-            raise classify_http_error(exc.code, exc.read()) from exc
+            error = classify_http_error(exc.code, exc.read())
+            service.observer.on_api_error(self.endpoint_name, error)
+            raise error from exc
         except urllib.error.URLError as exc:  # pragma: no cover - network
-            raise TransientServerError(f"network error: {exc.reason}") from exc
+            error = TransientServerError(f"network error: {exc.reason}")
+            service.observer.on_api_error(self.endpoint_name, error)
+            raise error from exc
         payload = json.loads(body)
+        now = datetime.now(timezone.utc)
         service.transport.observe(
+            self.endpoint_name, now, service.quota.cost_of(self.endpoint_name)
+        )
+        # Real wall latency, not the transport's simulated draw.
+        service.observer.on_api_call(
             self.endpoint_name,
-            datetime.now(timezone.utc),
+            now,
             service.quota.cost_of(self.endpoint_name),
+            (time.perf_counter() - started) * 1000.0,
         )
         return payload
 
@@ -163,6 +176,7 @@ class RealYouTubeService:
         api_key: str,
         quota_policy: QuotaPolicy | None = None,
         timeout: float = 30.0,
+        observer: Observer | None = None,
     ) -> None:
         if not api_key:
             raise ValueError("api_key must be non-empty")
@@ -170,7 +184,10 @@ class RealYouTubeService:
             raise ValueError("timeout must be positive")
         self.api_key = api_key
         self.timeout = timeout
+        self.observer = observer or NullObserver()
         self.quota = QuotaLedger(policy=quota_policy or QuotaPolicy())
+        if self.quota.observer is None:
+            self.quota.observer = self.observer
         self.transport = Transport()
         for attribute, (path, quota_name) in _ENDPOINTS.items():
             setattr(self, attribute, _HttpEndpoint(self, path, quota_name))

@@ -10,6 +10,10 @@ The Data API charges every call against a per-project daily quota:
 The ledger buckets usage by the *virtual* day and raises
 ``QuotaExceededError`` exactly when a charge would cross the limit, so
 collection strategies can be compared on real token economics.
+
+An optional observer (see :mod:`repro.obs.observer`) hears every accepted
+charge via ``on_quota_spend``; rejected charges are not reported because
+they were never billed.
 """
 
 from __future__ import annotations
@@ -55,6 +59,8 @@ class QuotaLedger:
     """Tracks unit consumption per virtual day."""
 
     policy: QuotaPolicy = field(default_factory=QuotaPolicy)
+    #: Observability hook (``repro.obs.Observer``); ``None`` means silent.
+    observer: object | None = field(default=None, repr=False, compare=False)
     _usage: dict[str, int] = field(default_factory=dict)
     _total: int = 0
 
@@ -82,6 +88,8 @@ class QuotaLedger:
             )
         self._usage[day] = used + cost
         self._total += cost
+        if self.observer is not None:
+            self.observer.on_quota_spend(endpoint, day, cost, self._usage[day])
         return self._usage[day]
 
     def used_on(self, day: str) -> int:

@@ -11,6 +11,11 @@ objects under the names client code expects::
 Every call flows through :meth:`YouTubeService.begin_call`, which injects
 faults, charges quota against the virtual day, and appends to the request
 log — in that order, so a failed call is never billed.
+
+An optional observer (:mod:`repro.obs`) hears each completed call
+(``api.call``) and each quota charge (``quota.spend``); the default
+:data:`~repro.obs.NullObserver` makes instrumentation free and keeps the
+simulator byte-identical to its unobserved behavior.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ from repro.api.playlist_items import PlaylistItemsEndpoint
 from repro.api.quota import QuotaLedger, QuotaPolicy
 from repro.api.search import SearchEndpoint
 from repro.api.transport import Transport
+from repro.obs.observer import NullObserver, Observer
 from repro.api.video_categories import VideoCategoriesEndpoint
 from repro.api.videos import VideosEndpoint
 from repro.sampling.engine import BehaviorParams, SearchBehaviorEngine
@@ -45,12 +51,17 @@ class YouTubeService:
         clock: VirtualClock | None = None,
         quota: QuotaLedger | None = None,
         transport: Transport | None = None,
+        observer: Observer | None = None,
     ) -> None:
         self.store = store
         self.engine = engine
         self.clock = clock or VirtualClock()
         self.quota = quota or QuotaLedger()
         self.transport = transport or Transport()
+        self.observer = observer or NullObserver()
+        # Wire the ledger into the same observer unless it already has one.
+        if self.quota.observer is None:
+            self.quota.observer = self.observer
 
         self.search = SearchEndpoint(store, engine, self)
         self.videos = VideosEndpoint(store, self)
@@ -71,7 +82,8 @@ class YouTubeService:
         day = self.clock.today()
         self.quota.charge(endpoint, day)
         now = self.clock.now()
-        self.transport.observe(endpoint, now, self.quota.cost_of(endpoint))
+        record = self.transport.observe(endpoint, now, self.quota.cost_of(endpoint))
+        self.observer.on_api_call(endpoint, now, record.units, record.latency_ms)
         return now
 
 
@@ -83,6 +95,7 @@ def build_service(
     quota_policy: QuotaPolicy | None = None,
     behavior: BehaviorParams | None = None,
     transport: Transport | None = None,
+    observer: Observer | None = None,
 ) -> YouTubeService:
     """Convenience constructor: store + engine + service in one call.
 
@@ -97,5 +110,6 @@ def build_service(
     engine = SearchBehaviorEngine(store, specs, seed=seed, params=behavior)
     quota = QuotaLedger(policy=quota_policy or QuotaPolicy(researcher_program=True))
     return YouTubeService(
-        store, engine, clock=clock, quota=quota, transport=transport
+        store, engine, clock=clock, quota=quota, transport=transport,
+        observer=observer,
     )

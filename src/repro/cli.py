@@ -11,6 +11,7 @@ Subcommands::
     python -m repro serp        --topic grammys --fleet 5
     python -m repro budget      [--researcher]
     python -m repro replication --seeds 101 202 303
+    python -m repro obs report  trace.jsonl
 
 ``campaign`` runs the hour-binned audit on the paper's 5-day cadence and
 persists it as JSONL; ``analyze`` re-renders any table/figure from a saved
@@ -50,6 +51,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="capture comments on the first and last collections")
     campaign.add_argument("--out", metavar="PATH", default=None,
                           help="persist the campaign as JSONL")
+    campaign.add_argument("--trace", metavar="PATH", default=None,
+                          help="write a JSONL observability trace of the run "
+                               "(render it with `repro obs report`)")
     campaign.add_argument("--quiet", action="store_true")
 
     analyze = sub.add_parser("analyze", help="render tables/figures from a saved campaign")
@@ -94,6 +98,13 @@ def build_parser() -> argparse.ArgumentParser:
     replication.add_argument("--scale", type=float, default=0.2)
     replication.add_argument("--collections", type=int, default=8)
 
+    obs = sub.add_parser("obs", help="observability reports over JSONL traces")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_report = obs_sub.add_parser(
+        "report", help="render the metrics summary of a trace file"
+    )
+    obs_report.add_argument("trace_path", metavar="TRACE_JSONL")
+
     return parser
 
 
@@ -103,7 +114,7 @@ def _common_world_args(parser: argparse.ArgumentParser) -> None:
                         help="corpus scale in (0, 1]; 1.0 = the paper's full size")
 
 
-def _build(args, with_comments: bool):
+def _build(args, with_comments: bool, observer=None):
     from repro import build_service, build_world
     from repro.api.quota import QuotaPolicy
     from repro.world.corpus import scale_topics
@@ -114,6 +125,7 @@ def _build(args, with_comments: bool):
     service = build_service(
         world, seed=args.seed, specs=specs,
         quota_policy=QuotaPolicy(researcher_program=True),
+        observer=observer,
     )
     return specs, world, service
 
@@ -129,7 +141,14 @@ def _cmd_campaign(args) -> int:
     from repro.api import YouTubeClient
     from repro.core import paper_campaign_config, run_campaign
 
-    specs, _world, service = _build(args, with_comments=args.comments)
+    observer = None
+    if args.trace:
+        from repro.obs import CampaignObserver
+
+        observer = CampaignObserver()
+    specs, _world, service = _build(
+        args, with_comments=args.comments, observer=observer
+    )
     config = paper_campaign_config(topics=specs, with_comments=args.comments)
     config = dataclasses.replace(
         config,
@@ -149,6 +168,9 @@ def _cmd_campaign(args) -> int:
     if args.out:
         n = campaign.save(args.out)
         print(f"saved {n} records to {args.out}")
+    if observer is not None:
+        n_events = observer.export_trace(args.trace)
+        print(f"traced {n_events} events to {args.trace}")
     return 0
 
 
@@ -310,6 +332,15 @@ def _cmd_replication(args) -> int:
     return 0
 
 
+def _cmd_obs(args) -> int:
+    from repro.core.report import render_observability
+    from repro.obs import load_trace
+
+    # Only `obs report` exists today; the subparser enforces that.
+    print(render_observability(load_trace(args.trace_path)))
+    return 0
+
+
 _COMMANDS = {
     "world": _cmd_world,
     "campaign": _cmd_campaign,
@@ -320,6 +351,7 @@ _COMMANDS = {
     "budget": _cmd_budget,
     "inference": _cmd_inference,
     "replication": _cmd_replication,
+    "obs": _cmd_obs,
 }
 
 

@@ -4,6 +4,13 @@ Advances the service's virtual clock to each scheduled collection date and
 runs the collector; the result is the input every analysis module consumes.
 Long campaigns can checkpoint after every snapshot and resume — a real
 12-week collection survives process restarts the same way.
+
+Observability: the runner emits ``campaign.checkpoint`` events (action
+``resume`` when an existing checkpoint is loaded, ``save`` after each
+persisted snapshot) through the observer, which also flows into the
+:class:`~repro.core.collector.SnapshotCollector` for snapshot/topic
+events.  The observer defaults to the client's (ultimately the
+service's), so a single attachment instruments the whole run.
 """
 
 from __future__ import annotations
@@ -15,8 +22,21 @@ from repro.api.client import YouTubeClient
 from repro.core.collector import SnapshotCollector
 from repro.core.datasets import CampaignResult
 from repro.core.experiments import CampaignConfig
+from repro.obs.observer import NullObserver, Observer
 
 __all__ = ["run_campaign"]
+
+
+def _load_checkpoint(checkpoint_path: str | Path) -> CampaignResult:
+    """Load a checkpoint, wrapping parse failures in a clear message."""
+    try:
+        return CampaignResult.load(checkpoint_path)
+    except (ValueError, KeyError, TypeError) as exc:
+        raise ValueError(
+            f"checkpoint {checkpoint_path} is corrupt or not a campaign "
+            f"file — delete it (losing collected snapshots) or restore it "
+            f"from a backup before resuming: {exc}"
+        ) from exc
 
 
 def run_campaign(
@@ -24,6 +44,7 @@ def run_campaign(
     client: YouTubeClient,
     progress: Callable[[int, int], None] | None = None,
     checkpoint_path: str | Path | None = None,
+    observer: Observer | None = None,
 ) -> CampaignResult:
     """Run the full campaign against a service.
 
@@ -34,16 +55,20 @@ def run_campaign(
     With ``checkpoint_path``, the partial campaign is persisted after every
     snapshot, and an existing checkpoint is resumed: already-collected
     snapshots are loaded instead of re-queried (their dates must match the
-    config's schedule).
+    config's schedule).  A checkpoint that cannot be parsed, or whose
+    snapshots do not line up with the schedule, raises ``ValueError``
+    rather than silently recollecting or mixing schedules.
     """
+    observer = observer or getattr(client, "observer", None) or NullObserver()
     collector = SnapshotCollector(
-        client, config.topics, collect_metadata=config.collect_metadata
+        client, config.topics, collect_metadata=config.collect_metadata,
+        observer=observer,
     )
     dates = config.collection_dates
     snapshots = []
 
     if checkpoint_path is not None and Path(checkpoint_path).exists():
-        previous = CampaignResult.load(checkpoint_path)
+        previous = _load_checkpoint(checkpoint_path)
         for snap in previous.snapshots:
             if snap.index >= len(dates):
                 raise ValueError(
@@ -56,6 +81,7 @@ def run_campaign(
                     f"{snap.collected_at}, schedule says {dates[snap.index]}"
                 )
         snapshots = list(previous.snapshots)
+        observer.on_checkpoint("resume", str(checkpoint_path), len(snapshots))
 
     for index in range(len(snapshots), len(dates)):
         client.service.clock.set(dates[index])
@@ -66,6 +92,7 @@ def run_campaign(
                 topic_keys=tuple(spec.key for spec in config.topics),
                 snapshots=snapshots,
             ).save(checkpoint_path)
+            observer.on_checkpoint("save", str(checkpoint_path), len(snapshots))
         if progress is not None:
             progress(index + 1, len(dates))
 

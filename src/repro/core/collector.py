@@ -14,6 +14,7 @@ from datetime import timedelta
 from repro.api.client import YouTubeClient
 from repro.api.errors import ForbiddenError, NotFoundError
 from repro.core.datasets import Snapshot, TopicSnapshot
+from repro.obs.observer import NullObserver, Observer
 from repro.util.timeutil import format_rfc3339, hour_range
 from repro.world.topics import TopicSpec
 
@@ -21,32 +22,57 @@ __all__ = ["SnapshotCollector"]
 
 
 class SnapshotCollector:
-    """Collects one full snapshot (all topics) at the current virtual time."""
+    """Collects one full snapshot (all topics) at the current virtual time.
+
+    The collector marks the observability layer's collection-level
+    boundaries: ``snapshot.start``/``snapshot.end`` around the whole sweep
+    and ``topic.start``/``topic.end`` around each topic, so quota spend in
+    between is attributable to the topic that caused it.  The observer
+    defaults to the client's, so attaching one at the service covers this
+    layer too.
+    """
 
     def __init__(
         self,
         client: YouTubeClient,
         topics: tuple[TopicSpec, ...],
         collect_metadata: bool = True,
+        observer: Observer | None = None,
     ) -> None:
         if not topics:
             raise ValueError("collector requires at least one topic")
         self._client = client
         self._topics = topics
         self._collect_metadata = collect_metadata
+        self._observer = (
+            observer or getattr(client, "observer", None) or NullObserver()
+        )
 
     def collect(self, index: int, with_comments: bool = False) -> Snapshot:
         """Run the full hourly query sweep and return the snapshot."""
-        collected_at = self._client.service.clock.now()
+        service = self._client.service
+        collected_at = service.clock.now()
+        self._observer.on_snapshot_start(index, collected_at)
+        units_before = service.quota.total_used
+        calls_before = service.transport.total_calls
         topics: dict[str, TopicSnapshot] = {}
         for spec in self._topics:
             topics[spec.key] = self._collect_topic(spec, with_comments)
+        self._observer.on_snapshot_end(
+            index,
+            service.clock.now(),
+            units=service.quota.total_used - units_before,
+            calls=service.transport.total_calls - calls_before,
+        )
         return Snapshot(index=index, collected_at=collected_at, topics=topics)
 
     # -- internals -----------------------------------------------------------
 
     def _collect_topic(self, spec: TopicSpec, with_comments: bool) -> TopicSnapshot:
-        collected_at = self._client.service.clock.now()
+        service = self._client.service
+        collected_at = service.clock.now()
+        self._observer.on_topic_start(spec.key, collected_at)
+        units_before = service.quota.total_used
         hour_video_ids: dict[int, list[str]] = {}
         pool_sizes: dict[int, int] = {}
 
@@ -68,12 +94,19 @@ class SnapshotCollector:
             self._attach_metadata(snapshot)
         if with_comments:
             self._attach_comments(snapshot)
+        self._observer.on_topic_end(
+            spec.key,
+            service.clock.now(),
+            units=service.quota.total_used - units_before,
+            videos=snapshot.total_returned,
+        )
         return snapshot
 
     def _query_hour(self, spec: TopicSpec, hour_start) -> tuple[list[str], int]:
         """One hourly query: all pages, as the paper's time-split design."""
         ids: list[str] = []
         pool = 0
+        pages = 0
         page_token: str | None = None
         while True:
             params = {
@@ -89,10 +122,12 @@ class SnapshotCollector:
             if page_token:
                 params["pageToken"] = page_token
             response = self._client.search_page(**params)
+            pages += 1
             pool = int(response["pageInfo"]["totalResults"])
             ids.extend(item["id"]["videoId"] for item in response["items"])
             page_token = response.get("nextPageToken")
             if not page_token:
+                self._observer.on_search_query(pages, len(ids))
                 return ids, pool
 
     def _attach_metadata(self, snapshot: TopicSnapshot) -> None:

@@ -31,6 +31,7 @@ __all__ = [
     "render_figure3",
     "render_figure4",
     "render_regression",
+    "render_observability",
     "topic_labels",
 ]
 
@@ -204,3 +205,17 @@ def render_figure4(campaign: CampaignResult, specs: tuple[TopicSpec, ...]) -> st
 def render_regression(result, title: str) -> str:
     """Tables 3/6/7: delegate to the shared model summarizer."""
     return summarize_model(result, title)
+
+
+def render_observability(events) -> str:
+    """The campaign observability summary (quota economy, retries, timings).
+
+    ``events`` is a trace — an iterable of flat event dicts (e.g. from
+    :func:`repro.obs.load_trace` or ``CampaignObserver.tracer.iter_dicts``)
+    or a pre-built :class:`repro.obs.ObsSummary`.  Lives beside the paper
+    tables so report consumers have one module to import; the actual
+    aggregation is :mod:`repro.obs.report`.
+    """
+    from repro.obs.report import render_observability as _render
+
+    return _render(events)

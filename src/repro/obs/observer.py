@@ -1,0 +1,230 @@
+"""Observer hooks: the seam between the pipeline and the observability layer.
+
+Every instrumented component (:class:`~repro.api.service.YouTubeService`,
+:class:`~repro.api.client.YouTubeClient`, the quota ledger, the snapshot
+collector, the campaign runner) calls these hooks at its interesting
+moments.  The base :class:`Observer` implements every hook as a no-op, so
+the default wiring costs nothing and — crucially — cannot perturb the
+simulator's determinism: hooks receive values that were already computed,
+they never draw RNGs or advance clocks.  :data:`NullObserver` is the
+explicit name for that default.
+
+:class:`CampaignObserver` is the batteries-included implementation: it
+feeds a :class:`~repro.obs.metrics.MetricsRegistry` and a
+:class:`~repro.obs.tracer.Tracer` simultaneously, attributes quota spend
+to the topic currently being collected, and times snapshots on both the
+virtual clock (request dates) and the wall clock (process time).
+
+Attachment is one line at the top of the stack::
+
+    obs = CampaignObserver()
+    service = build_service(world, seed=7, observer=obs)
+    client = YouTubeClient(service)            # inherits service.observer
+    run_campaign(config, client)               # inherits client.observer
+    obs.export_trace("trace.jsonl")
+    print(obs.report())
+"""
+
+from __future__ import annotations
+
+import time
+from datetime import datetime
+from pathlib import Path
+from typing import Callable
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+__all__ = ["Observer", "NullObserver", "CampaignObserver"]
+
+#: Page-depth buckets: the API serves at most 10 pages (500/50) per query.
+_PAGE_DEPTH_BUCKETS = (1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0)
+
+
+class Observer:
+    """No-op base: override the hooks you care about.
+
+    Hook arguments are plain values (endpoint names, unit counts, virtual
+    datetimes); implementations must not mutate them and must not raise —
+    an observer is bookkeeping, never control flow.
+    """
+
+    # -- API layer -------------------------------------------------------------
+
+    def on_api_call(
+        self, endpoint: str, at: datetime, units: int, latency_ms: float
+    ) -> None:
+        """One endpoint call completed (faults and quota both passed)."""
+
+    def on_api_retry(self, endpoint: str, attempt: int, error: Exception) -> None:
+        """A transient failure is about to be retried (``attempt`` >= 1)."""
+
+    def on_api_error(self, endpoint: str, error: Exception) -> None:
+        """An API error is propagating to the caller (retries exhausted)."""
+
+    def on_search_query(self, pages: int, results: int) -> None:
+        """One logical search query finished after ``pages`` paged calls."""
+
+    # -- quota layer -----------------------------------------------------------
+
+    def on_quota_spend(
+        self, endpoint: str, day: str, units: int, used_on_day: int
+    ) -> None:
+        """The ledger accepted a charge of ``units`` on virtual ``day``."""
+
+    # -- collection layer ------------------------------------------------------
+
+    def on_topic_start(self, topic: str, at: datetime) -> None:
+        """The collector is starting one topic's hourly sweep."""
+
+    def on_topic_end(self, topic: str, at: datetime, units: int, videos: int) -> None:
+        """One topic finished; ``units`` is its quota delta."""
+
+    def on_snapshot_start(self, index: int, at: datetime) -> None:
+        """A snapshot (all topics) is starting at virtual time ``at``."""
+
+    def on_snapshot_end(self, index: int, at: datetime, units: int, calls: int) -> None:
+        """A snapshot finished; ``units``/``calls`` are its deltas."""
+
+    def on_checkpoint(self, action: str, path: str, snapshots: int) -> None:
+        """A campaign checkpoint was saved or resumed (``action`` in save/resume)."""
+
+
+#: The default observer: explicitly named so call sites read as intended.
+NullObserver = Observer
+
+
+class CampaignObserver(Observer):
+    """Metrics + trace in one attachable object.
+
+    Parameters
+    ----------
+    metrics, tracer:
+        Bring your own registry/tracer to share them across components;
+        fresh ones are created by default.
+    wall_clock:
+        Monotonic-seconds callable used for snapshot wall timings
+        (injectable so tests are deterministic).  Defaults to
+        :func:`time.perf_counter`; this is the only wall-time read in the
+        observability layer and it never feeds back into the simulation.
+    """
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        wall_clock: Callable[[], float] | None = None,
+    ) -> None:
+        self.metrics = metrics or MetricsRegistry()
+        self.tracer = tracer or Tracer()
+        self._wall = wall_clock or time.perf_counter
+        self._current_topic: str | None = None
+        self._topic_units_at_start = 0.0
+        self._snapshot_wall_start: float | None = None
+        self._snapshot_virtual_start: datetime | None = None
+        self.metrics.declare_histogram("search.page_depth", _PAGE_DEPTH_BUCKETS)
+
+    # -- API layer -------------------------------------------------------------
+
+    def on_api_call(
+        self, endpoint: str, at: datetime, units: int, latency_ms: float
+    ) -> None:
+        self.metrics.inc("api.calls", endpoint=endpoint)
+        self.metrics.observe("api.latency_ms", latency_ms, endpoint=endpoint)
+        self.tracer.emit(
+            "api.call", at=at, endpoint=endpoint, units=units,
+            latency_ms=round(latency_ms, 3),
+        )
+
+    def on_api_retry(self, endpoint: str, attempt: int, error: Exception) -> None:
+        self.metrics.inc("api.retries", endpoint=endpoint)
+        self.tracer.emit(
+            "api.retry", endpoint=endpoint, attempt=attempt,
+            error=type(error).__name__,
+        )
+
+    def on_api_error(self, endpoint: str, error: Exception) -> None:
+        self.metrics.inc("api.errors", endpoint=endpoint, error=type(error).__name__)
+        self.tracer.emit(
+            "api.error", endpoint=endpoint, error=type(error).__name__,
+            message=str(error)[:200],
+        )
+
+    def on_search_query(self, pages: int, results: int) -> None:
+        self.metrics.inc("search.queries")
+        self.metrics.observe("search.page_depth", float(pages))
+        self.tracer.emit("search.query", pages=pages, results=results)
+
+    # -- quota layer -----------------------------------------------------------
+
+    def on_quota_spend(
+        self, endpoint: str, day: str, units: int, used_on_day: int
+    ) -> None:
+        self.metrics.inc("quota.units", units, endpoint=endpoint)
+        self.metrics.set_gauge("quota.used_on_day", used_on_day, day=day)
+        fields = {"endpoint": endpoint, "day": day, "units": units,
+                  "used_on_day": used_on_day}
+        if self._current_topic is not None:
+            self.metrics.inc("quota.units_by_topic", units, topic=self._current_topic)
+            fields["topic"] = self._current_topic
+        self.tracer.emit("quota.spend", **fields)
+
+    # -- collection layer ------------------------------------------------------
+
+    def on_topic_start(self, topic: str, at: datetime) -> None:
+        self._current_topic = topic
+        self._topic_units_at_start = self.total_quota_units
+        self.tracer.emit("topic.start", at=at, topic=topic)
+
+    def on_topic_end(self, topic: str, at: datetime, units: int, videos: int) -> None:
+        self.metrics.inc("topic.videos_returned", videos, topic=topic)
+        self.tracer.emit("topic.end", at=at, topic=topic, units=units, videos=videos)
+        self._current_topic = None
+
+    def on_snapshot_start(self, index: int, at: datetime) -> None:
+        self._snapshot_wall_start = self._wall()
+        self._snapshot_virtual_start = at
+        self.tracer.emit("snapshot.start", at=at, index=index)
+
+    def on_snapshot_end(self, index: int, at: datetime, units: int, calls: int) -> None:
+        wall_s = (
+            self._wall() - self._snapshot_wall_start
+            if self._snapshot_wall_start is not None
+            else 0.0
+        )
+        virtual_s = (
+            (at - self._snapshot_virtual_start).total_seconds()
+            if self._snapshot_virtual_start is not None
+            else 0.0
+        )
+        self.metrics.inc("snapshots.completed")
+        self.metrics.observe("snapshot.wall_s", wall_s)
+        self.tracer.emit(
+            "snapshot.end", at=at, index=index, units=units, calls=calls,
+            wall_s=round(wall_s, 6), virtual_s=virtual_s,
+        )
+        self._snapshot_wall_start = None
+        self._snapshot_virtual_start = None
+
+    def on_checkpoint(self, action: str, path: str, snapshots: int) -> None:
+        self.metrics.inc("campaign.checkpoints", action=action)
+        self.tracer.emit(
+            "campaign.checkpoint", action=action, path=path, snapshots=snapshots
+        )
+
+    # -- reading back ----------------------------------------------------------
+
+    @property
+    def total_quota_units(self) -> float:
+        """Units recorded across all ``quota.units`` series (all endpoints)."""
+        return sum(self.metrics.counters_with_prefix("quota.units").values())
+
+    def export_trace(self, path: str | Path) -> int:
+        """Write the trace as JSONL; returns the number of events."""
+        return self.tracer.export(path)
+
+    def report(self) -> str:
+        """The per-campaign observability summary (see :mod:`repro.obs.report`)."""
+        from repro.obs.report import render_observability
+
+        return render_observability(self.tracer.iter_dicts())

@@ -207,3 +207,66 @@ class TestSearchBehaviorThroughApi:
             )
             values.add(response["pageInfo"]["totalResults"])
         assert max(values) <= 1_000_000
+
+
+class TestSearchAllTruncation:
+    """Pins the documented `limit` semantics of YouTubeClient.search_all:
+    the limit truncates the *result list* mid-page, while quota is billed
+    per fetched page — the truncated page costs its full 100 units."""
+
+    def _window(self, spec):
+        return dict(
+            publishedAfter=format_rfc3339(spec.window_start),
+            publishedBefore=format_rfc3339(spec.window_end),
+        )
+
+    def test_limit_truncates_mid_page(self, fresh_client, small_specs):
+        spec = topic_by_key("blm", small_specs)
+        items = fresh_client.search_all(
+            limit=30, q=spec.query, order="date", maxResults=20, **self._window(spec)
+        )
+        assert len(items) == 30  # not 40: page 2 was cut mid-page
+
+    def test_truncated_page_billed_in_full(self, fresh_client, small_specs):
+        spec = topic_by_key("blm", small_specs)
+        service = fresh_client.service
+        day = service.clock.today()
+        before = service.quota.used_on(day)
+        items = fresh_client.search_all(
+            limit=30, q=spec.query, order="date", maxResults=20, **self._window(spec)
+        )
+        assert len(items) == 30
+        # limit 30 at 20/page fetches 2 pages; the second is billed its
+        # full 100 units even though only 10 of its 20 items were kept.
+        assert service.quota.used_on(day) - before == 200
+
+    def test_page_aligned_limit_costs_the_same(self, fresh_client, small_specs):
+        """A limit of exactly 2 pages costs the same 200 units — quota is
+        per page, never per item."""
+        spec = topic_by_key("blm", small_specs)
+        service = fresh_client.service
+        day = service.clock.today()
+        before = service.quota.used_on(day)
+        items = fresh_client.search_all(
+            limit=40, q=spec.query, order="date", maxResults=20, **self._window(spec)
+        )
+        assert len(items) == 40
+        assert service.quota.used_on(day) - before == 200
+
+    def test_truncation_reported_to_observer(self, small_world, small_specs):
+        from repro.api import QuotaPolicy, YouTubeClient, build_service
+        from repro.obs import CampaignObserver
+
+        obs = CampaignObserver()
+        service = build_service(
+            small_world, seed=20250209, specs=small_specs,
+            quota_policy=QuotaPolicy(researcher_program=True), observer=obs,
+        )
+        client = YouTubeClient(service)
+        spec = topic_by_key("blm", small_specs)
+        client.search_all(
+            limit=30, q=spec.query, order="date", maxResults=20, **self._window(spec)
+        )
+        queries = obs.tracer.of_type("search.query")
+        assert len(queries) == 1
+        assert queries[0].fields == {"pages": 2, "results": 30}

@@ -136,3 +136,50 @@ class TestNewCommands:
         ) == 0
         out = capsys.readouterr().out
         assert "stability across seeds" in out
+
+
+class TestObsCommand:
+    def test_obs_report_args(self):
+        args = build_parser().parse_args(["obs", "report", "trace.jsonl"])
+        assert args.command == "obs"
+        assert args.obs_command == "report"
+        assert args.trace_path == "trace.jsonl"
+
+    def test_obs_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs"])
+
+    def test_campaign_trace_flag(self):
+        args = build_parser().parse_args(["campaign", "--trace", "t.jsonl"])
+        assert args.trace == "t.jsonl"
+
+    def test_campaign_trace_then_obs_report(self, tmp_path, capsys):
+        trace = str(tmp_path / "trace.jsonl")
+        code = main(
+            ["campaign", "--scale", "0.05", "--seed", "1",
+             "--collections", "2", "--trace", trace, "--quiet"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "traced" in out and "trace.jsonl" in out
+
+        assert main(["obs", "report", trace]) == 0
+        out = capsys.readouterr().out
+        assert "Observability report" in out
+        assert "Quota economy per topic" in out
+        assert "search.list" in out
+
+    def test_obs_report_quota_matches_campaign_output(self, tmp_path, capsys):
+        """The units the report shows equal the campaign's printed total."""
+        import re
+
+        trace = str(tmp_path / "trace.jsonl")
+        main(["campaign", "--scale", "0.05", "--seed", "3",
+              "--collections", "2", "--trace", trace, "--quiet"])
+        campaign_out = capsys.readouterr().out
+        claimed = int(
+            re.search(r"([\d,]+) quota units", campaign_out).group(1).replace(",", "")
+        )
+        main(["obs", "report", trace])
+        report_out = capsys.readouterr().out
+        assert f"| quota units spent        | {claimed}" in report_out

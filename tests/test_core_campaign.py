@@ -239,3 +239,98 @@ class TestCheckpointing:
         )
         with pytest.raises(ValueError, match="schedule"):
             run_campaign(shifted, YouTubeClient(service2), checkpoint_path=checkpoint)
+
+    def test_corrupt_checkpoint_rejected_with_clear_message(
+        self, small_world, small_specs, tmp_path
+    ):
+        from repro.api import QuotaPolicy, YouTubeClient, build_service
+        from repro.core.campaign import run_campaign
+
+        checkpoint = tmp_path / "check.jsonl"
+        checkpoint.write_text('{"kind": "header", "topic_keys": []}\nnot json at all\n')
+        service = build_service(
+            small_world, seed=20250209, specs=small_specs,
+            quota_policy=QuotaPolicy(researcher_program=True),
+        )
+        with pytest.raises(ValueError, match="corrupt"):
+            run_campaign(
+                self._config(small_specs, 2), YouTubeClient(service),
+                checkpoint_path=checkpoint,
+            )
+
+    def test_wrong_shape_checkpoint_rejected(self, small_world, small_specs, tmp_path):
+        """Valid JSONL that is not a campaign file also raises clearly."""
+        from repro.api import QuotaPolicy, YouTubeClient, build_service
+        from repro.core.campaign import run_campaign
+
+        checkpoint = tmp_path / "check.jsonl"
+        checkpoint.write_text('{"seq": 0, "type": "api.call"}\n')
+        service = build_service(
+            small_world, seed=20250209, specs=small_specs,
+            quota_policy=QuotaPolicy(researcher_program=True),
+        )
+        with pytest.raises(ValueError, match="corrupt|campaign"):
+            run_campaign(
+                self._config(small_specs, 2), YouTubeClient(service),
+                checkpoint_path=checkpoint,
+            )
+
+    def test_checkpoint_beyond_schedule_rejected(
+        self, small_world, small_specs, tmp_path
+    ):
+        from repro.api import QuotaPolicy, YouTubeClient, build_service
+        from repro.core.campaign import run_campaign
+
+        checkpoint = tmp_path / "check.jsonl"
+        service = build_service(
+            small_world, seed=20250209, specs=small_specs,
+            quota_policy=QuotaPolicy(researcher_program=True),
+        )
+        run_campaign(
+            self._config(small_specs, 3), YouTubeClient(service),
+            checkpoint_path=checkpoint,
+        )
+        # Resuming under a *shorter* schedule must refuse the extra snapshot.
+        service2 = build_service(
+            small_world, seed=20250209, specs=small_specs,
+            quota_policy=QuotaPolicy(researcher_program=True),
+        )
+        with pytest.raises(ValueError, match="beyond"):
+            run_campaign(
+                self._config(small_specs, 2), YouTubeClient(service2),
+                checkpoint_path=checkpoint,
+            )
+
+    def test_resume_emits_checkpoint_events(self, small_world, small_specs, tmp_path):
+        from repro.api import QuotaPolicy, YouTubeClient, build_service
+        from repro.core.campaign import run_campaign
+        from repro.obs import CampaignObserver
+
+        checkpoint = tmp_path / "check.jsonl"
+        obs1 = CampaignObserver()
+        service1 = build_service(
+            small_world, seed=20250209, specs=small_specs,
+            quota_policy=QuotaPolicy(researcher_program=True), observer=obs1,
+        )
+        run_campaign(
+            self._config(small_specs, 2), YouTubeClient(service1),
+            checkpoint_path=checkpoint,
+        )
+        saves = obs1.tracer.of_type("campaign.checkpoint")
+        assert [e.fields["action"] for e in saves] == ["save", "save"]
+        assert [e.fields["snapshots"] for e in saves] == [1, 2]
+
+        obs2 = CampaignObserver()
+        service2 = build_service(
+            small_world, seed=20250209, specs=small_specs,
+            quota_policy=QuotaPolicy(researcher_program=True), observer=obs2,
+        )
+        run_campaign(
+            self._config(small_specs, 4), YouTubeClient(service2),
+            checkpoint_path=checkpoint,
+        )
+        events = obs2.tracer.of_type("campaign.checkpoint")
+        assert [e.fields["action"] for e in events] == ["resume", "save", "save"]
+        assert events[0].fields["snapshots"] == 2
+        assert events[0].fields["path"] == str(checkpoint)
+        assert [e.fields["snapshots"] for e in events[1:]] == [3, 4]

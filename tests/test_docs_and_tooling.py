@@ -1,0 +1,65 @@
+"""Docs cross-reference integrity and the `make verify` tooling."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+class TestDocLinks:
+    def test_repo_docs_have_no_broken_links(self):
+        result = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "tools" / "check_doc_links.py")],
+            capture_output=True, text=True, cwd=REPO_ROOT,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "doc links OK" in result.stdout
+
+    def test_checker_flags_broken_links(self, tmp_path):
+        doc = tmp_path / "bad.md"
+        doc.write_text("see [missing](no/such/file.md) and [ok](bad.md)\n")
+        result = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "tools" / "check_doc_links.py"),
+             str(doc)],
+            capture_output=True, text=True,
+        )
+        assert result.returncode == 1
+        assert "no/such/file.md" in result.stderr
+
+    def test_checker_skips_external_and_code_blocks(self, tmp_path):
+        doc = tmp_path / "ok.md"
+        doc.write_text(
+            "[web](https://example.com) [anchor](#section)\n"
+            "```\n[fake](inside/code/block.md)\n```\n"
+        )
+        result = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "tools" / "check_doc_links.py"),
+             str(doc)],
+            capture_output=True, text=True,
+        )
+        assert result.returncode == 0, result.stderr
+
+    def test_architecture_doc_mentions_hooks(self):
+        text = (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text()
+        for hook in ("on_api_call", "on_quota_spend", "on_checkpoint"):
+            assert hook in text
+
+    def test_observability_doc_covers_event_vocabulary(self):
+        """Every trace event type in the code is documented, and vice versa."""
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+        try:
+            from repro.obs import EVENT_TYPES
+        finally:
+            sys.path.pop(0)
+        text = (REPO_ROOT / "docs" / "OBSERVABILITY.md").read_text()
+        for event_type in EVENT_TYPES:
+            assert f"`{event_type}`" in text, f"{event_type} undocumented"
+
+    def test_makefile_has_verify_target(self):
+        text = (REPO_ROOT / "Makefile").read_text()
+        assert "verify:" in text
+        assert "check_doc_links.py" in text
+        assert "pytest" in text

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Verify that relative markdown links in the repo's docs resolve.
+
+Scans the given markdown files (default: README.md and docs/*.md) for
+inline links and checks that every relative target exists on disk.
+External links (http/https/mailto) and pure in-page anchors are skipped;
+a ``#fragment`` on a relative link is stripped before the existence
+check.  Exits non-zero listing every broken link, so ``make verify`` can
+gate on it.
+
+Usage:  python tools/check_doc_links.py [FILE.md ...]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Inline markdown links: [text](target). Images share the syntax via a
+#: leading ``!`` which does not affect the capture.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def links_in(path: Path) -> list[str]:
+    """All inline link targets in one markdown file."""
+    text = path.read_text(encoding="utf-8")
+    # Drop fenced code blocks: example snippets aren't navigable links.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return LINK_RE.findall(text)
+
+
+def check_file(path: Path) -> list[str]:
+    """Broken-link descriptions for one file (empty list = clean)."""
+    problems = []
+    for target in links_in(path):
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            try:
+                shown = path.relative_to(REPO_ROOT)
+            except ValueError:  # file outside the repo (explicit argument)
+                shown = path
+            problems.append(f"{shown}: broken link -> {target}")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if argv:
+        files = [Path(a).resolve() for a in argv]
+    else:
+        files = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+
+    missing = [str(f) for f in files if not f.exists()]
+    if missing:
+        print("no such file(s): " + ", ".join(missing), file=sys.stderr)
+        return 2
+
+    problems = []
+    checked = 0
+    for path in files:
+        targets = links_in(path)
+        checked += len(targets)
+        problems.extend(check_file(path))
+
+    if problems:
+        print("\n".join(problems), file=sys.stderr)
+        print(f"{len(problems)} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"doc links OK: {checked} links across {len(files)} files")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
