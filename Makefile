@@ -1,17 +1,21 @@
 # Repository verification targets.
 #
-#   make verify    tier-1 test suite + documentation link check
+#   make verify    tier-1 test suite + documentation link check + chaos run
 #   make test      tier-1 test suite only
 #   make doclinks  README.md / docs/*.md cross-reference check only
+#   make chaos     fastest fault-injection scenario (see docs/RESILIENCE.md)
 
 PYTHON ?= python
 
-.PHONY: verify test doclinks
+.PHONY: verify test doclinks chaos
 
-verify: test doclinks
+verify: test doclinks chaos
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 doclinks:
 	$(PYTHON) tools/check_doc_links.py
+
+chaos:
+	PYTHONPATH=src $(PYTHON) -m repro chaos --scenario malformed-json

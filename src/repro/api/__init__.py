@@ -25,8 +25,10 @@ from repro.api.errors import (
     BadRequestError,
     ForbiddenError,
     InvalidPageTokenError,
+    MalformedResponseError,
     NotFoundError,
     QuotaExceededError,
+    RateLimitedError,
     TransientServerError,
 )
 from repro.api.quota import QuotaLedger, QuotaPolicy
@@ -45,5 +47,7 @@ __all__ = [
     "InvalidPageTokenError",
     "NotFoundError",
     "ForbiddenError",
+    "RateLimitedError",
     "TransientServerError",
+    "MalformedResponseError",
 ]

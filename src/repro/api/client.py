@@ -1,18 +1,30 @@
-"""Ergonomic client over the service: paging iterators, batching, retries.
+"""Ergonomic client over the service: paging iterators, batching, resilience.
 
 The raw endpoints mirror the HTTP API one page at a time; research code
 wants "all results for this query".  :class:`YouTubeClient` provides that,
-plus transparent retry on transient 500s (with injectable backoff so tests
-never sleep) and ID batching for the 50-per-call endpoints.
+plus the resilience layer's call gate: a
+:class:`~repro.resilience.policy.RetryPolicy` decides which errors are
+retried (5xx and ``rateLimitExceeded``, never ``badRequest``; daily
+``quotaExceeded`` is a scheduling event and surfaces immediately), an
+optional :class:`~repro.resilience.breaker.CircuitBreaker` stops hammering
+a dead endpoint, and paginated loops recover from ``invalidPageToken`` by
+restarting from page one (the token series died server-side; page order is
+deterministic in the request date, so a restart returns the same data).
+
+Backoff never sleeps here: the simulator's time is virtual.  The legacy
+``backoff`` callable (invoked with the attempt number) is kept for tests
+and simulations; a live run passes ``backoff=policy.make_sleeper(time.sleep)``.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Iterator
 
-from repro.api.errors import ApiError, TransientServerError
+from repro.api.errors import ApiError, InvalidPageTokenError
 from repro.api.service import YouTubeService
 from repro.obs.observer import NullObserver, Observer
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.policy import Action, RetryPolicy
 
 __all__ = ["YouTubeClient"]
 
@@ -26,19 +38,28 @@ class YouTubeClient:
         max_retries: int = 3,
         backoff: Callable[[int], None] | None = None,
         observer: Observer | None = None,
+        retry_policy: RetryPolicy | None = None,
+        circuit_breaker: CircuitBreaker | None = None,
     ) -> None:
         if max_retries < 0:
             raise ValueError("max_retries must be non-negative")
         self._service = service
-        self._max_retries = max_retries
+        # A given policy wins; otherwise max_retries configures the default
+        # one (N retries = N+1 attempts), preserving the legacy surface.
+        self._policy = retry_policy or RetryPolicy(max_attempts=max_retries + 1)
         # Default backoff is a no-op: time is virtual in this simulator.
         self._backoff = backoff or (lambda attempt: None)
+        self._breaker = circuit_breaker
         # Inherit the service's observer so one attachment point covers
         # the whole stack; retries/errors are client-level events the
         # service cannot see (a retried call never reached begin_call).
         self._observer = (
             observer or getattr(service, "observer", None) or NullObserver()
         )
+        if self._breaker is not None and isinstance(
+            self._breaker.observer, NullObserver
+        ):
+            self._breaker.observer = self._observer
 
     @property
     def service(self) -> YouTubeService:
@@ -50,22 +71,65 @@ class YouTubeClient:
         """The observability hooks this client reports retries/errors to."""
         return self._observer
 
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        """The retry policy gating every endpoint call."""
+        return self._policy
+
+    @property
+    def circuit_breaker(self) -> CircuitBreaker | None:
+        """The per-endpoint circuit breaker, if one is attached."""
+        return self._breaker
+
     def _call(self, fn: Callable[[], dict], endpoint: str = "unknown") -> dict:
-        """Invoke an endpoint with retry on transient server errors."""
+        """Invoke an endpoint through the retry policy and circuit breaker."""
         attempt = 0
         while True:
+            if self._breaker is not None:
+                self._breaker.before_call(endpoint)
             try:
-                return fn()
-            except TransientServerError as exc:
-                attempt += 1
-                if attempt > self._max_retries:
-                    self._observer.on_api_error(endpoint, exc)
-                    raise
-                self._observer.on_api_retry(endpoint, attempt, exc)
-                self._backoff(attempt)
+                result = fn()
             except ApiError as exc:
+                action = self._policy.classify(exc)
+                if action is Action.RETRY:
+                    if self._breaker is not None:
+                        self._breaker.record_failure(endpoint)
+                    attempt += 1
+                    if attempt >= self._policy.max_attempts:
+                        self._observer.on_api_error(endpoint, exc)
+                        raise
+                    self._policy.spend_retry(endpoint, exc)
+                    self._observer.on_api_retry(endpoint, attempt, exc)
+                    self._backoff(attempt)
+                    continue
+                # FAIL surfaces a client bug; SCHEDULE surfaces quota
+                # exhaustion for the campaign layer to checkpoint on.
+                # Neither counts against the breaker: the backend is fine.
                 self._observer.on_api_error(endpoint, exc)
                 raise
+            else:
+                if self._breaker is not None:
+                    self._breaker.record_success(endpoint)
+                return result
+
+    def _paginate(self, endpoint: str, collect: Callable[[], list]) -> list:
+        """Run a paginated collection, restarting on ``invalidPageToken``.
+
+        ``collect`` must be restartable from scratch (it owns its
+        accumulator).  Restarts are bounded by the policy's
+        ``max_pagination_restarts`` and charged to the retry budget; past
+        the bound the error surfaces cleanly.
+        """
+        restarts = 0
+        while True:
+            try:
+                return collect()
+            except InvalidPageTokenError as exc:
+                restarts += 1
+                if restarts > self._policy.max_pagination_restarts:
+                    raise
+                self._policy.spend_retry(endpoint, exc)
+                self._observer.on_pagination_restart(endpoint, restarts, exc)
 
     # -- search ---------------------------------------------------------------
 
@@ -89,21 +153,25 @@ class YouTubeClient:
         if limit <= 0:
             raise ValueError("limit must be positive")
         params.setdefault("maxResults", 50)
-        items: list[dict] = []
-        pages = 0
-        page_token: str | None = None
-        while True:
-            page_params = dict(params)
-            if page_token:
-                page_params["pageToken"] = page_token
-            response = self.search_page(**page_params)
-            pages += 1
-            items.extend(response["items"])
-            page_token = response.get("nextPageToken")
-            if not page_token or len(items) >= limit:
-                items = items[:limit]
-                self._observer.on_search_query(pages, len(items))
-                return items
+
+        def collect() -> list[dict]:
+            items: list[dict] = []
+            pages = 0
+            page_token: str | None = None
+            while True:
+                page_params = dict(params)
+                if page_token:
+                    page_params["pageToken"] = page_token
+                response = self.search_page(**page_params)
+                pages += 1
+                items.extend(response["items"])
+                page_token = response.get("nextPageToken")
+                if not page_token or len(items) >= limit:
+                    items = items[:limit]
+                    self._observer.on_search_query(pages, len(items))
+                    return items
+
+        return self._paginate("search.list", collect)
 
     def search_video_ids(self, **params) -> list[str]:
         """Video IDs of all search results for a query."""
@@ -146,57 +214,72 @@ class YouTubeClient:
 
     def playlist_video_ids(self, playlist_id: str) -> list[str]:
         """Every video ID in a playlist, fully paginated."""
-        ids: list[str] = []
-        page_token: str | None = None
-        while True:
-            response = self._call(
-                lambda tok=page_token: self._service.playlist_items.list(
-                    part="contentDetails",
-                    playlistId=playlist_id,
-                    maxResults=50,
-                    pageToken=tok,
-                ),
-                endpoint="playlistItems.list",
-            )
-            ids.extend(item["contentDetails"]["videoId"] for item in response["items"])
-            page_token = response.get("nextPageToken")
-            if not page_token:
-                return ids
+
+        def collect() -> list[str]:
+            ids: list[str] = []
+            page_token: str | None = None
+            while True:
+                response = self._call(
+                    lambda tok=page_token: self._service.playlist_items.list(
+                        part="contentDetails",
+                        playlistId=playlist_id,
+                        maxResults=50,
+                        pageToken=tok,
+                    ),
+                    endpoint="playlistItems.list",
+                )
+                ids.extend(
+                    item["contentDetails"]["videoId"] for item in response["items"]
+                )
+                page_token = response.get("nextPageToken")
+                if not page_token:
+                    return ids
+
+        return self._paginate("playlistItems.list", collect)
 
     # -- comments ------------------------------------------------------------------
 
     def comment_threads_all(self, video_id: str, include_replies: bool = True) -> list[dict]:
         """All comment threads of a video, fully paginated."""
         part = "snippet,replies" if include_replies else "snippet"
-        threads: list[dict] = []
-        page_token: str | None = None
-        while True:
-            response = self._call(
-                lambda tok=page_token: self._service.comment_threads.list(
-                    part=part, videoId=video_id, maxResults=50, pageToken=tok
-                ),
-                endpoint="commentThreads.list",
-            )
-            threads.extend(response["items"])
-            page_token = response.get("nextPageToken")
-            if not page_token:
-                return threads
+
+        def collect() -> list[dict]:
+            threads: list[dict] = []
+            page_token: str | None = None
+            while True:
+                response = self._call(
+                    lambda tok=page_token: self._service.comment_threads.list(
+                        part=part, videoId=video_id, maxResults=50, pageToken=tok
+                    ),
+                    endpoint="commentThreads.list",
+                )
+                threads.extend(response["items"])
+                page_token = response.get("nextPageToken")
+                if not page_token:
+                    return threads
+
+        return self._paginate("commentThreads.list", collect)
 
     def comment_replies_all(self, parent_id: str) -> list[dict]:
         """All replies under a top-level comment, fully paginated."""
-        replies: list[dict] = []
-        page_token: str | None = None
-        while True:
-            response = self._call(
-                lambda tok=page_token: self._service.comments.list(
-                    part="snippet", parentId=parent_id, maxResults=50, pageToken=tok
-                ),
-                endpoint="comments.list",
-            )
-            replies.extend(response["items"])
-            page_token = response.get("nextPageToken")
-            if not page_token:
-                return replies
+
+        def collect() -> list[dict]:
+            replies: list[dict] = []
+            page_token: str | None = None
+            while True:
+                response = self._call(
+                    lambda tok=page_token: self._service.comments.list(
+                        part="snippet", parentId=parent_id, maxResults=50,
+                        pageToken=tok,
+                    ),
+                    endpoint="comments.list",
+                )
+                replies.extend(response["items"])
+                page_token = response.get("nextPageToken")
+                if not page_token:
+                    return replies
+
+        return self._paginate("comments.list", collect)
 
 
 def _batches(items: list[str], size: int) -> Iterator[list[str]]:

@@ -16,7 +16,9 @@ __all__ = [
     "NotFoundError",
     "ForbiddenError",
     "QuotaExceededError",
+    "RateLimitedError",
     "TransientServerError",
+    "MalformedResponseError",
 ]
 
 
@@ -85,8 +87,32 @@ class QuotaExceededError(ForbiddenError):
     reason = "quotaExceeded"
 
 
+class RateLimitedError(ApiError):
+    """Per-minute request rate exceeded (HTTP 429, or 403 with
+    ``rateLimitExceeded``); retriable after backing off, unlike the daily
+    ``quotaExceeded`` which only a new quota day can clear."""
+
+    http_status = 429
+    reason = "rateLimitExceeded"
+
+    @property
+    def retriable(self) -> bool:
+        return True
+
+
 class TransientServerError(ApiError):
     """Backend hiccup (HTTP 500); safe to retry."""
 
     http_status = 500
     reason = "backendError"
+
+
+class MalformedResponseError(TransientServerError):
+    """A 2xx response whose body was truncated or not valid JSON.
+
+    The real API occasionally drops connections mid-body; the bytes read so
+    far parse as nothing.  Treated as transient (HTTP-status-wise it *was*
+    a success, so the identical request is safe to reissue)."""
+
+    http_status = 502
+    reason = "malformedResponse"

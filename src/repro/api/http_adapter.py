@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import json
 import time
+import urllib.error
 import urllib.parse
 import urllib.request
 from datetime import datetime, timezone
@@ -38,8 +39,10 @@ from repro.api.errors import (
     BadRequestError,
     ForbiddenError,
     InvalidPageTokenError,
+    MalformedResponseError,
     NotFoundError,
     QuotaExceededError,
+    RateLimitedError,
     TransientServerError,
 )
 from repro.api.quota import QuotaLedger, QuotaPolicy
@@ -110,6 +113,11 @@ def classify_http_error(status: int, body: bytes | str) -> ApiError:
         return QuotaExceededError(message)
     if reason == "invalidPageToken":
         return InvalidPageTokenError(message)
+    # Per-minute throttling, not the daily quota: HTTP 429, or 403 carrying
+    # the rateLimitExceeded reason.  Retriable after backing off — checked
+    # before the generic 403 mapping, which is terminal.
+    if status == 429 or reason in ("rateLimitExceeded", "userRateLimitExceeded"):
+        return RateLimitedError(message)
     if status == 403:
         return ForbiddenError(message)
     if status == 404:
@@ -128,7 +136,15 @@ class _HttpEndpoint:
         self.endpoint_name = quota_name
 
     def list(self, **params) -> dict:
-        """Issue one live call (charges local quota first)."""
+        """Issue one live call (charges local quota first).
+
+        The local pre-charge fails fast on budget overruns, but it means a
+        call that dies *after* charging (HTTP error, network drop,
+        truncated body) would stay billed and be billed again by its
+        retry.  Every failure path below therefore refunds the charge
+        before raising, keeping the ledger equal to completed calls — the
+        reconciliation invariant ``repro chaos`` pins for the simulator.
+        """
         service = self._service
         day = datetime.now(timezone.utc).date().isoformat()
         service.quota.charge(self.endpoint_name, day)
@@ -138,14 +154,27 @@ class _HttpEndpoint:
             with urllib.request.urlopen(url, timeout=service.timeout) as response:
                 body = response.read()
         except urllib.error.HTTPError as exc:  # pragma: no cover - network
+            service.quota.refund(self.endpoint_name, day)
             error = classify_http_error(exc.code, exc.read())
             service.observer.on_api_error(self.endpoint_name, error)
             raise error from exc
         except urllib.error.URLError as exc:  # pragma: no cover - network
+            service.quota.refund(self.endpoint_name, day)
             error = TransientServerError(f"network error: {exc.reason}")
             service.observer.on_api_error(self.endpoint_name, error)
             raise error from exc
-        payload = json.loads(body)
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as exc:
+            # A 2xx status with an unparseable body: the connection dropped
+            # mid-response.  Retriable — the request itself was accepted.
+            service.quota.refund(self.endpoint_name, day)
+            error = MalformedResponseError(
+                f"truncated or invalid JSON body from {self.endpoint_name} "
+                f"({len(body)} bytes): {exc}"
+            )
+            service.observer.on_api_error(self.endpoint_name, error)
+            raise error from exc
         now = datetime.now(timezone.utc)
         service.transport.observe(
             self.endpoint_name, now, service.quota.cost_of(self.endpoint_name)

@@ -92,6 +92,29 @@ class QuotaLedger:
             self.observer.on_quota_spend(endpoint, day, cost, self._usage[day])
         return self._usage[day]
 
+    def refund(self, endpoint: str, day: str) -> int:
+        """Reverse one call's charge on ``day``; returns the day's new usage.
+
+        Used by the live adapter when a call fails *after* its local
+        pre-charge (network error, truncated body): the retry will charge
+        again, and without the refund the ledger would double-bill a call
+        that completed exactly once.  The simulator never needs this — its
+        fault gate fires before billing.  Refunding below zero is a
+        bookkeeping bug and raises.
+        """
+        cost = self.cost_of(endpoint)
+        used = self._usage.get(day, 0)
+        if used < cost or self._total < cost:
+            raise ValueError(
+                f"cannot refund {cost} units for {endpoint} on {day}: only "
+                f"{used} recorded"
+            )
+        self._usage[day] = used - cost
+        self._total -= cost
+        if self.observer is not None:
+            self.observer.on_quota_refund(endpoint, day, cost)
+        return self._usage[day]
+
     def used_on(self, day: str) -> int:
         """Units consumed on a given day."""
         return self._usage.get(day, 0)

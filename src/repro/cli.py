@@ -12,6 +12,7 @@ Subcommands::
     python -m repro budget      [--researcher]
     python -m repro replication --seeds 101 202 303
     python -m repro obs report  trace.jsonl
+    python -m repro chaos       --scenario burst-500s
 
 ``campaign`` runs the hour-binned audit on the paper's 5-day cadence and
 persists it as JSONL; ``analyze`` re-renders any table/figure from a saved
@@ -51,6 +52,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="capture comments on the first and last collections")
     campaign.add_argument("--out", metavar="PATH", default=None,
                           help="persist the campaign as JSONL")
+    campaign.add_argument("--checkpoint", metavar="PATH", default=None,
+                          help="checkpoint after every snapshot and resume "
+                               "from an existing file; a .partial sidecar "
+                               "additionally survives mid-snapshot crashes")
     campaign.add_argument("--trace", metavar="PATH", default=None,
                           help="write a JSONL observability trace of the run "
                                "(render it with `repro obs report`)")
@@ -104,6 +109,23 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="render the metrics summary of a trace file"
     )
     obs_report.add_argument("trace_path", metavar="TRACE_JSONL")
+
+    chaos = sub.add_parser(
+        "chaos", help="run a scripted fault scenario and assert invariants"
+    )
+    from repro.resilience.faults import SCENARIOS
+
+    chaos.add_argument("--scenario", default="burst-500s",
+                       choices=sorted(SCENARIOS),
+                       help="named fault script (see --list)")
+    chaos.add_argument("--list", action="store_true", dest="list_scenarios",
+                       help="list scenarios and exit")
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument("--scale", type=float, default=0.05,
+                       help="corpus scale of the chaos mini-campaign")
+    chaos.add_argument("--collections", type=int, default=2)
+    chaos.add_argument("--trace", metavar="PATH", default=None,
+                       help="export the faulted run's observability trace")
 
     return parser
 
@@ -160,7 +182,10 @@ def _cmd_campaign(args) -> int:
     progress = None if args.quiet else (
         lambda done, total: print(f"collected {done}/{total}", file=sys.stderr)
     )
-    campaign = run_campaign(config, YouTubeClient(service), progress=progress)
+    campaign = run_campaign(
+        config, YouTubeClient(service), progress=progress,
+        checkpoint_path=args.checkpoint,
+    )
     print(
         f"campaign: {campaign.n_collections} collections, "
         f"{service.quota.total_used:,} quota units"
@@ -341,6 +366,27 @@ def _cmd_obs(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    import tempfile
+
+    from repro.resilience.chaos import run_scenario
+    from repro.resilience.faults import SCENARIOS
+
+    if args.list_scenarios:
+        for name in sorted(SCENARIOS):
+            print(f"{name:20s} {SCENARIOS[name].description}")
+        return 0
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as workdir:
+        report = run_scenario(
+            args.scenario, workdir, seed=args.seed, scale=args.scale,
+            collections=args.collections, trace_path=args.trace,
+        )
+    print(report.render())
+    if args.trace:
+        print(f"traced to {args.trace}")
+    return 0 if report.passed else 1
+
+
 _COMMANDS = {
     "world": _cmd_world,
     "campaign": _cmd_campaign,
@@ -352,6 +398,7 @@ _COMMANDS = {
     "inference": _cmd_inference,
     "replication": _cmd_replication,
     "obs": _cmd_obs,
+    "chaos": _cmd_chaos,
 }
 
 

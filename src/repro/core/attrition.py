@@ -27,20 +27,31 @@ ABSENT = "A"
 
 
 def presence_sequences(
-    campaign: CampaignResult, topics: list[str] | None = None
+    campaign: CampaignResult,
+    topics: list[str] | None = None,
+    skip_degraded: bool = False,
 ) -> list[str]:
     """P/A sequences for every (topic, ever-returned video).
 
     A video enters the universe at its first appearance but its sequence
     covers *all* collections (it was eligible-but-absent before), matching
     the paper's treatment of presence/absence states.
+
+    ``skip_degraded`` drops collections whose snapshot for the topic is
+    degraded (missing hour bins): an absence recorded by a half-collected
+    snapshot is a measurement failure, not platform attrition, and would
+    bias the chain toward ``A``.  Sequences then span only the complete
+    collections, in order.
     """
     if topics is None:
         topics = list(campaign.topic_keys)
     sequences: list[str] = []
     for topic in topics:
         sets = campaign.sets_for_topic(topic)
-        universe = campaign.ever_returned(topic)
+        if skip_degraded:
+            degraded = set(campaign.degraded_indices(topic))
+            sets = [s for i, s in enumerate(sets) if i not in degraded]
+        universe = set().union(*sets) if sets else set()
         for video_id in sorted(universe):
             sequences.append(
                 "".join(PRESENT if video_id in s else ABSENT for s in sets)
@@ -85,10 +96,12 @@ class AttritionResult:
 
 
 def attrition_analysis(
-    campaign: CampaignResult, topics: list[str] | None = None
+    campaign: CampaignResult,
+    topics: list[str] | None = None,
+    skip_degraded: bool = False,
 ) -> AttritionResult:
     """Estimate the Figure 3 chain from a campaign."""
-    sequences = presence_sequences(campaign, topics)
+    sequences = presence_sequences(campaign, topics, skip_degraded=skip_degraded)
     if not sequences:
         raise ValueError("no videos were ever returned; nothing to analyze")
     chain = estimate_markov_chain(sequences, order=2)

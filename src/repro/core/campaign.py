@@ -5,8 +5,18 @@ runs the collector; the result is the input every analysis module consumes.
 Long campaigns can checkpoint after every snapshot and resume — a real
 12-week collection survives process restarts the same way.
 
+Checkpointing is two-level.  The campaign checkpoint persists whole
+snapshots; a ``<checkpoint>.partial`` sidecar
+(:class:`~repro.resilience.checkpoint.PartialSnapshotStore`) additionally
+persists every completed *hour-bin query* of the snapshot in flight, so a
+process killed mid-snapshot resumes by re-issuing only the missing bins —
+at 100 units per search that is the difference between losing a few
+queries and losing a quota day.  The sidecar is cleared the moment its
+snapshot lands in the campaign checkpoint.
+
 Observability: the runner emits ``campaign.checkpoint`` events (action
-``resume`` when an existing checkpoint is loaded, ``save`` after each
+``resume`` when an existing checkpoint is loaded, ``resume-partial`` when
+a mid-snapshot sidecar seeds the next collection, ``save`` after each
 persisted snapshot) through the observer, which also flows into the
 :class:`~repro.core.collector.SnapshotCollector` for snapshot/topic
 events.  The observer defaults to the client's (ultimately the
@@ -19,10 +29,12 @@ from pathlib import Path
 from typing import Callable
 
 from repro.api.client import YouTubeClient
+from repro.api.errors import QuotaExceededError
 from repro.core.collector import SnapshotCollector
 from repro.core.datasets import CampaignResult
 from repro.core.experiments import CampaignConfig
 from repro.obs.observer import NullObserver, Observer
+from repro.resilience.checkpoint import PartialSnapshotStore
 
 __all__ = ["run_campaign"]
 
@@ -45,6 +57,7 @@ def run_campaign(
     progress: Callable[[int, int], None] | None = None,
     checkpoint_path: str | Path | None = None,
     observer: Observer | None = None,
+    tolerate_failures: bool = False,
 ) -> CampaignResult:
     """Run the full campaign against a service.
 
@@ -57,12 +70,25 @@ def run_campaign(
     snapshots are loaded instead of re-queried (their dates must match the
     config's schedule).  A checkpoint that cannot be parsed, or whose
     snapshots do not line up with the schedule, raises ``ValueError``
-    rather than silently recollecting or mixing schedules.
+    rather than silently recollecting or mixing schedules.  A
+    ``<checkpoint>.partial`` sidecar left by a run that died mid-snapshot
+    seeds the next collection with its completed hour bins.
+
+    ``tolerate_failures`` lets the collector mark permanently-failed hour
+    bins as missing (degraded snapshots) instead of aborting; quota
+    exhaustion still aborts after checkpointing, because only a new quota
+    day can fix it — the run resumes cleanly once it arrives.
     """
     observer = observer or getattr(client, "observer", None) or NullObserver()
+    partial = (
+        PartialSnapshotStore(str(checkpoint_path) + ".partial")
+        if checkpoint_path is not None
+        else None
+    )
     collector = SnapshotCollector(
         client, config.topics, collect_metadata=config.collect_metadata,
-        observer=observer,
+        observer=observer, partial=partial,
+        tolerate_failures=tolerate_failures,
     )
     dates = config.collection_dates
     snapshots = []
@@ -83,16 +109,33 @@ def run_campaign(
         snapshots = list(previous.snapshots)
         observer.on_checkpoint("resume", str(checkpoint_path), len(snapshots))
 
+    if partial is not None and partial.exists() and len(snapshots) < len(dates):
+        existing = partial.load()
+        if existing is not None and existing.index == len(snapshots):
+            observer.on_checkpoint(
+                "resume-partial", str(partial.path), len(snapshots)
+            )
+
     for index in range(len(snapshots), len(dates)):
         client.service.clock.set(dates[index])
         with_comments = index in config.comment_snapshot_indices
-        snapshots.append(collector.collect(index, with_comments=with_comments))
+        try:
+            snapshots.append(collector.collect(index, with_comments=with_comments))
+        except QuotaExceededError as exc:
+            # A scheduling event: completed hour bins are already in the
+            # partial sidecar; surface it so the operator waits for quota.
+            observer.on_degraded(
+                "quota", f"snapshot {index} interrupted: {exc}"
+            )
+            raise
         if checkpoint_path is not None:
             CampaignResult(
                 topic_keys=tuple(spec.key for spec in config.topics),
                 snapshots=snapshots,
             ).save(checkpoint_path)
             observer.on_checkpoint("save", str(checkpoint_path), len(snapshots))
+            if partial is not None:
+                partial.clear()
         if progress is not None:
             progress(index + 1, len(dates))
 

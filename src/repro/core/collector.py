@@ -5,6 +5,23 @@ time-split querying, Section 2's "one per X time" strategy), in reverse
 chronological order — followed immediately by Videos:list and
 Channels:list calls for the returned IDs (Appendix B.1's flow), and
 optionally by CommentThreads:list / Comments:list for the comment audit.
+
+Resilience (see :mod:`repro.resilience` and ``docs/RESILIENCE.md``):
+
+* with a :class:`~repro.resilience.checkpoint.PartialSnapshotStore`, every
+  completed hour-bin query is persisted immediately, and a resumed
+  collection replays completed bins instead of re-querying them;
+* an ``invalidPageToken`` mid-way through an hour bin restarts that bin
+  from page one (bounded by the client policy's
+  ``max_pagination_restarts``) — the token series died server-side and the
+  simulator's determinism makes the restart return the same data;
+* with ``tolerate_failures=True``, an hour bin whose retries are exhausted
+  (or whose endpoint circuit is open) is *marked missing* on the
+  :class:`~repro.core.datasets.TopicSnapshot` instead of killing the whole
+  snapshot; downstream analyses handle the gaps explicitly
+  (:func:`repro.core.consistency.gap_aware_consistency_series`).
+  Quota exhaustion is never tolerated: it is a scheduling event the
+  campaign layer must see.
 """
 
 from __future__ import annotations
@@ -12,9 +29,17 @@ from __future__ import annotations
 from datetime import timedelta
 
 from repro.api.client import YouTubeClient
-from repro.api.errors import ForbiddenError, NotFoundError
+from repro.api.errors import (
+    ApiError,
+    ForbiddenError,
+    InvalidPageTokenError,
+    NotFoundError,
+    QuotaExceededError,
+)
 from repro.core.datasets import Snapshot, TopicSnapshot
 from repro.obs.observer import NullObserver, Observer
+from repro.resilience.breaker import CircuitOpenError
+from repro.resilience.checkpoint import PartialSnapshotStore
 from repro.util.timeutil import format_rfc3339, hour_range
 from repro.world.topics import TopicSpec
 
@@ -30,6 +55,17 @@ class SnapshotCollector:
     between is attributable to the topic that caused it.  The observer
     defaults to the client's, so attaching one at the service covers this
     layer too.
+
+    Parameters
+    ----------
+    partial:
+        Optional :class:`~repro.resilience.checkpoint.PartialSnapshotStore`
+        for query-level checkpointing; completed hour bins are recorded as
+        they finish and replayed on resume.
+    tolerate_failures:
+        Degrade instead of dying: mark an hour bin missing when its query
+        fails permanently (exhausted retries, open circuit) and keep
+        collecting.  Quota exhaustion always propagates.
     """
 
     def __init__(
@@ -38,26 +74,40 @@ class SnapshotCollector:
         topics: tuple[TopicSpec, ...],
         collect_metadata: bool = True,
         observer: Observer | None = None,
+        partial: PartialSnapshotStore | None = None,
+        tolerate_failures: bool = False,
     ) -> None:
         if not topics:
             raise ValueError("collector requires at least one topic")
         self._client = client
         self._topics = topics
         self._collect_metadata = collect_metadata
+        self._partial = partial
+        self._tolerate_failures = tolerate_failures
         self._observer = (
             observer or getattr(client, "observer", None) or NullObserver()
         )
 
     def collect(self, index: int, with_comments: bool = False) -> Snapshot:
-        """Run the full hourly query sweep and return the snapshot."""
+        """Run the full hourly query sweep and return the snapshot.
+
+        With a partial store attached, a partial file for this same index
+        seeds the sweep (its completed bins are not re-queried) and the
+        file tracks every further completed bin; the caller clears the
+        store once the snapshot is durably persisted at campaign level.
+        """
         service = self._client.service
         collected_at = service.clock.now()
+        completed = self._load_partial(index)
+        if completed is None and self._partial is not None:
+            self._partial.begin(index, collected_at)
         self._observer.on_snapshot_start(index, collected_at)
         units_before = service.quota.total_used
         calls_before = service.transport.total_calls
         topics: dict[str, TopicSnapshot] = {}
         for spec in self._topics:
-            topics[spec.key] = self._collect_topic(spec, with_comments)
+            done = completed.completed_for(spec.key) if completed else {}
+            topics[spec.key] = self._collect_topic(spec, with_comments, done)
         self._observer.on_snapshot_end(
             index,
             service.clock.now(),
@@ -68,18 +118,61 @@ class SnapshotCollector:
 
     # -- internals -----------------------------------------------------------
 
-    def _collect_topic(self, spec: TopicSpec, with_comments: bool) -> TopicSnapshot:
+    def _load_partial(self, index: int):
+        """Completed bins of a matching partial checkpoint, else ``None``."""
+        if self._partial is None:
+            return None
+        existing = self._partial.load()
+        if existing is None:
+            return None
+        if existing.index < index:
+            # Stale partial from an earlier, already-persisted snapshot.
+            self._partial.clear()
+            return None
+        if existing.index > index:
+            raise ValueError(
+                f"partial checkpoint {self._partial.path} is for snapshot "
+                f"{existing.index} but snapshot {index} is being collected — "
+                f"the campaign checkpoint and its partial sidecar disagree"
+            )
+        return existing
+
+    def _collect_topic(
+        self,
+        spec: TopicSpec,
+        with_comments: bool,
+        completed: dict[int, tuple[list[str], int]] | None = None,
+    ) -> TopicSnapshot:
         service = self._client.service
         collected_at = service.clock.now()
         self._observer.on_topic_start(spec.key, collected_at)
         units_before = service.quota.total_used
         hour_video_ids: dict[int, list[str]] = {}
         pool_sizes: dict[int, int] = {}
+        missing_hours: list[int] = []
+        completed = completed or {}
 
         for hour_index, hour_start in enumerate(
             hour_range(spec.window_start, spec.window_end)
         ):
-            ids, pool = self._query_hour(spec, hour_start)
+            if hour_index in completed:
+                ids, pool = completed[hour_index]
+            else:
+                try:
+                    ids, pool = self._query_hour(spec, hour_start)
+                except QuotaExceededError:
+                    raise  # a scheduling event, never a degraded bin
+                except (ApiError, CircuitOpenError) as exc:
+                    if not self._tolerate_failures:
+                        raise
+                    missing_hours.append(hour_index)
+                    self._observer.on_degraded(
+                        "hour-bin",
+                        f"{spec.key} hour {hour_index}: {type(exc).__name__}",
+                    )
+                    continue
+                if self._partial is not None:
+                    self._partial.record_hour(spec.key, hour_index, ids, pool)
             pool_sizes[hour_index] = pool
             if ids:
                 hour_video_ids[hour_index] = ids
@@ -89,6 +182,7 @@ class SnapshotCollector:
             collected_at=collected_at,
             hour_video_ids=hour_video_ids,
             pool_sizes=pool_sizes,
+            missing_hours=missing_hours,
         )
         if self._collect_metadata:
             self._attach_metadata(snapshot)
@@ -103,7 +197,23 @@ class SnapshotCollector:
         return snapshot
 
     def _query_hour(self, spec: TopicSpec, hour_start) -> tuple[list[str], int]:
-        """One hourly query: all pages, as the paper's time-split design."""
+        """One hourly query: all pages, as the paper's time-split design.
+
+        An ``invalidPageToken`` mid-pagination restarts this bin from page
+        one — the accumulator is local, so a restart cannot double-count.
+        """
+        restarts = 0
+        while True:
+            try:
+                return self._query_hour_once(spec, hour_start)
+            except InvalidPageTokenError as exc:
+                restarts += 1
+                if restarts > self._client.retry_policy.max_pagination_restarts:
+                    raise
+                self._client.retry_policy.spend_retry("search.list", exc)
+                self._observer.on_pagination_restart("search.list", restarts, exc)
+
+    def _query_hour_once(self, spec: TopicSpec, hour_start) -> tuple[list[str], int]:
         ids: list[str] = []
         pool = 0
         pages = 0

@@ -36,6 +36,14 @@ class TopicSnapshot:
     channel_meta: dict[str, dict] = field(default_factory=dict)
     #: video ID -> {"top_level": [comment resources], "replies": [...]}
     comments: dict[str, dict] = field(default_factory=dict)
+    #: hour indices whose queries failed permanently (degraded collection);
+    #: empty for a complete snapshot — the overwhelmingly common case.
+    missing_hours: list[int] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any hour bin is missing (collected under a failure)."""
+        return bool(self.missing_hours)
 
     @property
     def video_ids(self) -> set[str]:
@@ -54,6 +62,14 @@ class TopicSnapshot:
         """Videos returned for one hour bin (0 when the hour is absent)."""
         return len(self.hour_video_ids.get(hour, ()))
 
+    def video_ids_excluding(self, hours: set[int]) -> set[str]:
+        """Returned IDs outside the given hour bins (gap-aware comparisons)."""
+        out: set[str] = set()
+        for h, ids in self.hour_video_ids.items():
+            if h not in hours:
+                out.update(ids)
+        return out
+
 
 @dataclass
 class Snapshot:
@@ -70,6 +86,11 @@ class Snapshot:
     def video_ids(self, key: str) -> set[str]:
         """Convenience: a topic's returned video-ID set."""
         return self.topics[key].video_ids
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any topic in this collection is missing hour bins."""
+        return any(ts.degraded for ts in self.topics.values())
 
 
 @dataclass
@@ -92,6 +113,12 @@ class CampaignResult:
     def sets_for_topic(self, key: str) -> list[set[str]]:
         """Video-ID sets per collection for one topic, in order."""
         return [snap.video_ids(key) for snap in self.snapshots]
+
+    def degraded_indices(self, key: str) -> list[int]:
+        """Collection indices where a topic's snapshot is degraded."""
+        return [
+            snap.index for snap in self.snapshots if snap.topic(key).degraded
+        ]
 
     def ever_returned(self, key: str) -> set[str]:
         """Union of a topic's returned IDs over all collections."""
@@ -128,19 +155,22 @@ class CampaignResult:
         records = [{"kind": "header", "topic_keys": list(self.topic_keys)}]
         for snap in self.snapshots:
             for key, ts in snap.topics.items():
-                records.append(
-                    {
-                        "kind": "topic-snapshot",
-                        "index": snap.index,
-                        "collected_at": format_rfc3339(snap.collected_at),
-                        "topic": key,
-                        "hour_video_ids": {str(h): v for h, v in ts.hour_video_ids.items()},
-                        "pool_sizes": {str(h): p for h, p in ts.pool_sizes.items()},
-                        "video_meta": ts.video_meta,
-                        "channel_meta": ts.channel_meta,
-                        "comments": ts.comments,
-                    }
-                )
+                record = {
+                    "kind": "topic-snapshot",
+                    "index": snap.index,
+                    "collected_at": format_rfc3339(snap.collected_at),
+                    "topic": key,
+                    "hour_video_ids": {str(h): v for h, v in ts.hour_video_ids.items()},
+                    "pool_sizes": {str(h): p for h, p in ts.pool_sizes.items()},
+                    "video_meta": ts.video_meta,
+                    "channel_meta": ts.channel_meta,
+                    "comments": ts.comments,
+                }
+                # Omitted when empty so complete campaigns stay byte-identical
+                # with files written before degraded snapshots existed.
+                if ts.missing_hours:
+                    record["missing_hours"] = sorted(ts.missing_hours)
+                records.append(record)
         return write_jsonl(path, records)
 
     @classmethod
@@ -167,6 +197,7 @@ class CampaignResult:
                 video_meta=record.get("video_meta", {}),
                 channel_meta=record.get("channel_meta", {}),
                 comments=record.get("comments", {}),
+                missing_hours=[int(h) for h in record.get("missing_hours", [])],
             )
         snapshots = [by_index[i] for i in sorted(by_index)]
         return cls(topic_keys=topic_keys, snapshots=snapshots)

@@ -65,12 +65,26 @@ class Observer:
     def on_search_query(self, pages: int, results: int) -> None:
         """One logical search query finished after ``pages`` paged calls."""
 
+    def on_pagination_restart(self, endpoint: str, restart: int, error: Exception) -> None:
+        """A paginated loop is restarting from page one (``invalidPageToken``)."""
+
+    # -- resilience layer ------------------------------------------------------
+
+    def on_circuit_transition(self, endpoint: str, old: str, new: str) -> None:
+        """An endpoint's circuit breaker changed state (closed/open/half_open)."""
+
+    def on_degraded(self, scope: str, detail: str) -> None:
+        """A component gave up on part of its work and degraded instead of dying."""
+
     # -- quota layer -----------------------------------------------------------
 
     def on_quota_spend(
         self, endpoint: str, day: str, units: int, used_on_day: int
     ) -> None:
         """The ledger accepted a charge of ``units`` on virtual ``day``."""
+
+    def on_quota_refund(self, endpoint: str, day: str, units: int) -> None:
+        """The ledger refunded a charge whose call failed after billing."""
 
     # -- collection layer ------------------------------------------------------
 
@@ -155,6 +169,23 @@ class CampaignObserver(Observer):
         self.metrics.observe("search.page_depth", float(pages))
         self.tracer.emit("search.query", pages=pages, results=results)
 
+    def on_pagination_restart(self, endpoint: str, restart: int, error: Exception) -> None:
+        self.metrics.inc("pagination.restarts", endpoint=endpoint)
+        self.tracer.emit(
+            "pagination.restart", endpoint=endpoint, restart=restart,
+            error=type(error).__name__,
+        )
+
+    # -- resilience layer ------------------------------------------------------
+
+    def on_circuit_transition(self, endpoint: str, old: str, new: str) -> None:
+        self.metrics.inc("circuit.transitions", endpoint=endpoint, to=new)
+        self.tracer.emit("circuit.transition", endpoint=endpoint, old=old, new=new)
+
+    def on_degraded(self, scope: str, detail: str) -> None:
+        self.metrics.inc("degraded.events", scope=scope)
+        self.tracer.emit("degraded", scope=scope, detail=detail[:200])
+
     # -- quota layer -----------------------------------------------------------
 
     def on_quota_spend(
@@ -168,6 +199,10 @@ class CampaignObserver(Observer):
             self.metrics.inc("quota.units_by_topic", units, topic=self._current_topic)
             fields["topic"] = self._current_topic
         self.tracer.emit("quota.spend", **fields)
+
+    def on_quota_refund(self, endpoint: str, day: str, units: int) -> None:
+        self.metrics.inc("quota.refunds", units, endpoint=endpoint)
+        self.tracer.emit("quota.refund", endpoint=endpoint, day=day, units=units)
 
     # -- collection layer ------------------------------------------------------
 
@@ -218,6 +253,16 @@ class CampaignObserver(Observer):
     def total_quota_units(self) -> float:
         """Units recorded across all ``quota.units`` series (all endpoints)."""
         return sum(self.metrics.counters_with_prefix("quota.units").values())
+
+    @property
+    def refunded_quota_units(self) -> float:
+        """Units refunded after post-billing failures (live adapter only)."""
+        return sum(self.metrics.counters_with_prefix("quota.refunds").values())
+
+    @property
+    def net_quota_units(self) -> float:
+        """Spend minus refunds — what the ledger's ``total_used`` shows."""
+        return self.total_quota_units - self.refunded_quota_units
 
     def export_trace(self, path: str | Path) -> int:
         """Write the trace as JSONL; returns the number of events."""

@@ -62,6 +62,11 @@ class ObsSummary:
     search_pages: int = 0
     max_page_depth: int = 0
     days_used: dict[str, int] = field(default_factory=dict)
+    refund_units: int = 0
+    pagination_restarts: int = 0
+    #: (endpoint, old, new) for every circuit-breaker transition, in order.
+    circuit_transitions: list[tuple[str, str, str]] = field(default_factory=list)
+    degraded_events: dict[str, int] = field(default_factory=dict)
 
     @property
     def total_calls(self) -> int:
@@ -89,6 +94,15 @@ class ObsSummary:
     @property
     def total_wall_s(self) -> float:
         return sum(s.wall_s for s in self.snapshots)
+
+    @property
+    def net_units(self) -> int:
+        """Spend minus refunds; reconciles with the ledger's ``total_used``."""
+        return self.total_units - self.refund_units
+
+    @property
+    def total_degraded(self) -> int:
+        return sum(self.degraded_events.values())
 
 
 def summarize_events(events: Iterable[dict]) -> ObsSummary:
@@ -118,11 +132,23 @@ def summarize_events(events: Iterable[dict]) -> ObsSummary:
                 s.days_used[day] = max(
                     s.days_used.get(day, 0), int(event.get("used_on_day", 0))
                 )
+        elif kind == "quota.refund":
+            s.refund_units += int(event["units"])
         elif kind == "search.query":
             s.search_queries += 1
             pages = int(event.get("pages", 1))
             s.search_pages += pages
             s.max_page_depth = max(s.max_page_depth, pages)
+        elif kind == "pagination.restart":
+            s.pagination_restarts += 1
+        elif kind == "circuit.transition":
+            s.circuit_transitions.append(
+                (event.get("endpoint", "?"), event.get("old", "?"),
+                 event.get("new", "?"))
+            )
+        elif kind == "degraded":
+            scope = event.get("scope", "?")
+            s.degraded_events[scope] = s.degraded_events.get(scope, 0) + 1
         elif kind == "snapshot.start":
             index = int(event["index"])
             open_snapshots[index] = _SnapshotStats(
@@ -150,6 +176,8 @@ def render_observability(events: Iterable[dict] | ObsSummary) -> str:
         events if isinstance(events, ObsSummary) else summarize_events(events)
     )
     blocks = [_render_totals(summary), _render_endpoints(summary)]
+    if summary.circuit_transitions or summary.degraded_events:
+        blocks.append(_render_resilience(summary))
     if summary.topic_units:
         blocks.append(_render_topics(summary))
     if summary.snapshots:
@@ -165,6 +193,7 @@ def _render_totals(s: ObsSummary) -> str:
         ["retries", s.total_retries],
         ["errors surfaced", s.total_errors],
         ["search queries (logical)", s.search_queries],
+        ["pagination restarts", s.pagination_restarts],
         ["search pages fetched", s.search_pages],
         ["max page depth", s.max_page_depth],
         ["snapshots completed", len(s.snapshots)],
@@ -173,7 +202,23 @@ def _render_totals(s: ObsSummary) -> str:
         ["quota days touched", len(s.days_used)],
         ["wall time (s)", round(s.total_wall_s, 3)],
     ]
+    if s.refund_units:
+        rows.insert(3, ["quota units refunded", s.refund_units])
+        rows.insert(4, ["quota units (net)", s.net_units])
     return render_table(["metric", "value"], rows, title="Observability report")
+
+
+def _render_resilience(s: ObsSummary) -> str:
+    """Circuit-breaker activity and degraded work (only when any occurred)."""
+    rows: list[list] = [
+        [f"circuit {endpoint}", f"{old} -> {new}"]
+        for endpoint, old, new in s.circuit_transitions
+    ]
+    for scope, count in sorted(s.degraded_events.items()):
+        rows.append([f"degraded ({scope})", count])
+    return render_table(
+        ["event", "detail"], rows, title="Resilience events"
+    )
 
 
 def _render_endpoints(s: ObsSummary) -> str:

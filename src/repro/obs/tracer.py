@@ -32,7 +32,11 @@ EVENT_TYPES = (
     "api.retry",
     "api.error",
     "quota.spend",
+    "quota.refund",
     "search.query",
+    "pagination.restart",
+    "circuit.transition",
+    "degraded",
     "topic.start",
     "topic.end",
     "snapshot.start",

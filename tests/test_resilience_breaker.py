@@ -1,0 +1,111 @@
+"""Circuit breaker: state machine, recovery paths, observer wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import CampaignObserver
+from repro.resilience import CircuitBreaker, CircuitOpenError, CircuitState
+
+
+def trip(breaker: CircuitBreaker, endpoint: str = "search.list") -> None:
+    """Drive an endpoint's circuit open via consecutive failures."""
+    for _ in range(breaker.failure_threshold):
+        breaker.before_call(endpoint)
+        breaker.record_failure(endpoint)
+
+
+class TestStateMachine:
+    def test_starts_closed_and_admits(self):
+        breaker = CircuitBreaker()
+        assert breaker.state("search.list") is CircuitState.CLOSED
+        breaker.before_call("search.list")  # must not raise
+
+    def test_opens_at_failure_threshold(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        trip(breaker)
+        assert breaker.state("search.list") is CircuitState.OPEN
+
+    def test_open_circuit_rejects_locally(self):
+        breaker = CircuitBreaker(failure_threshold=1, probe_after=10)
+        trip(breaker)
+        with pytest.raises(CircuitOpenError) as excinfo:
+            breaker.before_call("search.list")
+        assert excinfo.value.endpoint == "search.list"
+        assert breaker.total_rejected == 1
+
+    def test_success_resets_failure_count(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure("search.list")
+        breaker.record_success("search.list")
+        breaker.record_failure("search.list")
+        assert breaker.state("search.list") is CircuitState.CLOSED
+
+    def test_circuits_are_per_endpoint(self):
+        breaker = CircuitBreaker(failure_threshold=1)
+        trip(breaker, "search.list")
+        assert breaker.state("search.list") is CircuitState.OPEN
+        assert breaker.state("videos.list") is CircuitState.CLOSED
+        breaker.before_call("videos.list")  # unaffected
+
+
+class TestRecovery:
+    def test_probe_after_rejections_half_opens(self):
+        breaker = CircuitBreaker(failure_threshold=1, probe_after=3)
+        trip(breaker)
+        for _ in range(2):
+            with pytest.raises(CircuitOpenError):
+                breaker.before_call("search.list")
+        breaker.before_call("search.list")  # the 3rd becomes the probe
+        assert breaker.state("search.list") is CircuitState.HALF_OPEN
+
+    def test_probe_success_closes(self):
+        breaker = CircuitBreaker(failure_threshold=1, probe_after=1)
+        trip(breaker)
+        breaker.before_call("search.list")
+        breaker.record_success("search.list")
+        assert breaker.state("search.list") is CircuitState.CLOSED
+
+    def test_probe_failure_reopens(self):
+        breaker = CircuitBreaker(failure_threshold=1, probe_after=1)
+        trip(breaker)
+        breaker.before_call("search.list")
+        breaker.record_failure("search.list")
+        assert breaker.state("search.list") is CircuitState.OPEN
+
+    def test_cooldown_on_injected_clock_half_opens(self):
+        now = [0.0]
+        breaker = CircuitBreaker(
+            failure_threshold=1, probe_after=10_000, cooldown_s=30.0,
+            clock=lambda: now[0],
+        )
+        trip(breaker)
+        with pytest.raises(CircuitOpenError):
+            breaker.before_call("search.list")
+        now[0] = 31.0
+        breaker.before_call("search.list")  # cooled down: admitted as probe
+        assert breaker.state("search.list") is CircuitState.HALF_OPEN
+
+
+class TestObservability:
+    def test_transitions_are_traced(self):
+        obs = CampaignObserver()
+        breaker = CircuitBreaker(failure_threshold=1, probe_after=1, observer=obs)
+        trip(breaker)
+        breaker.before_call("search.list")
+        breaker.record_success("search.list")
+        transitions = [
+            (e.fields["old"], e.fields["new"])
+            for e in obs.tracer.of_type("circuit.transition")
+        ]
+        assert transitions == [
+            ("closed", "open"), ("open", "half_open"), ("half_open", "closed")
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(probe_after=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_s=-1.0)

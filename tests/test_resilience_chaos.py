@@ -1,0 +1,57 @@
+"""The chaos harness end to end, plus its CLI entry point."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.resilience import SCENARIOS
+from repro.resilience.chaos import run_scenario
+
+
+class TestRunScenario:
+    def test_malformed_json_scenario_passes(self, tmp_path):
+        report = run_scenario("malformed-json", tmp_path)
+        assert report.passed
+        assert report.faults_injected == 2
+        names = [check.name for check in report.checks]
+        assert names == [
+            "faults-injected", "quota-reconciles", "no-double-billing",
+            "byte-identical-result", "no-redundant-queries",
+        ]
+        rendered = report.render()
+        assert "chaos malformed-json: PASSED" in rendered
+        assert "FAIL" not in rendered
+
+    def test_quota_cliff_interrupts_and_resumes(self, tmp_path):
+        report = run_scenario(SCENARIOS["quota-cliff"], tmp_path)
+        assert report.passed
+        by_name = {check.name: check for check in report.checks}
+        assert by_name["interrupted-then-resumed"].passed
+        assert by_name["byte-identical-result"].passed
+        # The faulted files stay in the workdir for post-mortems.
+        assert (tmp_path / "clean.jsonl").exists()
+        assert (tmp_path / "faulted.jsonl").exists()
+
+    def test_trace_export(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        run_scenario("malformed-json", tmp_path, trace_path=trace)
+        assert trace.exists()
+        assert '"api.retry"' in trace.read_text()
+
+    def test_unknown_scenario_names_the_known_ones(self, tmp_path):
+        with pytest.raises(ValueError, match="burst-500s"):
+            run_scenario("no-such-thing", tmp_path)
+
+
+class TestChaosCli:
+    def test_scenario_run_exits_zero(self, capsys):
+        assert main(["chaos", "--scenario", "malformed-json"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos malformed-json: PASSED" in out
+
+    def test_list_scenarios(self, capsys):
+        assert main(["chaos", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in SCENARIOS:
+            assert name in out

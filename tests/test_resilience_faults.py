@@ -1,0 +1,118 @@
+"""Fault plans and scenarios: scripted, deterministic, duck-type clean."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.errors import (
+    InvalidPageTokenError,
+    QuotaExceededError,
+    RateLimitedError,
+    TransientServerError,
+)
+from repro.resilience import SCENARIOS, FaultPlan, FaultSpec
+
+
+class TestFaultSpec:
+    def test_window_matching(self):
+        spec = FaultSpec(start=3, count=2)
+        assert not spec.matches(2, "search.list")
+        assert spec.matches(3, "search.list")
+        assert spec.matches(4, "search.list")
+        assert not spec.matches(5, "search.list")
+
+    def test_endpoint_restriction(self):
+        spec = FaultSpec(start=0, count=10, endpoint="search.list")
+        assert spec.matches(0, "search.list")
+        assert not spec.matches(0, "videos.list")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(start=-1)
+        with pytest.raises(ValueError):
+            FaultSpec(start=0, count=0)
+        with pytest.raises(ValueError):
+            FaultSpec(start=0, error="noSuchReason")
+
+
+class TestFaultPlan:
+    def test_ticks_advance_even_when_passing(self):
+        plan = FaultPlan([FaultSpec(start=2, count=1)])
+        plan.maybe_fail("search.list")
+        plan.maybe_fail("search.list")
+        assert plan.tick == 2
+        with pytest.raises(TransientServerError):
+            plan.maybe_fail("search.list")
+        assert plan.tick == 3
+
+    def test_error_types_match_reasons(self):
+        cases = [
+            ("backendError", TransientServerError),
+            ("rateLimitExceeded", RateLimitedError),
+            ("quotaExceeded", QuotaExceededError),
+            ("invalidPageToken", InvalidPageTokenError),
+        ]
+        for reason, exc_type in cases:
+            plan = FaultPlan([FaultSpec(start=0, error=reason)])
+            with pytest.raises(exc_type):
+                plan.maybe_fail("search.list")
+
+    def test_injection_log_records_what_fired(self):
+        plan = FaultPlan([FaultSpec(start=1, count=2, error="rateLimitExceeded")])
+        plan.maybe_fail("search.list")
+        for _ in range(2):
+            with pytest.raises(RateLimitedError):
+                plan.maybe_fail("videos.list")
+        assert plan.injected == [
+            (1, "videos.list", "rateLimitExceeded"),
+            (2, "videos.list", "rateLimitExceeded"),
+        ]
+
+    def test_endpoint_scoped_fault_passes_others_but_ticks(self):
+        plan = FaultPlan([FaultSpec(start=0, count=1, endpoint="search.list")])
+        plan.maybe_fail("videos.list")  # tick 0 consumed harmlessly
+        plan.maybe_fail("search.list")  # tick 1: window already passed
+        assert plan.injected == []
+
+    def test_reset_rewinds(self):
+        plan = FaultPlan([FaultSpec(start=0)])
+        with pytest.raises(TransientServerError):
+            plan.maybe_fail("search.list")
+        plan.reset()
+        assert plan.tick == 0 and plan.injected == []
+        with pytest.raises(TransientServerError):
+            plan.maybe_fail("search.list")
+
+    def test_empty_plan_never_fails(self):
+        plan = FaultPlan()
+        for _ in range(100):
+            plan.maybe_fail("search.list")
+
+    def test_drop_in_for_transport_faults(self, small_world, small_specs):
+        """The transport accepts a FaultPlan wherever FaultInjector goes."""
+        from repro.api import build_service
+
+        service = build_service(small_world, seed=20250209, specs=small_specs)
+        service.transport.faults = FaultPlan([FaultSpec(start=0)])
+        with pytest.raises(TransientServerError):
+            service.search.list(q=small_specs[0].query, maxResults=5)
+        # The failed attempt was never billed nor logged.
+        assert service.quota.total_used == 0
+        assert service.transport.total_calls == 0
+
+
+class TestScenarios:
+    def test_registry_is_complete(self):
+        assert set(SCENARIOS) == {
+            "burst-500s", "ratelimit-storm", "malformed-json",
+            "invalid-page-token", "quota-cliff", "hard-outage",
+        }
+
+    def test_each_scenario_yields_fresh_plans(self):
+        scenario = SCENARIOS["burst-500s"]
+        a, b = scenario.plan(), scenario.plan()
+        assert a is not b
+        with pytest.raises(TransientServerError):
+            for _ in range(10):
+                a.maybe_fail("search.list")
+        assert b.tick == 0

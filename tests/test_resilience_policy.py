@@ -1,0 +1,133 @@
+"""Retry policy: classification, deterministic backoff, budgets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.errors import (
+    BadRequestError,
+    ForbiddenError,
+    InvalidPageTokenError,
+    MalformedResponseError,
+    NotFoundError,
+    QuotaExceededError,
+    RateLimitedError,
+    TransientServerError,
+)
+from repro.resilience import (
+    Action,
+    RetryBudget,
+    RetryBudgetExceededError,
+    RetryPolicy,
+)
+
+
+class TestClassification:
+    def test_transient_5xx_is_retried(self):
+        assert RetryPolicy().classify(TransientServerError("x")) is Action.RETRY
+
+    def test_rate_limited_is_retried(self):
+        assert RetryPolicy().classify(RateLimitedError("x")) is Action.RETRY
+
+    def test_malformed_response_is_retried(self):
+        assert RetryPolicy().classify(MalformedResponseError("x")) is Action.RETRY
+
+    def test_bad_request_family_always_fails(self):
+        policy = RetryPolicy()
+        assert policy.classify(BadRequestError("x")) is Action.FAIL
+        assert policy.classify(InvalidPageTokenError("x")) is Action.FAIL
+        assert policy.classify(NotFoundError("x")) is Action.FAIL
+        assert policy.classify(ForbiddenError("x")) is Action.FAIL
+
+    def test_quota_exceeded_is_a_scheduling_event(self):
+        # QuotaExceededError subclasses ForbiddenError; the policy must
+        # check it first and never retry it.
+        assert RetryPolicy().classify(QuotaExceededError("x")) is Action.SCHEDULE
+
+    def test_non_api_errors_fail(self):
+        assert RetryPolicy().classify(RuntimeError("x")) is Action.FAIL
+
+
+class TestBackoff:
+    def test_exponential_shape_without_jitter(self):
+        policy = RetryPolicy(base_delay_s=1.0, multiplier=2.0,
+                             max_delay_s=64.0, jitter=0.0)
+        assert [policy.delay_s(n) for n in (1, 2, 3, 4)] == [1.0, 2.0, 4.0, 8.0]
+
+    def test_delay_is_capped(self):
+        policy = RetryPolicy(base_delay_s=1.0, multiplier=2.0,
+                             max_delay_s=5.0, jitter=0.0)
+        assert policy.delay_s(10) == 5.0
+
+    def test_jitter_is_deterministic_per_seed(self):
+        a = [RetryPolicy(seed=42).delay_s(n) for n in (1, 2, 3)]
+        b = [RetryPolicy(seed=42).delay_s(n) for n in (1, 2, 3)]
+        c = [RetryPolicy(seed=43).delay_s(n) for n in (1, 2, 3)]
+        assert a == b
+        assert a != c
+
+    def test_jitter_stays_within_band(self):
+        policy = RetryPolicy(base_delay_s=2.0, multiplier=1.0, jitter=0.5, seed=1)
+        for n in range(1, 20):
+            delay = policy.delay_s(n)
+            assert 1.0 <= delay <= 2.0
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().delay_s(0)
+
+    def test_make_sleeper_passes_computed_delay(self):
+        slept: list[float] = []
+        policy = RetryPolicy(base_delay_s=3.0, multiplier=1.0, jitter=0.0)
+        policy.make_sleeper(slept.append)(1)
+        assert slept == [3.0]
+
+
+class TestBudget:
+    def test_budget_counts_down(self):
+        budget = RetryBudget(2)
+        assert budget.spend() and budget.spend()
+        assert not budget.spend()
+        assert budget.remaining == 0
+
+    def test_policy_raises_loudly_when_exhausted(self):
+        policy = RetryPolicy(budget=RetryBudget(1))
+        cause = TransientServerError("backend down")
+        policy.spend_retry("search.list", cause)
+        with pytest.raises(RetryBudgetExceededError) as excinfo:
+            policy.spend_retry("search.list", cause)
+        assert excinfo.value.__cause__ is cause
+        assert "search.list" in str(excinfo.value)
+
+    def test_no_budget_means_unlimited(self):
+        policy = RetryPolicy()
+        for _ in range(1000):
+            policy.spend_retry("search.list", TransientServerError("x"))
+
+    def test_budget_is_shared_across_policies(self):
+        shared = RetryBudget(1)
+        a = RetryPolicy(budget=shared)
+        b = RetryPolicy(budget=shared)
+        a.spend_retry("search.list", TransientServerError("x"))
+        with pytest.raises(RetryBudgetExceededError):
+            b.spend_retry("videos.list", TransientServerError("x"))
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay_s": -1.0},
+            {"multiplier": 0.5},
+            {"jitter": 1.5},
+            {"max_pagination_restarts": -1},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            RetryBudget(-1)
