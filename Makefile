@@ -1,15 +1,18 @@
 # Repository verification targets.
 #
-#   make verify    tier-1 test suite + documentation link check + chaos run
-#   make test      tier-1 test suite only
-#   make doclinks  README.md / docs/*.md cross-reference check only
-#   make chaos     fastest fault-injection scenario (see docs/RESILIENCE.md)
+#   make verify       tier-1 tests + doc link check + chaos run + bench smoke
+#   make test         tier-1 test suite only
+#   make doclinks     README.md / docs/*.md cross-reference check only
+#   make chaos        fastest fault-injection scenario (see docs/RESILIENCE.md)
+#   make bench        campaign benchmark -> BENCH_campaign.json
+#                     (see docs/PERFORMANCE.md)
+#   make bench-smoke  reduced-scale benchmark to a temp file (verify gate)
 
 PYTHON ?= python
 
-.PHONY: verify test doclinks chaos
+.PHONY: verify test doclinks chaos bench bench-smoke
 
-verify: test doclinks chaos
+verify: test doclinks chaos bench-smoke
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -19,3 +22,10 @@ doclinks:
 
 chaos:
 	PYTHONPATH=src $(PYTHON) -m repro chaos --scenario malformed-json
+
+bench:
+	PYTHONPATH=src $(PYTHON) -m repro bench
+
+bench-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro bench --scenario reduced --quiet \
+		--out $(or $(TMPDIR),/tmp)/repro_bench_smoke.json

@@ -21,15 +21,19 @@ class VirtualClock:
     def __init__(self, start: datetime | None = None) -> None:
         if start is None:
             start = datetime(2025, 2, 9, tzinfo=UTC)
-        self._now = ensure_utc(start)
+        self._set(ensure_utc(start))
 
     def now(self) -> datetime:
         """Current simulated time."""
         return self._now
 
     def today(self) -> str:
-        """ISO date of the current simulated day (quota bucket key)."""
-        return self._now.date().isoformat()
+        """ISO date of the current simulated day (quota bucket key).
+
+        Precomputed whenever the clock moves: every API call reads it for
+        quota bucketing, and the clock only moves between snapshots.
+        """
+        return self._today
 
     def set(self, when: datetime) -> None:
         """Jump the clock to ``when`` (forwards or backwards).
@@ -39,12 +43,16 @@ class VirtualClock:
         results exactly.  This is what lets evaluations replay the same
         schedule against multiple strategies on one service.
         """
-        self._now = ensure_utc(when)
+        self._set(ensure_utc(when))
 
     def advance(self, **timedelta_kwargs: float) -> datetime:
         """Advance by a timedelta (e.g. ``clock.advance(days=5)``)."""
         delta = timedelta(**timedelta_kwargs)
         if delta < timedelta(0):
             raise ValueError("clock cannot move backwards")
-        self._now = self._now + delta
+        self._set(self._now + delta)
         return self._now
+
+    def _set(self, now: datetime) -> None:
+        self._now = now
+        self._today = now.date().isoformat()

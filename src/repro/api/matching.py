@@ -9,11 +9,18 @@ The ``q`` parameter supports a small boolean grammar on the real API:
 
 We implement that grammar against the store's token index (AND terms via
 the inverted index, then phrase/exclusion/OR refinement per candidate).
+
+Hot-path note (see ``docs/PERFORMANCE.md``): campaigns issue the same
+handful of query strings tens of thousands of times, so both the parse and
+the phrase-regex compile are memoized.  Both are pure functions of the
+query text, so the caches never invalidate.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import re
+from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.api.errors import BadRequestError
 from repro.world.store import PlatformStore, tokenize
@@ -39,9 +46,18 @@ class ParsedQuery:
 
 
 def parse_query(q: str) -> ParsedQuery:
-    """Parse a raw ``q`` string into its boolean components."""
+    """Parse a raw ``q`` string into its boolean components.
+
+    Parses are memoized per query string: the result is frozen and a pure
+    function of ``q``.
+    """
     if not isinstance(q, str):
         raise BadRequestError(f"q must be a string, got {type(q).__name__}")
+    return _parse_query_cached(q)
+
+
+@lru_cache(maxsize=4096)
+def _parse_query_cached(q: str) -> ParsedQuery:
     required: list[str] = []
     phrases: list[str] = []
     excluded: list[str] = []
@@ -99,6 +115,11 @@ def match_candidates(store: PlatformStore, parsed: ParsedQuery) -> set[str]:
 
     An empty query matches the whole corpus, as the real endpoint does when
     ``q`` is omitted (searches can be filtered purely by channel/time).
+
+    The result may be a shared frozen set when no per-candidate refinement
+    applies (the empty-query whole-corpus case); a mutable set is only
+    materialized when exclusions or phrases actually filter.  Callers must
+    treat the result as read-only.
     """
     candidates = store.candidates_for_tokens(list(parsed.required_tokens))
     if parsed.or_groups:
@@ -106,14 +127,15 @@ def match_candidates(store: PlatformStore, parsed: ParsedQuery) -> set[str]:
             group_hits: set[str] = set()
             for token in group:
                 group_hits |= store.candidates_for_tokens([token])
-            candidates &= group_hits
+            candidates = candidates & group_hits
             if not candidates:
                 return set()
     if parsed.excluded_tokens:
+        excluded = frozenset(parsed.excluded_tokens)
         candidates = {
             vid
             for vid in candidates
-            if not (set(parsed.excluded_tokens) & store.token_set(vid))
+            if not (excluded & store.token_set(vid))
         }
     if parsed.phrases:
         patterns = [_phrase_pattern(phrase) for phrase in parsed.phrases]
@@ -125,15 +147,14 @@ def match_candidates(store: PlatformStore, parsed: ParsedQuery) -> set[str]:
     return candidates
 
 
-def _phrase_pattern(phrase: str):
-    """Word-boundary-aware phrase matcher.
+@lru_cache(maxsize=1024)
+def _phrase_pattern(phrase: str) -> re.Pattern[str]:
+    """Word-boundary-aware phrase matcher (compiled once per phrase).
 
     A plain substring test would let ``"awards grammy"`` match inside
     ``"awards grammys"``; the lookarounds pin both phrase edges to token
     boundaries.
     """
-    import re
-
     return re.compile(
         r"(?<![a-z0-9'])" + re.escape(phrase) + r"(?![a-z0-9'])"
     )

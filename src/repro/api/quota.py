@@ -18,6 +18,7 @@ they were never billed.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.api.errors import QuotaExceededError
@@ -63,6 +64,13 @@ class QuotaLedger:
     observer: object | None = field(default=None, repr=False, compare=False)
     _usage: dict[str, int] = field(default_factory=dict)
     _total: int = 0
+    # Charges/refunds are check-then-mutate, so the parallel collector
+    # (``workers>1``) must serialize them or concurrent charges could both
+    # pass the limit check.  Observer callbacks fire inside the lock so the
+    # reported running totals stay monotonic.
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     def cost_of(self, endpoint: str) -> int:
         """Unit cost of an endpoint; unknown endpoints cost 1."""
@@ -79,18 +87,19 @@ class QuotaLedger:
             executing).
         """
         cost = self.cost_of(endpoint)
-        used = self._usage.get(day, 0)
-        limit = self.policy.effective_limit
-        if used + cost > limit:
-            raise QuotaExceededError(
-                f"daily quota of {limit} units exceeded for {day} "
-                f"(used {used}, {endpoint} costs {cost})"
-            )
-        self._usage[day] = used + cost
-        self._total += cost
-        if self.observer is not None:
-            self.observer.on_quota_spend(endpoint, day, cost, self._usage[day])
-        return self._usage[day]
+        with self._lock:
+            used = self._usage.get(day, 0)
+            limit = self.policy.effective_limit
+            if used + cost > limit:
+                raise QuotaExceededError(
+                    f"daily quota of {limit} units exceeded for {day} "
+                    f"(used {used}, {endpoint} costs {cost})"
+                )
+            self._usage[day] = used + cost
+            self._total += cost
+            if self.observer is not None:
+                self.observer.on_quota_spend(endpoint, day, cost, self._usage[day])
+            return self._usage[day]
 
     def refund(self, endpoint: str, day: str) -> int:
         """Reverse one call's charge on ``day``; returns the day's new usage.
@@ -103,17 +112,18 @@ class QuotaLedger:
         bookkeeping bug and raises.
         """
         cost = self.cost_of(endpoint)
-        used = self._usage.get(day, 0)
-        if used < cost or self._total < cost:
-            raise ValueError(
-                f"cannot refund {cost} units for {endpoint} on {day}: only "
-                f"{used} recorded"
-            )
-        self._usage[day] = used - cost
-        self._total -= cost
-        if self.observer is not None:
-            self.observer.on_quota_refund(endpoint, day, cost)
-        return self._usage[day]
+        with self._lock:
+            used = self._usage.get(day, 0)
+            if used < cost or self._total < cost:
+                raise ValueError(
+                    f"cannot refund {cost} units for {endpoint} on {day}: only "
+                    f"{used} recorded"
+                )
+            self._usage[day] = used - cost
+            self._total -= cost
+            if self.observer is not None:
+                self.observer.on_quota_refund(endpoint, day, cost)
+            return self._usage[day]
 
     def used_on(self, day: str) -> int:
         """Units consumed on a given day."""
@@ -130,5 +140,6 @@ class QuotaLedger:
 
     def reset(self) -> None:
         """Clear all usage (a fresh project)."""
-        self._usage.clear()
-        self._total = 0
+        with self._lock:
+            self._usage.clear()
+            self._total = 0

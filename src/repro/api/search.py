@@ -16,7 +16,7 @@ from datetime import datetime, timezone
 
 from repro.api.errors import BadRequestError, NotFoundError
 from repro.api.fields import filter_response
-from repro.api.matching import match_candidates, parse_query
+from repro.api.matching import ParsedQuery, match_candidates, parse_query
 from repro.api.pagination import paginate
 from repro.api.resources import etag_for, search_result_resource
 from repro.sampling.engine import SearchBehaviorEngine
@@ -45,6 +45,51 @@ class SearchEndpoint:
         self._store = store
         self._engine = engine
         self._service = service
+        # Query-plan cache: q -> (parsed query, frozen text-matched candidate
+        # set).  The corpus is immutable, so a plan never invalidates; a
+        # campaign re-issues the same six query strings 64k+ times and pays
+        # the parse + index intersection exactly once per string.  Channel
+        # filtering happens in the engine (cached per (query, channelId)
+        # there), so the plan here is keyed by q alone.
+        self._plan_cache: dict[str, tuple[ParsedQuery, frozenset[str]]] = {}
+        # Fingerprint cache: the search fingerprint is a pure function of
+        # the request parameters (not the request date), so each distinct
+        # (q, channelId, window, order, type) combination is hashed once per
+        # campaign instead of once per snapshot.
+        self._fingerprint_cache: dict[tuple[str, str, str, str, str, str], str] = {}
+
+    def _query_plan(self, q: str) -> tuple[ParsedQuery, frozenset[str]]:
+        """The memoized (parsed, candidates) plan for a query string."""
+        plan = self._plan_cache.get(q)
+        if plan is None:
+            parsed = parse_query(q)
+            plan = (parsed, frozenset(match_candidates(self._store, parsed)))
+            self._plan_cache[q] = plan
+        return plan
+
+    def _fingerprint(
+        self,
+        q: str | None,
+        channelId: str | None,
+        publishedAfter: str | None,
+        publishedBefore: str | None,
+        order: str,
+        type: str,
+    ) -> str:
+        """The memoized pagination/etag fingerprint for one parameter set."""
+        key = (
+            q or "",
+            channelId or "",
+            publishedAfter or "",
+            publishedBefore or "",
+            order,
+            type,
+        )
+        fingerprint = self._fingerprint_cache.get(key)
+        if fingerprint is None:
+            fingerprint = str(stable_hash("search-fingerprint", *key))
+            self._fingerprint_cache[key] = fingerprint
+        return fingerprint
 
     def list(
         self,
@@ -86,8 +131,7 @@ class SearchEndpoint:
                 )
             candidates = self._related_candidates(relatedToVideoId)
         else:
-            parsed = parse_query(q or "")
-            candidates = match_candidates(self._store, parsed)
+            _parsed, candidates = self._query_plan(q or "")
 
         outcome = self._engine.execute(
             q or f"related:{relatedToVideoId}",
@@ -99,16 +143,8 @@ class SearchEndpoint:
             channel_id=channelId,
         )
 
-        fingerprint = str(
-            stable_hash(
-                "search-fingerprint",
-                q or "",
-                channelId or "",
-                publishedAfter or "",
-                publishedBefore or "",
-                order,
-                type,
-            )
+        fingerprint = self._fingerprint(
+            q, channelId, publishedAfter, publishedBefore, order, type
         )
         page = paginate(
             outcome.videos, fingerprint, maxResults, pageToken, hard_cap=SEARCH_HARD_CAP

@@ -12,6 +12,7 @@ repository three things a real measurement pipeline has to contend with:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from datetime import datetime
 
@@ -57,11 +58,23 @@ class FaultInjector:
             raise ValueError("probability must be in [0, 1)")
         self._probability = probability
         self._rng = SeedBank(seed).generator("transport/faults")
+        self._lock = threading.Lock()
 
     def maybe_fail(self, endpoint: str) -> None:
         """Raise ``TransientServerError`` with the configured probability."""
-        if self._probability > 0 and self._rng.random() < self._probability:
+        if self._probability <= 0:
+            return
+        with self._lock:
+            fail = self._rng.random() < self._probability
+        if fail:
             raise TransientServerError(f"transient backend error on {endpoint}")
+
+
+# numpy Generators are not thread-safe; the parallel collector shares one
+# transport (and so one latency RNG and one fault RNG) across workers, so
+# the observe/fail paths are serialized.  Latency draws then depend on call
+# *arrival order* — which worker interleaving changes — but latency never
+# feeds collected data, only the simulated wall-clock accounting.
 
 
 @dataclass
@@ -71,18 +84,22 @@ class Transport:
     latency: LatencyModel = field(default_factory=LatencyModel)
     faults: FaultInjector = field(default_factory=FaultInjector)
     records: list[RequestRecord] = field(default_factory=list)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def observe(self, endpoint: str, at: datetime, units: int) -> RequestRecord:
         """Record one call (after fault injection has passed)."""
-        record = RequestRecord(
-            sequence=len(self.records),
-            endpoint=endpoint,
-            at=at,
-            units=units,
-            latency_ms=self.latency.draw(),
-        )
-        self.records.append(record)
-        return record
+        with self._lock:
+            record = RequestRecord(
+                sequence=len(self.records),
+                endpoint=endpoint,
+                at=at,
+                units=units,
+                latency_ms=self.latency.draw(),
+            )
+            self.records.append(record)
+            return record
 
     @property
     def total_calls(self) -> int:

@@ -13,6 +13,7 @@ Subcommands::
     python -m repro replication --seeds 101 202 303
     python -m repro obs report  trace.jsonl
     python -m repro chaos       --scenario burst-500s
+    python -m repro bench       --scenario reduced
 
 ``campaign`` runs the hour-binned audit on the paper's 5-day cadence and
 persists it as JSONL; ``analyze`` re-renders any table/figure from a saved
@@ -59,6 +60,9 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--trace", metavar="PATH", default=None,
                           help="write a JSONL observability trace of the run "
                                "(render it with `repro obs report`)")
+    campaign.add_argument("--workers", type=int, default=1,
+                          help="hour-bin query parallelism (1 = serial "
+                               "reference; >1 is byte-identical)")
     campaign.add_argument("--quiet", action="store_true")
 
     analyze = sub.add_parser("analyze", help="render tables/figures from a saved campaign")
@@ -127,6 +131,19 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--trace", metavar="PATH", default=None,
                        help="export the faulted run's observability trace")
 
+    bench = sub.add_parser(
+        "bench", help="time the campaign fast path and write BENCH_campaign.json"
+    )
+    bench.add_argument("--scenario", action="append",
+                       choices=("reduced", "paper"),
+                       help="scenario(s) to run (default: both)")
+    bench.add_argument("--workers", type=int, default=1,
+                       help="collector hour-bin parallelism (default 1)")
+    bench.add_argument("--seed", type=int, default=None,
+                       help="override the benchmark seed")
+    bench.add_argument("--out", metavar="PATH", default="BENCH_campaign.json")
+    bench.add_argument("--quiet", action="store_true")
+
     return parser
 
 
@@ -184,7 +201,7 @@ def _cmd_campaign(args) -> int:
     )
     campaign = run_campaign(
         config, YouTubeClient(service), progress=progress,
-        checkpoint_path=args.checkpoint,
+        checkpoint_path=args.checkpoint, workers=args.workers,
     )
     print(
         f"campaign: {campaign.n_collections} collections, "
@@ -387,6 +404,22 @@ def _cmd_chaos(args) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_bench(args) -> int:
+    from repro.core.benchmark import format_report, run_benchmark, write_report
+
+    names = tuple(args.scenario) if args.scenario else ("reduced", "paper")
+    kwargs = {"workers": args.workers}
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    if not args.quiet:
+        kwargs["progress"] = lambda m: print(m, file=sys.stderr)
+    report = run_benchmark(names, **kwargs)
+    path = write_report(report, args.out)
+    print(format_report(report))
+    print(f"wrote {path}")
+    return 0
+
+
 _COMMANDS = {
     "world": _cmd_world,
     "campaign": _cmd_campaign,
@@ -399,6 +432,7 @@ _COMMANDS = {
     "replication": _cmd_replication,
     "obs": _cmd_obs,
     "chaos": _cmd_chaos,
+    "bench": _cmd_bench,
 }
 
 

@@ -58,6 +58,7 @@ def run_campaign(
     checkpoint_path: str | Path | None = None,
     observer: Observer | None = None,
     tolerate_failures: bool = False,
+    workers: int = 1,
 ) -> CampaignResult:
     """Run the full campaign against a service.
 
@@ -78,6 +79,11 @@ def run_campaign(
     bins as missing (degraded snapshots) instead of aborting; quota
     exhaustion still aborts after checkpointing, because only a new quota
     day can fix it — the run resumes cleanly once it arrives.
+
+    ``workers`` sets the collector's hour-bin query parallelism; the
+    default ``1`` is the serial reference path and ``workers > 1``
+    produces byte-identical snapshots (see
+    :class:`~repro.core.collector.SnapshotCollector`).
     """
     observer = observer or getattr(client, "observer", None) or NullObserver()
     partial = (
@@ -88,7 +94,7 @@ def run_campaign(
     collector = SnapshotCollector(
         client, config.topics, collect_metadata=config.collect_metadata,
         observer=observer, partial=partial,
-        tolerate_failures=tolerate_failures,
+        tolerate_failures=tolerate_failures, workers=workers,
     )
     dates = config.collection_dates
     snapshots = []

@@ -26,6 +26,7 @@ Resilience (see :mod:`repro.resilience` and ``docs/RESILIENCE.md``):
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from datetime import timedelta
 
 from repro.api.client import YouTubeClient
@@ -66,6 +67,17 @@ class SnapshotCollector:
         Degrade instead of dying: mark an hour bin missing when its query
         fails permanently (exhausted retries, open circuit) and keep
         collecting.  Quota exhaustion always propagates.
+    workers:
+        Hour-bin query parallelism.  ``1`` (the default) is the serial
+        reference path.  With ``workers > 1`` each topic's hour-bin
+        queries fan out over a thread pool; the simulator's outcomes
+        depend only on (seed, query, request date), and results are merged
+        in hour-index order from the calling thread, so the assembled
+        snapshot — and any partial checkpoint — is byte-identical to the
+        serial path.  Only side-channel *orderings* differ (trace event
+        interleaving, latency-draw assignment).  Requires the shared
+        quota ledger, metrics registry, circuit breaker, and transport to
+        be thread-safe — which the in-repo implementations are.
     """
 
     def __init__(
@@ -76,17 +88,24 @@ class SnapshotCollector:
         observer: Observer | None = None,
         partial: PartialSnapshotStore | None = None,
         tolerate_failures: bool = False,
+        workers: int = 1,
     ) -> None:
         if not topics:
             raise ValueError("collector requires at least one topic")
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
         self._client = client
         self._topics = topics
         self._collect_metadata = collect_metadata
         self._partial = partial
         self._tolerate_failures = tolerate_failures
+        self._workers = workers
         self._observer = (
             observer or getattr(client, "observer", None) or NullObserver()
         )
+        # Per-topic RFC3339 hour-window strings, computed once per spec
+        # instead of twice per query per page (spec.key -> [(after, before)]).
+        self._hour_bounds: dict[str, list[tuple[str, str]]] = {}
 
     def collect(self, index: int, with_comments: bool = False) -> Snapshot:
         """Run the full hourly query sweep and return the snapshot.
@@ -152,26 +171,40 @@ class SnapshotCollector:
         missing_hours: list[int] = []
         completed = completed or {}
 
-        for hour_index, hour_start in enumerate(
-            hour_range(spec.window_start, spec.window_end)
-        ):
+        bounds = self._bounds_for(spec)
+        parallel = (
+            self._collect_hours_parallel(spec, bounds, completed)
+            if self._workers > 1
+            else {}
+        )
+
+        for hour_index in range(len(bounds)):
             if hour_index in completed:
                 ids, pool = completed[hour_index]
             else:
-                try:
-                    ids, pool = self._query_hour(spec, hour_start)
-                except QuotaExceededError:
-                    raise  # a scheduling event, never a degraded bin
-                except (ApiError, CircuitOpenError) as exc:
-                    if not self._tolerate_failures:
-                        raise
+                if self._workers > 1:
+                    outcome = parallel[hour_index]
+                else:
+                    after, before = bounds[hour_index]
+                    try:
+                        outcome = self._query_hour(spec, after, before)
+                    except QuotaExceededError:
+                        raise  # a scheduling event, never a degraded bin
+                    except (ApiError, CircuitOpenError) as exc:
+                        if not self._tolerate_failures:
+                            raise
+                        outcome = exc
+                if isinstance(outcome, Exception):
                     missing_hours.append(hour_index)
                     self._observer.on_degraded(
                         "hour-bin",
-                        f"{spec.key} hour {hour_index}: {type(exc).__name__}",
+                        f"{spec.key} hour {hour_index}: {type(outcome).__name__}",
                     )
                     continue
-                if self._partial is not None:
+                ids, pool = outcome
+                # The parallel path already recorded the bin, in hour order,
+                # while consuming futures.
+                if self._partial is not None and self._workers == 1:
                     self._partial.record_hour(spec.key, hour_index, ids, pool)
             pool_sizes[hour_index] = pool
             if ids:
@@ -196,7 +229,67 @@ class SnapshotCollector:
         )
         return snapshot
 
-    def _query_hour(self, spec: TopicSpec, hour_start) -> tuple[list[str], int]:
+    def _bounds_for(self, spec: TopicSpec) -> list[tuple[str, str]]:
+        """The topic's hour windows as RFC3339 string pairs, computed once."""
+        bounds = self._hour_bounds.get(spec.key)
+        if bounds is None:
+            bounds = [
+                (
+                    format_rfc3339(hour_start),
+                    format_rfc3339(hour_start + timedelta(hours=1)),
+                )
+                for hour_start in hour_range(spec.window_start, spec.window_end)
+            ]
+            self._hour_bounds[spec.key] = bounds
+        return bounds
+
+    def _collect_hours_parallel(
+        self,
+        spec: TopicSpec,
+        bounds: list[tuple[str, str]],
+        completed: dict[int, tuple[list[str], int]],
+    ) -> dict[int, tuple[list[str], int] | Exception]:
+        """Fan the topic's hour-bin queries over the thread pool.
+
+        Futures are consumed in hour-index order from the calling thread,
+        so partial-checkpoint records, degradation decisions, and the
+        propagated exception (if any) all match what the serial loop would
+        have produced for the same per-hour outcomes.  On a propagating
+        failure, not-yet-started bins are cancelled; bins already in
+        flight may still complete (and bill quota) before the pool drains.
+        """
+        outcomes: dict[int, tuple[list[str], int] | Exception] = {}
+        with ThreadPoolExecutor(
+            max_workers=self._workers, thread_name_prefix=f"collect-{spec.key}"
+        ) as pool:
+            futures = {
+                i: pool.submit(self._query_hour, spec, after, before)
+                for i, (after, before) in enumerate(bounds)
+                if i not in completed
+            }
+            try:
+                for i in sorted(futures):
+                    try:
+                        outcomes[i] = futures[i].result()
+                    except QuotaExceededError:
+                        raise  # a scheduling event, never a degraded bin
+                    except (ApiError, CircuitOpenError) as exc:
+                        if not self._tolerate_failures:
+                            raise
+                        outcomes[i] = exc
+                        continue
+                    if self._partial is not None:
+                        ids, pool_size = outcomes[i]
+                        self._partial.record_hour(spec.key, i, ids, pool_size)
+            except BaseException:
+                for future in futures.values():
+                    future.cancel()
+                raise
+        return outcomes
+
+    def _query_hour(
+        self, spec: TopicSpec, published_after: str, published_before: str
+    ) -> tuple[list[str], int]:
         """One hourly query: all pages, as the paper's time-split design.
 
         An ``invalidPageToken`` mid-pagination restarts this bin from page
@@ -205,7 +298,7 @@ class SnapshotCollector:
         restarts = 0
         while True:
             try:
-                return self._query_hour_once(spec, hour_start)
+                return self._query_hour_once(spec, published_after, published_before)
             except InvalidPageTokenError as exc:
                 restarts += 1
                 if restarts > self._client.retry_policy.max_pagination_restarts:
@@ -213,7 +306,9 @@ class SnapshotCollector:
                 self._client.retry_policy.spend_retry("search.list", exc)
                 self._observer.on_pagination_restart("search.list", restarts, exc)
 
-    def _query_hour_once(self, spec: TopicSpec, hour_start) -> tuple[list[str], int]:
+    def _query_hour_once(
+        self, spec: TopicSpec, published_after: str, published_before: str
+    ) -> tuple[list[str], int]:
         ids: list[str] = []
         pool = 0
         pages = 0
@@ -225,8 +320,8 @@ class SnapshotCollector:
                 "maxResults": 50,
                 "order": "date",
                 "safeSearch": "none",
-                "publishedAfter": format_rfc3339(hour_start),
-                "publishedBefore": format_rfc3339(hour_start + timedelta(hours=1)),
+                "publishedAfter": published_after,
+                "publishedBefore": published_before,
                 "type": "video",
             }
             if page_token:

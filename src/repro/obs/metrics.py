@@ -21,6 +21,7 @@ Design points:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "series_key"]
@@ -124,48 +125,58 @@ class MetricsRegistry:
         self._histograms: dict[str, Histogram] = {}
         self._kinds: dict[str, str] = {}
         self._histogram_bounds: dict[str, tuple[float, ...]] = {}
+        # Instrument creation and the read-modify-write verbs are serialized
+        # so the parallel collector's worker threads can't lose updates.
+        self._lock = threading.RLock()
 
     # -- instrument access ----------------------------------------------------
 
     def counter(self, name: str, **labels) -> Counter:
         """The counter for (name, labels), created on first touch."""
-        self._claim(name, "counter")
-        key = series_key(name, labels)
-        return self._counters.setdefault(key, Counter())
+        with self._lock:
+            self._claim(name, "counter")
+            key = series_key(name, labels)
+            return self._counters.setdefault(key, Counter())
 
     def gauge(self, name: str, **labels) -> Gauge:
         """The gauge for (name, labels), created on first touch."""
-        self._claim(name, "gauge")
-        key = series_key(name, labels)
-        return self._gauges.setdefault(key, Gauge())
+        with self._lock:
+            self._claim(name, "gauge")
+            key = series_key(name, labels)
+            return self._gauges.setdefault(key, Gauge())
 
     def histogram(self, name: str, **labels) -> Histogram:
         """The histogram for (name, labels); bounds from :meth:`declare_histogram`."""
-        self._claim(name, "histogram")
-        key = series_key(name, labels)
-        if key not in self._histograms:
-            bounds = self._histogram_bounds.get(name, DEFAULT_BUCKETS)
-            self._histograms[key] = Histogram(bounds=bounds)
-        return self._histograms[key]
+        with self._lock:
+            self._claim(name, "histogram")
+            key = series_key(name, labels)
+            if key not in self._histograms:
+                bounds = self._histogram_bounds.get(name, DEFAULT_BUCKETS)
+                self._histograms[key] = Histogram(bounds=bounds)
+            return self._histograms[key]
 
     def declare_histogram(self, name: str, bounds: tuple[float, ...]) -> None:
         """Fix a histogram family's bucket bounds before first observation."""
-        self._claim(name, "histogram")
-        self._histogram_bounds[name] = tuple(bounds)
+        with self._lock:
+            self._claim(name, "histogram")
+            self._histogram_bounds[name] = tuple(bounds)
 
     # -- convenience verbs -----------------------------------------------------
 
     def inc(self, name: str, amount: float = 1.0, **labels) -> float:
         """Increment a counter series."""
-        return self.counter(name, **labels).inc(amount)
+        with self._lock:
+            return self.counter(name, **labels).inc(amount)
 
     def set_gauge(self, name: str, value: float, **labels) -> float:
         """Set a gauge series."""
-        return self.gauge(name, **labels).set(value)
+        with self._lock:
+            return self.gauge(name, **labels).set(value)
 
     def observe(self, name: str, value: float, **labels) -> None:
         """Record one histogram observation."""
-        self.histogram(name, **labels).observe(value)
+        with self._lock:
+            self.histogram(name, **labels).observe(value)
 
     # -- reading back ----------------------------------------------------------
 

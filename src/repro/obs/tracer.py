@@ -16,6 +16,7 @@ JSONL conventions (sorted keys, ``.gz`` support) and can be re-read with
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from datetime import datetime
 from pathlib import Path
@@ -74,6 +75,9 @@ class Tracer:
     def __init__(self, strict: bool = True) -> None:
         self._strict = strict
         self.events: list[TraceEvent] = []
+        # seq assignment reads len(events) before appending; serialized so
+        # the parallel collector's workers can't mint duplicate seqs.
+        self._lock = threading.Lock()
 
     def emit(self, type: str, at: datetime | None = None, **fields) -> TraceEvent:
         """Append one event; reserved keys ``seq``/``type``/``at`` are rejected."""
@@ -84,8 +88,9 @@ class Tracer:
         for reserved in ("seq", "type", "at"):
             if reserved in fields:
                 raise ValueError(f"field name {reserved!r} is reserved")
-        event = TraceEvent(seq=len(self.events), type=type, at=at, fields=fields)
-        self.events.append(event)
+        with self._lock:
+            event = TraceEvent(seq=len(self.events), type=type, at=at, fields=fields)
+            self.events.append(event)
         return event
 
     def __len__(self) -> int:

@@ -29,6 +29,7 @@ tripped.
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -115,10 +116,14 @@ class CircuitBreaker:
         self._circuits: dict[str, _Circuit] = {}
         #: Total calls rejected locally, per endpoint (quota/attempts saved).
         self.rejected: dict[str, int] = {}
+        # State transitions are read-modify-write on _Circuit; the parallel
+        # collector shares one breaker across worker threads.
+        self._lock = threading.RLock()
 
     def state(self, endpoint: str) -> CircuitState:
         """The endpoint's current circuit state (CLOSED if never touched)."""
-        return self._circuit(endpoint).state
+        with self._lock:
+            return self._circuit(endpoint).state
 
     def _circuit(self, endpoint: str) -> _Circuit:
         return self._circuits.setdefault(endpoint, _Circuit())
@@ -142,40 +147,43 @@ class CircuitBreaker:
         conditions; when either fires, the circuit half-opens and the
         *current* call is admitted as the probe.
         """
-        circuit = self._circuit(endpoint)
-        if circuit.state is not CircuitState.OPEN:
-            return
-        circuit.rejections_since_open += 1
-        cooled = (
-            self.cooldown_s is not None
-            and self._clock is not None
-            and circuit.opened_at is not None
-            and self._clock() - circuit.opened_at >= self.cooldown_s
-        )
-        if cooled or circuit.rejections_since_open >= self.probe_after:
-            self._transition(endpoint, circuit, CircuitState.HALF_OPEN)
-            return  # this call is the probe
-        self.rejected[endpoint] = self.rejected.get(endpoint, 0) + 1
-        raise CircuitOpenError(endpoint, circuit.consecutive_failures)
+        with self._lock:
+            circuit = self._circuit(endpoint)
+            if circuit.state is not CircuitState.OPEN:
+                return
+            circuit.rejections_since_open += 1
+            cooled = (
+                self.cooldown_s is not None
+                and self._clock is not None
+                and circuit.opened_at is not None
+                and self._clock() - circuit.opened_at >= self.cooldown_s
+            )
+            if cooled or circuit.rejections_since_open >= self.probe_after:
+                self._transition(endpoint, circuit, CircuitState.HALF_OPEN)
+                return  # this call is the probe
+            self.rejected[endpoint] = self.rejected.get(endpoint, 0) + 1
+            raise CircuitOpenError(endpoint, circuit.consecutive_failures)
 
     def record_success(self, endpoint: str) -> None:
         """A call completed; a half-open probe success closes the circuit."""
-        circuit = self._circuit(endpoint)
-        circuit.consecutive_failures = 0
-        if circuit.state is not CircuitState.CLOSED:
-            self._transition(endpoint, circuit, CircuitState.CLOSED)
+        with self._lock:
+            circuit = self._circuit(endpoint)
+            circuit.consecutive_failures = 0
+            if circuit.state is not CircuitState.CLOSED:
+                self._transition(endpoint, circuit, CircuitState.CLOSED)
 
     def record_failure(self, endpoint: str) -> None:
         """A retriable call attempt failed; may trip the circuit open."""
-        circuit = self._circuit(endpoint)
-        circuit.consecutive_failures += 1
-        if circuit.state is CircuitState.HALF_OPEN:
-            self._transition(endpoint, circuit, CircuitState.OPEN)
-        elif (
-            circuit.state is CircuitState.CLOSED
-            and circuit.consecutive_failures >= self.failure_threshold
-        ):
-            self._transition(endpoint, circuit, CircuitState.OPEN)
+        with self._lock:
+            circuit = self._circuit(endpoint)
+            circuit.consecutive_failures += 1
+            if circuit.state is CircuitState.HALF_OPEN:
+                self._transition(endpoint, circuit, CircuitState.OPEN)
+            elif (
+                circuit.state is CircuitState.CLOSED
+                and circuit.consecutive_failures >= self.failure_threshold
+            ):
+                self._transition(endpoint, circuit, CircuitState.OPEN)
 
     @property
     def total_rejected(self) -> int:

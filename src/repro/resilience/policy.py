@@ -28,6 +28,7 @@ flapping backend exhausts the budget and fails loudly with
 from __future__ import annotations
 
 import enum
+import threading
 from typing import Callable
 
 from repro.api.errors import ApiError, QuotaExceededError
@@ -70,6 +71,9 @@ class RetryBudget:
             raise ValueError("retry budget limit must be non-negative")
         self.limit = limit
         self.used = 0
+        # The budget is shared across the parallel collector's workers;
+        # spend() is check-then-increment, so it must be atomic.
+        self._lock = threading.Lock()
 
     @property
     def remaining(self) -> int:
@@ -78,10 +82,11 @@ class RetryBudget:
 
     def spend(self) -> bool:
         """Consume one retry; returns False when the budget is exhausted."""
-        if self.used >= self.limit:
-            return False
-        self.used += 1
-        return True
+        with self._lock:
+            if self.used >= self.limit:
+                return False
+            self.used += 1
+            return True
 
 
 class RetryPolicy:
@@ -139,6 +144,9 @@ class RetryPolicy:
         self.budget = budget
         self.max_pagination_restarts = max_pagination_restarts
         self._rng = SeedBank(seed).generator("resilience/retry-jitter")
+        # The jitter generator is stateful and shared when one policy
+        # serves the parallel collector's workers.
+        self._rng_lock = threading.Lock()
 
     # -- classification --------------------------------------------------------
 
@@ -169,7 +177,9 @@ class RetryPolicy:
         )
         if self.jitter == 0.0 or nominal == 0.0:
             return nominal
-        return nominal * (1.0 - self.jitter * float(self._rng.random()))
+        with self._rng_lock:
+            draw = float(self._rng.random())
+        return nominal * (1.0 - self.jitter * draw)
 
     # -- budget ----------------------------------------------------------------
 

@@ -25,6 +25,7 @@ import math
 
 import numpy as np
 
+from repro.util.rng import probit as _probit
 from repro.util.rng import stable_uniform
 from repro.world.temporal import upload_weights
 from repro.world.topics import TopicSpec
@@ -42,6 +43,10 @@ class InterestDensity:
         mean = float(weights.mean())
         self._relative = weights / mean  # 1.0 == average interest
         self._suppressed = self._relative < spec.suppression
+        # request_label -> per-hour jitter factors (0.0 for suppressed
+        # hours).  The jitter is a pure function of (topic, collection day,
+        # hour), so one row serves every query of a collection day.
+        self._jitter_rows: dict[str, np.ndarray] = {}
 
     @property
     def spec(self) -> TopicSpec:
@@ -94,19 +99,37 @@ class InterestDensity:
             return 0.0
         if not 0.0 < saturation <= 1.0:
             raise ValueError("saturation must be in (0, 1]")
+        return min(saturation * self._jitter_at(hour, request_label), 0.995)
+
+    def saturation_row(self, saturation: float, request_label: str) -> np.ndarray:
+        """Vector of :meth:`hour_saturation` over every hour of the window.
+
+        Elementwise byte-identical to the scalar method: both go through
+        :meth:`_jitter_at`, and scalar float multiply/min are the same IEEE
+        operations as their numpy float64 counterparts.  The per-collection
+        jitter row is cached (it does one ``stable_uniform`` draw per
+        unsuppressed hour), so a snapshot's thousands of queries share it;
+        the saturation scaling is per-query and stays out of the cache.
+        """
+        if not 0.0 < saturation <= 1.0:
+            raise ValueError("saturation must be in (0, 1]")
+        row = self._jitter_rows.get(request_label)
+        if row is None:
+            row = np.zeros(self._relative.shape[0], dtype=np.float64)
+            for hour in range(self._relative.shape[0]):
+                if not self._suppressed[hour]:
+                    row[hour] = self._jitter_at(hour, request_label)
+            self._jitter_rows[request_label] = row
+        # Suppressed hours hold jitter 0.0 and stay at probability 0.0.
+        return np.minimum(saturation * row, 0.995)
+
+    def _jitter_at(self, hour: int, request_label: str) -> float:
+        """Multiplicative budget jitter for one (collection, hour) cell."""
         jitter_u = stable_uniform(
             "budget-jitter", self._spec.key, request_label, hour
         )
-        jitter = math.exp(self._jitter * _probit(jitter_u))
-        return min(saturation * jitter, 0.995)
+        return math.exp(self._jitter * _probit(jitter_u))
 
     def _check_hour(self, hour: int) -> None:
         if not 0 <= hour < self._relative.shape[0]:
             raise IndexError(f"hour {hour} outside window of {self.n_hours} hours")
-
-
-def _probit(u: float) -> float:
-    from statistics import NormalDist
-
-    eps = 1e-12
-    return NormalDist().inv_cdf(min(max(u, eps), 1.0 - eps))

@@ -10,13 +10,36 @@ outcome depends only on the world seed, the query, and the *request date* —
 never on what was queried before.  Identical historical queries issued on
 the same day agree exactly; issued weeks apart they diverge through churn,
 which is the paper's central finding.
+
+Fast path (see ``docs/PERFORMANCE.md``): a campaign issues the same six
+queries once per hour bin — 64,512 times at paper scale — so everything
+that is a pure function of the immutable corpus or of the request *date*
+is memoized per engine instance, and the per-query selection runs as one
+vectorized numpy pass (fancy indexing over precomputed per-topic arrays,
+a single batched ``ndtr`` call) instead of a Python loop per hour bin.
+
+Cache invariants:
+
+* every cache key includes the query label and/or the request date label,
+  so distinct queries and distinct collection days never collide;
+* all cached values are pure functions of (corpus, seed, params, key) —
+  the corpus is immutable and ``BehaviorParams`` is frozen, so entries
+  never invalidate;
+* caches live on the engine *instance*: an ablation that constructs a new
+  engine with different :class:`BehaviorParams` starts cold and can never
+  observe another parameterization's memos.
+
+The caches are guarded by a lock so the parallel collector
+(``SnapshotCollector(workers=N)``) can share one engine across threads.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from bisect import bisect_left
 from datetime import datetime
+from functools import lru_cache
 from math import exp, sqrt
 
 import numpy as np
@@ -109,6 +132,20 @@ class _TopicRuntime:
             ],
             dtype=np.int64,
         )
+        # Publish/delete instants as POSIX seconds, so per-query liveness is
+        # one vectorized comparison instead of a Python call per video.
+        # Microsecond-datetime comparisons survive the float64 round trip
+        # exactly (the gap between distinct datetimes is several ulps).
+        self.pub_ts = np.array(
+            [v.published_at.timestamp() for v in self.videos], dtype=np.float64
+        )
+        self.del_ts = np.array(
+            [
+                v.deleted_at.timestamp() if v.deleted_at is not None else np.inf
+                for v in self.videos
+            ],
+            dtype=np.float64,
+        )
         # The return fraction is defined against the *unsuppressed* part of
         # the corpus: suppressed hours never return anything, so hitting the
         # topic's return budget requires a correspondingly higher fraction
@@ -140,8 +177,27 @@ class SearchBehaviorEngine:
         # (query, channelId) -> topic -> (positions, publish times); the
         # corpus is immutable so this never invalidates.
         self._partition_cache: dict[
-            tuple[str, str], dict[str, tuple[list[int], list[datetime]]]
+            tuple[str, str], dict[str, tuple[np.ndarray, list[datetime]]]
         ] = {}
+        # (topic, request date) -> per-collection-day budget factor.
+        self._day_factor_cache: dict[tuple[str, str], float] = {}
+        # (topic, request date) -> mixed latent churn vector.  The churn
+        # process itself is stateful (it advances day by day), so reads go
+        # through the cache lock.
+        self._latent_cache: dict[tuple[str, str], np.ndarray] = {}
+        # (query, channelId, request instant) -> topic -> (narrowness,
+        # selected videos, their publish times).  The whole-corpus selection
+        # is a pure function of (query, channel, as_of); an hourly query is
+        # then two binary searches into the selected list.  One entry per
+        # query per snapshot instant, so the cache stays tiny.
+        self._selection_cache: dict[
+            tuple[str, str, datetime],
+            dict[str, tuple[float, list[Video], list[datetime]]],
+        ] = {}
+        # One lock guards every cache: misses are rare (six queries, one
+        # date per snapshot) and the hit path only takes the lock on the
+        # stateful latent lookup.
+        self._cache_lock = threading.Lock()
 
     @property
     def params(self) -> BehaviorParams:
@@ -155,7 +211,7 @@ class SearchBehaviorEngine:
     def execute(
         self,
         query_label: str,
-        candidate_ids: set[str],
+        candidate_ids: set[str] | frozenset[str],
         published_after: datetime | None,
         published_before: datetime | None,
         as_of: datetime,
@@ -167,36 +223,32 @@ class SearchBehaviorEngine:
         ``candidate_ids`` is the text-matched candidate set (time-unfiltered;
         the engine derives query narrowness from it, which is what makes
         ``totalResults`` — and consistency — insensitive to the time window).
+        It must be a pure function of ``(query_label, channel_id)``: the
+        topic partition is memoized under that key and the set is only read
+        on a cache miss.
         """
-        if channel_id is not None:
-            candidate_ids = {
-                vid
-                for vid in candidate_ids
-                if (v := self._store.video(vid)) is not None
-                and v.channel_id == channel_id
-            }
         request_label = as_of.date().isoformat()
-        partition = self._partition(query_label, channel_id, candidate_ids)
+        selection = self._selection(
+            query_label, channel_id, candidate_ids, as_of, request_label
+        )
+        window_label = _window_label(published_after, published_before)
 
         selected: list[Video] = []
         total_results = 0
-        for topic_key, (positions, times) in partition.items():
+        for topic_key, (narrowness, videos, times) in selection.items():
             runtime = self._topics[topic_key]
-            narrowness = max(len(positions) / max(runtime.spec.n_videos, 1), 1e-6)
-            narrowness = min(narrowness, 1.0)
             total_results += runtime.pool.total_results(
                 request_label,
-                _window_label(published_after, published_before),
+                window_label,
                 narrowness=narrowness,
             )
-            eligible = self._window_slice(
-                positions, times, published_after, published_before
-            )
-            selected.extend(
-                self._select_for_topic(
-                    runtime, eligible, as_of, request_label, narrowness
-                )
-            )
+            lo = 0
+            hi = len(times)
+            if published_after is not None:
+                lo = bisect_left(times, published_after)
+            if published_before is not None:
+                hi = bisect_left(times, published_before)
+            selected.extend(videos[lo:hi])
 
         total_results = min(total_results, TOTAL_RESULTS_CAP)
         _order_videos(selected, order, self._store, as_of)
@@ -204,69 +256,142 @@ class SearchBehaviorEngine:
 
     # -- internals -----------------------------------------------------------
 
+    def _selection(
+        self,
+        query_label: str,
+        channel_id: str | None,
+        candidate_ids: set[str] | frozenset[str],
+        as_of: datetime,
+        request_label: str,
+    ) -> dict[str, tuple[float, list[Video], list[datetime]]]:
+        """Whole-corpus selection for one (query, channel, request instant).
+
+        Every hourly query of a snapshot shares the same query text and
+        ``as_of``; only the publish window differs.  Selection (liveness,
+        bias/churn scores, density thresholds) is independent of the window,
+        so it is computed once over the full topic partition and cached; the
+        per-hour work reduces to two binary searches over the selected
+        videos' publish times.  Commuting the window slice with the
+        selection filter is exact: both are elementwise over the same
+        publish-time-sorted positions, so the surviving videos and their
+        order are identical either way.
+        """
+        cache_key = (query_label, channel_id or "", as_of)
+        cached = self._selection_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        partition = self._partition(query_label, channel_id, candidate_ids)
+        selection: dict[str, tuple[float, list[Video], list[datetime]]] = {}
+        for topic_key, (positions, _times) in partition.items():
+            runtime = self._topics[topic_key]
+            narrowness = max(len(positions) / max(runtime.spec.n_videos, 1), 1e-6)
+            narrowness = min(narrowness, 1.0)
+            kept = self._select_for_topic(
+                runtime, positions, as_of, request_label, narrowness
+            )
+            selection[topic_key] = (
+                narrowness,
+                kept,
+                [v.published_at for v in kept],
+            )
+        # Computed outside the lock (so the stateful latent lookup can take
+        # it); racing threads produce identical values, first store wins.
+        with self._cache_lock:
+            return self._selection_cache.setdefault(cache_key, selection)
+
     def _partition(
         self,
         query_label: str,
         channel_id: str | None,
-        candidate_ids: set[str],
-    ) -> dict[str, list[int]]:
-        """Split candidates by topic, with per-query memoization.
+        candidate_ids: set[str] | frozenset[str],
+    ) -> dict[str, tuple[np.ndarray, list[datetime]]]:
+        """Split candidates by topic, with per-(query, channel) memoization.
 
         Campaigns issue the same query thousands of times (one per hour per
         collection), so the query-to-topic partition — a pure function of
-        the immutable corpus — is cached.  Positions come out sorted by
-        publish time, which lets window filtering use binary search.
+        the immutable corpus — is cached.  Channel filtering happens here,
+        on the miss path, so a cache hit costs one dict lookup.  Positions
+        come out sorted by publish time (topic corpus order *is* publish
+        order), held as an int64 array so window slices feed numpy fancy
+        indexing directly; the publish times ride along so window filtering
+        can binary-search instead of scanning.
         """
         cache_key = (query_label, channel_id or "")
         cached = self._partition_cache.get(cache_key)
         if cached is not None:
             return cached
-        partition: dict[str, tuple[list[int], list[datetime]]] = {}
-        for topic_key, runtime in self._topics.items():
-            # Topic corpus order is publish-time order, so sorted positions
-            # are time-sorted as well; the publish times ride along so window
-            # filtering can binary-search instead of scanning.
-            positions = sorted(
-                runtime.index[vid] for vid in candidate_ids if vid in runtime.index
-            )
-            if positions:
-                times = [runtime.videos[pos].published_at for pos in positions]
-                partition[topic_key] = (positions, times)
-        self._partition_cache[cache_key] = partition
-        return partition
+        with self._cache_lock:
+            cached = self._partition_cache.get(cache_key)
+            if cached is not None:
+                return cached
+            partition: dict[str, tuple[np.ndarray, list[datetime]]] = {}
+            for topic_key, runtime in self._topics.items():
+                index = runtime.index
+                if channel_id is None:
+                    hits = [
+                        pos for vid in candidate_ids
+                        if (pos := index.get(vid)) is not None
+                    ]
+                else:
+                    videos = runtime.videos
+                    hits = [
+                        pos for vid in candidate_ids
+                        if (pos := index.get(vid)) is not None
+                        and videos[pos].channel_id == channel_id
+                    ]
+                if hits:
+                    hits.sort()
+                    positions = np.array(hits, dtype=np.int64)
+                    times = [runtime.videos[pos].published_at for pos in hits]
+                    partition[topic_key] = (positions, times)
+            self._partition_cache[cache_key] = partition
+            return partition
 
-    @staticmethod
-    def _window_slice(
-        positions: list[int],
-        times: list[datetime],
-        published_after: datetime | None,
-        published_before: datetime | None,
-    ) -> list[int]:
-        """Binary-search the time-sorted positions down to the query window."""
-        lo = 0
-        hi = len(positions)
-        if published_after is not None:
-            lo = bisect_left(times, published_after)
-        if published_before is not None:
-            hi = bisect_left(times, published_before)
-        return positions[lo:hi]
+    def _day_factor(self, runtime: _TopicRuntime, request_label: str) -> float:
+        """Memoized per-(topic, collection-day) budget drift factor."""
+        key = (runtime.spec.key, request_label)
+        factor = self._day_factor_cache.get(key)
+        if factor is None:
+            factor = exp(
+                self._params.collection_budget_sigma
+                * stable_normal("collection-budget", runtime.spec.key, request_label)
+            )
+            with self._cache_lock:
+                self._day_factor_cache[key] = factor
+        return factor
+
+    def _latent(self, runtime: _TopicRuntime, as_of: datetime, request_label: str) -> np.ndarray:
+        """Memoized per-(topic, request-date) latent churn vector.
+
+        :meth:`ChurnProcess.latent_at` is a pure function of the request
+        *date* but advances internal state, so the lookup is serialized
+        behind the cache lock for the parallel collector.
+        """
+        key = (runtime.spec.key, request_label)
+        latent = self._latent_cache.get(key)
+        if latent is None:
+            with self._cache_lock:
+                latent = self._latent_cache.get(key)
+                if latent is None:
+                    latent = runtime.churn.latent_at(as_of)
+                    self._latent_cache[key] = latent
+        return latent
 
     def _select_for_topic(
         self,
         runtime: _TopicRuntime,
-        windowed_positions: list[int],
+        partition_positions: np.ndarray,
         as_of: datetime,
         request_label: str,
         narrowness: float,
     ) -> list[Video]:
+        if partition_positions.size == 0:
+            return []
         params = self._params
         # A collection-level budget factor: the total number of videos the
         # endpoint is willing to return drifts a little between collection
         # days, which produces the per-topic spread of Table 1.
-        day_factor = exp(
-            params.collection_budget_sigma
-            * stable_normal("collection-budget", runtime.spec.key, request_label)
-        )
+        day_factor = self._day_factor(runtime, request_label)
         saturation = min(
             params.saturation_cap,
             runtime.base_saturation
@@ -274,41 +399,39 @@ class SearchBehaviorEngine:
             * narrowness ** (-params.narrowness_exponent),
         )
 
-        # Eligibility: candidate, inside the window (pre-sliced), alive now.
-        eligible_by_hour: dict[int, list[int]] = {}
-        for pos in windowed_positions:
-            video = runtime.videos[pos]
-            if not video.alive_at(as_of):
-                continue
-            eligible_by_hour.setdefault(int(runtime.hour_of[pos]), []).append(pos)
-
-        if not eligible_by_hour:
+        # Eligibility: candidate and alive at the request instant (window
+        # filtering happens afterwards, by bisecting the survivors).
+        as_of_ts = as_of.timestamp()
+        alive = (runtime.pub_ts[partition_positions] <= as_of_ts) & (
+            runtime.del_ts[partition_positions] > as_of_ts
+        )
+        positions = partition_positions[alive]
+        if positions.size == 0:
             return []
 
-        latent = runtime.churn.latent_at(as_of)
+        # Per-video threshold crossing: a video is in its hour's "windowed
+        # set" when the CDF of its selection score falls below the hour's
+        # inclusion probability.  Strong metadata bias (high bias value) and
+        # a low latent churn state both pull the score down, i.e. into the
+        # set.  One fancy-indexed score vector and one batched ndtr call
+        # replace the per-hour Python loop; suppressed hours carry a zero
+        # saturation, which no CDF value can fall below.
+        latent = self._latent(runtime, as_of, request_label)
         a = sqrt(params.bias_share)
         b = sqrt(1.0 - params.bias_share)
-        out: list[Video] = []
-        for hour, positions in eligible_by_hour.items():
-            q = runtime.density.hour_saturation(hour, saturation, request_label)
-            if q <= 0.0:
-                continue
-            # Per-video threshold crossing: a video is in the hour's
-            # "windowed set" when the CDF of its selection score falls below
-            # the hour's inclusion probability.  Strong metadata bias (high
-            # bias value) and a low latent churn state both pull the score
-            # down, i.e. into the set.
-            scores = np.array(
-                [b * float(latent[pos]) - a * float(runtime.bias[pos]) for pos in positions]
-            )
-            included = ndtr(scores) < q
-            out.extend(
-                runtime.videos[pos] for pos, keep in zip(positions, included) if keep
-            )
-        return out
+        scores = b * latent[positions] - a * runtime.bias[positions]
+        q = runtime.density.saturation_row(saturation, request_label)[
+            runtime.hour_of[positions]
+        ]
+        keep = ndtr(scores) < q
+        videos = runtime.videos
+        return [videos[pos] for pos in positions[keep]]
 
 
+@lru_cache(maxsize=8192)
 def _window_label(after: datetime | None, before: datetime | None) -> str:
+    # Memoized: the hour-bin boundaries are fixed per topic window, so the
+    # same (after, before) pairs recur on every snapshot of a campaign.
     a = after.isoformat() if after else "-"
     b = before.isoformat() if before else "-"
     return f"{a}/{b}"
@@ -317,29 +440,29 @@ def _window_label(after: datetime | None, before: datetime | None) -> str:
 def _order_videos(
     videos: list[Video], order: str, store: PlatformStore, as_of: datetime
 ) -> None:
-    """Sort in place according to the requested API ordering."""
+    """Sort in place according to the requested API ordering.
+
+    Metric-backed orders compute :meth:`PlatformStore.metrics_at` once per
+    video up front — the sort key must not re-derive the growth curve on
+    every comparison.
+    """
     if order == "date":
         videos.sort(key=lambda v: (v.published_at, v.video_id), reverse=True)
-    elif order == "viewCount":
-        videos.sort(
-            key=lambda v: (store.metrics_at(v, as_of)[0], v.video_id), reverse=True
-        )
-    elif order == "rating":
-        videos.sort(
-            key=lambda v: (store.metrics_at(v, as_of)[1], v.video_id), reverse=True
-        )
     elif order == "title":
         videos.sort(key=lambda v: (v.title, v.video_id))
-    elif order == "relevance":
-        # Relevance mixes popularity and recency; the audit never relies on
-        # it, but the endpoint supports it.
-        videos.sort(
-            key=lambda v: (
-                store.metrics_at(v, as_of)[0] * 0.7
-                + store.metrics_at(v, as_of)[1] * 0.3,
+    elif order in ("viewCount", "rating", "relevance"):
+        metrics = {v.video_id: store.metrics_at(v, as_of) for v in videos}
+        if order == "viewCount":
+            key = lambda v: (metrics[v.video_id][0], v.video_id)
+        elif order == "rating":
+            key = lambda v: (metrics[v.video_id][1], v.video_id)
+        else:
+            # Relevance mixes popularity and recency; the audit never relies
+            # on it, but the endpoint supports it.
+            key = lambda v: (
+                metrics[v.video_id][0] * 0.7 + metrics[v.video_id][1] * 0.3,
                 v.video_id,
-            ),
-            reverse=True,
-        )
+            )
+        videos.sort(key=key, reverse=True)
     else:
         raise ValueError(f"unsupported order: {order!r}")

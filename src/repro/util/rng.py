@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import hashlib
 import math
+from statistics import NormalDist
 from typing import Iterable
 
 import numpy as np
@@ -28,6 +29,13 @@ __all__ = ["SeedBank", "stable_hash", "stable_uniform", "stable_normal"]
 
 _U64 = 2**64
 
+_blake2b = hashlib.blake2b
+
+# One shared standard-normal distribution: constructing NormalDist per draw
+# costs more than the inverse CDF itself on the hot path, and inv_cdf is a
+# pure function, so a module-level instance is safe to share.
+_STD_NORMAL = NormalDist()
+
 
 def stable_hash(*parts: object) -> int:
     """Hash arbitrary labels into a stable unsigned 64-bit integer.
@@ -35,11 +43,17 @@ def stable_hash(*parts: object) -> int:
     The hash is computed with BLAKE2b over the ``repr``-free, explicitly
     delimited string rendering of each part, so it is stable across
     processes and Python versions (unlike :func:`hash`).
+
+    A hot-path note: the parts are joined into a single buffer before
+    hashing — a sequence of ``update`` calls over the same bytes produces
+    the same digest, so this is byte-identical to hashing part by part
+    with a trailing ``\\x1f`` unit separator after each one (which is
+    what keeps ``("ab","c")`` distinct from ``("a","bc")``).  Joining as
+    ``str`` then encoding once is likewise exact: UTF-8 encoding
+    distributes over concatenation and ``"\\x1f"`` encodes to ``b"\\x1f"``.
     """
-    h = hashlib.blake2b(digest_size=8)
-    for part in parts:
-        h.update(str(part).encode("utf-8"))
-        h.update(b"\x1f")  # unit separator: ("ab","c") != ("a","bc")
+    buf = "\x1f".join(map(str, parts)) + "\x1f" if parts else ""
+    h = _blake2b(buf.encode("utf-8"), digest_size=8)
     return int.from_bytes(h.digest(), "big")
 
 
@@ -57,9 +71,7 @@ def stable_normal(*parts: object) -> float:
     # using the error function inverse from math (available as erfinv only in
     # scipy) — use the Beasley-Springer/Moro-free closed form via
     # statistics.NormalDist, which is exact enough and dependency-free.
-    from statistics import NormalDist
-
-    return NormalDist().inv_cdf(u)
+    return _STD_NORMAL.inv_cdf(u)
 
 
 class SeedBank:
@@ -167,10 +179,8 @@ def mix_streams(a: float, b: float, weight: float) -> float:
 
 def probit(u: float) -> float:
     """Inverse standard-normal CDF for scalars (clipped away from {0,1})."""
-    from statistics import NormalDist
-
     eps = 1e-12
-    return NormalDist().inv_cdf(min(max(u, eps), 1.0 - eps))
+    return _STD_NORMAL.inv_cdf(min(max(u, eps), 1.0 - eps))
 
 
 def logistic(x: float) -> float:

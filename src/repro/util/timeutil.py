@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import re
 from datetime import datetime, timedelta, timezone
+from functools import lru_cache
 from typing import Iterator
 
 __all__ = [
@@ -44,6 +45,10 @@ _ISO_DURATION = re.compile(
 def parse_rfc3339(value: str) -> datetime:
     """Parse an RFC 3339 timestamp into an aware UTC datetime.
 
+    Results are memoized: campaigns parse the same hour-boundary strings
+    thousands of times per snapshot, and the returned datetimes are
+    immutable, so sharing them is safe.
+
     Raises
     ------
     ValueError
@@ -51,6 +56,11 @@ def parse_rfc3339(value: str) -> datetime:
     """
     if not isinstance(value, str):
         raise ValueError(f"expected RFC 3339 string, got {type(value).__name__}")
+    return _parse_rfc3339_cached(value)
+
+
+@lru_cache(maxsize=65536)
+def _parse_rfc3339_cached(value: str) -> datetime:
     m = _RFC3339.match(value.strip())
     if m is None:
         raise ValueError(f"invalid RFC 3339 timestamp: {value!r}")
@@ -74,8 +84,16 @@ def parse_rfc3339(value: str) -> datetime:
     return dt
 
 
+@lru_cache(maxsize=65536)
 def format_rfc3339(dt: datetime) -> str:
-    """Format an aware datetime as an RFC 3339 ``...Z`` string (UTC)."""
+    """Format an aware datetime as an RFC 3339 ``...Z`` string (UTC).
+
+    Memoized: a campaign formats each video's ``publishedAt`` and each hour
+    boundary on every snapshot.  Aware datetimes that compare equal denote
+    the same instant and therefore format to the same UTC string, so cache
+    key collisions across offsets are harmless; naive datetimes raise
+    ``ValueError`` as before (exceptions are never cached).
+    """
     dt = ensure_utc(dt)
     return dt.strftime("%Y-%m-%dT%H:%M:%SZ")
 

@@ -68,6 +68,10 @@ class PlatformStore:
         self._publish_times: list[datetime] = [v.published_at for v in self._by_time]
         self._playlist_to_channel: dict[str, str] = {}
         self._threads_by_id: dict[str, CommentThread] = {}
+        # Cached whole-corpus ID set for empty-token lookups: campaigns hit
+        # that path once per channel-only search, and copying the full
+        # corpus each time is pure waste (the corpus is immutable).
+        self._all_video_ids: frozenset[str] = frozenset(world.videos)
 
         for video in self._by_time:
             text = " ".join((video.title, video.description, " ".join(video.tags)))
@@ -114,9 +118,14 @@ class PlatformStore:
     # -- search-side queries -------------------------------------------------
 
     def candidates_for_tokens(self, tokens: list[str]) -> set[str]:
-        """Video IDs whose token set contains every token (AND semantics)."""
+        """Video IDs whose token set contains every token (AND semantics).
+
+        An empty token list returns a *shared frozen set* of the whole
+        corpus — callers must treat it as read-only (the matching layer
+        only materializes a mutable set when it actually filters).
+        """
         if not tokens:
-            return set(self._videos)
+            return self._all_video_ids
         sets = []
         for token in tokens:
             postings = self._token_index.get(token)

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Run the campaign performance benchmark and write BENCH_campaign.json.
+
+Thin wrapper over :mod:`repro.core.benchmark` for running straight from a
+checkout:
+
+    PYTHONPATH=src python tools/bench_campaign.py
+    PYTHONPATH=src python tools/bench_campaign.py --scenario reduced --out /tmp/bench.json
+
+``python -m repro bench`` is the same thing through the CLI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.benchmark import (  # noqa: E402
+    SCENARIOS,
+    format_report,
+    run_benchmark,
+    write_report,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        choices=sorted(SCENARIOS),
+        help="scenario(s) to run (default: all)",
+    )
+    parser.add_argument("--workers", type=int, default=1,
+                        help="collector hour-bin parallelism (default 1)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the benchmark seed")
+    parser.add_argument("--out", default="BENCH_campaign.json",
+                        help="report path (default BENCH_campaign.json)")
+    args = parser.parse_args(argv)
+
+    names = tuple(args.scenario) if args.scenario else ("reduced", "paper")
+    kwargs = {"workers": args.workers, "progress": lambda m: print(m, flush=True)}
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    report = run_benchmark(names, **kwargs)
+    path = write_report(report, args.out)
+    print(format_report(report))
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
