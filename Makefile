@@ -7,12 +7,15 @@
 #   make bench        campaign benchmark -> BENCH_campaign.json
 #                     (see docs/PERFORMANCE.md)
 #   make bench-smoke  reduced-scale benchmark to a temp file (verify gate)
+#   make coverage     full suite under pytest-cov, >= 80% line coverage
+#                     (skips gracefully when pytest-cov is not installed)
+#   make coverage-fast  same gate minus the slowest end-to-end modules
 
 PYTHON ?= python
 
-.PHONY: verify test doclinks chaos bench bench-smoke
+.PHONY: verify test doclinks chaos bench bench-smoke coverage coverage-fast
 
-verify: test doclinks chaos bench-smoke
+verify: test doclinks chaos bench-smoke coverage-fast
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -29,3 +32,9 @@ bench:
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro bench --scenario reduced --quiet \
 		--out $(or $(TMPDIR),/tmp)/repro_bench_smoke.json
+
+coverage:
+	$(PYTHON) tools/coverage_gate.py
+
+coverage-fast:
+	$(PYTHON) tools/coverage_gate.py --fast

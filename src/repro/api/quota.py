@@ -125,6 +125,44 @@ class QuotaLedger:
                 self.observer.on_quota_refund(endpoint, day, cost)
             return self._usage[day]
 
+    def absorb(self, usage: dict[str, int], endpoint: str = "search.list") -> int:
+        """Fold a worker sub-ledger's per-day spend into this ledger.
+
+        The process-shard backend bills pages against isolated per-worker
+        ledgers; at merge time the parent absorbs each shard's usage here.
+        Unlike :meth:`charge`, the spend is recorded *before* the limit
+        check — the worker already spent it, and reconciliation must not
+        hide real consumption — so after a raising absorb the ledger shows
+        the actual (over-limit) usage.  Raises ``QuotaExceededError`` naming
+        the first (sorted) day whose combined usage crossed the limit.
+        Returns the units absorbed.
+        """
+        with self._lock:
+            exceeded: tuple[str, int] | None = None
+            absorbed = 0
+            limit = self.policy.effective_limit
+            for day in sorted(usage):
+                units = int(usage[day])
+                if units < 0:
+                    raise ValueError(f"cannot absorb {units} units for {day}")
+                if units == 0:
+                    continue
+                used = self._usage.get(day, 0) + units
+                self._usage[day] = used
+                self._total += units
+                absorbed += units
+                if self.observer is not None:
+                    self.observer.on_quota_spend(endpoint, day, units, used)
+                if used > limit and exceeded is None:
+                    exceeded = (day, used)
+            if exceeded is not None:
+                day, used = exceeded
+                raise QuotaExceededError(
+                    f"daily quota of {limit} units exceeded for {day} "
+                    f"(used {used} after absorbing worker spend)"
+                )
+            return absorbed
+
     def used_on(self, day: str) -> int:
         """Units consumed on a given day."""
         return self._usage.get(day, 0)

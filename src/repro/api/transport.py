@@ -49,6 +49,16 @@ class LatencyModel:
         """One latency sample in milliseconds."""
         return float(self._median * np.exp(self._sigma * self._rng.standard_normal()))
 
+    def reseed(self, seed: int) -> None:
+        """Replace the RNG with a fresh named stream for ``seed``.
+
+        Used by the process-shard backend: each shard reseeds its worker's
+        latency model from a shard-derived seed, so simulated latencies are
+        deterministic in (seed, snapshot, shard) instead of depending on
+        which worker process happened to run which shard.
+        """
+        self._rng = SeedBank(seed).generator("transport/latency")
+
 
 class FaultInjector:
     """Injects transient 500s with a fixed probability."""
@@ -59,6 +69,11 @@ class FaultInjector:
         self._probability = probability
         self._rng = SeedBank(seed).generator("transport/faults")
         self._lock = threading.Lock()
+
+    @property
+    def probability(self) -> float:
+        """The configured fault probability (0 = faults disabled)."""
+        return self._probability
 
     def maybe_fail(self, endpoint: str) -> None:
         """Raise ``TransientServerError`` with the configured probability."""
@@ -84,6 +99,10 @@ class Transport:
     latency: LatencyModel = field(default_factory=LatencyModel)
     faults: FaultInjector = field(default_factory=FaultInjector)
     records: list[RequestRecord] = field(default_factory=list)
+    #: Calls executed outside this transport (shard workers) and folded in
+    #: at merge time — per-endpoint counts, no per-call records.
+    _absorbed: dict[str, int] = field(default_factory=dict, repr=False)
+    _absorbed_latency_ms: float = field(default=0.0, repr=False)
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -101,19 +120,36 @@ class Transport:
             self.records.append(record)
             return record
 
+    def absorb(self, counts: dict[str, int], latency_ms: float = 0.0) -> None:
+        """Fold calls a shard worker's transport saw into this one's totals.
+
+        Worker processes bill pages against their own service; only the
+        aggregate (per-endpoint call counts and summed simulated latency)
+        crosses back to the parent.  Absorbed calls count toward
+        :attr:`total_calls` and :meth:`calls_by_endpoint` but have no
+        per-call :class:`RequestRecord` — the shard trace spans carry the
+        per-shard detail instead.
+        """
+        with self._lock:
+            for endpoint, n in counts.items():
+                if n < 0:
+                    raise ValueError(f"cannot absorb {n} calls for {endpoint}")
+                self._absorbed[endpoint] = self._absorbed.get(endpoint, 0) + n
+            self._absorbed_latency_ms += latency_ms
+
     @property
     def total_calls(self) -> int:
-        """Number of calls that completed."""
-        return len(self.records)
+        """Number of calls that completed (including absorbed shard calls)."""
+        return len(self.records) + sum(self._absorbed.values())
 
     @property
     def total_latency_ms(self) -> float:
         """Sum of simulated latencies (sequential-execution wall clock)."""
-        return sum(r.latency_ms for r in self.records)
+        return sum(r.latency_ms for r in self.records) + self._absorbed_latency_ms
 
     def calls_by_endpoint(self) -> dict[str, int]:
         """Histogram of completed calls per endpoint."""
-        out: dict[str, int] = {}
+        out: dict[str, int] = dict(self._absorbed)
         for record in self.records:
             out[record.endpoint] = out.get(record.endpoint, 0) + 1
         return out

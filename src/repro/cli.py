@@ -63,6 +63,14 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--workers", type=int, default=1,
                           help="hour-bin query parallelism (1 = serial "
                                "reference; >1 is byte-identical)")
+    campaign.add_argument("--backend", choices=("thread", "process"),
+                          default="thread",
+                          help="how workers>1 executes: a thread pool, or "
+                               "process-sharded hour-bin plans "
+                               "(byte-identical either way)")
+    campaign.add_argument("--analyze", action="store_true",
+                          help="stream snapshots into the incremental "
+                               "RQ1/RQ2 analysis and print its summary")
     campaign.add_argument("--quiet", action="store_true")
 
     analyze = sub.add_parser("analyze", help="render tables/figures from a saved campaign")
@@ -135,10 +143,15 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="time the campaign fast path and write BENCH_campaign.json"
     )
     bench.add_argument("--scenario", action="append",
-                       choices=("reduced", "paper"),
-                       help="scenario(s) to run (default: both)")
-    bench.add_argument("--workers", type=int, default=1,
-                       help="collector hour-bin parallelism (default 1)")
+                       choices=("reduced", "paper", "process"),
+                       help="scenario(s) to run (default: all)")
+    bench.add_argument("--workers", type=int, default=None,
+                       help="override every scenario's worker count "
+                            "(default: per-scenario)")
+    bench.add_argument("--backend", choices=("serial", "thread", "process"),
+                       default=None,
+                       help="override every scenario's execution backend "
+                            "(default: per-scenario)")
     bench.add_argument("--seed", type=int, default=None,
                        help="override the benchmark seed")
     bench.add_argument("--out", metavar="PATH", default="BENCH_campaign.json")
@@ -199,14 +212,22 @@ def _cmd_campaign(args) -> int:
     progress = None if args.quiet else (
         lambda done, total: print(f"collected {done}/{total}", file=sys.stderr)
     )
+    stream = None
+    if args.analyze:
+        from repro.core import CampaignStream
+
+        stream = CampaignStream(tuple(spec.key for spec in specs))
     campaign = run_campaign(
         config, YouTubeClient(service), progress=progress,
         checkpoint_path=args.checkpoint, workers=args.workers,
+        backend=args.backend, stream=stream,
     )
     print(
         f"campaign: {campaign.n_collections} collections, "
         f"{service.quota.total_used:,} quota units"
     )
+    if stream is not None:
+        print(stream.render_summary())
     if args.out:
         n = campaign.save(args.out)
         print(f"saved {n} records to {args.out}")
@@ -407,8 +428,8 @@ def _cmd_chaos(args) -> int:
 def _cmd_bench(args) -> int:
     from repro.core.benchmark import format_report, run_benchmark, write_report
 
-    names = tuple(args.scenario) if args.scenario else ("reduced", "paper")
-    kwargs = {"workers": args.workers}
+    names = tuple(args.scenario) if args.scenario else ("reduced", "paper", "process")
+    kwargs = {"workers": args.workers, "backend": args.backend}
     if args.seed is not None:
         kwargs["seed"] = args.seed
     if not args.quiet:

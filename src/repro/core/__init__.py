@@ -8,6 +8,8 @@ the endpoint's behavior.
   collections at 5-day intervals, Feb 9 - Apr 30 2025, Apr 5 skipped);
 * :mod:`collector` / :mod:`campaign` — hour-binned collection (4,032
   search queries per snapshot) plus ID-based metadata and comment capture;
+* :mod:`shard` — process-sharded snapshot execution (``backend="process"``);
+  :mod:`streaming` — incremental RQ1/RQ2 analysis as snapshots complete;
 * :mod:`datasets` — snapshot containers and JSONL persistence;
 * :mod:`consistency` (Fig 1), :mod:`hourly` (Table 2), :mod:`daily`
   (Fig 2), :mod:`attrition` (Fig 3), :mod:`returnmodel` (Tables 3/6/7),
@@ -22,16 +24,19 @@ the endpoint's behavior.
 """
 
 from repro.core.campaign import run_campaign
-from repro.core.collector import SnapshotCollector
+from repro.core.collector import BACKENDS, SnapshotCollector
 from repro.core.datasets import CampaignResult, Snapshot, TopicSnapshot
 from repro.core.experiments import CampaignConfig, paper_campaign_config
+from repro.core.streaming import CampaignStream
 
 __all__ = [
     "CampaignConfig",
     "paper_campaign_config",
+    "BACKENDS",
     "SnapshotCollector",
     "run_campaign",
     "CampaignResult",
     "Snapshot",
     "TopicSnapshot",
+    "CampaignStream",
 ]

@@ -7,7 +7,16 @@ scales:
 * ``reduced``: corpus scale 0.2, 4 collections (quick; the ``make
   verify`` smoke run);
 * ``paper``: corpus scale 1.0, 16 collections — the paper's actual
-  64,512-query audit workload.
+  64,512-query audit workload;
+* ``process``: the ``paper`` workload on the process-shard backend
+  (``workers=4, backend="process"``, :mod:`repro.core.shard`) — its
+  speedup is computed against the ``paper`` baseline because the two run
+  the same workload shape.
+
+Every scenario block records the ``workers`` and ``backend`` it ran with
+(the recorded baselines predate both knobs and are pinned to the serial
+path), so numbers in ``BENCH_campaign.json`` are never compared across
+execution modes by accident.
 
 Results are written to ``BENCH_campaign.json`` together with the
 recorded pre-optimization baseline (measured on the commit immediately
@@ -51,6 +60,8 @@ RECORDED_BASELINE = {
     "commit": "f6be69b",
     "scenarios": {
         "reduced": {
+            "workers": 1,
+            "backend": "serial",
             "world_build_s": 0.5501,
             "snapshot_s": 2.4954,
             "campaign_s": 5.5405,
@@ -58,6 +69,8 @@ RECORDED_BASELINE = {
             "queries_per_s": 2910.9,
         },
         "paper": {
+            "workers": 1,
+            "backend": "serial",
             "world_build_s": 2.6693,
             "snapshot_s": 4.1482,
             "campaign_s": 29.5462,
@@ -67,31 +80,43 @@ RECORDED_BASELINE = {
     },
 }
 
+#: Scenarios measured against another scenario's recorded baseline: the
+#: process backend runs the paper workload, so that is its yardstick.
+BASELINE_SCENARIO = {"process": "paper"}
+
 
 @dataclass(frozen=True)
 class BenchScenario:
-    """One benchmark workload: a corpus scale and a collection count."""
+    """One benchmark workload: corpus scale, collections, execution mode."""
 
     scale: float
     collections: int
+    workers: int = 1
+    backend: str = "serial"
 
     def __post_init__(self) -> None:
         if not 0.0 < self.scale <= 1.0:
             raise ValueError("scale must be in (0, 1]")
         if self.collections < 1:
             raise ValueError("collections must be positive")
+        if self.workers < 1:
+            raise ValueError("workers must be positive")
 
 
 SCENARIOS: dict[str, BenchScenario] = {
     "reduced": BenchScenario(scale=0.2, collections=4),
     "paper": BenchScenario(scale=1.0, collections=16),
+    "process": BenchScenario(
+        scale=1.0, collections=16, workers=4, backend="process"
+    ),
 }
 
 
 def run_scenario(
     scenario: BenchScenario,
     seed: int = BENCH_SEED,
-    workers: int = 1,
+    workers: int | None = None,
+    backend: str | None = None,
     progress: Callable[[str], None] | None = None,
 ) -> dict:
     """Build the world and run the campaign, timing each phase.
@@ -99,6 +124,8 @@ def run_scenario(
     Returns a flat dict of phase wall times and derived throughput.  The
     snapshot phase is measured as the first collection of a *separate*
     warm service so the campaign number stays a clean end-to-end figure.
+    ``workers``/``backend`` override the scenario's own execution mode
+    when given (``None`` keeps the scenario defaults).
     """
     from repro import build_service, build_world
     from repro.api.client import YouTubeClient
@@ -113,6 +140,11 @@ def run_scenario(
         if progress is not None:
             progress(message)
 
+    if backend is None:
+        backend = scenario.backend
+        if workers is not None and workers > 1 and backend == "serial":
+            backend = "thread"  # pre-backend CLI semantics of --workers N
+    workers = scenario.workers if workers is None else workers
     specs = scale_topics(paper_topics(), scenario.scale)
 
     note(f"building world (scale {scenario.scale}) ...")
@@ -128,9 +160,12 @@ def run_scenario(
 
     note("timing one snapshot sweep ...")
     client = make_client()
-    collector = SnapshotCollector(client, specs, workers=workers)
+    collector = SnapshotCollector(client, specs, workers=workers, backend=backend)
     t0 = time.perf_counter()
-    collector.collect(0)
+    try:
+        collector.collect(0)
+    finally:
+        collector.close()
     snapshot_s = time.perf_counter() - t0
 
     config = paper_campaign_config(topics=specs)
@@ -144,13 +179,14 @@ def run_scenario(
     note(f"running campaign ({scenario.collections} collections, {queries} queries) ...")
     client = make_client()
     t0 = time.perf_counter()
-    run_campaign(config, client, workers=workers)
+    run_campaign(config, client, workers=workers, backend=backend)
     campaign_s = time.perf_counter() - t0
 
     return {
         "scale": scenario.scale,
         "collections": scenario.collections,
         "workers": workers,
+        "backend": backend,
         "world_build_s": round(world_build_s, 4),
         "snapshot_s": round(snapshot_s, 4),
         "campaign_s": round(campaign_s, 4),
@@ -160,12 +196,18 @@ def run_scenario(
 
 
 def run_benchmark(
-    names: tuple[str, ...] = ("reduced", "paper"),
+    names: tuple[str, ...] = ("reduced", "paper", "process"),
     seed: int = BENCH_SEED,
-    workers: int = 1,
+    workers: int | None = None,
+    backend: str | None = None,
     progress: Callable[[str], None] | None = None,
 ) -> dict:
-    """Run the named scenarios and attach baseline comparisons."""
+    """Run the named scenarios and attach baseline comparisons.
+
+    ``workers``/``backend`` override every scenario's execution mode when
+    given; the default ``None`` runs each scenario as defined (which is
+    how the committed ``BENCH_campaign.json`` is produced).
+    """
     unknown = [n for n in names if n not in SCENARIOS]
     if unknown:
         raise ValueError(f"unknown scenarios {unknown}; known: {sorted(SCENARIOS)}")
@@ -173,16 +215,23 @@ def run_benchmark(
     for name in names:
         if progress is not None:
             progress(f"[{name}]")
-        current = run_scenario(SCENARIOS[name], seed=seed, workers=workers, progress=progress)
-        baseline = RECORDED_BASELINE["scenarios"].get(name)
+        current = run_scenario(
+            SCENARIOS[name], seed=seed, workers=workers, backend=backend,
+            progress=progress,
+        )
+        baseline_name = BASELINE_SCENARIO.get(name, name)
+        baseline = RECORDED_BASELINE["scenarios"].get(baseline_name)
         entry: dict = {"current": current}
         if baseline is not None and current["campaign_s"]:
             entry["baseline"] = baseline
+            if baseline_name != name:
+                entry["baseline_scenario"] = baseline_name
             entry["speedup"] = round(baseline["campaign_s"] / current["campaign_s"], 2)
         scenarios[name] = entry
     return {
         "seed": seed,
         "workers": workers,
+        "backend": backend,
         "baseline_commit": RECORDED_BASELINE["commit"],
         "python": platform.python_version(),
         "machine": platform.machine(),
@@ -191,26 +240,33 @@ def run_benchmark(
 
 
 def write_report(report: dict, path: str | Path = "BENCH_campaign.json") -> Path:
-    """Write the benchmark report as pretty JSON; returns the path."""
+    """Write the benchmark report as pretty JSON; returns the path.
+
+    Parent directories are created, so ``--out`` can point into a results
+    directory that does not exist yet.
+    """
     out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     return out
 
 
 def format_report(report: dict) -> str:
     """Human-readable one-screen summary of a benchmark report."""
-    lines = [f"campaign benchmark (seed {report['seed']}, workers {report['workers']})"]
+    lines = [f"campaign benchmark (seed {report['seed']})"]
     for name, entry in report["scenarios"].items():
         cur = entry["current"]
         line = (
-            f"  {name:8s} world {cur['world_build_s']:.3f}s | "
+            f"  {name:8s} {cur['backend']}/w{cur['workers']} | "
+            f"world {cur['world_build_s']:.3f}s | "
             f"snapshot {cur['snapshot_s']:.3f}s | "
             f"campaign {cur['campaign_s']:.3f}s "
             f"({cur['queries']} queries, {cur['queries_per_s']} q/s)"
         )
         if "speedup" in entry:
+            against = entry.get("baseline_scenario", "baseline")
             line += (
-                f" | {entry['speedup']}x vs baseline "
+                f" | {entry['speedup']}x vs {against} "
                 f"{entry['baseline']['campaign_s']:.3f}s"
             )
         lines.append(line)

@@ -26,7 +26,7 @@ service's), so a single attachment instruments the whole run.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.api.client import YouTubeClient
 from repro.api.errors import QuotaExceededError
@@ -35,6 +35,9 @@ from repro.core.datasets import CampaignResult
 from repro.core.experiments import CampaignConfig
 from repro.obs.observer import NullObserver, Observer
 from repro.resilience.checkpoint import PartialSnapshotStore
+
+if TYPE_CHECKING:
+    from repro.core.streaming import CampaignStream
 
 __all__ = ["run_campaign"]
 
@@ -59,6 +62,8 @@ def run_campaign(
     observer: Observer | None = None,
     tolerate_failures: bool = False,
     workers: int = 1,
+    backend: str = "thread",
+    stream: "CampaignStream | None" = None,
 ) -> CampaignResult:
     """Run the full campaign against a service.
 
@@ -83,7 +88,15 @@ def run_campaign(
     ``workers`` sets the collector's hour-bin query parallelism; the
     default ``1`` is the serial reference path and ``workers > 1``
     produces byte-identical snapshots (see
-    :class:`~repro.core.collector.SnapshotCollector`).
+    :class:`~repro.core.collector.SnapshotCollector`).  ``backend``
+    chooses how that parallelism executes: ``"thread"`` (default),
+    ``"process"`` (sharded worker processes, :mod:`repro.core.shard`), or
+    ``"serial"`` to force the reference path.
+
+    ``stream`` attaches a :class:`~repro.core.streaming.CampaignStream`:
+    every snapshot — resumed from a checkpoint or freshly collected — is
+    fed to it the moment it is available, so RQ1/RQ2 analyses accumulate
+    incrementally instead of waiting for the final merge.
     """
     observer = observer or getattr(client, "observer", None) or NullObserver()
     partial = (
@@ -94,7 +107,7 @@ def run_campaign(
     collector = SnapshotCollector(
         client, config.topics, collect_metadata=config.collect_metadata,
         observer=observer, partial=partial,
-        tolerate_failures=tolerate_failures, workers=workers,
+        tolerate_failures=tolerate_failures, workers=workers, backend=backend,
     )
     dates = config.collection_dates
     snapshots = []
@@ -122,28 +135,39 @@ def run_campaign(
                 "resume-partial", str(partial.path), len(snapshots)
             )
 
-    for index in range(len(snapshots), len(dates)):
-        client.service.clock.set(dates[index])
-        with_comments = index in config.comment_snapshot_indices
-        try:
-            snapshots.append(collector.collect(index, with_comments=with_comments))
-        except QuotaExceededError as exc:
-            # A scheduling event: completed hour bins are already in the
-            # partial sidecar; surface it so the operator waits for quota.
-            observer.on_degraded(
-                "quota", f"snapshot {index} interrupted: {exc}"
-            )
-            raise
-        if checkpoint_path is not None:
-            CampaignResult(
-                topic_keys=tuple(spec.key for spec in config.topics),
-                snapshots=snapshots,
-            ).save(checkpoint_path)
-            observer.on_checkpoint("save", str(checkpoint_path), len(snapshots))
-            if partial is not None:
-                partial.clear()
-        if progress is not None:
-            progress(index + 1, len(dates))
+    if stream is not None:
+        for snap in snapshots:
+            stream.add_snapshot(snap)
+
+    try:
+        for index in range(len(snapshots), len(dates)):
+            client.service.clock.set(dates[index])
+            with_comments = index in config.comment_snapshot_indices
+            try:
+                snapshots.append(
+                    collector.collect(index, with_comments=with_comments)
+                )
+            except QuotaExceededError as exc:
+                # A scheduling event: completed hour bins are already in the
+                # partial sidecar; surface it so the operator waits for quota.
+                observer.on_degraded(
+                    "quota", f"snapshot {index} interrupted: {exc}"
+                )
+                raise
+            if stream is not None:
+                stream.add_snapshot(snapshots[-1])
+            if checkpoint_path is not None:
+                CampaignResult(
+                    topic_keys=tuple(spec.key for spec in config.topics),
+                    snapshots=snapshots,
+                ).save(checkpoint_path)
+                observer.on_checkpoint("save", str(checkpoint_path), len(snapshots))
+                if partial is not None:
+                    partial.clear()
+            if progress is not None:
+                progress(index + 1, len(dates))
+    finally:
+        collector.close()
 
     return CampaignResult(
         topic_keys=tuple(spec.key for spec in config.topics), snapshots=snapshots

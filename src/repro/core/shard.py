@@ -1,0 +1,343 @@
+"""Process-sharded snapshot execution (``workers=N, backend="process"``).
+
+The paper's sweep is embarrassingly parallel: one snapshot is 4,032
+hour-bin queries whose outcomes are each a pure function of (world seed,
+query, request date).  The thread-pool collector (PR 3) cannot exploit
+that on CPU-bound work — the simulator is pure Python behind the GIL — so
+this module shards the snapshot's *hour-bin query plan* across worker
+processes:
+
+* :func:`partition_work` splits the topic-major plan (every ``(topic,
+  hour)`` work item, in the exact order the serial collector visits them)
+  into contiguous shards of near-equal size;
+* each shard runs in a worker process against that worker's own service
+  — inherited copy-on-write under the ``fork`` start method, rebuilt from
+  a picklable :class:`ServiceRecipe` under ``spawn`` — with a per-shard
+  seeded latency RNG stream and an *isolated quota sub-ledger*;
+* the parent merges shard results in deterministic plan order and
+  reconciles quota (:meth:`repro.api.quota.QuotaLedger.absorb`), transport
+  call counts (:meth:`repro.api.transport.Transport.absorb`), and trace
+  events (``shard.dispatch`` / ``shard.merge`` spans) back into its own
+  service.
+
+Workers bypass the client/endpoint envelope and call the behavior engine
+directly: for an hour bin they execute the engine once, derive the page
+count the paginated endpoint would have served (``ceil(min(n, 500)/50)``,
+minimum one page), and charge the sub-ledger per page — the same IDs,
+pool sizes, and quota spend as the serial path, without re-serializing
+4,032 response envelopes per snapshot.  That shortcut is only sound when
+no faults can fire mid-pagination, so the backend refuses transports with
+a non-zero fault probability (chaos runs stay on the serial/thread
+paths).
+
+Quota semantics: a worker's sub-ledger enforces the daily limit against
+its *own* spend (a single shard that alone exceeds the limit dies with
+``QuotaExceededError`` exactly like the serial path), and the parent's
+:meth:`~repro.api.quota.QuotaLedger.absorb` is the authoritative check at
+merge time — concurrent shards cannot coordinate a mid-page global stop,
+so a limit crossed only by the *combination* of shards is detected when
+their usage is folded back in, at the failing topic's merge.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta
+from typing import Sequence
+
+from repro.api.errors import QuotaExceededError
+from repro.api.quota import QuotaLedger, QuotaPolicy
+from repro.api.search import SEARCH_HARD_CAP
+from repro.sampling.engine import BehaviorParams
+from repro.util.rng import stable_hash
+from repro.util.timeutil import hour_range
+from repro.world.topics import TopicSpec
+
+__all__ = [
+    "partition_work",
+    "ShardTask",
+    "ShardResult",
+    "ServiceRecipe",
+    "ProcessShardBackend",
+]
+
+#: Results per page of the Search:list endpoint.
+_PAGE_SIZE = 50
+
+
+def partition_work(
+    items: Sequence[tuple[str, int]], shards: int
+) -> list[tuple[tuple[str, int], ...]]:
+    """Split an ordered work list into at most ``shards`` contiguous slices.
+
+    ``items`` is the snapshot's topic-major hour-bin plan: every
+    ``(topic_key, hour_index)`` the serial collector would query, in the
+    order it would query them.  The invariants the property tests pin:
+
+    * slices are **disjoint** and **cover** every item;
+    * concatenated in shard order they reproduce ``items`` exactly (which
+      is what makes the merge order-independent: results are keyed by the
+      disjoint ``(topic, hour)`` pairs);
+    * slice sizes differ by at most one, so no worker is starved.
+
+    Fewer than ``shards`` slices are returned when there are fewer items
+    than shards; empty slices are never returned.
+    """
+    if shards < 1:
+        raise ValueError("shards must be at least 1")
+    items = tuple(items)
+    n = len(items)
+    out: list[tuple[tuple[str, int], ...]] = []
+    for k in range(shards):
+        lo = k * n // shards
+        hi = (k + 1) * n // shards
+        if hi > lo:
+            out.append(items[lo:hi])
+    return out
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One shard's work order (pickled to the worker)."""
+
+    shard_id: int
+    index: int  # snapshot index, for trace correlation
+    collected_at: datetime
+    items: tuple[tuple[str, int], ...]  # (topic key, hour index), plan order
+    latency_seed: int  # per-shard RNG stream for the latency model
+
+
+@dataclass
+class ShardResult:
+    """One shard's outcome, merged by the parent in plan order."""
+
+    shard_id: int
+    #: (topic, hour, ids, pool) for every completed bin, in plan order.
+    hours: list[tuple[str, int, list[str], int]] = field(default_factory=list)
+    #: topic -> day -> quota units the sub-ledger billed for that topic.
+    usage: dict[str, dict[str, int]] = field(default_factory=dict)
+    queries: int = 0  # completed hour-bin queries
+    calls: int = 0  # paged search.list calls (what the transport would log)
+    latency_ms: float = 0.0  # simulated latency of those calls
+    wall_s: float = 0.0  # worker wall-clock for the shard
+    #: (topic, hour, error type name, message) of the first failing bin;
+    #: bins after it (in plan order) were not attempted.
+    error: tuple[str, int, str, str] | None = None
+
+
+@dataclass(frozen=True)
+class ServiceRecipe:
+    """Everything needed to rebuild an equivalent service in a worker.
+
+    Used by the ``spawn`` start method, where workers cannot inherit the
+    parent's memory.  The rebuild is deterministic: ``build_world`` and
+    ``build_service`` are pure functions of these fields, so a spawned
+    worker answers queries byte-identically to a forked one.  Comments are
+    skipped — the world generator draws them from independent named seed
+    streams, so their absence cannot perturb videos or channels, and the
+    search sweep never reads them.
+    """
+
+    seed: int
+    specs: tuple[TopicSpec, ...]
+    quota_policy: QuotaPolicy
+    behavior: BehaviorParams
+
+    def build(self):
+        """Construct the worker-side service (expensive: full world build)."""
+        from repro.api.service import build_service
+        from repro.world.corpus import build_world
+
+        world = build_world(self.specs, seed=self.seed, with_comments=False)
+        return build_service(
+            world,
+            seed=self.seed,
+            specs=self.specs,
+            quota_policy=self.quota_policy,
+            behavior=self.behavior,
+        )
+
+
+# -- worker side ---------------------------------------------------------------
+
+# Populated once per worker process by the pool initializer.  Under fork the
+# service object is the parent's, shared copy-on-write; under spawn it is
+# rebuilt from the recipe.
+_WORKER: dict = {}
+
+
+def _init_worker(kind: str, payload) -> None:
+    """Pool initializer: install the worker's service."""
+    service = payload if kind == "service" else payload.build()
+    _WORKER["service"] = service
+    _WORKER["bounds"] = {}
+
+
+def _worker_bounds(service, topic: str) -> list[tuple[datetime, datetime]]:
+    """A topic's hour windows as datetimes, memoized per worker process."""
+    bounds = _WORKER["bounds"].get(topic)
+    if bounds is None:
+        spec = service.engine.topic_runtime(topic).spec
+        bounds = [
+            (hour_start, hour_start + timedelta(hours=1))
+            for hour_start in hour_range(spec.window_start, spec.window_end)
+        ]
+        _WORKER["bounds"][topic] = bounds
+    return bounds
+
+
+def _run_shard(task: ShardTask) -> ShardResult:
+    """Execute one shard against the worker's service.
+
+    The executor reproduces the serial path's observable outcome per hour
+    bin — same IDs (the engine's ordered selection truncated at the
+    500-video hard cap), same pool size, same per-page quota spend on the
+    same virtual day — while skipping the response-envelope assembly and
+    pagination-token machinery that only exist for API fidelity.
+    """
+    import time
+
+    service = _WORKER["service"]
+    service.clock.set(task.collected_at)
+    as_of = service.clock.now()
+    day = service.clock.today()
+    # Isolated sub-ledger: same policy, zero usage.  A shard that alone
+    # exceeds the daily limit fails here; cross-shard sums are checked by
+    # the parent's absorb() at merge.
+    ledger = QuotaLedger(policy=service.quota.policy)
+    # Per-shard seeded latency stream: deterministic in (seed, snapshot,
+    # shard), independent of worker identity and shard scheduling order.
+    service.transport.latency.reseed(task.latency_seed)
+
+    result = ShardResult(shard_id=task.shard_id)
+    t0 = time.perf_counter()
+    for topic, hour in task.items:
+        spec = service.engine.topic_runtime(topic).spec
+        after, before = _worker_bounds(service, topic)[hour]
+        _parsed, candidates = service.search._query_plan(spec.query)
+        outcome = service.engine.execute(
+            spec.query, candidates, after, before, as_of, order="date"
+        )
+        n = min(len(outcome.videos), SEARCH_HARD_CAP)
+        pages = max(1, -(-n // _PAGE_SIZE))
+        billed_before = ledger.used_on(day)
+        try:
+            for _ in range(pages):
+                ledger.charge("search.list", day)
+                result.latency_ms += service.transport.latency.draw()
+        except QuotaExceededError as exc:
+            result.error = (topic, hour, type(exc).__name__, str(exc))
+        finally:
+            billed = ledger.used_on(day) - billed_before
+            if billed:
+                per_topic = result.usage.setdefault(topic, {})
+                per_topic[day] = per_topic.get(day, 0) + billed
+                result.calls += billed // ledger.cost_of("search.list")
+        if result.error is not None:
+            break
+        ids = [v.video_id for v in outcome.videos[:n]]
+        result.hours.append((topic, hour, ids, outcome.total_results))
+        result.queries += 1
+    result.wall_s = time.perf_counter() - t0
+    return result
+
+
+# -- parent side ---------------------------------------------------------------
+
+
+class ProcessShardBackend:
+    """Owns the worker pool and runs shard tasks for successive snapshots.
+
+    The pool is created lazily on first use and persists across snapshots,
+    so the (fork) page-table copy or (spawn) world rebuild is paid once per
+    campaign, not once per snapshot.  Call :meth:`close` when the campaign
+    ends; the campaign runner does this in a ``finally``.
+    """
+
+    def __init__(
+        self,
+        service,
+        workers: int,
+        specs: tuple[TopicSpec, ...],
+        start_method: str | None = None,
+    ) -> None:
+        if workers < 2:
+            raise ValueError("the process backend needs at least 2 workers")
+        if service.transport.faults.probability > 0:
+            raise ValueError(
+                "backend='process' requires a fault-free transport: shard "
+                "workers bypass the client's retry/pagination machinery, so "
+                "injected faults would change semantics — run chaos scenarios "
+                "on the serial or thread path"
+            )
+        import multiprocessing
+
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(start_method)
+        self.start_method = start_method
+        self._service = service
+        self._workers = workers
+        self._specs = specs
+        self._pool: ProcessPoolExecutor | None = None
+        self._lock = threading.Lock()
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                if self.start_method == "fork":
+                    initargs = ("service", self._service)
+                else:
+                    engine = self._service.engine
+                    initargs = (
+                        "recipe",
+                        ServiceRecipe(
+                            seed=engine.seed,
+                            specs=self._specs,
+                            quota_policy=self._service.quota.policy,
+                            behavior=engine.params,
+                        ),
+                    )
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self._workers,
+                    mp_context=self._ctx,
+                    initializer=_init_worker,
+                    initargs=initargs,
+                )
+            return self._pool
+
+    def plan(
+        self, topic_hours: Sequence[tuple[str, int]]
+    ) -> list[tuple[tuple[str, int], ...]]:
+        """Partition a snapshot's work items into this backend's shards."""
+        return partition_work(topic_hours, self._workers)
+
+    def run_snapshot(
+        self, index: int, collected_at: datetime, shards
+    ) -> tuple[list[ShardResult], list[ShardTask]]:
+        """Run one snapshot's shards; results return in shard order."""
+        pool = self._ensure_pool()
+        seed = self._service.engine.seed
+        tasks = [
+            ShardTask(
+                shard_id=shard_id,
+                index=index,
+                collected_at=collected_at,
+                items=tuple(items),
+                latency_seed=stable_hash("shard-latency", seed, index, shard_id)
+                % (2**63),
+            )
+            for shard_id, items in enumerate(shards)
+        ]
+        futures = [pool.submit(_run_shard, task) for task in tasks]
+        return [f.result() for f in futures], tasks
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        with self._lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True, cancel_futures=True)
+                self._pool = None

@@ -43,6 +43,8 @@ EVENT_TYPES = (
     "snapshot.start",
     "snapshot.end",
     "campaign.checkpoint",
+    "shard.dispatch",
+    "shard.merge",
 )
 
 

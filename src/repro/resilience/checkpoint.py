@@ -20,6 +20,16 @@ A partially-written trailing line (the record being appended when the
 process was killed) is tolerated and dropped — its hour bin is simply
 re-queried, which is always safe because bins are only recorded *after*
 their results are complete.
+
+The store is shard-aware in the sense that matters: every collection
+backend records through it in deterministic *plan order* from the parent
+process — the serial loop as bins complete, the thread pool while
+consuming futures in hour order, and the process-shard backend while
+merging shard results topic-by-topic — so the sidecar's contents after a
+crash are a plan-order prefix (per topic) regardless of backend, and a
+resume under *any* backend replays it identically.  Completed bins are
+also subtracted from the shard plan before partitioning, so a resumed
+process-backed snapshot never re-executes them in workers.
 """
 
 from __future__ import annotations

@@ -204,6 +204,11 @@ class SearchBehaviorEngine:
         """The mechanism parameters in effect."""
         return self._params
 
+    @property
+    def seed(self) -> int:
+        """The world/behavior seed (what a shard worker must rebuild with)."""
+        return self._seed
+
     def topic_runtime(self, key: str) -> _TopicRuntime:
         """Expose a topic's runtime (used by tests and ablations)."""
         return self._topics[key]

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-__all__ = ["MarkovChainEstimate", "estimate_markov_chain"]
+__all__ = ["MarkovChainEstimate", "estimate_markov_chain", "chain_from_counts"]
 
 
 @dataclass
@@ -38,6 +38,33 @@ class MarkovChainEstimate:
         return sorted(self.probabilities)
 
 
+def chain_from_counts(
+    counts: dict[tuple[str, ...], dict[str, int]],
+    states: Iterable[str],
+    order: int = 2,
+) -> MarkovChainEstimate:
+    """Build an estimate from pre-accumulated transition counts.
+
+    The maximum-likelihood probabilities are a pure function of the counts,
+    so any accumulation scheme that produces the same counts — the batch
+    sliding-window scan below, or the streaming accumulator in
+    :mod:`repro.core.streaming` — yields an identical estimate (dict
+    equality ignores insertion order).
+    """
+    if order < 1:
+        raise ValueError("order must be at least 1")
+    probabilities: dict[tuple[str, ...], dict[str, float]] = {}
+    for history, outgoing in counts.items():
+        total = sum(outgoing.values())
+        probabilities[history] = {s: c / total for s, c in outgoing.items()}
+    return MarkovChainEstimate(
+        order=order,
+        states=tuple(sorted(states)),
+        counts=counts,
+        probabilities=probabilities,
+    )
+
+
 def estimate_markov_chain(
     sequences: Iterable[Sequence[str]], order: int = 2
 ) -> MarkovChainEstimate:
@@ -59,14 +86,4 @@ def estimate_markov_chain(
             counts.setdefault(history, {}).setdefault(nxt, 0)
             counts[history][nxt] += 1
 
-    probabilities: dict[tuple[str, ...], dict[str, float]] = {}
-    for history, outgoing in counts.items():
-        total = sum(outgoing.values())
-        probabilities[history] = {s: c / total for s, c in outgoing.items()}
-
-    return MarkovChainEstimate(
-        order=order,
-        states=tuple(sorted(states)),
-        counts=counts,
-        probabilities=probabilities,
-    )
+    return chain_from_counts(counts, states, order)

@@ -1,0 +1,252 @@
+"""Process-shard backend tests: reconciliation, observability, gating.
+
+The byte-identity of full campaigns across backends is pinned by
+``tests/test_golden_campaign.py``; this module tests the *mechanics* the
+identity rests on — quota/transport reconciliation, shard trace spans,
+partial-checkpoint interaction, the fault-free gate, and the ``spawn``
+rebuild path.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+import pytest
+
+from repro.api import QuotaPolicy, YouTubeClient, build_service
+from repro.api.errors import QuotaExceededError
+from repro.api.transport import FaultInjector, LatencyModel, Transport
+from repro.core.collector import SnapshotCollector
+from repro.core.shard import ProcessShardBackend, ServiceRecipe
+from repro.obs import CampaignObserver
+from repro.resilience.checkpoint import PartialSnapshotStore
+from repro.util.timeutil import UTC
+from repro.world import build_world
+from repro.world.corpus import scale_topics
+from repro.world.topics import paper_topics
+
+SEED = 20250209
+START = datetime(2025, 2, 9, tzinfo=UTC)
+
+
+@pytest.fixture(scope="module")
+def tiny_specs():
+    return scale_topics(paper_topics(), 0.05)
+
+
+@pytest.fixture(scope="module")
+def tiny_world(tiny_specs):
+    return build_world(tiny_specs, seed=SEED)
+
+
+def _service(tiny_world, tiny_specs, observer=None, policy=None, transport=None):
+    return build_service(
+        tiny_world,
+        seed=SEED,
+        specs=tiny_specs,
+        quota_policy=policy or QuotaPolicy(researcher_program=True),
+        observer=observer,
+        transport=transport,
+    )
+
+
+def _collect(service, specs, backend, workers, **kwargs):
+    collector = SnapshotCollector(
+        YouTubeClient(service), specs, backend=backend, workers=workers, **kwargs
+    )
+    service.clock.set(START)
+    try:
+        return collector.collect(0)
+    finally:
+        collector.close()
+
+
+class TestReconciliation:
+    def test_quota_and_transport_match_serial(self, tiny_world, tiny_specs):
+        serial = _service(tiny_world, tiny_specs)
+        snap_serial = _collect(serial, tiny_specs, "serial", 1)
+        sharded = _service(tiny_world, tiny_specs)
+        snap_process = _collect(sharded, tiny_specs, "process", 3)
+
+        for key in snap_serial.topics:
+            a, b = snap_serial.topic(key), snap_process.topic(key)
+            assert a.hour_video_ids == b.hour_video_ids
+            assert a.pool_sizes == b.pool_sizes
+            assert a.missing_hours == b.missing_hours
+            assert a.video_meta == b.video_meta
+            assert a.channel_meta == b.channel_meta
+        assert serial.quota.total_used == sharded.quota.total_used
+        assert serial.quota._usage == sharded.quota._usage
+        assert serial.transport.total_calls == sharded.transport.total_calls
+        assert (
+            serial.transport.calls_by_endpoint()
+            == sharded.transport.calls_by_endpoint()
+        )
+
+    def test_quota_exhaustion_propagates_and_is_recorded(
+        self, tiny_world, tiny_specs
+    ):
+        # A limit no full snapshot fits into: the absorb at merge must
+        # raise, and the ledger must still show the workers' real spend.
+        service = _service(
+            tiny_world, tiny_specs, policy=QuotaPolicy(daily_limit=5_000)
+        )
+        with pytest.raises(QuotaExceededError):
+            _collect(service, tiny_specs, "process", 3)
+        assert service.quota.total_used > 0
+
+
+class TestShardObservability:
+    def test_dispatch_and_merge_spans(self, tiny_world, tiny_specs):
+        obs = CampaignObserver()
+        service = _service(tiny_world, tiny_specs, observer=obs)
+        _collect(service, tiny_specs, "process", 3, observer=obs)
+
+        types = [e.type for e in obs.tracer.events]
+        dispatches = [e for e in obs.tracer.events if e.type == "shard.dispatch"]
+        merges = [e for e in obs.tracer.events if e.type == "shard.merge"]
+        assert len(dispatches) == len(merges) == 3
+        assert {d.fields["shard"] for d in dispatches} == {0, 1, 2}
+        # The dispatched plan slices and merged query counts reconcile:
+        # every planned hour bin was executed by exactly one shard.
+        total_hours = sum(d.fields["hours"] for d in dispatches)
+        assert sum(m.fields["queries"] for m in merges) == total_hours
+        # search.list bills 100 units per page and every query has >= 1 page.
+        for merge in merges:
+            assert merge.fields["units"] >= 100 * merge.fields["queries"]
+            assert merge.fields["wall_s"] >= 0
+        # Every merge follows the dispatches in the trace.
+        assert types.index("shard.dispatch") < types.index("shard.merge")
+        assert obs.metrics.counter("shard.dispatches").value == 3
+        assert obs.metrics.counter("shard.merges").value == 3
+
+    def test_search_query_metric_parity_with_serial(self, tiny_world, tiny_specs):
+        serial_obs = CampaignObserver()
+        serial = _service(tiny_world, tiny_specs, observer=serial_obs)
+        _collect(serial, tiny_specs, "serial", 1, observer=serial_obs)
+
+        shard_obs = CampaignObserver()
+        sharded = _service(tiny_world, tiny_specs, observer=shard_obs)
+        _collect(sharded, tiny_specs, "process", 3, observer=shard_obs)
+
+        key = "search.queries"
+        assert (
+            serial_obs.metrics.counters_with_prefix(key)
+            == shard_obs.metrics.counters_with_prefix(key)
+        )
+        # Quota spend attribution per topic also reconciles.
+        assert serial_obs.metrics.counters_with_prefix(
+            "quota.units_by_topic"
+        ) == shard_obs.metrics.counters_with_prefix("quota.units_by_topic")
+
+
+class TestPartialCheckpoint:
+    def test_resume_skips_completed_bins(self, tiny_world, tiny_specs, tmp_path):
+        reference = _service(tiny_world, tiny_specs)
+        snap_ref = _collect(reference, tiny_specs, "serial", 1)
+
+        store = PartialSnapshotStore(tmp_path / "resume.partial")
+        store.begin(0, START)
+        seed_topic = tiny_specs[0].key
+        ref_topic = snap_ref.topic(seed_topic)
+        seeded_hours = sorted(ref_topic.hour_video_ids)[:3]
+        for hour in seeded_hours:
+            store.record_hour(
+                seed_topic, hour,
+                ref_topic.hour_video_ids[hour], ref_topic.pool_sizes[hour],
+            )
+
+        resumed = _service(tiny_world, tiny_specs)
+        snap = _collect(
+            resumed, tiny_specs, "process", 3, partial=store
+        )
+        for key in snap_ref.topics:
+            assert snap.topic(key).hour_video_ids == snap_ref.topic(key).hour_video_ids
+        # The seeded bins were replayed, not re-queried: strictly less quota.
+        assert resumed.quota.total_used < reference.quota.total_used
+
+
+class TestGating:
+    def test_faulty_transport_is_rejected(self, tiny_world, tiny_specs):
+        transport = Transport(
+            latency=LatencyModel(seed=SEED),
+            faults=FaultInjector(probability=0.2, seed=SEED),
+        )
+        service = _service(tiny_world, tiny_specs, transport=transport)
+        with pytest.raises(ValueError, match="fault-free transport"):
+            ProcessShardBackend(service, 2, tiny_specs)
+
+    def test_single_worker_is_rejected(self, tiny_world, tiny_specs):
+        service = _service(tiny_world, tiny_specs)
+        with pytest.raises(ValueError, match="at least 2 workers"):
+            ProcessShardBackend(service, 1, tiny_specs)
+
+    def test_unknown_collector_backend_is_rejected(self, tiny_world, tiny_specs):
+        service = _service(tiny_world, tiny_specs)
+        with pytest.raises(ValueError, match="unknown backend"):
+            SnapshotCollector(
+                YouTubeClient(service), tiny_specs, backend="fibers"
+            )
+
+    def test_serial_backend_ignores_workers(self, tiny_world, tiny_specs):
+        service = _service(tiny_world, tiny_specs)
+        collector = SnapshotCollector(
+            YouTubeClient(service), tiny_specs, backend="serial", workers=8
+        )
+        assert collector._workers == 1
+
+
+class TestSpawnRebuild:
+    def test_recipe_rebuild_answers_identically(self, tiny_world, tiny_specs):
+        # The spawn path rebuilds the service from a picklable recipe; the
+        # rebuilt engine must produce the same shard results as the
+        # parent's own (fork-shared) service.  Exercised in-process to
+        # keep the test fast and start-method-agnostic.
+        parent = _service(tiny_world, tiny_specs)
+        recipe = ServiceRecipe(
+            seed=parent.engine.seed,
+            specs=tiny_specs,
+            quota_policy=parent.quota.policy,
+            behavior=parent.engine.params,
+        )
+        rebuilt = recipe.build()
+        rebuilt.clock.set(START)
+        parent.clock.set(START)
+        spec = tiny_specs[0]
+        as_of = parent.clock.now()
+        _, cand_parent = parent.search._query_plan(spec.query)
+        _, cand_rebuilt = rebuilt.search._query_plan(spec.query)
+        assert cand_parent == cand_rebuilt
+        from datetime import timedelta
+
+        after = spec.window_start
+        before = after + timedelta(hours=1)
+        a = parent.engine.execute(spec.query, cand_parent, after, before, as_of)
+        b = rebuilt.engine.execute(spec.query, cand_rebuilt, after, before, as_of)
+        assert [v.video_id for v in a.videos] == [v.video_id for v in b.videos]
+        assert a.total_results == b.total_results
+
+    def test_spawn_backend_smoke(self, tiny_world, tiny_specs):
+        service = _service(tiny_world, tiny_specs)
+        backend = ProcessShardBackend(
+            service, 2, tiny_specs, start_method="spawn"
+        )
+        try:
+            spec = tiny_specs[0]
+            items = [(spec.key, h) for h in range(4)]
+            results, tasks = backend.run_snapshot(0, START, backend.plan(items))
+        finally:
+            backend.close()
+        assert len(tasks) == 2
+        merged = {
+            (topic, hour): ids
+            for result in results
+            for topic, hour, ids, _pool in result.hours
+        }
+        assert set(merged) == set(items)
+        # Compare against the fork/parent reference for the same bins.
+        reference = _service(tiny_world, tiny_specs)
+        ref_snap = _collect(reference, tiny_specs, "serial", 1)
+        ref_topic = ref_snap.topic(spec.key)
+        for (topic, hour), ids in merged.items():
+            assert ids == ref_topic.hour_video_ids.get(hour, []), (topic, hour)

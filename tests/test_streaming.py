@@ -1,0 +1,249 @@
+"""Streaming-vs-batch equivalence for the incremental analysis layer.
+
+``repro.core.streaming.CampaignStream`` promises *exact* equivalence with
+the batch analyses in ``core.consistency`` / ``core.attrition`` /
+``core.returnmodel`` — not approximate agreement.  These tests feed the
+same snapshots to both sides and assert ``==`` on every reader, including
+a hand-built degraded campaign with ``missing_hours`` (the case the
+incremental Markov accumulator is easiest to get subtly wrong on).
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.core.attrition import attrition_analysis
+from repro.core.consistency import (
+    consistency_series,
+    gap_aware_consistency_series,
+    jaccard,
+)
+from repro.core.datasets import CampaignResult, Snapshot, TopicSnapshot
+from repro.core.returnmodel import build_regression_records
+from repro.core.streaming import CampaignStream
+from repro.util.timeutil import UTC
+
+
+def _stream_of(campaign: CampaignResult) -> CampaignStream:
+    stream = CampaignStream(campaign.topic_keys)
+    for snap in campaign.snapshots:
+        stream.add_snapshot(snap)
+    return stream
+
+
+class TestMiniCampaignEquivalence:
+    """Full parity on the shared 10-collection campaign (with metadata
+    and comments), the same fixture every batch analysis test uses."""
+
+    @pytest.fixture(scope="class")
+    def stream(self, mini_campaign):
+        return _stream_of(mini_campaign)
+
+    def test_consistency_series(self, mini_campaign, stream):
+        for topic in mini_campaign.topic_keys:
+            assert stream.consistency(topic) == consistency_series(
+                mini_campaign, topic
+            )
+
+    def test_gap_aware_consistency_series(self, mini_campaign, stream):
+        for topic in mini_campaign.topic_keys:
+            assert stream.gap_aware_consistency(topic) == (
+                gap_aware_consistency_series(mini_campaign, topic)
+            )
+
+    def test_pairwise_jaccard_matrix(self, mini_campaign, stream):
+        topic = mini_campaign.topic_keys[0]
+        sets = mini_campaign.sets_for_topic(topic)
+        matrix = stream.jaccard_matrix(topic)
+        assert len(matrix) == len(sets)
+        for i in range(len(sets)):
+            for j in range(len(sets)):
+                expect = 1.0 if i == j else jaccard(sets[i], sets[j])
+                assert matrix[i][j] == expect, (i, j)
+
+    def test_attrition_chain(self, mini_campaign, stream):
+        for skip in (False, True):
+            batch = attrition_analysis(mini_campaign, skip_degraded=skip)
+            streamed = stream.attrition(skip_degraded=skip)
+            assert streamed.chain == batch.chain
+            assert streamed.n_sequences == batch.n_sequences
+
+    def test_attrition_topic_subset(self, mini_campaign, stream):
+        subset = list(mini_campaign.topic_keys[:2])
+        batch = attrition_analysis(mini_campaign, topics=subset)
+        streamed = stream.attrition(topics=subset)
+        assert streamed.chain == batch.chain
+        assert streamed.n_sequences == batch.n_sequences
+
+    def test_regression_records(self, mini_campaign, stream):
+        assert stream.regression_records() == build_regression_records(
+            mini_campaign
+        )
+
+    def test_summary_renders(self, mini_campaign, stream):
+        text = stream.render_summary()
+        assert "RQ1" in text and "RQ2" in text
+        for topic in mini_campaign.topic_keys:
+            assert topic in text
+
+
+def _synthetic_campaign() -> CampaignResult:
+    """Five hand-built collections over two topics, with a degraded
+    third collection (missing hour bins) — no metadata, no comments."""
+    start = datetime(2025, 2, 9, tzinfo=UTC)
+    plan = {
+        # topic -> per-collection {hour: [ids]}; hour 1 goes missing at t=2.
+        "alpha": [
+            {0: ["a", "b"], 1: ["c"]},
+            {0: ["a"], 1: ["c", "d"]},
+            {0: ["b"]},
+            {0: ["a", "e"], 1: ["d"]},
+            {0: ["e"], 1: ["c"]},
+        ],
+        "beta": [
+            {0: ["x"]},
+            {0: ["x", "y"]},
+            {0: []},
+            {0: ["y"]},
+            {0: ["x", "z"]},
+        ],
+    }
+    snapshots = []
+    for t in range(5):
+        at = start + timedelta(days=14 * t)
+        topics = {}
+        for key, per_collection in plan.items():
+            hours = per_collection[t]
+            missing = [1] if key == "alpha" and t == 2 else []
+            topics[key] = TopicSnapshot(
+                topic=key,
+                collected_at=at,
+                hour_video_ids=hours,
+                pool_sizes={h: len(ids) for h, ids in hours.items()},
+                missing_hours=missing,
+            )
+        snapshots.append(Snapshot(index=t, collected_at=at, topics=topics))
+    return CampaignResult(topic_keys=("alpha", "beta"), snapshots=snapshots)
+
+
+class TestDegradedCampaignEquivalence:
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        return _synthetic_campaign()
+
+    @pytest.fixture(scope="class")
+    def stream(self, campaign):
+        return _stream_of(campaign)
+
+    def test_campaign_is_actually_degraded(self, campaign):
+        assert campaign.degraded_indices("alpha") == [2]
+        assert campaign.degraded_indices("beta") == []
+
+    def test_consistency_series(self, campaign, stream):
+        for topic in campaign.topic_keys:
+            assert stream.consistency(topic) == consistency_series(
+                campaign, topic
+            )
+
+    def test_gap_aware_consistency_series(self, campaign, stream):
+        for topic in campaign.topic_keys:
+            assert stream.gap_aware_consistency(topic) == (
+                gap_aware_consistency_series(campaign, topic)
+            )
+
+    def test_attrition_including_degraded(self, campaign, stream):
+        batch = attrition_analysis(campaign, skip_degraded=False)
+        streamed = stream.attrition(skip_degraded=False)
+        assert streamed.chain == batch.chain
+        assert streamed.n_sequences == batch.n_sequences
+
+    def test_attrition_skipping_degraded(self, campaign, stream):
+        batch = attrition_analysis(campaign, skip_degraded=True)
+        streamed = stream.attrition(skip_degraded=True)
+        assert streamed.chain == batch.chain
+        assert streamed.n_sequences == batch.n_sequences
+
+    def test_regression_error_parity_without_metadata(self, campaign, stream):
+        with pytest.raises(ValueError) as batch_err:
+            build_regression_records(campaign)
+        with pytest.raises(ValueError) as stream_err:
+            stream.regression_records()
+        assert str(stream_err.value) == str(batch_err.value)
+
+
+class TestStreamContract:
+    def test_snapshots_must_arrive_in_order(self):
+        campaign = _synthetic_campaign()
+        stream = CampaignStream(campaign.topic_keys)
+        stream.add_snapshot(campaign.snapshots[0])
+        with pytest.raises(ValueError, match="expected index 1, got 3"):
+            stream.add_snapshot(campaign.snapshots[3])
+
+    def test_replayed_snapshot_rejected(self):
+        campaign = _synthetic_campaign()
+        stream = CampaignStream(campaign.topic_keys)
+        stream.add_snapshot(campaign.snapshots[0])
+        with pytest.raises(ValueError, match="expected index 1, got 0"):
+            stream.add_snapshot(campaign.snapshots[0])
+
+    def test_single_collection_error_matches_batch(self):
+        campaign = _synthetic_campaign()
+        stream = CampaignStream(campaign.topic_keys)
+        stream.add_snapshot(campaign.snapshots[0])
+        one = CampaignResult(
+            topic_keys=campaign.topic_keys,
+            snapshots=campaign.snapshots[:1],
+        )
+        with pytest.raises(ValueError) as batch_err:
+            consistency_series(one, "alpha")
+        with pytest.raises(ValueError) as stream_err:
+            stream.consistency("alpha")
+        assert str(stream_err.value) == str(batch_err.value)
+
+    def test_empty_attrition_error_matches_batch(self):
+        at = datetime(2025, 2, 9, tzinfo=UTC)
+        empty_topic = TopicSnapshot(
+            topic="alpha", collected_at=at, hour_video_ids={0: []},
+            pool_sizes={0: 0},
+        )
+        campaign = CampaignResult(
+            topic_keys=("alpha",),
+            snapshots=[Snapshot(index=0, collected_at=at,
+                                topics={"alpha": empty_topic})],
+        )
+        stream = _stream_of(campaign)
+        with pytest.raises(ValueError) as batch_err:
+            attrition_analysis(campaign)
+        with pytest.raises(ValueError) as stream_err:
+            stream.attrition()
+        assert str(stream_err.value) == str(batch_err.value)
+
+    def test_unknown_topic_is_a_key_error(self):
+        stream = _stream_of(_synthetic_campaign())
+        with pytest.raises(KeyError):
+            stream.consistency("does-not-exist")
+
+    def test_topic_keys_adopted_from_first_snapshot(self):
+        campaign = _synthetic_campaign()
+        stream = CampaignStream()
+        for snap in campaign.snapshots:
+            stream.add_snapshot(snap)
+        for topic in campaign.topic_keys:
+            assert stream.consistency(topic) == consistency_series(
+                campaign, topic
+            )
+
+
+class TestStreamingCli:
+    def test_campaign_analyze_smoke(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = str(tmp_path / "campaign.jsonl")
+        assert main([
+            "campaign", "--scale", "0.05", "--seed", "2",
+            "--collections", "3", "--out", path, "--quiet", "--analyze",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "RQ1" in out and "RQ2" in out

@@ -34,16 +34,20 @@ def main(argv: list[str] | None = None) -> int:
         choices=sorted(SCENARIOS),
         help="scenario(s) to run (default: all)",
     )
-    parser.add_argument("--workers", type=int, default=1,
-                        help="collector hour-bin parallelism (default 1)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="override every scenario's worker count")
+    parser.add_argument("--backend", choices=("serial", "thread", "process"),
+                        default=None,
+                        help="override every scenario's execution backend")
     parser.add_argument("--seed", type=int, default=None,
                         help="override the benchmark seed")
     parser.add_argument("--out", default="BENCH_campaign.json",
                         help="report path (default BENCH_campaign.json)")
     args = parser.parse_args(argv)
 
-    names = tuple(args.scenario) if args.scenario else ("reduced", "paper")
-    kwargs = {"workers": args.workers, "progress": lambda m: print(m, flush=True)}
+    names = tuple(args.scenario) if args.scenario else ("reduced", "paper", "process")
+    kwargs = {"workers": args.workers, "backend": args.backend,
+              "progress": lambda m: print(m, flush=True)}
     if args.seed is not None:
         kwargs["seed"] = args.seed
     report = run_benchmark(names, **kwargs)
