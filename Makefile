@@ -7,15 +7,18 @@
 #   make bench        campaign benchmark -> BENCH_campaign.json
 #                     (see docs/PERFORMANCE.md)
 #   make bench-smoke  reduced-scale benchmark to a temp file (verify gate)
+#   make bench-analysis  reduced-scale analysis fast-path benchmark to a
+#                     temp file (verify gate; see docs/PERFORMANCE.md)
 #   make coverage     full suite under pytest-cov, >= 80% line coverage
 #                     (skips gracefully when pytest-cov is not installed)
 #   make coverage-fast  same gate minus the slowest end-to-end modules
 
 PYTHON ?= python
 
-.PHONY: verify test doclinks chaos bench bench-smoke coverage coverage-fast
+.PHONY: verify test doclinks chaos bench bench-smoke bench-analysis \
+	coverage coverage-fast
 
-verify: test doclinks chaos bench-smoke coverage-fast
+verify: test doclinks chaos bench-smoke bench-analysis coverage-fast
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -32,6 +35,10 @@ bench:
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro bench --scenario reduced --quiet \
 		--out $(or $(TMPDIR),/tmp)/repro_bench_smoke.json
+
+bench-analysis:
+	PYTHONPATH=src $(PYTHON) -m repro bench --scenario analysis-smoke --quiet \
+		--out $(or $(TMPDIR),/tmp)/repro_bench_analysis.json
 
 coverage:
 	$(PYTHON) tools/coverage_gate.py

@@ -114,6 +114,10 @@ def build_parser() -> argparse.ArgumentParser:
     replication.add_argument("--seeds", type=int, nargs="+", default=[101, 202, 303])
     replication.add_argument("--scale", type=float, default=0.2)
     replication.add_argument("--collections", type=int, default=8)
+    replication.add_argument("--workers", type=int, default=1,
+                             help="replicate seeds in parallel worker "
+                                  "processes (identical summary for any "
+                                  "worker count)")
 
     obs = sub.add_parser("obs", help="observability reports over JSONL traces")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)
@@ -142,8 +146,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser(
         "bench", help="time the campaign fast path and write BENCH_campaign.json"
     )
+    from repro.core.benchmark import SCENARIOS as _BENCH_SCENARIOS
+
     bench.add_argument("--scenario", action="append",
-                       choices=("reduced", "paper", "process"),
+                       choices=tuple(sorted(_BENCH_SCENARIOS)),
                        help="scenario(s) to run (default: all)")
     bench.add_argument("--workers", type=int, default=None,
                        help="override every scenario's worker count "
@@ -389,7 +395,8 @@ def _cmd_replication(args) -> int:
     from repro.core.replication import run_replication
 
     summary = run_replication(
-        seeds=args.seeds, scale=args.scale, n_collections=args.collections
+        seeds=args.seeds, scale=args.scale, n_collections=args.collections,
+        workers=args.workers,
     )
     print(summary.render())
     return 0
@@ -428,13 +435,14 @@ def _cmd_chaos(args) -> int:
 def _cmd_bench(args) -> int:
     from repro.core.benchmark import format_report, run_benchmark, write_report
 
-    names = tuple(args.scenario) if args.scenario else ("reduced", "paper", "process")
     kwargs = {"workers": args.workers, "backend": args.backend}
+    if args.scenario:
+        kwargs["names"] = tuple(args.scenario)
     if args.seed is not None:
         kwargs["seed"] = args.seed
     if not args.quiet:
         kwargs["progress"] = lambda m: print(m, file=sys.stderr)
-    report = run_benchmark(names, **kwargs)
+    report = run_benchmark(**kwargs)
     path = write_report(report, args.out)
     print(format_report(report))
     print(f"wrote {path}")

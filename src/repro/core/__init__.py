@@ -11,6 +11,8 @@ the endpoint's behavior.
 * :mod:`shard` — process-sharded snapshot execution (``backend="process"``);
   :mod:`streaming` — incremental RQ1/RQ2 analysis as snapshots complete;
 * :mod:`datasets` — snapshot containers and JSONL persistence;
+* :mod:`index` — shared columnar campaign index: the vectorized fast
+  path the per-analysis modules route through by default;
 * :mod:`consistency` (Fig 1), :mod:`hourly` (Table 2), :mod:`daily`
   (Fig 2), :mod:`attrition` (Fig 3), :mod:`returnmodel` (Tables 3/6/7),
   :mod:`pools` (Table 4), :mod:`metadata_audit` (Fig 4),
@@ -27,6 +29,7 @@ from repro.core.campaign import run_campaign
 from repro.core.collector import BACKENDS, SnapshotCollector
 from repro.core.datasets import CampaignResult, Snapshot, TopicSnapshot
 from repro.core.experiments import CampaignConfig, paper_campaign_config
+from repro.core.index import CampaignIndex, campaign_index
 from repro.core.streaming import CampaignStream
 
 __all__ = [
@@ -39,4 +42,6 @@ __all__ = [
     "Snapshot",
     "TopicSnapshot",
     "CampaignStream",
+    "CampaignIndex",
+    "campaign_index",
 ]

@@ -30,6 +30,7 @@ def presence_sequences(
     campaign: CampaignResult,
     topics: list[str] | None = None,
     skip_degraded: bool = False,
+    use_index: bool = True,
 ) -> list[str]:
     """P/A sequences for every (topic, ever-returned video).
 
@@ -42,7 +43,19 @@ def presence_sequences(
     snapshot is a measurement failure, not platform attrition, and would
     bias the chain toward ``A``.  Sequences then span only the complete
     collections, in order.
+
+    By default the sequences are decoded from the campaign's shared
+    columnar index (:mod:`repro.core.index`) — the per-call
+    ``set().union(*sets)`` universe rebuild this function used to pay is
+    amortized into one cached presence matrix.  ``use_index=False`` runs
+    the original scan below (the equivalence oracle).
     """
+    if use_index:
+        from repro.core.index import campaign_index
+
+        return campaign_index(campaign).presence_sequences(
+            topics, skip_degraded=skip_degraded
+        )
     if topics is None:
         topics = list(campaign.topic_keys)
     sequences: list[str] = []
@@ -99,9 +112,24 @@ def attrition_analysis(
     campaign: CampaignResult,
     topics: list[str] | None = None,
     skip_degraded: bool = False,
+    use_index: bool = True,
 ) -> AttritionResult:
-    """Estimate the Figure 3 chain from a campaign."""
-    sequences = presence_sequences(campaign, topics, skip_degraded=skip_degraded)
+    """Estimate the Figure 3 chain from a campaign.
+
+    ``use_index`` (default) counts transitions on the columnar index via
+    a base-2 window encoding and one ``np.bincount`` — no intermediate
+    P/A strings — and feeds :func:`repro.stats.markov.chain_from_counts`;
+    ``use_index=False`` runs the original string-based estimator.
+    """
+    if use_index:
+        from repro.core.index import campaign_index
+
+        return campaign_index(campaign).attrition(
+            topics, skip_degraded=skip_degraded
+        )
+    sequences = presence_sequences(
+        campaign, topics, skip_degraded=skip_degraded, use_index=False
+    )
     if not sequences:
         raise ValueError("no videos were ever returned; nothing to analyze")
     chain = estimate_markov_chain(sequences, order=2)

@@ -1,27 +1,46 @@
 """Campaign performance benchmark: the instrument perf PRs are judged by.
 
-Times the three phases every study of this reproduction pays for —
-world build, a single snapshot sweep, and the full campaign — at two
-scales:
+Three scenario kinds, each with its own primary metric:
 
-* ``reduced``: corpus scale 0.2, 4 collections (quick; the ``make
-  verify`` smoke run);
-* ``paper``: corpus scale 1.0, 16 collections — the paper's actual
-  64,512-query audit workload;
-* ``process``: the ``paper`` workload on the process-shard backend
-  (``workers=4, backend="process"``, :mod:`repro.core.shard`) — its
-  speedup is computed against the ``paper`` baseline because the two run
-  the same workload shape.
+* ``kind="campaign"`` (collection; metric ``campaign_s``) — world build,
+  a single snapshot sweep, and the full campaign:
 
-Every scenario block records the ``workers`` and ``backend`` it ran with
-(the recorded baselines predate both knobs and are pinned to the serial
-path), so numbers in ``BENCH_campaign.json`` are never compared across
-execution modes by accident.
+  - ``reduced``: corpus scale 0.2, 4 collections (quick smoke);
+  - ``paper``: corpus scale 1.0, 16 collections — the paper's actual
+    64,512-query audit workload;
+  - ``process``: the ``paper`` workload on the process-shard backend
+    (``workers=4, backend="process"``, :mod:`repro.core.shard`) — its
+    speedup is computed against the ``paper`` baseline because the two
+    run the same workload shape.
+
+* ``kind="analysis"`` (metric ``analysis_s``) — run a campaign once
+  (untimed setup), then time :func:`analysis_battery`: the exact
+  consistency / attrition / pools / regression call pattern the report
+  and CSV-export layers issue, including their repeated calls.  The
+  recorded baselines were measured with ``use_index=False`` (the
+  pre-index implementations, kept verbatim as the equivalence oracle);
+  the current run uses the columnar index (:mod:`repro.core.index`).
+  ``analysis`` is the paper-scale workload; ``analysis-smoke`` the
+  reduced one ``make verify`` runs.  Model *fitting* is excluded — it is
+  identical arithmetic on both paths and would only dilute the number.
+
+* ``kind="replication"`` (metric ``replication_s``) — time
+  :func:`repro.core.replication.run_replication` over
+  :data:`REPLICATION_SEEDS` at a small scale, serial (``workers=1``:
+  this machine is single-core, so a parallel wall time would be noise —
+  the parallel path is locked by serial==parallel equality tests
+  instead, the same honesty rule as the ``process`` scenario).
+
+Every scenario block records the ``kind``, ``workers``, and ``backend``
+it ran with (the recorded baselines predate these knobs and are pinned
+to the serial path), so numbers in ``BENCH_campaign.json`` are never
+compared across execution modes by accident.
 
 Results are written to ``BENCH_campaign.json`` together with the
 recorded pre-optimization baseline (measured on the commit immediately
-before the fast path landed) and the speedup against it, so the perf
-trajectory is tracked in-repo from the first fast-path PR forward.
+before the relevant fast path landed — per-scenario ``commit`` keys say
+which) and the speedup against it, so the perf trajectory is tracked
+in-repo from the first fast-path PR forward.
 
 Run it via ``make bench``, ``python -m repro bench``, or
 ``python tools/bench_campaign.py``.  Wall times are machine-dependent;
@@ -42,7 +61,10 @@ from typing import Callable
 __all__ = [
     "RECORDED_BASELINE",
     "SCENARIOS",
+    "PRIMARY_METRIC",
+    "REPLICATION_SEEDS",
     "BenchScenario",
+    "analysis_battery",
     "run_scenario",
     "run_benchmark",
     "write_report",
@@ -51,11 +73,27 @@ __all__ = [
 #: The benchmark's fixed seed: the paper campaign's start date.
 BENCH_SEED = 20250209
 
-#: Pre-optimization timings (commit f6be69b, the last commit before the
-#: campaign fast path), measured with this same harness logic on the
+#: The seeds every ``replication`` scenario run replicates over.
+REPLICATION_SEEDS = (101, 202, 303)
+
+#: The wall-time field speedups are computed from, per scenario kind.
+PRIMARY_METRIC = {
+    "campaign": "campaign_s",
+    "analysis": "analysis_s",
+    "replication": "replication_s",
+}
+
+#: Pre-optimization timings, measured with this same harness logic on the
 #: reference machine that recorded this file's first BENCH_campaign.json.
-#: Speedups are computed against these wall times; re-record them only if
-#: the workload shape (scales/collections/seed) changes.
+#: The campaign scenarios are pinned to commit f6be69b (the last commit
+#: before the collection fast path); the analysis scenarios were measured
+#: through ``use_index=False`` — the pre-index implementations, kept
+#: verbatim as the equivalence oracle — and the replication scenario at
+#: commit eaf91d5 (the last commit before the columnar index), each new
+#: scenario block carrying its own ``commit``.  Conservative minima over
+#: repeated runs.  Speedups are computed against these wall times;
+#: re-record them only if the workload shape (scales/collections/seed/
+#: battery composition) changes.
 RECORDED_BASELINE = {
     "commit": "f6be69b",
     "scenarios": {
@@ -77,6 +115,34 @@ RECORDED_BASELINE = {
             "queries": 64_512,
             "queries_per_s": 2183.4,
         },
+        "analysis": {
+            "commit": "eaf91d5",
+            "kind": "analysis",
+            "workers": 1,
+            "backend": "serial",
+            "use_index": False,
+            "analysis_s": 0.6012,
+            "records": 5334,
+            "sequences": 5339,
+        },
+        "analysis-smoke": {
+            "commit": "eaf91d5",
+            "kind": "analysis",
+            "workers": 1,
+            "backend": "serial",
+            "use_index": False,
+            "analysis_s": 0.0487,
+            "records": 872,
+            "sequences": 875,
+        },
+        "replication": {
+            "commit": "eaf91d5",
+            "kind": "replication",
+            "workers": 1,
+            "backend": "serial",
+            "seeds": [101, 202, 303],
+            "replication_s": 4.2986,
+        },
     },
 }
 
@@ -93,6 +159,7 @@ class BenchScenario:
     collections: int
     workers: int = 1
     backend: str = "serial"
+    kind: str = "campaign"
 
     def __post_init__(self) -> None:
         if not 0.0 < self.scale <= 1.0:
@@ -101,6 +168,8 @@ class BenchScenario:
             raise ValueError("collections must be positive")
         if self.workers < 1:
             raise ValueError("workers must be positive")
+        if self.kind not in PRIMARY_METRIC:
+            raise ValueError(f"kind must be one of {sorted(PRIMARY_METRIC)}")
 
 
 SCENARIOS: dict[str, BenchScenario] = {
@@ -109,7 +178,56 @@ SCENARIOS: dict[str, BenchScenario] = {
     "process": BenchScenario(
         scale=1.0, collections=16, workers=4, backend="process"
     ),
+    "analysis": BenchScenario(scale=1.0, collections=16, kind="analysis"),
+    "analysis-smoke": BenchScenario(scale=0.2, collections=4, kind="analysis"),
+    "replication": BenchScenario(scale=0.12, collections=6, kind="replication"),
 }
+
+
+def analysis_battery(campaign, use_index: bool = True) -> dict:
+    """The report + export analysis call pattern, as one timeable unit.
+
+    Mirrors what ``repro analyze --all`` followed by ``repro export``
+    actually issues — including the *repeated* calls (Figure 1 is
+    rendered and exported; the attrition chain feeds both Figure 3
+    views; the three regression tables each assemble records) that the
+    legacy path pays per call and the index memoizes.  Returns summary
+    counts so callers can sanity-check both paths did the same work.
+    """
+    from repro.core.attrition import attrition_analysis, presence_sequences
+    from repro.core.consistency import (
+        consistency_series,
+        gap_aware_consistency_series,
+    )
+    from repro.core.pools import pool_stats
+    from repro.core.returnmodel import build_regression_design, build_regression_records
+
+    points = 0
+    for topic in campaign.topic_keys:
+        # Figure 1 is rendered (report) and exported (CSV bundle).
+        for _ in range(2):
+            points += len(consistency_series(campaign, topic, use_index=use_index))
+        points += len(
+            gap_aware_consistency_series(campaign, topic, use_index=use_index)
+        )
+        # Table 4 is rendered and exported; the pool/consistency coupling
+        # re-reads both series.
+        for _ in range(2):
+            pool_stats(campaign, topic, use_index=use_index)
+        consistency_series(campaign, topic, use_index=use_index)
+    # Figure 3 rendered + exported, plus the degraded-robustness variant.
+    sequences = len(presence_sequences(campaign, use_index=use_index))
+    attrition_analysis(campaign, use_index=use_index)
+    attrition_analysis(campaign, use_index=use_index)
+    attrition_analysis(campaign, skip_degraded=True, use_index=use_index)
+    # Tables 3/6/7 each assemble the records and design (fits excluded:
+    # identical arithmetic on both paths).
+    records = 0
+    for _ in range(3):
+        recs = build_regression_records(campaign, use_index=use_index)
+        records = len(recs)
+        build_regression_design(recs)
+    return {"points": points, "sequences": sequences, "records": records}
 
 
 def run_scenario(
@@ -118,14 +236,20 @@ def run_scenario(
     workers: int | None = None,
     backend: str | None = None,
     progress: Callable[[str], None] | None = None,
+    use_index: bool = True,
 ) -> dict:
-    """Build the world and run the campaign, timing each phase.
+    """Run one scenario, timing its kind's phases.
 
-    Returns a flat dict of phase wall times and derived throughput.  The
-    snapshot phase is measured as the first collection of a *separate*
-    warm service so the campaign number stays a clean end-to-end figure.
-    ``workers``/``backend`` override the scenario's own execution mode
-    when given (``None`` keeps the scenario defaults).
+    ``kind="campaign"`` returns phase wall times and derived throughput;
+    the snapshot phase is measured as the first collection of a
+    *separate* warm service so the campaign number stays a clean
+    end-to-end figure.  ``kind="analysis"`` runs the campaign untimed,
+    then times :func:`analysis_battery` (``use_index=False`` reproduces
+    how the recorded baselines were measured).  ``kind="replication"``
+    times :func:`~repro.core.replication.run_replication` over
+    :data:`REPLICATION_SEEDS`.  ``workers``/``backend`` override the
+    scenario's own execution mode when given (``None`` keeps the
+    scenario defaults).
     """
     from repro import build_service, build_world
     from repro.api.client import YouTubeClient
@@ -145,7 +269,70 @@ def run_scenario(
         if workers is not None and workers > 1 and backend == "serial":
             backend = "thread"  # pre-backend CLI semantics of --workers N
     workers = scenario.workers if workers is None else workers
+
+    if scenario.kind == "replication":
+        from repro.core.replication import run_replication
+
+        note(
+            f"replicating seeds {list(REPLICATION_SEEDS)} "
+            f"(scale {scenario.scale}, {scenario.collections} collections, "
+            f"workers {workers}) ..."
+        )
+        t0 = time.perf_counter()
+        summary = run_replication(
+            list(REPLICATION_SEEDS),
+            scale=scenario.scale,
+            n_collections=scenario.collections,
+            workers=workers,
+        )
+        replication_s = time.perf_counter() - t0
+        return {
+            "kind": scenario.kind,
+            "scale": scenario.scale,
+            "collections": scenario.collections,
+            "workers": workers,
+            "backend": backend,
+            "seeds": list(REPLICATION_SEEDS),
+            "replication_s": round(replication_s, 4),
+            "replicates": summary.n,
+            "all_claims_hold": summary.all_claims_hold,
+        }
+
     specs = scale_topics(paper_topics(), scenario.scale)
+
+    if scenario.kind == "analysis":
+        note(f"building world (scale {scenario.scale}) ...")
+        world = build_world(specs, seed=seed)
+        config = dataclasses.replace(
+            paper_campaign_config(topics=specs),
+            n_scheduled=scenario.collections,
+            skipped_indices=frozenset(),
+        )
+        note(f"running campaign ({scenario.collections} collections, untimed) ...")
+        service = build_service(
+            world, seed=seed, specs=specs,
+            quota_policy=QuotaPolicy(researcher_program=True),
+        )
+        t0 = time.perf_counter()
+        campaign = run_campaign(config, YouTubeClient(service))
+        setup_s = time.perf_counter() - t0
+        campaign.__dict__.pop("_index", None)  # time a cold index build
+        path = "index" if use_index else "legacy"
+        note(f"timing analysis battery ({path} path) ...")
+        t0 = time.perf_counter()
+        stats = analysis_battery(campaign, use_index=use_index)
+        analysis_s = time.perf_counter() - t0
+        return {
+            "kind": scenario.kind,
+            "scale": scenario.scale,
+            "collections": scenario.collections,
+            "workers": workers,
+            "backend": backend,
+            "use_index": use_index,
+            "setup_s": round(setup_s, 4),
+            "analysis_s": round(analysis_s, 4),
+            **stats,
+        }
 
     note(f"building world (scale {scenario.scale}) ...")
     t0 = time.perf_counter()
@@ -183,6 +370,7 @@ def run_scenario(
     campaign_s = time.perf_counter() - t0
 
     return {
+        "kind": scenario.kind,
         "scale": scenario.scale,
         "collections": scenario.collections,
         "workers": workers,
@@ -196,7 +384,9 @@ def run_scenario(
 
 
 def run_benchmark(
-    names: tuple[str, ...] = ("reduced", "paper", "process"),
+    names: tuple[str, ...] = (
+        "reduced", "paper", "process", "analysis", "analysis-smoke", "replication",
+    ),
     seed: int = BENCH_SEED,
     workers: int | None = None,
     backend: str | None = None,
@@ -204,6 +394,8 @@ def run_benchmark(
 ) -> dict:
     """Run the named scenarios and attach baseline comparisons.
 
+    Speedups compare each scenario kind's primary metric
+    (:data:`PRIMARY_METRIC`) against its recorded baseline.
     ``workers``/``backend`` override every scenario's execution mode when
     given; the default ``None`` runs each scenario as defined (which is
     how the committed ``BENCH_campaign.json`` is produced).
@@ -219,14 +411,15 @@ def run_benchmark(
             SCENARIOS[name], seed=seed, workers=workers, backend=backend,
             progress=progress,
         )
+        metric = PRIMARY_METRIC[SCENARIOS[name].kind]
         baseline_name = BASELINE_SCENARIO.get(name, name)
         baseline = RECORDED_BASELINE["scenarios"].get(baseline_name)
         entry: dict = {"current": current}
-        if baseline is not None and current["campaign_s"]:
+        if baseline is not None and current.get(metric):
             entry["baseline"] = baseline
             if baseline_name != name:
                 entry["baseline_scenario"] = baseline_name
-            entry["speedup"] = round(baseline["campaign_s"] / current["campaign_s"], 2)
+            entry["speedup"] = round(baseline[metric] / current[metric], 2)
         scenarios[name] = entry
     return {
         "seed": seed,
@@ -256,18 +449,35 @@ def format_report(report: dict) -> str:
     lines = [f"campaign benchmark (seed {report['seed']})"]
     for name, entry in report["scenarios"].items():
         cur = entry["current"]
-        line = (
-            f"  {name:8s} {cur['backend']}/w{cur['workers']} | "
-            f"world {cur['world_build_s']:.3f}s | "
-            f"snapshot {cur['snapshot_s']:.3f}s | "
-            f"campaign {cur['campaign_s']:.3f}s "
-            f"({cur['queries']} queries, {cur['queries_per_s']} q/s)"
-        )
+        kind = cur.get("kind", "campaign")
+        if kind == "analysis":
+            line = (
+                f"  {name:14s} {'index' if cur['use_index'] else 'legacy'} | "
+                f"setup {cur['setup_s']:.3f}s | "
+                f"analysis {cur['analysis_s']:.3f}s "
+                f"({cur['records']} records, {cur['sequences']} sequences)"
+            )
+        elif kind == "replication":
+            line = (
+                f"  {name:14s} w{cur['workers']} | "
+                f"replication {cur['replication_s']:.3f}s "
+                f"({cur['replicates']} seeds, "
+                f"claims hold: {cur['all_claims_hold']})"
+            )
+        else:
+            line = (
+                f"  {name:14s} {cur['backend']}/w{cur['workers']} | "
+                f"world {cur['world_build_s']:.3f}s | "
+                f"snapshot {cur['snapshot_s']:.3f}s | "
+                f"campaign {cur['campaign_s']:.3f}s "
+                f"({cur['queries']} queries, {cur['queries_per_s']} q/s)"
+            )
         if "speedup" in entry:
             against = entry.get("baseline_scenario", "baseline")
+            metric = PRIMARY_METRIC[kind]
             line += (
                 f" | {entry['speedup']}x vs {against} "
-                f"{entry['baseline']['campaign_s']:.3f}s"
+                f"{entry['baseline'][metric]:.3f}s"
             )
         lines.append(line)
     return "\n".join(lines)

@@ -67,8 +67,21 @@ class ConsistencyPoint:
         return 2.0 * self.j_first / (1.0 + self.j_first)
 
 
-def consistency_series(campaign: CampaignResult, topic: str) -> list[ConsistencyPoint]:
-    """The full Figure 1 series for one topic."""
+def consistency_series(
+    campaign: CampaignResult, topic: str, use_index: bool = True
+) -> list[ConsistencyPoint]:
+    """The full Figure 1 series for one topic.
+
+    By default this runs on the campaign's shared columnar index
+    (:mod:`repro.core.index`) — one presence-matrix pass instead of
+    per-pair set algebra, cached across analyses.  ``use_index=False``
+    runs the original set-based scan below; the two are locked ``==``
+    by ``tests/test_index_equivalence.py``.
+    """
+    if use_index:
+        from repro.core.index import campaign_index
+
+        return campaign_index(campaign).consistency(topic)
     sets = campaign.sets_for_topic(topic)
     if len(sets) < 2:
         raise ValueError("consistency analysis needs at least two collections")
@@ -90,15 +103,20 @@ def consistency_series(campaign: CampaignResult, topic: str) -> list[Consistency
 
 
 def gap_aware_consistency_series(
-    campaign: CampaignResult, topic: str
+    campaign: CampaignResult, topic: str, use_index: bool = True
 ) -> list[ConsistencyPoint]:
     """The Figure 1 series computed with :func:`gap_aware_jaccard`.
 
     Identical to :func:`consistency_series` on a fully-complete campaign;
     on one with degraded snapshots, every pairwise comparison is restricted
     to the hour bins observed on both sides (the lost/gained counts are
-    restricted the same way).
+    restricted the same way).  ``use_index`` selects the columnar fast
+    path (default) or the reference set-based scan.
     """
+    if use_index:
+        from repro.core.index import campaign_index
+
+        return campaign_index(campaign).gap_aware_consistency(topic)
     topic_snaps = [snap.topic(topic) for snap in campaign.snapshots]
     if len(topic_snaps) < 2:
         raise ValueError("consistency analysis needs at least two collections")

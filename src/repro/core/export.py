@@ -2,7 +2,10 @@
 
 The offline environment has no plotting stack, so the figures ship as data:
 one tidy CSV per paper figure/table, in the exact series the paper plots.
-``export_all`` writes the full bundle from one campaign.
+``export_all`` writes the full bundle from one campaign, resolving the
+campaign's columnar index (:mod:`repro.core.index`) once and handing it to
+every index-backed exporter — the bundle used to rebuild the per-figure
+sets six times over.
 """
 
 from __future__ import annotations
@@ -15,6 +18,7 @@ from repro.core.consistency import consistency_series
 from repro.core.daily import daily_series
 from repro.core.datasets import CampaignResult
 from repro.core.hourly import hourly_stats
+from repro.core.index import CampaignIndex, campaign_index
 from repro.core.metadata_audit import metadata_series
 from repro.core.pools import pool_stats
 
@@ -32,11 +36,18 @@ def write_csv(path: str | Path, header: list[str], rows: list[list]) -> Path:
     return path
 
 
-def export_figure1(campaign: CampaignResult, directory: Path) -> Path:
+def export_figure1(
+    campaign: CampaignResult, directory: Path, index: CampaignIndex | None = None
+) -> Path:
     """Figure 1 series: one row per (topic, comparison index)."""
     rows = []
     for topic in campaign.topic_keys:
-        for p in consistency_series(campaign, topic):
+        series = (
+            index.consistency(topic)
+            if index is not None
+            else consistency_series(campaign, topic)
+        )
+        for p in series:
             rows.append(
                 [topic, p.index, p.j_previous, p.j_first,
                  p.lost_from_previous, p.gained_since_previous, p.set_size]
@@ -66,9 +77,12 @@ def export_figure2(campaign: CampaignResult, directory: Path) -> Path:
     )
 
 
-def export_figure3(campaign: CampaignResult, directory: Path) -> Path:
+def export_figure3(
+    campaign: CampaignResult, directory: Path, index: CampaignIndex | None = None
+) -> Path:
     """Figure 3: transition probabilities, one row per history."""
-    matrix = attrition_analysis(campaign).matrix()
+    result = index.attrition() if index is not None else attrition_analysis(campaign)
+    matrix = result.matrix()
     rows = [
         [history, probs["P"], probs["A"]]
         for history, probs in sorted(matrix.items())
@@ -95,7 +109,9 @@ def export_figure4(campaign: CampaignResult, directory: Path) -> Path:
     )
 
 
-def export_table_stats(campaign: CampaignResult, directory: Path) -> list[Path]:
+def export_table_stats(
+    campaign: CampaignResult, directory: Path, index: CampaignIndex | None = None
+) -> list[Path]:
     """Tables 1, 2, and 4 as CSVs."""
     t1_rows = []
     t2_rows = []
@@ -111,7 +127,11 @@ def export_table_stats(campaign: CampaignResult, directory: Path) -> list[Path]:
             [topic, h.mean, h.minimum, h.maximum, h.std, h.rho, h.rho_p_value,
              h.n_retained_hours]
         )
-        p = pool_stats(campaign, topic)
+        p = (
+            index.pool_stats(topic)
+            if index is not None
+            else pool_stats(campaign, topic)
+        )
         t4_rows.append([topic, p.minimum, p.maximum, p.mean, p.mode])
     return [
         write_csv(directory / "table1_returns.csv",
@@ -124,14 +144,25 @@ def export_table_stats(campaign: CampaignResult, directory: Path) -> list[Path]:
     ]
 
 
-def export_all(campaign: CampaignResult, directory: str | Path) -> list[Path]:
-    """Write the full CSV bundle; returns the created paths."""
+def export_all(
+    campaign: CampaignResult,
+    directory: str | Path,
+    index: CampaignIndex | None = None,
+) -> list[Path]:
+    """Write the full CSV bundle; returns the created paths.
+
+    ``index`` lets a caller that already holds the campaign's columnar
+    index (the CLI, replication) pass it through; otherwise the shared
+    cached one is resolved once here and reused by every exporter.
+    """
     directory = Path(directory)
+    if index is None:
+        index = campaign_index(campaign)
     paths = [
-        export_figure1(campaign, directory),
+        export_figure1(campaign, directory, index=index),
         export_figure2(campaign, directory),
-        export_figure3(campaign, directory),
+        export_figure3(campaign, directory, index=index),
         export_figure4(campaign, directory),
     ]
-    paths.extend(export_table_stats(campaign, directory))
+    paths.extend(export_table_stats(campaign, directory, index=index))
     return paths

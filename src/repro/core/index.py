@@ -1,0 +1,675 @@
+"""Columnar campaign index: the analysis layer's shared fast path.
+
+Every batch analysis — consistency (Figure 1), attrition (Figure 3),
+pools (Table 4), the return-likelihood tables (3/6/7), the report and
+export bundles — consumes a :class:`~repro.core.datasets.CampaignResult`.
+Before this module each of them independently rebuilt Python ``set``s via
+``sets_for_topic``, per-video ``"PAPA…"`` strings, and merged metadata
+dicts on every call; ``repro analyze --all`` plus an export recomputed
+the same sets half a dozen times.  At the paper's census scale (six
+topics x 16 collections x ~672 hour bins) that re-derivation from raw
+JSON dominates analysis wall time.
+
+:class:`CampaignIndex` decodes a campaign **once** into columnar form:
+
+* an interned video-ID table per topic (``str <-> int32`` rows, sorted —
+  the same order ``sorted(ever_returned)`` gives the legacy analyses);
+* a packed boolean presence matrix ``present[n_videos, n_collections]``;
+* a parallel ``hour_of[n_videos, n_collections]`` int32 matrix (the hour
+  bin each video was returned in; ``-1`` when absent) that, together with
+  the per-collection ``missing_hours`` tuples, lets gap-aware comparisons
+  mask degraded hour bins without re-touching the raw per-hour dicts;
+* columnar regression metadata (duration, definition, view/like/comment
+  counts, channel age/views/subs/uploads) decoded once from the merged
+  first-seen-wins captures;
+* the flat list of ``totalResults`` pool draws per topic.
+
+The hot analyses then run as vectorized kernels: pairwise and
+first-vs-t Jaccard, lost/gained set differences, and the full pairwise
+Jaccard matrix are boolean matrix ops; second-order Markov transition
+counts are a base-2 window encoding folded with ``np.bincount`` and fed
+to :func:`repro.stats.markov.chain_from_counts`; regression records and
+designs are assembled from the columnar arrays instead of per-video dict
+probing.
+
+**Equivalence is the contract.**  Every kernel returns values ``==`` to
+its reference implementation — the pre-index code paths, kept verbatim
+behind ``use_index=False`` in each analysis module — including error
+messages and the ``skip_degraded`` / ``missing_hours`` semantics
+(``tests/test_index_equivalence.py`` pins this with golden and seeded
+property tests, mirroring the collection layer's byte-identity
+discipline).
+
+Sharing: :func:`campaign_index` caches the index on the campaign object,
+keyed by a structural fingerprint (snapshot identities and per-topic
+shapes), so the report, export, replication, and CLI layers all reuse
+one build.  The fingerprint detects snapshots being added, replaced, or
+reshaped; it deliberately does not hash every ID (that would cost as
+much as the build), so in-place mutation of an existing hour's ID list
+is the caller's responsibility — analyses treat campaigns as immutable.
+
+Memory: per topic the index holds one bool and one int32 matrix of shape
+``(n_videos, n_collections)`` plus the interning dict — about 5 MB per
+100k videos at 16 collections — and the decoded metadata columns.  It
+never copies the raw per-hour dicts or comment captures.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.datasets import CampaignResult
+from repro.obs.observer import Observer
+from repro.stats.markov import chain_from_counts
+from repro.stats.transforms import log1p_standardize
+from repro.util.timeutil import parse_iso8601_duration, parse_rfc3339
+
+__all__ = ["CampaignIndex", "TopicIndex", "campaign_index"]
+
+#: ASCII codes for the presence alphabet (`attrition.PRESENT`/`ABSENT`).
+_ORD_P, _ORD_A = ord("P"), ord("A")
+
+
+def _fingerprint(campaign: CampaignResult) -> tuple:
+    """Structural fingerprint of a campaign (cheap: no content hashing).
+
+    Captures topic keys, snapshot identities, and per-topic shapes
+    (hour-bin count, missing hours, metadata sizes) — everything that
+    changes when snapshots are appended, replaced, or reshaped between
+    analyses.  Deliberately O(topics x collections) with no per-video
+    work: it runs on *every* index access, so it must stay microseconds
+    even at census scale.  Mutating an existing hour's ID list in place
+    is invisible to it (see the module docstring).
+    """
+    parts: list = [tuple(campaign.topic_keys), len(campaign.snapshots)]
+    for snap in campaign.snapshots:
+        for key, ts in snap.topics.items():
+            parts.append((
+                snap.index, key, id(ts), len(ts.hour_video_ids),
+                tuple(ts.missing_hours),
+                len(ts.video_meta), len(ts.channel_meta), len(ts.pool_sizes),
+            ))
+    return tuple(parts)
+
+
+@dataclass
+class _RegressionColumns:
+    """One topic's decoded regression dataset, in interned-row order."""
+
+    video_ids: list[str]
+    frequency: np.ndarray  # int64
+    duration: np.ndarray  # int64 seconds
+    definition: list[str]  # "hd" | "sd"
+    views: np.ndarray
+    likes: np.ndarray
+    comments: np.ndarray
+    channel_age_days: np.ndarray  # float64
+    channel_views: np.ndarray
+    channel_subs: np.ndarray
+    channel_videos: np.ndarray
+
+
+@dataclass
+class TopicIndex:
+    """One topic's columnar view (see the module docstring)."""
+
+    topic: str
+    #: interned row order: ``sorted(campaign.ever_returned(topic))``.
+    video_ids: tuple[str, ...]
+    row_of: dict[str, int]
+    #: presence matrix, shape (n_videos, n_collections).
+    present: np.ndarray
+    #: hour bin of each (video, collection) return; -1 when absent.  When
+    #: a video is returned in several bins of one collection (never in
+    #: the simulator, possible in hand-built data) the first-seen bin
+    #: lands here and the rest in :attr:`extra_hours`.
+    hour_of: np.ndarray
+    #: collection -> {row -> additional hour bins} overflow (rare).
+    extra_hours: dict[int, dict[int, tuple[int, ...]]]
+    #: per-collection missing hour bins (degraded snapshots).
+    missing_hours: tuple[tuple[int, ...], ...]
+    #: every totalResults draw, in snapshot-then-hour order.
+    pool_draws: list[int]
+    #: lazily decoded regression columns (None until first use).
+    regression: _RegressionColumns | None = field(default=None, repr=False)
+
+    @property
+    def n_videos(self) -> int:
+        """Size of the topic's ever-returned universe."""
+        return len(self.video_ids)
+
+    @property
+    def set_sizes(self) -> np.ndarray:
+        """Distinct videos returned per collection (presence column sums)."""
+        return self.present.sum(axis=0)
+
+    def degraded_indices(self) -> list[int]:
+        """Collections with missing hour bins, in order."""
+        return [t for t, miss in enumerate(self.missing_hours) if miss]
+
+    def observed(self, t: int, excluded: set[int]) -> np.ndarray:
+        """Presence at collection ``t`` restricted to observed hour bins.
+
+        Equivalent to membership in
+        :meth:`~repro.core.datasets.TopicSnapshot.video_ids_excluding`:
+        a video stays present iff at least one of its return bins at
+        ``t`` is outside ``excluded``.
+        """
+        column = self.present[:, t]
+        if not excluded:
+            return column
+        masked = np.isin(self.hour_of[:, t], np.fromiter(excluded, dtype=np.int32))
+        column = column & ~masked
+        for row, hours in self.extra_hours.get(t, {}).items():
+            if any(h not in excluded for h in hours):
+                column[row] = True
+        return column
+
+
+def _jaccard_counts(intersection: int, union: int) -> float:
+    """``consistency.jaccard`` on set cardinalities (empty/empty -> 1.0)."""
+    return 1.0 if union == 0 else float(intersection) / float(union)
+
+
+class CampaignIndex:
+    """Columnar view of one campaign plus memoized vectorized analyses.
+
+    Build through :func:`campaign_index` (shared and cached) or
+    :meth:`build` (explicit).  All reader methods return values ``==``
+    to the legacy analyses in :mod:`repro.core.consistency`,
+    :mod:`repro.core.attrition`, :mod:`repro.core.pools`, and
+    :mod:`repro.core.returnmodel`.
+    """
+
+    def __init__(
+        self,
+        campaign: CampaignResult,
+        topics: dict[str, TopicIndex],
+        fingerprint: tuple,
+        build_wall_s: float,
+    ) -> None:
+        self._campaign = campaign
+        self._topics = topics
+        self.fingerprint = fingerprint
+        self.build_wall_s = build_wall_s
+        # Memoized analysis products (the report/export/replication
+        # layers ask the same questions repeatedly).
+        self._consistency: dict[str, list] = {}
+        self._gap_consistency: dict[str, list] = {}
+        self._attrition: dict[tuple, object] = {}
+        self._sequences: dict[tuple, list[str]] = {}
+        self._pool_stats: dict[str, object] = {}
+        self._records: list | None = None
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        campaign: CampaignResult,
+        fingerprint: tuple | None = None,
+        observer: Observer | None = None,
+    ) -> "CampaignIndex":
+        """Decode a campaign into columnar form (one pass over the data)."""
+        t0 = time.perf_counter()
+        n = campaign.n_collections
+        topics: dict[str, TopicIndex] = {}
+        for key in campaign.topic_keys:
+            universe: set[str] = set()
+            for snap in campaign.snapshots:
+                for ids in snap.topics[key].hour_video_ids.values():
+                    universe.update(ids)
+            video_ids = tuple(sorted(universe))
+            row_of = {vid: row for row, vid in enumerate(video_ids)}
+            present = np.zeros((len(video_ids), n), dtype=bool)
+            hour_of = np.full((len(video_ids), n), -1, dtype=np.int32)
+            extra: dict[int, dict[int, tuple[int, ...]]] = {}
+            missing: list[tuple[int, ...]] = []
+            pool_draws: list[int] = []
+            for t, snap in enumerate(campaign.snapshots):
+                ts = snap.topics[key]
+                missing.append(tuple(ts.missing_hours))
+                pool_draws.extend(ts.pool_sizes.values())
+                # One interning pass per collection (not per hour bin):
+                # flatten the hour lists, then intern in a single fromiter.
+                flat_ids: list[str] = []
+                flat_hours: list[int] = []
+                for hour, ids in ts.hour_video_ids.items():
+                    if ids:
+                        flat_ids.extend(ids)
+                        flat_hours.extend([hour] * len(ids))
+                if not flat_ids:
+                    continue
+                rows = np.fromiter(
+                    map(row_of.__getitem__, flat_ids), dtype=np.intp,
+                    count=len(flat_ids),
+                )
+                # First occurrence (hour-bin insertion order) wins, exactly
+                # like the per-hour scan it replaces.
+                uniq, first_pos = np.unique(rows, return_index=True)
+                present[uniq, t] = True
+                hours_arr = np.asarray(flat_hours, dtype=np.int32)
+                hour_of[uniq, t] = hours_arr[first_pos]
+                if uniq.size != rows.size:  # same video in a second bin (rare)
+                    dup = np.ones(rows.size, dtype=bool)
+                    dup[first_pos] = False
+                    per_t = extra.setdefault(t, {})
+                    for pos in np.nonzero(dup)[0]:
+                        row, hour = int(rows[pos]), int(flat_hours[pos])
+                        if hour_of[row, t] != hour:
+                            per_t[row] = per_t.get(row, ()) + (hour,)
+            topics[key] = TopicIndex(
+                topic=key,
+                video_ids=video_ids,
+                row_of=row_of,
+                present=present,
+                hour_of=hour_of,
+                extra_hours=extra,
+                missing_hours=tuple(missing),
+                pool_draws=pool_draws,
+            )
+        wall_s = time.perf_counter() - t0
+        index = cls(campaign, topics, fingerprint or _fingerprint(campaign), wall_s)
+        if observer is not None:
+            observer.on_index_build(
+                topics=len(topics),
+                videos=sum(ti.n_videos for ti in topics.values()),
+                collections=n,
+                wall_s=wall_s,
+            )
+        return index
+
+    @property
+    def n_collections(self) -> int:
+        """Number of snapshots indexed."""
+        return self._campaign.n_collections
+
+    @property
+    def topic_keys(self) -> tuple[str, ...]:
+        """The campaign's topic keys, in analysis order."""
+        return tuple(self._campaign.topic_keys)
+
+    def topic(self, key: str) -> TopicIndex:
+        """One topic's columnar view (``KeyError`` on unknown topics)."""
+        try:
+            return self._topics[key]
+        except KeyError:
+            raise KeyError(key) from None
+
+    # -- RQ1: consistency (Figure 1) -------------------------------------------
+
+    def consistency(self, topic: str) -> list:
+        """Vectorized :func:`repro.core.consistency.consistency_series`."""
+        cached = self._consistency.get(topic)
+        if cached is None:
+            cached = self._consistency_points(topic, gap_aware=False)
+            self._consistency[topic] = cached
+        return list(cached)
+
+    def gap_aware_consistency(self, topic: str) -> list:
+        """Vectorized :func:`~repro.core.consistency.gap_aware_consistency_series`."""
+        cached = self._gap_consistency.get(topic)
+        if cached is None:
+            cached = self._consistency_points(topic, gap_aware=True)
+            self._gap_consistency[topic] = cached
+        return list(cached)
+
+    def _consistency_points(self, topic: str, gap_aware: bool) -> list:
+        from repro.core.consistency import ConsistencyPoint
+
+        ti = self.topic(topic)
+        if self.n_collections < 2:
+            raise ValueError("consistency analysis needs at least two collections")
+        present = ti.present
+        sizes = ti.set_sizes
+        degraded = any(ti.missing_hours) if gap_aware else False
+        points: list[ConsistencyPoint] = []
+        if not degraded:
+            # Complete campaign (or plain series): pure matrix ops.
+            current, previous = present[:, 1:], present[:, :-1]
+            inter_prev = np.count_nonzero(current & previous, axis=0)
+            inter_first = np.count_nonzero(current & present[:, :1], axis=0)
+            for t in range(1, self.n_collections):
+                i_prev = int(inter_prev[t - 1])
+                i_first = int(inter_first[t - 1])
+                size_t, size_p = int(sizes[t]), int(sizes[t - 1])
+                points.append(ConsistencyPoint(
+                    index=t,
+                    j_previous=_jaccard_counts(i_prev, size_t + size_p - i_prev),
+                    j_first=_jaccard_counts(
+                        i_first, size_t + int(sizes[0]) - i_first
+                    ),
+                    lost_from_previous=size_p - i_prev,
+                    gained_since_previous=size_t - i_prev,
+                    set_size=size_t,
+                ))
+            return points
+        # Degraded campaign: restrict each pairwise comparison to the
+        # hour bins observed on both sides (the lost/gained counts too).
+        for t in range(1, self.n_collections):
+            excluded_prev = set(ti.missing_hours[t]) | set(ti.missing_hours[t - 1])
+            cur = ti.observed(t, excluded_prev)
+            prev = ti.observed(t - 1, excluded_prev)
+            i_prev = int(np.count_nonzero(cur & prev))
+            n_cur, n_prev = int(cur.sum()), int(prev.sum())
+            points.append(ConsistencyPoint(
+                index=t,
+                j_previous=_jaccard_counts(i_prev, n_cur + n_prev - i_prev),
+                j_first=self.gap_jaccard(topic, t, 0),
+                lost_from_previous=n_prev - i_prev,
+                gained_since_previous=n_cur - i_prev,
+                set_size=int(sizes[t]),
+            ))
+        return points
+
+    def gap_jaccard(self, topic: str, a: int, b: int) -> float:
+        """:func:`~repro.core.consistency.gap_aware_jaccard` between two
+        collections of one topic, on the columnar path."""
+        ti = self.topic(topic)
+        excluded = set(ti.missing_hours[a]) | set(ti.missing_hours[b])
+        va, vb = ti.observed(a, excluded), ti.observed(b, excluded)
+        inter = int(np.count_nonzero(va & vb))
+        return _jaccard_counts(inter, int(va.sum()) + int(vb.sum()) - inter)
+
+    def jaccard_matrix(self, topic: str) -> list[list[float]]:
+        """Full pairwise Jaccard matrix over a topic's collections.
+
+        Equal to :meth:`repro.core.streaming.CampaignStream.jaccard_matrix`
+        on the same snapshots: symmetric, diagonal 1.0.
+        """
+        ti = self.topic(topic)
+        counts = ti.present.astype(np.int64)
+        inter = counts.T @ counts
+        sizes = np.diagonal(inter)
+        union = sizes[:, None] + sizes[None, :] - inter
+        matrix = np.ones_like(inter, dtype=float)
+        np.divide(inter, union, out=matrix, where=union > 0)
+        np.fill_diagonal(matrix, 1.0)
+        return matrix.tolist()
+
+    # -- RQ2: attrition (Figure 3) ---------------------------------------------
+
+    def _topic_submatrix(self, topic: str, skip_degraded: bool) -> np.ndarray:
+        """Presence rows over retained collections, universe-filtered.
+
+        With ``skip_degraded`` the degraded collections are dropped and
+        the universe re-restricted to videos returned in the remaining
+        ones — exactly the sequences the legacy scan would build.
+        """
+        ti = self.topic(topic)
+        sub = ti.present
+        if skip_degraded:
+            retained = [
+                t for t, miss in enumerate(ti.missing_hours) if not miss
+            ]
+            sub = sub[:, retained]
+            sub = sub[sub.any(axis=1)]
+        return sub
+
+    def presence_sequences(
+        self, topics: list[str] | None = None, skip_degraded: bool = False
+    ) -> list[str]:
+        """Vectorized :func:`repro.core.attrition.presence_sequences`."""
+        keys = tuple(topics) if topics is not None else self.topic_keys
+        cache_key = (keys, skip_degraded)
+        cached = self._sequences.get(cache_key)
+        if cached is None:
+            cached = []
+            for key in keys:
+                sub = self._topic_submatrix(key, skip_degraded)
+                symbols = np.where(sub, _ORD_P, _ORD_A).astype(np.uint8)
+                cached.extend(
+                    bytes(row).decode("ascii") for row in symbols
+                )
+            self._sequences[cache_key] = cached
+        return list(cached)
+
+    def attrition(
+        self, topics: list[str] | None = None, skip_degraded: bool = False
+    ):
+        """Vectorized :func:`repro.core.attrition.attrition_analysis`.
+
+        Second-order transition counts via base-2 window encoding: each
+        sliding window ``(s0, s1, s2)`` of a presence row becomes the
+        code ``4*s0 + 2*s1 + s2`` and one ``np.bincount`` per topic
+        accumulates all eight (history, next) cells at once.
+        """
+        from repro.core.attrition import ABSENT, PRESENT, AttritionResult
+
+        keys = tuple(topics) if topics is not None else self.topic_keys
+        cache_key = (keys, skip_degraded)
+        cached = self._attrition.get(cache_key)
+        if cached is not None:
+            return cached
+        counts_vector = np.zeros(8, dtype=np.int64)
+        states: set[str] = set()
+        n_sequences = 0
+        for key in keys:
+            sub = self._topic_submatrix(key, skip_degraded)
+            if sub.shape[0] == 0 or sub.shape[1] == 0:
+                continue
+            n_sequences += sub.shape[0]
+            states.add(PRESENT)  # every universe row has >= 1 presence
+            if not sub.all():
+                states.add(ABSENT)
+            if sub.shape[1] >= 3:
+                s = sub.astype(np.uint8)
+                codes = (s[:, :-2] << 2) | (s[:, 1:-1] << 1) | s[:, 2:]
+                counts_vector += np.bincount(codes.ravel(), minlength=8)
+        if n_sequences == 0:
+            raise ValueError("no videos were ever returned; nothing to analyze")
+        symbol = {1: PRESENT, 0: ABSENT}
+        counts: dict[tuple[str, ...], dict[str, int]] = {}
+        for code in range(8):
+            count = int(counts_vector[code])
+            if count == 0:
+                continue
+            history = (symbol[(code >> 2) & 1], symbol[(code >> 1) & 1])
+            counts.setdefault(history, {})[symbol[code & 1]] = count
+        result = AttritionResult(
+            chain=chain_from_counts(counts, states, order=2),
+            n_sequences=n_sequences,
+        )
+        self._attrition[cache_key] = result
+        return result
+
+    # -- Section 5: pools and the return model ---------------------------------
+
+    def pool_stats(self, topic: str):
+        """Cached :func:`repro.core.pools.pool_stats` over the stored draws."""
+        from repro.core.pools import PoolStats
+        from repro.stats.descriptive import describe
+
+        cached = self._pool_stats.get(topic)
+        if cached is None:
+            draws = self.topic(topic).pool_draws
+            if not draws:
+                raise ValueError(f"no pool draws recorded for topic {topic!r}")
+            desc = describe(draws)
+            cached = PoolStats(
+                topic=topic,
+                minimum=int(desc.minimum),
+                maximum=int(desc.maximum),
+                mean=desc.mean,
+                mode=int(desc.mode),
+                n_draws=desc.n,
+            )
+            self._pool_stats[topic] = cached
+        return cached
+
+    def _regression_columns(self, topic: str) -> _RegressionColumns:
+        """Decode one topic's regression dataset (memoized on the topic).
+
+        Merges metadata first-seen-wins across snapshots, drops videos
+        without video or channel metadata (the paper's treatment), and
+        parses durations / channel ages once per unique value.
+        """
+        ti = self.topic(topic)
+        if ti.regression is not None:
+            return ti.regression
+        merged_video: dict[str, dict] = {}
+        merged_channel: dict[str, dict] = {}
+        for snap in self._campaign.snapshots:
+            ts = snap.topics[topic]
+            for vid, resource in ts.video_meta.items():
+                merged_video.setdefault(vid, resource)
+            for cid, resource in ts.channel_meta.items():
+                merged_channel.setdefault(cid, resource)
+        collected_at = (
+            self._campaign.snapshots[0].collected_at
+            if self._campaign.snapshots
+            else None
+        )
+        frequencies = ti.present.sum(axis=1)
+        age_of: dict[str, float] = {}
+        video_ids: list[str] = []
+        frequency: list[int] = []
+        duration: list[int] = []
+        definition: list[str] = []
+        views: list[int] = []
+        likes: list[int] = []
+        comments: list[int] = []
+        channel_age: list[float] = []
+        channel_views: list[int] = []
+        channel_subs: list[int] = []
+        channel_videos: list[int] = []
+        for row, video_id in enumerate(ti.video_ids):
+            meta = merged_video.get(video_id)
+            if meta is None:
+                continue
+            channel_id = meta["snippet"]["channelId"]
+            channel = merged_channel.get(channel_id)
+            if channel is None:
+                continue
+            stats = meta.get("statistics", {})
+            details = meta.get("contentDetails", {})
+            age = age_of.get(channel_id)
+            if age is None:
+                created = parse_rfc3339(channel["snippet"]["publishedAt"])
+                age = (collected_at - created).days
+                age_of[channel_id] = age
+            video_ids.append(video_id)
+            frequency.append(int(frequencies[row]))
+            duration.append(parse_iso8601_duration(details.get("duration", "PT1S")))
+            definition.append(details.get("definition", "hd"))
+            views.append(int(stats.get("viewCount", 0)))
+            likes.append(int(stats.get("likeCount", 0)))
+            comments.append(int(stats.get("commentCount", 0)))
+            channel_age.append(age)
+            channel_views.append(int(channel["statistics"]["viewCount"]))
+            channel_subs.append(int(channel["statistics"]["subscriberCount"]))
+            channel_videos.append(int(channel["statistics"]["videoCount"]))
+        ti.regression = _RegressionColumns(
+            video_ids=video_ids,
+            frequency=np.array(frequency, dtype=np.int64),
+            duration=np.array(duration, dtype=np.int64),
+            definition=definition,
+            views=np.array(views, dtype=np.int64),
+            likes=np.array(likes, dtype=np.int64),
+            comments=np.array(comments, dtype=np.int64),
+            channel_age_days=np.array(channel_age, dtype=np.float64),
+            channel_views=np.array(channel_views, dtype=np.int64),
+            channel_subs=np.array(channel_subs, dtype=np.int64),
+            channel_videos=np.array(channel_videos, dtype=np.int64),
+        )
+        return ti.regression
+
+    def regression_records(self) -> list:
+        """Vectorized :func:`repro.core.returnmodel.build_regression_records`."""
+        from repro.core.returnmodel import RegressionRecord
+
+        if self._records is not None:
+            return list(self._records)
+        records: list[RegressionRecord] = []
+        for topic in self.topic_keys:
+            cols = self._regression_columns(topic)
+            for i, video_id in enumerate(cols.video_ids):
+                records.append(RegressionRecord(
+                    video_id=video_id,
+                    topic=topic,
+                    frequency=int(cols.frequency[i]),
+                    duration_seconds=int(cols.duration[i]),
+                    definition=cols.definition[i],
+                    views=int(cols.views[i]),
+                    likes=int(cols.likes[i]),
+                    comments=int(cols.comments[i]),
+                    channel_age_days=float(cols.channel_age_days[i]),
+                    channel_views=int(cols.channel_views[i]),
+                    channel_subs=int(cols.channel_subs[i]),
+                    channel_videos=int(cols.channel_videos[i]),
+                ))
+        if not records:
+            raise ValueError("no regression records (no metadata captured?)")
+        self._records = records
+        return list(records)
+
+    def regression_design(
+        self, reference_topic: str = "blm", drop: tuple[str, ...] = ()
+    ):
+        """The Section 5 design matrix straight from the columnar arrays.
+
+        Equal (``np.array_equal`` and same names) to
+        :func:`repro.core.returnmodel.build_regression_design` over
+        :meth:`regression_records` — the transforms are the same IEEE-754
+        operations whether fed Python lists or the stored arrays.
+        """
+        from repro.stats.design import build_design
+
+        self.regression_records()  # materialize columns + error parity
+        per_topic = [self._regression_columns(t) for t in self.topic_keys]
+        per_topic = [c for c in per_topic if c.video_ids]
+
+        def stacked(attribute: str) -> np.ndarray:
+            return np.concatenate([getattr(c, attribute) for c in per_topic])
+
+        definition: list[str] = []
+        topic_labels: list[str] = []
+        for cols, key in zip(
+            per_topic,
+            [t for t in self.topic_keys if self._regression_columns(t).video_ids],
+        ):
+            definition.extend(cols.definition)
+            topic_labels.extend([key] * len(cols.video_ids))
+        design = build_design(
+            continuous={
+                "duration": log1p_standardize(stacked("duration")),
+                "views": log1p_standardize(stacked("views")),
+                "likes": log1p_standardize(stacked("likes")),
+                "comments": log1p_standardize(stacked("comments")),
+                "channel age": log1p_standardize(
+                    np.maximum(stacked("channel_age_days"), 0)
+                ),
+                "channel views": log1p_standardize(stacked("channel_views")),
+                "channel subs": log1p_standardize(stacked("channel_subs")),
+                "# channel videos": log1p_standardize(stacked("channel_videos")),
+            },
+            categorical={
+                "quality": (definition, "hd"),
+                "topic": (topic_labels, reference_topic),
+            },
+        )
+        if drop:
+            design = design.drop(*drop)
+        return design
+
+
+def campaign_index(
+    campaign: CampaignResult, observer: Observer | None = None
+) -> CampaignIndex:
+    """The campaign's shared index — built on first use, then cached.
+
+    The cache lives on the campaign object and is invalidated when the
+    structural fingerprint changes (snapshots added, replaced, or
+    reshaped), so the report, export, replication, and CLI layers all
+    amortize one build.
+    """
+    fingerprint = _fingerprint(campaign)
+    cached: CampaignIndex | None = campaign.__dict__.get("_index")
+    if cached is not None and cached.fingerprint == fingerprint:
+        return cached
+    index = CampaignIndex.build(campaign, fingerprint, observer=observer)
+    campaign.__dict__["_index"] = index
+    return index

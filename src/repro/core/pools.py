@@ -35,8 +35,19 @@ class PoolStats:
         return self.mode >= TOTAL_RESULTS_CAP
 
 
-def pool_stats(campaign: CampaignResult, topic: str) -> PoolStats:
-    """Aggregate totalResults draws for one topic across the campaign."""
+def pool_stats(
+    campaign: CampaignResult, topic: str, use_index: bool = True
+) -> PoolStats:
+    """Aggregate totalResults draws for one topic across the campaign.
+
+    ``use_index`` (default) reads the draws collected once by the shared
+    columnar index (:mod:`repro.core.index`) and memoizes the row;
+    ``use_index=False`` rescans the snapshots (the equivalence oracle).
+    """
+    if use_index:
+        from repro.core.index import campaign_index
+
+        return campaign_index(campaign).pool_stats(topic)
     draws: list[int] = []
     for snap in campaign.snapshots:
         draws.extend(snap.topic(topic).pool_sizes.values())

@@ -116,51 +116,90 @@ class ReplicationSummary:
         return all(v == 1.0 for v in self.sign_stability().values())
 
 
+def _replicate_seed(
+    seed: int, specs: tuple[TopicSpec, ...], n_collections: int
+) -> ReplicateOutcome:
+    """One replicate: build a world, run the campaign, extract the metrics.
+
+    Module-level (picklable) so :func:`run_replication` can dispatch it to
+    worker processes.  Each call builds its own world, service, quota
+    ledger, and RNG streams from ``seed`` alone — replicates share no
+    mutable state, which is what makes the parallel fan-out trivially
+    equal to the serial loop.  The analyses all run off the campaign's
+    shared columnar index (one build per replicate).
+    """
+    world = build_world(specs, seed=seed, with_comments=False)
+    service = build_service(
+        world, seed=seed, specs=specs,
+        quota_policy=QuotaPolicy(researcher_program=True),
+    )
+    config = dataclasses.replace(
+        paper_campaign_config(topics=specs, with_comments=False),
+        n_scheduled=n_collections,
+        skipped_indices=frozenset(),
+        comment_snapshot_indices=(),
+    )
+    campaign = run_campaign(config, YouTubeClient(service))
+
+    j_final = {
+        topic: consistency_series(campaign, topic)[-1].j_first
+        for topic in campaign.topic_keys
+    }
+    markov = attrition_analysis(campaign).matrix()
+    ols = fit_frequency_ols(build_regression_records(campaign))
+    coupling = pool_consistency_coupling(campaign)
+    rho = spearman([p for _, p, _ in coupling], [j for _, _, j in coupling])
+
+    return ReplicateOutcome(
+        seed=seed,
+        j_first_last=j_final,
+        markov_pp=markov["PP"]["P"],
+        markov_aa=markov["AA"]["A"],
+        duration_beta=ols.coefficient("duration"),
+        likes_beta=ols.coefficient("likes"),
+        higgs_beta=ols.coefficient("higgs (topic)"),
+        higgs_most_consistent=j_final["higgs"] == max(j_final.values()),
+        pool_consistency_rho=rho.statistic,
+    )
+
+
 def run_replication(
     seeds: list[int],
     scale: float = 0.3,
     n_collections: int = 8,
     topics: tuple[TopicSpec, ...] | None = None,
+    workers: int = 1,
 ) -> ReplicationSummary:
-    """Run one scaled campaign per seed and summarize."""
+    """Run one scaled campaign per seed and summarize.
+
+    ``workers > 1`` fans the seeds out over a process pool (the same
+    fork-preferred machinery as ``backend="process"`` collection —
+    replicates are CPU-bound pure Python, so threads cannot help).  Every
+    replicate is a pure function of its seed with its own world, service,
+    ledgers, and RNG streams, and outcomes are collected in seed order,
+    so the summary is identical for any worker count.
+    """
     if not seeds:
         raise ValueError("at least one seed required")
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
     specs = scale_topics(topics or paper_topics(), scale)
     summary = ReplicationSummary()
-    for seed in seeds:
-        world = build_world(specs, seed=seed, with_comments=False)
-        service = build_service(
-            world, seed=seed, specs=specs,
-            quota_policy=QuotaPolicy(researcher_program=True),
-        )
-        config = dataclasses.replace(
-            paper_campaign_config(topics=specs, with_comments=False),
-            n_scheduled=n_collections,
-            skipped_indices=frozenset(),
-            comment_snapshot_indices=(),
-        )
-        campaign = run_campaign(config, YouTubeClient(service))
+    if workers == 1 or len(seeds) == 1:
+        for seed in seeds:
+            summary.outcomes.append(_replicate_seed(seed, specs, n_collections))
+        return summary
+    import multiprocessing
+    from concurrent.futures import ProcessPoolExecutor
 
-        j_final = {
-            topic: consistency_series(campaign, topic)[-1].j_first
-            for topic in campaign.topic_keys
-        }
-        markov = attrition_analysis(campaign).matrix()
-        ols = fit_frequency_ols(build_regression_records(campaign))
-        coupling = pool_consistency_coupling(campaign)
-        rho = spearman([p for _, p, _ in coupling], [j for _, _, j in coupling])
-
-        summary.outcomes.append(
-            ReplicateOutcome(
-                seed=seed,
-                j_first_last=j_final,
-                markov_pp=markov["PP"]["P"],
-                markov_aa=markov["AA"]["A"],
-                duration_beta=ols.coefficient("duration"),
-                likes_beta=ols.coefficient("likes"),
-                higgs_beta=ols.coefficient("higgs (topic)"),
-                higgs_most_consistent=j_final["higgs"] == max(j_final.values()),
-                pool_consistency_rho=rho.statistic,
-            )
-        )
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(seeds)), mp_context=ctx
+    ) as pool:
+        futures = [
+            pool.submit(_replicate_seed, seed, specs, n_collections)
+            for seed in seeds
+        ]
+        summary.outcomes.extend(future.result() for future in futures)
     return summary

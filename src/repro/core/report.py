@@ -4,6 +4,13 @@ Each ``render_*`` function takes a campaign (plus whatever analysis inputs
 it needs) and returns the table/series as text in the same row/column
 layout as the paper, so benchmark output can be compared against the
 original side by side.
+
+The index-backed analyses (``consistency_series``, ``attrition_analysis``,
+``pool_stats``) resolve the campaign's shared columnar index
+(:mod:`repro.core.index`) and memoize their results on it, so rendering
+the full report — which used to recompute the same series for Figure 1,
+Figure 3, Table 4, and the pool/consistency coupling independently —
+now pays for each analysis once per campaign.
 """
 
 from __future__ import annotations

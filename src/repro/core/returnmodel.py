@@ -58,14 +58,26 @@ class RegressionRecord:
 
 
 def build_regression_records(
-    campaign: CampaignResult, reference_topic: str = "blm"
+    campaign: CampaignResult,
+    reference_topic: str = "blm",
+    use_index: bool = True,
 ) -> list[RegressionRecord]:
     """Assemble the per-video dataset from a campaign's metadata captures.
 
     Videos whose metadata never arrived (deleted before any Videos:list
     call succeeded, or gapped in every collection) are dropped, as they are
     in the paper's pipeline.
+
+    ``use_index`` (default) reads the campaign's shared columnar index:
+    frequencies come from presence-column sums and the metadata columns
+    are decoded once and memoized, so the report/export/replication
+    layers stop re-merging the capture dicts per call.  ``use_index=False``
+    runs the original per-video probing below (the equivalence oracle).
     """
+    if use_index:
+        from repro.core.index import campaign_index
+
+        return campaign_index(campaign).regression_records()
     records: list[RegressionRecord] = []
     for topic in campaign.topic_keys:
         video_meta = campaign.merged_video_meta(topic)

@@ -115,6 +115,13 @@ class Observer:
     ) -> None:
         """A shard's results were merged back (its span, seen from the parent)."""
 
+    # -- analysis layer --------------------------------------------------------
+
+    def on_index_build(
+        self, topics: int, videos: int, collections: int, wall_s: float
+    ) -> None:
+        """A campaign's columnar index was (re)built (cache miss)."""
+
 
 #: The default observer: explicitly named so call sites read as intended.
 NullObserver = Observer
@@ -279,6 +286,18 @@ class CampaignObserver(Observer):
         self.tracer.emit(
             "shard.merge", shard=shard, index=index, queries=queries,
             units=units, wall_s=round(wall_s, 6),
+        )
+
+    # -- analysis layer --------------------------------------------------------
+
+    def on_index_build(
+        self, topics: int, videos: int, collections: int, wall_s: float
+    ) -> None:
+        self.metrics.inc("index.builds")
+        self.metrics.observe("index.build_wall_s", wall_s)
+        self.tracer.emit(
+            "index.build", topics=topics, videos=videos,
+            collections=collections, wall_s=round(wall_s, 6),
         )
 
     # -- reading back ----------------------------------------------------------

@@ -45,6 +45,7 @@ EVENT_TYPES = (
     "campaign.checkpoint",
     "shard.dispatch",
     "shard.merge",
+    "index.build",
 )
 
 

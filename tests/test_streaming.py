@@ -173,6 +173,61 @@ class TestDegradedCampaignEquivalence:
         assert str(stream_err.value) == str(batch_err.value)
 
 
+class TestStreamVsIndexEquivalence:
+    """The streaming accumulators must also match the columnar index fast
+    path (``repro.core.index``) — closing the triangle: the batch oracle,
+    the incremental accumulators, and the vectorized kernels all agree."""
+
+    @pytest.fixture(scope="class", params=["mini", "degraded"])
+    def pair(self, request, mini_campaign):
+        campaign = (
+            mini_campaign if request.param == "mini" else _synthetic_campaign()
+        )
+        return campaign, _stream_of(campaign)
+
+    @pytest.fixture(scope="class")
+    def index(self, pair):
+        from repro.core.index import campaign_index
+
+        return campaign_index(pair[0])
+
+    def test_consistency(self, pair, index):
+        campaign, stream = pair
+        for topic in campaign.topic_keys:
+            assert stream.consistency(topic) == index.consistency(topic)
+            assert stream.gap_aware_consistency(topic) == (
+                index.gap_aware_consistency(topic)
+            )
+
+    def test_jaccard_matrix(self, pair, index):
+        campaign, stream = pair
+        for topic in campaign.topic_keys:
+            assert stream.jaccard_matrix(topic) == index.jaccard_matrix(topic)
+
+    def test_attrition(self, pair, index):
+        _, stream = pair
+        for skip in (False, True):
+            streamed = stream.attrition(skip_degraded=skip)
+            fast = index.attrition(skip_degraded=skip)
+            assert streamed.chain == fast.chain
+            assert streamed.n_sequences == fast.n_sequences
+
+    def test_regression_records(self, pair, index):
+        campaign, stream = pair
+        if not any(
+            snap.topics[t].video_meta
+            for snap in campaign.snapshots
+            for t in campaign.topic_keys
+        ):
+            with pytest.raises(ValueError) as stream_err:
+                stream.regression_records()
+            with pytest.raises(ValueError) as index_err:
+                index.regression_records()
+            assert str(index_err.value) == str(stream_err.value)
+        else:
+            assert stream.regression_records() == index.regression_records()
+
+
 class TestStreamContract:
     def test_snapshots_must_arrive_in_order(self):
         campaign = _synthetic_campaign()

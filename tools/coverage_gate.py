@@ -14,8 +14,10 @@ installing dependencies is out of scope for this repository's tooling.
 ``--fast`` exists so the gate can ride inside ``make verify`` without
 doubling its wall time: it drops the handful of multi-second end-to-end
 modules (golden campaign, perf fast path, process backend, integration,
-chaos) whose *coverage* is almost entirely redundant with the unit tests,
-and compensates with a slightly lower floor.
+chaos, and the index-equivalence sweeps that compare the columnar
+analysis fast path against the legacy oracle on full simulated
+campaigns) whose *coverage* is almost entirely redundant with the unit
+tests, and compensates with a slightly lower floor.
 """
 
 from __future__ import annotations
@@ -41,6 +43,7 @@ FAST_SKIPS = (
     "tests/test_process_backend.py",
     "tests/test_integration.py",
     "tests/test_resilience_chaos.py",
+    "tests/test_index_equivalence.py",
 )
 
 
