@@ -9,6 +9,10 @@
 #   make bench-smoke  reduced-scale benchmark to a temp file (verify gate)
 #   make bench-analysis  reduced-scale analysis fast-path benchmark to a
 #                     temp file (verify gate; see docs/PERFORMANCE.md)
+#   make bench-service  service latency/throughput benchmark to a temp
+#                     file (see docs/SERVICE.md and docs/PERFORMANCE.md)
+#   make serve-smoke  serve + loadgen burst: byte-identity vs the
+#                     in-process reference and exact ledger reconciliation
 #   make coverage     full suite under pytest-cov, >= 80% line coverage
 #                     (skips gracefully when pytest-cov is not installed)
 #   make coverage-fast  same gate minus the slowest end-to-end modules
@@ -16,9 +20,9 @@
 PYTHON ?= python
 
 .PHONY: verify test doclinks chaos bench bench-smoke bench-analysis \
-	coverage coverage-fast
+	bench-service serve-smoke coverage coverage-fast
 
-verify: test doclinks chaos bench-smoke bench-analysis coverage-fast
+verify: test doclinks chaos bench-smoke bench-analysis serve-smoke coverage-fast
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -39,6 +43,13 @@ bench-smoke:
 bench-analysis:
 	PYTHONPATH=src $(PYTHON) -m repro bench --scenario analysis-smoke --quiet \
 		--out $(or $(TMPDIR),/tmp)/repro_bench_analysis.json
+
+bench-service:
+	$(PYTHON) tools/bench_service.py \
+		--out $(or $(TMPDIR),/tmp)/repro_bench_service.json
+
+serve-smoke:
+	$(PYTHON) tools/serve_smoke.py
 
 coverage:
 	$(PYTHON) tools/coverage_gate.py

@@ -167,6 +167,16 @@ class QuotaLedger:
         """Units consumed on a given day."""
         return self._usage.get(day, 0)
 
+    def usage_by_day(self) -> dict[str, int]:
+        """A snapshot copy of per-day usage (day -> units), sorted by day.
+
+        The serve layer's quota-report route and the shard merge path both
+        need the whole ledger at once; handing out a copy keeps the
+        internal dict lock-protected.
+        """
+        with self._lock:
+            return {day: self._usage[day] for day in sorted(self._usage)}
+
     def remaining_on(self, day: str) -> int:
         """Units still available on a given day."""
         return self.policy.effective_limit - self.used_on(day)

@@ -14,6 +14,8 @@ Subcommands::
     python -m repro obs report  trace.jsonl
     python -m repro chaos       --scenario burst-500s
     python -m repro bench       --scenario reduced
+    python -m repro serve       --scale 0.3 --port 8080 --mint 2
+    python -m repro loadgen     --requests 100 --concurrency 8
 
 ``campaign`` runs the hour-binned audit on the paper's 5-day cadence and
 persists it as JSONL; ``analyze`` re-renders any table/figure from a saved
@@ -162,6 +164,45 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override the benchmark seed")
     bench.add_argument("--out", metavar="PATH", default="BENCH_campaign.json")
     bench.add_argument("--quiet", action="store_true")
+
+    serve = sub.add_parser(
+        "serve", help="run the multi-tenant simulator service (see docs/SERVICE.md)"
+    )
+    _common_world_args(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="listening port (0 = pick a free one)")
+    serve.add_argument("--mint", type=int, default=1, metavar="N",
+                       help="bootstrap N tenant keys and print their "
+                            "credentials (0 = none; use the admin API)")
+    serve.add_argument("--daily-limit", type=int, default=10_000,
+                       help="daily quota of bootstrapped keys")
+    serve.add_argument("--admin-token", default=None,
+                       help="enable the /v1/keys admin routes, guarded by "
+                            "this X-Admin-Token value")
+    serve.add_argument("--key-file", metavar="PATH", default=None,
+                       help="persist the key table as JSON (reloaded on "
+                            "restart; credentials survive)")
+
+    loadgen = sub.add_parser(
+        "loadgen", help="fire a search.list burst and report p50/p99/qps"
+    )
+    loadgen.add_argument("--host", default=None,
+                         help="target a running server (with --port and "
+                              "--key); default: self-contained in-process "
+                              "server")
+    loadgen.add_argument("--port", type=int, default=8080)
+    loadgen.add_argument("--key", default=None, help="tenant credential")
+    loadgen.add_argument("--requests", type=int, default=100)
+    loadgen.add_argument("--concurrency", type=int, default=8)
+    loadgen.add_argument("--scale", type=float, default=0.15,
+                         help="world scale of the self-contained server")
+    loadgen.add_argument("--seed", type=int, default=7)
+    loadgen.add_argument("--as-of", default=None, metavar="RFC3339",
+                         help="pin every request's asOf")
+    loadgen.add_argument("--no-check", action="store_true",
+                         help="self-contained mode: skip the byte-identity "
+                              "check against the in-process reference")
 
     return parser
 
@@ -449,6 +490,82 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.obs import CampaignObserver
+    from repro.serve import KeyTable, SimulatorServer, build_gateway
+
+    # Credentials are random (secrets-based): the world is deterministic,
+    # the keys must not be.  --key-file makes them survive restarts.
+    import os
+
+    if args.key_file and os.path.exists(args.key_file):
+        keys = KeyTable.load(args.key_file)
+        print(f"loaded {len(keys)} key(s) from {args.key_file}", file=sys.stderr)
+    else:
+        keys = KeyTable(path=args.key_file)
+    print(f"building world (scale={args.scale}, seed={args.seed})...",
+          file=sys.stderr)
+    gateway = build_gateway(
+        scale=args.scale, seed=args.seed, keys=keys,
+        observer=CampaignObserver(),
+    )
+    existing = len(keys.list())
+    for i in range(args.mint):
+        key = gateway.mint_key(
+            label=f"bootstrap-{existing + i + 1}", daily_limit=args.daily_limit
+        )
+        print(f"key {key.key_id}: {key.credential}")
+    server = SimulatorServer(
+        gateway, host=args.host, port=args.port, admin_token=args.admin_token
+    )
+
+    async def main() -> None:
+        host, port = await server.start()
+        print(f"serving on http://{host}:{port} "
+              f"(world: {gateway.world.summary()})", file=sys.stderr)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        gateway.close()
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    from repro.serve.loadgen import run_loadgen, run_served_burst
+
+    if args.host is not None:
+        if not args.key:
+            print("loadgen: --host requires --key", file=sys.stderr)
+            return 2
+        report = run_loadgen(
+            args.host, args.port, args.key,
+            requests=args.requests, concurrency=args.concurrency,
+            as_of=args.as_of,
+        )
+        quota = None
+    else:
+        report, quota = run_served_burst(
+            requests=args.requests, concurrency=args.concurrency,
+            scale=args.scale, seed=args.seed, as_of=args.as_of,
+            check_identity=not args.no_check,
+        )
+    print(f"requests: {report.requests}  ok: {report.ok}  errors: {report.errors}")
+    print(f"wall: {report.wall_s:.3f}s  qps: {report.qps:.1f}")
+    print(f"latency p50: {report.p50_ms:.2f}ms  p99: {report.p99_ms:.2f}ms")
+    if not args.no_check and args.host is None:
+        print(f"byte-identity mismatches: {report.mismatches}")
+    if quota is not None:
+        print(f"quota: {quota['totalUsed']:,} units "
+              f"({quota['keyId']}, limit {quota['dailyLimit']:,})")
+    return 1 if report.mismatches else 0
+
+
 _COMMANDS = {
     "world": _cmd_world,
     "campaign": _cmd_campaign,
@@ -462,6 +579,8 @@ _COMMANDS = {
     "obs": _cmd_obs,
     "chaos": _cmd_chaos,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
 }
 
 

@@ -1,6 +1,6 @@
 """Campaign performance benchmark: the instrument perf PRs are judged by.
 
-Three scenario kinds, each with its own primary metric:
+Four scenario kinds, each with its own primary metric:
 
 * ``kind="campaign"`` (collection; metric ``campaign_s``) — world build,
   a single snapshot sweep, and the full campaign:
@@ -23,6 +23,14 @@ Three scenario kinds, each with its own primary metric:
   ``analysis`` is the paper-scale workload; ``analysis-smoke`` the
   reduced one ``make verify`` runs.  Model *fitting* is excluded — it is
   identical arithmetic on both paths and would only dilute the number.
+
+* ``kind="service"`` (metric ``serve_s``) — build the world untimed,
+  stand up the multi-tenant service (:mod:`repro.serve`) in-process, and
+  time one load-generator burst (:func:`repro.serve.loadgen.run_served_burst`
+  at concurrency 8, every 200 body checked against the byte-identity
+  oracle).  ``service`` is the standing workload; ``service-smoke`` the
+  small burst ``make verify`` runs.  ``qps``/``p50_ms``/``p99_ms`` ride
+  along as secondary metrics.
 
 * ``kind="replication"`` (metric ``replication_s``) — time
   :func:`repro.core.replication.run_replication` over
@@ -81,6 +89,7 @@ PRIMARY_METRIC = {
     "campaign": "campaign_s",
     "analysis": "analysis_s",
     "replication": "replication_s",
+    "service": "serve_s",
 }
 
 #: Pre-optimization timings, measured with this same harness logic on the
@@ -143,6 +152,24 @@ RECORDED_BASELINE = {
             "seeds": [101, 202, 303],
             "replication_s": 4.2986,
         },
+        "service": {
+            "commit": "5be79b3",
+            "kind": "service",
+            "workers": 1,
+            "backend": "serial",
+            "requests": 150,
+            "concurrency": 8,
+            "serve_s": 0.55,
+        },
+        "service-smoke": {
+            "commit": "5be79b3",
+            "kind": "service",
+            "workers": 1,
+            "backend": "serial",
+            "requests": 30,
+            "concurrency": 8,
+            "serve_s": 0.16,
+        },
     },
 }
 
@@ -160,6 +187,8 @@ class BenchScenario:
     workers: int = 1
     backend: str = "serial"
     kind: str = "campaign"
+    #: ``kind="service"`` only: burst size fired at the served API.
+    requests: int = 0
 
     def __post_init__(self) -> None:
         if not 0.0 < self.scale <= 1.0:
@@ -170,6 +199,8 @@ class BenchScenario:
             raise ValueError("workers must be positive")
         if self.kind not in PRIMARY_METRIC:
             raise ValueError(f"kind must be one of {sorted(PRIMARY_METRIC)}")
+        if self.kind == "service" and self.requests < 1:
+            raise ValueError("service scenarios need requests >= 1")
 
 
 SCENARIOS: dict[str, BenchScenario] = {
@@ -181,6 +212,12 @@ SCENARIOS: dict[str, BenchScenario] = {
     "analysis": BenchScenario(scale=1.0, collections=16, kind="analysis"),
     "analysis-smoke": BenchScenario(scale=0.2, collections=4, kind="analysis"),
     "replication": BenchScenario(scale=0.12, collections=6, kind="replication"),
+    "service": BenchScenario(
+        scale=0.3, collections=1, kind="service", requests=150
+    ),
+    "service-smoke": BenchScenario(
+        scale=0.12, collections=1, kind="service", requests=30
+    ),
 }
 
 
@@ -300,6 +337,40 @@ def run_scenario(
 
     specs = scale_topics(paper_topics(), scenario.scale)
 
+    if scenario.kind == "service":
+        from repro.serve.gateway import build_gateway
+        from repro.serve.loadgen import run_served_burst
+
+        note(f"building world (scale {scenario.scale}, untimed) ...")
+        world = build_world(specs, seed=seed)
+        gateway = build_gateway(seed=seed, world=world, specs=specs)
+        try:
+            note(
+                f"serving burst ({scenario.requests} requests, "
+                f"concurrency 8, byte-identity checked) ..."
+            )
+            burst, _quota = run_served_burst(
+                requests=scenario.requests, concurrency=8, seed=seed,
+                gateway=gateway, check_identity=True,
+            )
+        finally:
+            gateway.close()
+        return {
+            "kind": scenario.kind,
+            "scale": scenario.scale,
+            "collections": scenario.collections,
+            "workers": workers,
+            "backend": backend,
+            "requests": burst.requests,
+            "concurrency": 8,
+            "serve_s": round(burst.wall_s, 4),
+            "qps": round(burst.qps, 1),
+            "p50_ms": round(burst.p50_ms, 3),
+            "p99_ms": round(burst.p99_ms, 3),
+            "ok": burst.ok,
+            "mismatches": burst.mismatches,
+        }
+
     if scenario.kind == "analysis":
         note(f"building world (scale {scenario.scale}) ...")
         world = build_world(specs, seed=seed)
@@ -385,7 +456,8 @@ def run_scenario(
 
 def run_benchmark(
     names: tuple[str, ...] = (
-        "reduced", "paper", "process", "analysis", "analysis-smoke", "replication",
+        "reduced", "paper", "process", "analysis", "analysis-smoke",
+        "replication", "service", "service-smoke",
     ),
     seed: int = BENCH_SEED,
     workers: int | None = None,
@@ -463,6 +535,14 @@ def format_report(report: dict) -> str:
                 f"replication {cur['replication_s']:.3f}s "
                 f"({cur['replicates']} seeds, "
                 f"claims hold: {cur['all_claims_hold']})"
+            )
+        elif kind == "service":
+            line = (
+                f"  {name:14s} c{cur['concurrency']} | "
+                f"burst {cur['serve_s']:.3f}s "
+                f"({cur['requests']} requests, {cur['qps']} q/s, "
+                f"p50 {cur['p50_ms']:.2f}ms, p99 {cur['p99_ms']:.2f}ms, "
+                f"{cur['mismatches']} mismatches)"
             )
         else:
             line = (

@@ -122,6 +122,24 @@ class Observer:
     ) -> None:
         """A campaign's columnar index was (re)built (cache miss)."""
 
+    # -- serve layer -----------------------------------------------------------
+
+    def on_serve_request(
+        self, route: str, key_id: str, status: int, wall_ms: float, outcome: str
+    ) -> None:
+        """The service answered one tenant request (any status).
+
+        ``outcome`` is the coalescer's verdict for backend routes (``hit``
+        / ``miss`` / ``coalesced``) or ``-`` for routes that never reach
+        the backend (admin, quota report, errors).
+        """
+
+    def on_serve_key(self, action: str, key_id: str) -> None:
+        """A key lifecycle event (``action`` in mint/rotate/revoke)."""
+
+    def on_serve_campaign(self, job_id: str, key_id: str, status: str) -> None:
+        """A submitted campaign job changed state (queued/running/done/...)."""
+
 
 #: The default observer: explicitly named so call sites read as intended.
 NullObserver = Observer
@@ -299,6 +317,31 @@ class CampaignObserver(Observer):
             "index.build", topics=topics, videos=videos,
             collections=collections, wall_s=round(wall_s, 6),
         )
+
+    # -- serve layer -----------------------------------------------------------
+
+    def on_serve_request(
+        self, route: str, key_id: str, status: int, wall_ms: float, outcome: str
+    ) -> None:
+        self.metrics.inc("serve.requests", route=route, status=str(status))
+        self.metrics.inc("serve.requests_by_key", key=key_id)
+        self.metrics.observe("serve.latency_ms", wall_ms, route=route)
+        if outcome == "coalesced":
+            self.metrics.inc("serve.coalesced", route=route)
+        elif outcome == "hit":
+            self.metrics.inc("serve.cache_hits", route=route)
+        self.tracer.emit(
+            "serve.request", route=route, key=key_id, status=status,
+            wall_ms=round(wall_ms, 3), outcome=outcome,
+        )
+
+    def on_serve_key(self, action: str, key_id: str) -> None:
+        self.metrics.inc("serve.keys", action=action)
+        self.tracer.emit("serve.key", action=action, key=key_id)
+
+    def on_serve_campaign(self, job_id: str, key_id: str, status: str) -> None:
+        self.metrics.inc("serve.campaign_jobs", status=status)
+        self.tracer.emit("serve.campaign", job=job_id, key=key_id, status=status)
 
     # -- reading back ----------------------------------------------------------
 

@@ -46,6 +46,9 @@ EVENT_TYPES = (
     "shard.dispatch",
     "shard.merge",
     "index.build",
+    "serve.request",
+    "serve.key",
+    "serve.campaign",
 )
 
 

@@ -1,0 +1,130 @@
+"""Request coalescing and response memoization for the served simulator.
+
+Two observations make this layer safe and simple:
+
+1. Every simulator response is a **pure function of (world seed, request
+   parameters, request date)** — the repository's core invariant.  For a
+   fixed shared world, the serialized response bytes are therefore a pure
+   function of the canonical ``(params, asOf)`` fingerprint, so completed
+   responses can be memoized indefinitely (bounded LRU) and concurrent
+   identical requests can share one backend computation.
+2. Billing is **per caller, not per computation**: each tenant's quota
+   ledger is charged before the coalescer is consulted, so coalescing
+   changes wall time, never economics — N coalesced ``search.list``
+   requests still cost N x 100 units across their keys.
+
+The cache is thread-safe (the gateway serves HTTP handlers from the event
+loop and benchmark/property tests from plain threads) and keeps hit /
+miss / coalesce counts for the ``serve.request`` telemetry.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable
+
+__all__ = ["ResponseCache"]
+
+
+class _InFlight:
+    """One backend computation other identical requests can wait on."""
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.value: bytes | None = None
+        self.error: BaseException | None = None
+
+
+class ResponseCache:
+    """Bounded LRU of serialized responses with in-flight coalescing.
+
+    ``get(fingerprint, compute)`` returns ``(body, outcome)`` where
+    ``outcome`` is ``"hit"`` (served from cache), ``"miss"`` (this call
+    ran ``compute``), or ``"coalesced"`` (an identical request was already
+    computing; this call waited for its result).  Errors raised by
+    ``compute`` propagate to the computing caller *and* to every coalesced
+    waiter, and are not cached — the next request retries.
+    """
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        if max_entries < 0:
+            raise ValueError("max_entries must be non-negative")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[str, bytes] = OrderedDict()
+        self._inflight: dict[str, _InFlight] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.coalesced = 0
+
+    def get(
+        self, fingerprint: str, compute: Callable[[], bytes]
+    ) -> tuple[bytes, str]:
+        """Serve ``fingerprint`` from cache, a shared in-flight computation,
+        or a fresh ``compute()`` call (in that order)."""
+        while True:
+            with self._lock:
+                cached = self._entries.get(fingerprint)
+                if cached is not None:
+                    self._entries.move_to_end(fingerprint)
+                    self.hits += 1
+                    return cached, "hit"
+                flight = self._inflight.get(fingerprint)
+                if flight is None:
+                    flight = _InFlight()
+                    self._inflight[fingerprint] = flight
+                    owner = True
+                else:
+                    owner = False
+                    self.coalesced += 1
+            if owner:
+                break
+            flight.done.wait()
+            if flight.error is None:
+                assert flight.value is not None
+                return flight.value, "coalesced"
+            # The computation this call piggybacked on failed. Re-raising
+            # its error mirrors what an un-coalesced request would have
+            # seen from its own backend call.
+            raise flight.error
+
+        try:
+            value = compute()
+        except BaseException as exc:
+            flight.error = exc
+            with self._lock:
+                self._inflight.pop(fingerprint, None)
+            flight.done.set()
+            raise
+        with self._lock:
+            self.misses += 1
+            if self.max_entries > 0:
+                self._entries[fingerprint] = value
+                self._entries.move_to_end(fingerprint)
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+            self._inflight.pop(fingerprint, None)
+        flight.value = value
+        flight.done.set()
+        return value, "miss"
+
+    def clear(self) -> None:
+        """Drop every cached entry (in-flight computations are untouched)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def stats(self) -> dict:
+        """Hit/miss/coalesce counters plus current size, as one dict."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "coalesced": self.coalesced,
+            }

@@ -1,0 +1,223 @@
+"""API-key lifecycle: mint, rotate, revoke, persist.
+
+A tenant authenticates with an opaque credential (``rk_<hex>``, mirroring
+the shape of a Google API key).  The stable identity is the **key id**
+(``k0001``, ...): rotation issues a fresh credential under the same key
+id, so the tenant's quota ledger and campaign jobs survive rotation while
+the old credential stops authenticating immediately.  Revocation retires
+the key id outright.
+
+The table persists as one JSON document.  Credentials are stored in
+plaintext because this is a *simulator* service — the table is test
+fixture material, not a secret store; a production deployment would store
+salted digests.
+
+Determinism: pass ``seed`` to get a reproducible credential sequence
+(tests, golden fixtures).  Without a seed, credentials come from
+:mod:`secrets`.
+"""
+
+from __future__ import annotations
+
+import json
+import secrets
+import threading
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from repro.api.quota import QuotaPolicy
+from repro.util.rng import stable_hash
+
+__all__ = ["ApiKey", "KeyTable"]
+
+#: Credential prefix; purely cosmetic but makes keys greppable in logs.
+_PREFIX = "rk_"
+
+
+@dataclass(frozen=True)
+class ApiKey:
+    """One tenant credential and its quota configuration."""
+
+    key_id: str
+    credential: str
+    label: str
+    daily_limit: int = 10_000
+    researcher: bool = False
+    status: str = "active"
+    #: Monotonic mint/rotate counter, for audit ordering in the table file.
+    seq: int = 0
+
+    @property
+    def active(self) -> bool:
+        return self.status == "active"
+
+    @property
+    def policy(self) -> QuotaPolicy:
+        """The quota policy this key's ledger enforces."""
+        return QuotaPolicy(
+            daily_limit=self.daily_limit,
+            researcher_program=self.researcher,
+            researcher_limit=self.daily_limit if self.researcher else 1_000_000,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "key_id": self.key_id,
+            "credential": self.credential,
+            "label": self.label,
+            "daily_limit": self.daily_limit,
+            "researcher": self.researcher,
+            "status": self.status,
+            "seq": self.seq,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ApiKey":
+        return cls(
+            key_id=str(data["key_id"]),
+            credential=str(data["credential"]),
+            label=str(data.get("label", "")),
+            daily_limit=int(data.get("daily_limit", 10_000)),
+            researcher=bool(data.get("researcher", False)),
+            status=str(data.get("status", "active")),
+            seq=int(data.get("seq", 0)),
+        )
+
+
+@dataclass
+class KeyTable:
+    """All keys of one service instance, with lifecycle operations.
+
+    Thread-safe: the HTTP front end serves admin routes from the event
+    loop while campaign jobs read keys from worker threads.
+    """
+
+    #: Deterministic credential stream when set (tests / fixtures).
+    seed: int | None = None
+    #: Persist here on every mutation when set.
+    path: str | Path | None = None
+    _keys: dict[str, ApiKey] = field(default_factory=dict)
+    _seq: int = 0
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def mint(
+        self,
+        label: str = "",
+        daily_limit: int = 10_000,
+        researcher: bool = False,
+    ) -> ApiKey:
+        """Create and register a new active key."""
+        if daily_limit <= 0:
+            raise ValueError("daily_limit must be positive")
+        with self._lock:
+            self._seq += 1
+            key = ApiKey(
+                key_id=f"k{self._seq:04d}",
+                credential=self._new_credential(),
+                label=label,
+                daily_limit=daily_limit,
+                researcher=researcher,
+                seq=self._seq,
+            )
+            self._keys[key.key_id] = key
+            self._persist()
+            return key
+
+    def rotate(self, key_id: str) -> ApiKey:
+        """Issue a fresh credential for ``key_id``; the old one stops working.
+
+        The key id — and therefore the tenant's quota ledger and campaign
+        jobs — is preserved.  Rotating a revoked key raises: revocation is
+        final.
+        """
+        with self._lock:
+            key = self._require(key_id)
+            if not key.active:
+                raise ValueError(f"cannot rotate revoked key {key_id}")
+            self._seq += 1
+            rotated = replace(key, credential=self._new_credential(), seq=self._seq)
+            self._keys[key_id] = rotated
+            self._persist()
+            return rotated
+
+    def revoke(self, key_id: str) -> ApiKey:
+        """Retire ``key_id``; its credential stops authenticating. Idempotent."""
+        with self._lock:
+            key = self._require(key_id)
+            revoked = replace(key, status="revoked")
+            self._keys[key_id] = revoked
+            self._persist()
+            return revoked
+
+    # -- lookup ----------------------------------------------------------------
+
+    def authenticate(self, credential: str) -> ApiKey | None:
+        """The active key matching ``credential``, or ``None``."""
+        with self._lock:
+            for key in self._keys.values():
+                if key.active and secrets.compare_digest(key.credential, credential):
+                    return key
+            return None
+
+    def get(self, key_id: str) -> ApiKey | None:
+        """The key record for ``key_id`` (any status), or ``None``."""
+        with self._lock:
+            return self._keys.get(key_id)
+
+    def list(self) -> tuple[ApiKey, ...]:
+        """All keys, in mint order."""
+        with self._lock:
+            return tuple(sorted(self._keys.values(), key=lambda k: k.key_id))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._keys)
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, path: str | Path | None = None) -> Path:
+        """Write the table as JSON; returns the path written."""
+        target = Path(path if path is not None else self.path)
+        with self._lock:
+            payload = {
+                "seq": self._seq,
+                "keys": [key.to_dict() for key in self.list()],
+            }
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return target
+
+    @classmethod
+    def load(
+        cls, path: str | Path, seed: int | None = None
+    ) -> "KeyTable":
+        """Read a table back; it keeps persisting to the same path."""
+        data = json.loads(Path(path).read_text())
+        table = cls(seed=seed, path=path)
+        for entry in data.get("keys", ()):
+            key = ApiKey.from_dict(entry)
+            table._keys[key.key_id] = key
+        table._seq = int(data.get("seq", len(table._keys)))
+        return table
+
+    # -- internals -------------------------------------------------------------
+
+    def _require(self, key_id: str) -> ApiKey:
+        key = self._keys.get(key_id)
+        if key is None:
+            raise KeyError(f"unknown key id {key_id!r}")
+        return key
+
+    def _new_credential(self) -> str:
+        if self.seed is not None:
+            digest = stable_hash("serve-key", self.seed, self._seq)
+            return _PREFIX + format(digest, "016x")
+        return _PREFIX + secrets.token_hex(16)
+
+    def _persist(self) -> None:
+        if self.path is not None:
+            self.save(self.path)

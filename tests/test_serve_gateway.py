@@ -1,0 +1,343 @@
+"""Gateway contracts: per-key billing, coalescing, jobs, degradation.
+
+The properties under test are the service's two load-bearing invariants:
+
+* **byte identity** — the served bytes equal an independent in-process
+  computation of the same pure function;
+* **ledger conservation** — every tenant's ledger shows exactly
+  ``unit cost x successful calls``, under concurrency, coalescing, and
+  campaign-job absorption alike.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.api.errors import QuotaExceededError
+from repro.obs import CampaignObserver
+from repro.resilience.breaker import CircuitBreaker
+from repro.serve.coalesce import ResponseCache
+from repro.serve.gateway import ServeError, SimulatorGateway
+from repro.serve.keys import KeyTable
+
+SEED = 20250209
+
+
+@pytest.fixture()
+def gateway(small_world, small_specs):
+    gw = SimulatorGateway(
+        small_world, seed=SEED, specs=small_specs, keys=KeyTable(seed=SEED),
+        job_workers=2,
+    )
+    yield gw
+    gw.close()
+
+
+def _search(gw, credential, q="flat earth", **extra):
+    params = {"part": "snippet", "q": q, **extra}
+    return gw.search_list(credential, params)
+
+
+class TestAuth:
+    def test_missing_key_is_401(self, gateway):
+        with pytest.raises(ServeError) as err:
+            _search(gateway, None)
+        assert err.value.http_status == 401
+        assert err.value.reason == "unauthorized"
+
+    def test_unknown_key_is_403(self, gateway):
+        with pytest.raises(ServeError) as err:
+            _search(gateway, "rk_nope")
+        assert (err.value.http_status, err.value.reason) == (403, "keyInvalid")
+
+    def test_revoked_key_stops_working(self, gateway):
+        key = gateway.mint_key()
+        _search(gateway, key.credential)
+        gateway.revoke_key(key.key_id)
+        with pytest.raises(ServeError) as err:
+            _search(gateway, key.credential)
+        assert err.value.reason == "keyInvalid"
+
+    def test_rotation_preserves_the_ledger(self, gateway):
+        key = gateway.mint_key()
+        _search(gateway, key.credential)
+        rotated = gateway.rotate_key(key.key_id)
+        _search(gateway, rotated.credential)
+        assert gateway.ledger_for(key.key_id).total_used == 200
+
+    def test_unknown_parameter_is_rejected_before_billing(self, gateway):
+        key = gateway.mint_key()
+        with pytest.raises(ServeError) as err:
+            _search(gateway, key.credential, bogus="1")
+        assert err.value.reason == "invalidParameter"
+        assert gateway.ledger_for(key.key_id).total_used == 0
+
+
+class TestByteIdentity:
+    def test_served_bytes_equal_reference_bytes(self, gateway):
+        key = gateway.mint_key()
+        for q in ("flat earth", "vaccine side effects"):
+            body, _ = _search(gateway, key.credential, q=q)
+            reference = gateway.reference_search_bytes(
+                {"part": "snippet", "q": q}
+            )
+            assert body == reference
+
+    def test_as_of_pins_the_response(self, gateway):
+        key = gateway.mint_key()
+        body, _ = _search(gateway, key.credential, asOf="2025-03-01T00:00:00Z")
+        reference = gateway.reference_search_bytes(
+            {"part": "snippet", "q": "flat earth", "asOf": "2025-03-01T00:00:00Z"}
+        )
+        assert body == reference
+
+    def test_bad_as_of_is_invalid_parameter(self, gateway):
+        key = gateway.mint_key()
+        with pytest.raises(ServeError) as err:
+            _search(gateway, key.credential, asOf="yesterday")
+        assert err.value.reason == "invalidParameter"
+
+
+class TestQuotaIsolation:
+    def test_one_tenant_exhausting_does_not_affect_the_other(self, gateway):
+        poor = gateway.mint_key(label="poor", daily_limit=300)
+        rich = gateway.mint_key(label="rich", daily_limit=10_000)
+        for _ in range(3):
+            _search(gateway, poor.credential)
+        with pytest.raises(QuotaExceededError) as err:
+            _search(gateway, poor.credential)
+        assert err.value.http_status == 403
+        assert err.value.reason == "quotaExceeded"
+        # The rejected call was never billed; the other tenant proceeds,
+        # even for the exact query the poor tenant was refused.
+        assert gateway.ledger_for(poor.key_id).total_used == 300
+        body, _ = _search(gateway, rich.credential)
+        assert body
+        assert gateway.ledger_for(rich.key_id).total_used == 100
+
+    def test_videos_list_costs_one_unit(self, gateway):
+        key = gateway.mint_key()
+        gateway.videos_list(key.credential, {"part": "snippet", "id": "v1"})
+        assert gateway.ledger_for(key.key_id).total_used == 1
+
+    def test_quota_report_shape(self, gateway):
+        key = gateway.mint_key(label="lab", daily_limit=700)
+        _search(gateway, key.credential)
+        report = gateway.quota_report(key.credential)
+        assert report["keyId"] == key.key_id
+        assert report["dailyLimit"] == 700
+        assert report["totalUsed"] == 100
+        assert report["usageByDay"] == {
+            gateway.service.clock.today(): 100
+        }
+
+
+class TestCoalescing:
+    def test_repeat_is_a_cache_hit_but_still_billed(self, gateway):
+        key = gateway.mint_key()
+        _, first = _search(gateway, key.credential)
+        _, second = _search(gateway, key.credential)
+        assert (first, second) == ("miss", "hit")
+        assert gateway.ledger_for(key.key_id).total_used == 200
+
+    def test_identical_concurrent_requests_share_one_computation(
+        self, gateway
+    ):
+        key = gateway.mint_key(daily_limit=1_000_000)
+        outcomes: list[str] = []
+        errors: list[Exception] = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            try:
+                _, outcome = _search(gateway, key.credential, q="unique query")
+                outcomes.append(outcome)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(outcomes) == 8
+        # Exactly one thread computed; everyone else coalesced onto it or
+        # hit the already-cached bytes.
+        assert outcomes.count("miss") == 1
+        assert gateway.cache.stats["misses"] == 1
+        # Billing is per request, not per computation.
+        assert gateway.ledger_for(key.key_id).total_used == 800
+
+    def test_distinct_as_of_values_do_not_coalesce(self, gateway):
+        key = gateway.mint_key()
+        _, a = _search(gateway, key.credential, asOf="2025-02-09T00:00:00Z")
+        _, b = _search(gateway, key.credential, asOf="2025-02-10T00:00:00Z")
+        assert (a, b) == ("miss", "miss")
+
+
+class TestLedgerConservationSweep:
+    """Seeded property sweep: totals reconcile under concurrent coalescing."""
+
+    @pytest.mark.parametrize("sweep_seed", [11, 23, 47])
+    def test_concurrent_mixed_traffic_reconciles_exactly(
+        self, gateway, sweep_seed
+    ):
+        rng = random.Random(sweep_seed)
+        keys = [
+            gateway.mint_key(label=f"tenant-{i}", daily_limit=1_000_000)
+            for i in range(3)
+        ]
+        queries = ["flat earth", "world cup", "grammys", "ufo sighting"]
+        plan = [
+            (rng.randrange(len(keys)), rng.choice(queries))
+            for _ in range(40)
+        ]
+        successes = [0] * len(keys)
+        count_lock = threading.Lock()
+        errors: list[Exception] = []
+
+        def worker(key_index: int, q: str):
+            try:
+                _search(gateway, keys[key_index].credential, q=q)
+                with count_lock:
+                    successes[key_index] += 1
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=spec) for spec in plan
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert not errors
+        for i, key in enumerate(keys):
+            assert gateway.ledger_for(key.key_id).total_used == (
+                100 * successes[i]
+            ), f"tenant {i} ledger does not reconcile"
+        # Coalescing never under- or over-computes: one backend
+        # computation per distinct query, all requests accounted for.
+        stats = gateway.cache.stats
+        assert stats["misses"] == len({q for _, q in plan})
+        assert stats["misses"] + stats["hits"] + stats["coalesced"] == len(plan)
+
+
+class TestDegradation:
+    def test_open_circuit_degrades_to_503_and_refunds(
+        self, small_world, small_specs
+    ):
+        breaker = CircuitBreaker(failure_threshold=1, probe_after=100)
+        gw = SimulatorGateway(
+            small_world, seed=SEED, specs=small_specs,
+            keys=KeyTable(seed=SEED), breaker=breaker,
+        )
+        try:
+            key = gw.mint_key()
+            breaker.record_failure("serve.backend")  # trip it open
+            with pytest.raises(ServeError) as err:
+                _search(gw, key.credential)
+            assert err.value.http_status == 503
+            assert err.value.reason == "backendDegraded"
+            # The failed call was refunded: the tenant pays nothing.
+            assert gw.ledger_for(key.key_id).total_used == 0
+        finally:
+            gw.close()
+
+
+class TestCampaignJobs:
+    def test_job_runs_and_absorbs_into_the_tenant_ledger(self, gateway):
+        key = gateway.mint_key(daily_limit=1_000_000, researcher=True)
+        job = gateway.submit_campaign(
+            key.credential, collections=1, interval_days=1
+        )
+        assert job.wait(timeout=120)
+        assert job.status == "done", job.error
+        assert job.quota_units > 0
+        assert job.result["collections"] == 1
+        assert set(job.result["topics"]) == {
+            spec.key for spec in gateway.specs
+        }
+        # Absorption lands on the tenant ledger, exactly once.
+        assert gateway.ledger_for(key.key_id).total_used == job.quota_units
+
+    def test_over_limit_job_reports_truthful_usage(self, gateway):
+        key = gateway.mint_key(daily_limit=100)
+        job = gateway.submit_campaign(
+            key.credential, collections=1, interval_days=1
+        )
+        assert job.wait(timeout=120)
+        assert job.status == "quota_exceeded"
+        assert job.error
+        # The sub-ledger rejected mid-campaign; whatever was genuinely
+        # spent before that is visible, not hidden.
+        assert gateway.ledger_for(key.key_id).total_used <= 100
+
+    def test_tenants_cannot_see_each_others_jobs(self, gateway):
+        alice = gateway.mint_key(label="alice")
+        bob = gateway.mint_key(label="bob")
+        job = gateway.submit_campaign(alice.credential, collections=1)
+        job.wait(timeout=120)
+        assert gateway.job_for(alice.credential, job.job_id) is job
+        with pytest.raises(ServeError) as err:
+            gateway.job_for(bob.credential, job.job_id)
+        assert err.value.http_status == 404
+
+    def test_invalid_job_parameters_are_rejected(self, gateway):
+        key = gateway.mint_key()
+        with pytest.raises(ServeError):
+            gateway.submit_campaign(key.credential, collections=0)
+        with pytest.raises(ServeError):
+            gateway.submit_campaign(key.credential, interval_days=99)
+
+
+class TestObservability:
+    def test_serve_events_and_metrics_are_emitted(
+        self, small_world, small_specs
+    ):
+        observer = CampaignObserver()
+        gw = SimulatorGateway(
+            small_world, seed=SEED, specs=small_specs,
+            keys=KeyTable(seed=SEED), observer=observer,
+        )
+        try:
+            key = gw.mint_key()
+            _search(gw, key.credential)
+            _search(gw, key.credential)
+            gw.rotate_key(key.key_id)
+        finally:
+            gw.close()
+        requests = observer.tracer.of_type("serve.request")
+        assert len(requests) == 2
+        assert {e.fields["outcome"] for e in requests} == {"miss", "hit"}
+        assert all(e.fields["key"] == key.key_id for e in requests)
+        key_events = observer.tracer.of_type("serve.key")
+        assert [e.fields["action"] for e in key_events] == ["mint", "rotate"]
+
+
+class TestResponseCache:
+    def test_lru_eviction_keeps_the_cache_bounded(self):
+        cache = ResponseCache(max_entries=2)
+        cache.get("a", lambda: b"A")
+        cache.get("b", lambda: b"B")
+        cache.get("c", lambda: b"C")  # evicts "a"
+        _, outcome = cache.get("a", lambda: b"A2")
+        assert outcome == "miss"
+        assert len(cache) == 2
+
+    def test_compute_errors_propagate_and_are_not_cached(self):
+        cache = ResponseCache()
+
+        def boom():
+            raise RuntimeError("backend down")
+
+        with pytest.raises(RuntimeError):
+            cache.get("x", boom)
+        body, outcome = cache.get("x", lambda: b"ok")
+        assert (body, outcome) == (b"ok", "miss")

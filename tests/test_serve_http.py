@@ -1,0 +1,340 @@
+"""Socket-level end-to-end tests of the asyncio HTTP front end.
+
+Each test stands up a real :class:`~repro.serve.http.SimulatorServer` on
+an ephemeral port inside ``asyncio.run`` (plain asyncio — no plugin
+dependency) and talks to it over actual sockets, so the request parser,
+router, executor dispatch, and error envelopes are all exercised as
+deployed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.gateway import SimulatorGateway
+from repro.serve.http import SimulatorServer
+from repro.serve.keys import KeyTable
+from repro.serve.loadgen import run_served_burst
+
+SEED = 20250209
+
+
+@pytest.fixture(scope="module")
+def gateway(small_world, small_specs):
+    gw = SimulatorGateway(
+        small_world, seed=SEED, specs=small_specs, keys=KeyTable(seed=SEED),
+    )
+    yield gw
+    gw.close()
+
+
+@pytest.fixture(scope="module")
+def tenant(gateway):
+    return gateway.mint_key(label="e2e", daily_limit=1_000_000)
+
+
+async def _request(
+    host: str,
+    port: int,
+    method: str,
+    target: str,
+    body: bytes = b"",
+    headers: tuple[str, ...] = (),
+) -> tuple[int, dict | bytes]:
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        head = (
+            f"{method} {target} HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n"
+        )
+        for header in headers:
+            head += header + "\r\n"
+        writer.write(head.encode("latin-1") + b"\r\n" + body)
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, BrokenPipeError):
+            pass
+    status = int(raw.split(b" ", 2)[1])
+    payload = raw.split(b"\r\n\r\n", 1)[1]
+    return status, payload
+
+
+def _serve(gateway, script, admin_token=None):
+    """Run ``script(host, port)`` against a live server; returns its result."""
+
+    async def main():
+        server = SimulatorServer(gateway, admin_token=admin_token)
+        host, port = await server.start()
+        try:
+            return await script(host, port)
+        finally:
+            await server.aclose()
+
+    return asyncio.run(main())
+
+
+class TestSearchRoute:
+    def test_served_search_is_byte_identical_to_reference(
+        self, gateway, tenant
+    ):
+        params = "part=snippet&q=flat+earth&asOf=2025-02-09T00:00:00Z"
+
+        async def script(host, port):
+            return await _request(
+                host, port, "GET",
+                f"/youtube/v3/search?{params}&key={tenant.credential}",
+            )
+
+        status, body = _serve(gateway, script)
+        assert status == 200
+        assert body == gateway.reference_search_bytes({
+            "part": "snippet", "q": "flat earth",
+            "asOf": "2025-02-09T00:00:00Z",
+        })
+
+    def test_missing_key_is_401_with_envelope(self, gateway):
+        async def script(host, port):
+            return await _request(
+                host, port, "GET", "/youtube/v3/search?part=snippet&q=x"
+            )
+
+        status, body = _serve(gateway, script)
+        assert status == 401
+        envelope = json.loads(body)
+        assert envelope["error"]["errors"][0]["reason"] == "unauthorized"
+
+    def test_api_error_maps_to_google_style_envelope(self, gateway, tenant):
+        async def script(host, port):
+            return await _request(
+                host, port, "GET",
+                # maxResults outside [1, 50] -> invalid parameter.
+                f"/youtube/v3/search?part=snippet&q=x&maxResults=99"
+                f"&key={tenant.credential}",
+            )
+
+        status, body = _serve(gateway, script)
+        assert status == 400
+        envelope = json.loads(body)
+        assert envelope["error"]["code"] == 400
+
+    def test_header_auth_works_like_query_auth(self, gateway, tenant):
+        async def script(host, port):
+            return await _request(
+                host, port, "GET", "/youtube/v3/search?part=snippet&q=x",
+                headers=(f"X-Api-Key: {tenant.credential}",),
+            )
+
+        status, _body = _serve(gateway, script)
+        assert status == 200
+
+    def test_unknown_route_is_404(self, gateway):
+        async def script(host, port):
+            return await _request(host, port, "GET", "/nope")
+
+        status, body = _serve(gateway, script)
+        assert status == 404
+
+    def test_malformed_request_line_is_400(self, gateway):
+        async def script(host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b"NONSENSE\r\n\r\n")
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            return raw
+
+        raw = _serve(gateway, script)
+        assert b" 400 " in raw.split(b"\r\n", 1)[0]
+
+
+class TestQuotaAndHealth:
+    def test_quota_route_reports_the_ledger(self, gateway, tenant):
+        before = gateway.ledger_for(tenant.key_id).total_used
+
+        async def script(host, port):
+            await _request(
+                host, port, "GET",
+                f"/youtube/v3/search?part=snippet&q=quota+probe"
+                f"&key={tenant.credential}",
+            )
+            return await _request(
+                host, port, "GET", f"/v1/quota?key={tenant.credential}"
+            )
+
+        status, body = _serve(gateway, script)
+        assert status == 200
+        report = json.loads(body)
+        assert report["keyId"] == tenant.key_id
+        assert report["totalUsed"] == before + 100
+
+    def test_healthz_needs_no_auth(self, gateway):
+        async def script(host, port):
+            return await _request(host, port, "GET", "/healthz")
+
+        status, body = _serve(gateway, script)
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["world"]["videos"] > 0
+
+
+class TestAdminRoutes:
+    def test_lifecycle_over_http(self, small_world, small_specs):
+        gateway = SimulatorGateway(
+            small_world, seed=SEED, specs=small_specs,
+            keys=KeyTable(seed=SEED),
+        )
+
+        async def script(host, port):
+            token = ("X-Admin-Token: t0p",)
+            status, body = await _request(
+                host, port, "POST", "/v1/keys",
+                body=json.dumps({"label": "new", "dailyLimit": 900}).encode(),
+                headers=token,
+            )
+            assert status == 200
+            minted = json.loads(body)
+            status, body = await _request(
+                host, port, "GET",
+                f"/youtube/v3/search?part=snippet&q=x&key={minted['key']}",
+            )
+            assert status == 200
+            status, body = await _request(
+                host, port, "POST",
+                f"/v1/keys/{minted['keyId']}/rotate", headers=token,
+            )
+            assert status == 200
+            rotated = json.loads(body)
+            assert rotated["key"] != minted["key"]
+            # The old credential is dead, the new one works.
+            status, _ = await _request(
+                host, port, "GET",
+                f"/youtube/v3/search?part=snippet&q=x&key={minted['key']}",
+            )
+            assert status == 403
+            status, body = await _request(
+                host, port, "POST",
+                f"/v1/keys/{minted['keyId']}/revoke", headers=token,
+            )
+            assert json.loads(body)["status"] == "revoked"
+            status, _ = await _request(
+                host, port, "GET",
+                f"/youtube/v3/search?part=snippet&q=x&key={rotated['key']}",
+            )
+            return status
+
+        try:
+            assert _serve(gateway, script, admin_token="t0p") == 403
+        finally:
+            gateway.close()
+
+    def test_admin_routes_refuse_without_token(self, gateway):
+        async def script(host, port):
+            wrong = await _request(
+                host, port, "POST", "/v1/keys",
+                headers=("X-Admin-Token: wrong",),
+            )
+            missing = await _request(host, port, "GET", "/v1/keys")
+            return wrong, missing
+
+        (s1, b1), (s2, _) = _serve(gateway, script, admin_token="t0p")
+        assert (s1, s2) == (403, 403)
+        assert json.loads(b1)["error"]["errors"][0]["reason"] == "adminForbidden"
+
+    def test_admin_routes_disabled_without_configured_token(self, gateway):
+        async def script(host, port):
+            return await _request(
+                host, port, "GET", "/v1/keys",
+                headers=("X-Admin-Token: anything",),
+            )
+
+        status, body = _serve(gateway, script)
+        assert status == 403
+        assert json.loads(body)["error"]["errors"][0]["reason"] == "adminDisabled"
+
+
+class TestCampaignRoutes:
+    def test_submit_poll_result_roundtrip(self, gateway, tenant):
+        async def script(host, port):
+            status, body = await _request(
+                host, port, "POST", f"/v1/campaigns?key={tenant.credential}",
+                body=json.dumps({"collections": 1, "intervalDays": 1}).encode(),
+            )
+            assert status == 202
+            job = json.loads(body)
+            # Wait server-side (the gateway object is shared with the test).
+            gateway.job_for(tenant.credential, job["jobId"]).wait(timeout=120)
+            return await _request(
+                host, port, "GET",
+                f"/v1/campaigns/{job['jobId']}/result?key={tenant.credential}",
+            )
+
+        status, body = _serve(gateway, script)
+        assert status == 200
+        finished = json.loads(body)
+        assert finished["status"] == "done"
+        assert finished["result"]["collections"] == 1
+
+    def test_result_before_completion_is_409(self, gateway, tenant, monkeypatch):
+        # Freeze the job in "queued" by stopping the executor from running it.
+        monkeypatch.setattr(
+            gateway._executor, "submit", lambda *a, **k: None
+        )
+
+        async def script(host, port):
+            status, body = await _request(
+                host, port, "POST", f"/v1/campaigns?key={tenant.credential}",
+                body=json.dumps({"collections": 1}).encode(),
+            )
+            job = json.loads(body)
+            return await _request(
+                host, port, "GET",
+                f"/v1/campaigns/{job['jobId']}/result?key={tenant.credential}",
+            )
+
+        status, body = _serve(gateway, script)
+        assert status == 409
+        assert json.loads(body)["error"]["errors"][0]["reason"] == "jobNotFinished"
+
+    def test_foreign_job_is_404(self, gateway, tenant):
+        other = gateway.mint_key(label="other")
+        job = gateway.submit_campaign(tenant.credential, collections=1)
+        job.wait(timeout=120)
+
+        async def script(host, port):
+            return await _request(
+                host, port, "GET",
+                f"/v1/campaigns/{job.job_id}?key={other.credential}",
+            )
+
+        status, _ = _serve(gateway, script)
+        assert status == 404
+
+
+class TestLoadgenHarness:
+    def test_burst_reconciles_and_matches_reference(
+        self, gateway
+    ):
+        report, quota = run_served_burst(
+            requests=16, concurrency=4, gateway=gateway, check_identity=True,
+        )
+        assert report.ok == 16
+        assert report.mismatches == 0
+        assert report.p50_ms <= report.p99_ms
+        assert quota["totalUsed"] == 1600
+
+    def test_percentiles_on_empty_report(self):
+        from repro.serve.loadgen import LoadReport
+
+        empty = LoadReport(requests=0, ok=0, errors=0, wall_s=0.0)
+        assert empty.p50_ms == 0.0
+        assert empty.qps == 0.0

@@ -156,6 +156,39 @@ class TestQuotaLedgerConservation:
             # spent it, and reconciliation must not hide consumption.
             assert ledger.total_used == pre_charge + total
 
+    def test_usage_snapshots_are_atomic_under_concurrent_charges(self):
+        # The serve layer's quota-report route reads usage_by_day() while
+        # request threads charge: every snapshot must be internally
+        # consistent (taken under the ledger lock), so with charges only
+        # (no refunds) successive snapshot sums never go backwards and
+        # the final snapshot reconciles exactly.
+        ledger = QuotaLedger(policy=QuotaPolicy(daily_limit=10**9))
+        days = [f"2025-02-{d:02d}" for d in range(1, 6)]
+        stop = threading.Event()
+
+        def charger(slot: int) -> None:
+            local = random.Random(slot)
+            for _ in range(200):
+                ledger.charge(local.choice(["search.list", "videos.list"]),
+                              local.choice(days))
+
+        threads = [threading.Thread(target=charger, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        seen = 0
+        while any(t.is_alive() for t in threads) or not stop.is_set():
+            snapshot = ledger.usage_by_day()
+            total = sum(snapshot.values())
+            assert list(snapshot) == sorted(snapshot)
+            assert total >= seen, "snapshot sum went backwards"
+            seen = total
+            if not any(t.is_alive() for t in threads):
+                stop.set()
+        for t in threads:
+            t.join()
+        final = ledger.usage_by_day()
+        assert sum(final.values()) == ledger.total_used
+
 
 class TestPartitionInvariants:
     @staticmethod

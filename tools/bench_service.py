@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Run the service benchmark scenarios and write BENCH_campaign.json.
+
+Thin wrapper over :mod:`repro.core.benchmark` that runs only the
+``kind="service"`` scenarios — the served-API latency/throughput numbers
+(p50/p99 ms, queries/s) recorded by ``repro.serve.loadgen``:
+
+    PYTHONPATH=src python tools/bench_service.py
+    PYTHONPATH=src python tools/bench_service.py --scenario service-smoke
+
+The same >20% regression gate as ``tools/bench_campaign.py`` applies to
+``serve_s`` (the burst wall time); ``--no-check`` skips it.  Every 200
+response in the timed burst is compared byte-for-byte against the
+in-process reference — a nonzero mismatch count fails regardless of
+``--no-check``, because that is a correctness bug, not a perf number.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_campaign import check_regressions  # noqa: E402
+from repro.core.benchmark import (  # noqa: E402
+    SCENARIOS,
+    format_report,
+    run_benchmark,
+    write_report,
+)
+
+SERVICE_SCENARIOS = tuple(
+    sorted(name for name, sc in SCENARIOS.items() if sc.kind == "service")
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scenario", action="append",
+                        choices=SERVICE_SCENARIOS,
+                        help="service scenario(s) to run (default: all)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the benchmark seed")
+    parser.add_argument("--out", default="BENCH_campaign.json",
+                        help="report path (default BENCH_campaign.json)")
+    parser.add_argument("--no-check", action="store_true",
+                        help="skip the >20%% perf regression gate "
+                             "(byte-identity is still enforced)")
+    args = parser.parse_args(argv)
+
+    kwargs = {
+        "names": tuple(args.scenario) if args.scenario else SERVICE_SCENARIOS,
+        "progress": lambda m: print(m, flush=True),
+    }
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    report = run_benchmark(**kwargs)
+    # Merge into an existing report rather than clobbering it: this
+    # wrapper runs a subset of scenarios, and BENCH_campaign.json is the
+    # shared record for all of them.  Gates below apply to the fresh
+    # run only.
+    merged = report
+    out_path = Path(args.out)
+    if out_path.exists():
+        try:
+            previous = json.loads(out_path.read_text())
+            scenarios = dict(previous.get("scenarios", {}))
+        except (json.JSONDecodeError, OSError):
+            scenarios = {}
+        scenarios.update(report["scenarios"])
+        merged = {**report, "scenarios": scenarios}
+    path = write_report(merged, args.out)
+    print(format_report(report))
+    print(f"wrote {path}")
+
+    mismatched = [
+        name for name, entry in report["scenarios"].items()
+        if entry["current"].get("mismatches")
+    ]
+    if mismatched:
+        print(
+            f"BYTE-IDENTITY FAILURE: served bytes diverged from the "
+            f"in-process reference in: {', '.join(mismatched)}",
+            file=sys.stderr,
+        )
+        return 1
+    if not args.no_check:
+        failures = check_regressions(report)
+        if failures:
+            print(
+                f"PERF REGRESSION: {len(failures)} scenario(s) slower than "
+                f"the recorded baseline by more than 20%:",
+                file=sys.stderr,
+            )
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

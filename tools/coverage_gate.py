@@ -44,6 +44,7 @@ FAST_SKIPS = (
     "tests/test_integration.py",
     "tests/test_resilience_chaos.py",
     "tests/test_index_equivalence.py",
+    "tests/test_serve_http.py",
 )
 
 

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Service smoke gate: serve, fire a burst, verify bytes and the ledger.
+
+What ``make serve-smoke`` runs.  Stands up the multi-tenant service
+in-process (:class:`repro.serve.http.SimulatorServer` over a small warm
+world), mints one tenant key, fires a concurrent ``search.list`` burst
+through real sockets, and then asserts the two contracts the service
+lives by:
+
+1. **Byte identity** — every 200 body equals, byte for byte, what an
+   independent in-process service (the gateway's reference oracle)
+   returns for the same ``(query, asOf)``.  The served stack adds auth,
+   billing, coalescing, and HTTP on top of a pure function; none of that
+   may change a single byte of the answer.
+
+2. **Ledger reconciliation** — the tenant's quota ledger shows exactly
+   ``100 x successful searches``: every request is billed even when the
+   coalescer answered it from one shared backend computation, and
+   nothing else is.
+
+Exit code 0 on success, 1 with a diagnosis on any violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api.quota import UNIT_COSTS  # noqa: E402
+from repro.serve.loadgen import run_served_burst  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=40)
+    parser.add_argument("--concurrency", type=int, default=8)
+    parser.add_argument("--scale", type=float, default=0.12)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    report, quota = run_served_burst(
+        requests=args.requests, concurrency=args.concurrency,
+        scale=args.scale, seed=args.seed, check_identity=True,
+    )
+    print(
+        f"serve smoke: {report.ok}/{report.requests} ok, "
+        f"{report.qps:.1f} q/s, p50 {report.p50_ms:.2f}ms, "
+        f"p99 {report.p99_ms:.2f}ms"
+    )
+
+    failures = []
+    if report.errors:
+        failures.append(
+            f"{report.errors} non-200 response(s): {report.status_counts}"
+        )
+    if report.mismatches:
+        failures.append(
+            f"{report.mismatches} served body(ies) diverged from the "
+            f"in-process reference bytes"
+        )
+    expected_units = UNIT_COSTS["search.list"] * report.ok
+    if quota["totalUsed"] != expected_units:
+        failures.append(
+            f"ledger does not reconcile: {quota['totalUsed']} units "
+            f"recorded, expected {expected_units} "
+            f"(100 x {report.ok} successful searches)"
+        )
+    if failures:
+        for failure in failures:
+            print(f"serve smoke FAILED: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"byte identity OK ({report.ok} bodies), ledger reconciles "
+        f"({quota['totalUsed']} units = 100 x {report.ok})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
