@@ -13,6 +13,9 @@
 #                     file (see docs/SERVICE.md and docs/PERFORMANCE.md)
 #   make serve-smoke  serve + loadgen burst: byte-identity vs the
 #                     in-process reference and exact ledger reconciliation
+#   make orchestrator-smoke  kill -9 the orchestrator daemon mid-campaign,
+#                     resume over the same workdir, assert byte-identity
+#                     and exact ledger reconciliation (see docs/ORCHESTRATOR.md)
 #   make coverage     full suite under pytest-cov, >= 80% line coverage
 #                     (skips gracefully when pytest-cov is not installed)
 #   make coverage-fast  same gate minus the slowest end-to-end modules
@@ -20,9 +23,10 @@
 PYTHON ?= python
 
 .PHONY: verify test doclinks chaos bench bench-smoke bench-analysis \
-	bench-service serve-smoke coverage coverage-fast
+	bench-service serve-smoke orchestrator-smoke coverage coverage-fast
 
-verify: test doclinks chaos bench-smoke bench-analysis serve-smoke coverage-fast
+verify: test doclinks chaos bench-smoke bench-analysis serve-smoke \
+	orchestrator-smoke coverage-fast
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -50,6 +54,9 @@ bench-service:
 
 serve-smoke:
 	$(PYTHON) tools/serve_smoke.py
+
+orchestrator-smoke:
+	$(PYTHON) tools/orchestrator_smoke.py
 
 coverage:
 	$(PYTHON) tools/coverage_gate.py

@@ -16,6 +16,7 @@ Subcommands::
     python -m repro bench       --scenario reduced
     python -m repro serve       --scale 0.3 --port 8080 --mint 2
     python -m repro loadgen     --requests 100 --concurrency 8
+    python -m repro orchestrate --workdir orch/ --demo 3
 
 ``campaign`` runs the hour-binned audit on the paper's 5-day cadence and
 persists it as JSONL; ``analyze`` re-renders any table/figure from a saved
@@ -183,6 +184,48 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--key-file", metavar="PATH", default=None,
                        help="persist the key table as JSON (reloaded on "
                             "restart; credentials survive)")
+
+    orchestrate = sub.add_parser(
+        "orchestrate",
+        help="run the crash-safe campaign orchestrator daemon "
+             "(see docs/ORCHESTRATOR.md)",
+    )
+    orchestrate.add_argument("--workdir", required=True, metavar="DIR",
+                             help="journal + campaign results live here; "
+                                  "restarting over the same dir resumes "
+                                  "every interrupted campaign exactly")
+    orchestrate.add_argument("--scale", type=float, default=0.05,
+                             help="corpus scale of the shared warm world")
+    orchestrate.add_argument("--seed", type=int, default=7)
+    orchestrate.add_argument("--host", default="127.0.0.1")
+    orchestrate.add_argument("--port", type=int, default=0,
+                             help="HTTP port for /v1/orchestrator "
+                                  "(0 = pick a free one; server mode only)")
+    orchestrate.add_argument("--max-running", type=int, default=2,
+                             help="concurrent campaign worker threads")
+    orchestrate.add_argument("--max-queued", type=int, default=8,
+                             help="bounded admission queue depth")
+    orchestrate.add_argument("--per-tenant", type=int, default=2,
+                             help="max active campaigns per tenant key")
+    orchestrate.add_argument("--daily-limit", type=int, default=None,
+                             help="daily quota of minted demo keys "
+                                  "(default: 10000, or 1000000 in --demo "
+                                  "mode so the stock campaign admits)")
+    orchestrate.add_argument("--demo", type=int, default=0, metavar="N",
+                             help="headless mode: mint N tenant keys, submit "
+                                  "one campaign each, run to completion, "
+                                  "print state/sha256/units, exit")
+    orchestrate.add_argument("--collections", type=int, default=3,
+                             help="collections per demo campaign")
+    orchestrate.add_argument("--interval-days", type=int, default=5)
+    orchestrate.add_argument("--idle-timeout", type=float, default=300.0,
+                             help="demo mode: seconds to wait for all "
+                                  "campaigns to reach a terminal state")
+    orchestrate.add_argument("--supervise", action="store_true",
+                             help="run the daemon as a child process and "
+                                  "restart it if it dies abnormally")
+    orchestrate.add_argument("--max-restarts", type=int, default=3,
+                             help="supervisor restart budget")
 
     loadgen = sub.add_parser(
         "loadgen", help="fire a search.list burst and report p50/p99/qps"
@@ -536,6 +579,178 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _orchestrate_supervise(args) -> int:
+    """Supervisor restart loop: respawn the daemon child until it exits cleanly.
+
+    The child is this same CLI minus ``--supervise``.  A clean exit (0) or a
+    deliberate SIGTERM/SIGINT ends supervision; anything else — including
+    SIGKILL, the chaos harness's favourite — burns one restart and respawns
+    over the same workdir, where journal recovery resumes every campaign.
+    """
+    import signal
+    import subprocess
+
+    child_argv = [sys.executable, "-m", "repro", "orchestrate",
+                  "--workdir", args.workdir,
+                  "--scale", str(args.scale), "--seed", str(args.seed),
+                  "--host", args.host, "--port", str(args.port),
+                  "--max-running", str(args.max_running),
+                  "--max-queued", str(args.max_queued),
+                  "--per-tenant", str(args.per_tenant),
+                  "--daily-limit", str(args.daily_limit),
+                  "--collections", str(args.collections),
+                  "--interval-days", str(args.interval_days),
+                  "--idle-timeout", str(args.idle_timeout)]
+    if args.demo:
+        child_argv += ["--demo", str(args.demo)]
+    child: subprocess.Popen | None = None
+
+    def forward(signum, _frame):
+        if child is not None and child.poll() is None:
+            child.send_signal(signum)
+
+    signal.signal(signal.SIGTERM, forward)
+    restarts = 0
+    while True:
+        child = subprocess.Popen(child_argv)
+        code = child.wait()
+        if code == 0 or code in (-signal.SIGTERM, -signal.SIGINT):
+            return 0
+        if restarts >= args.max_restarts:
+            print(f"supervisor: giving up after {restarts} restart(s) "
+                  f"(last exit {code})", file=sys.stderr)
+            return 1
+        restarts += 1
+        print(f"supervisor: daemon exited {code}; "
+              f"restart {restarts}/{args.max_restarts}", file=sys.stderr)
+
+
+def _cmd_orchestrate(args) -> int:
+    import os
+    import signal
+    import threading
+    import time
+
+    from repro.obs import CampaignObserver
+    from repro.orchestrator import OrchestratorDaemon, TERMINAL_STATES
+    from repro.serve import KeyTable, ServeError, build_gateway
+
+    if args.daily_limit is None:
+        args.daily_limit = 1_000_000 if args.demo else 10_000
+    if args.supervise:
+        return _orchestrate_supervise(args)
+
+    workdir = os.path.abspath(args.workdir)
+    os.makedirs(workdir, exist_ok=True)
+    key_path = os.path.join(workdir, "keys.json")
+    if os.path.exists(key_path):
+        keys = KeyTable.load(key_path, seed=args.seed)
+        print(f"loaded {len(keys)} key(s) from {key_path}", file=sys.stderr)
+    else:
+        # Seeded: a demo rerun over a fresh workdir mints the same
+        # credentials, which keeps kill-and-rerun scripts deterministic.
+        keys = KeyTable(seed=args.seed, path=key_path)
+    print(f"building world (scale={args.scale}, seed={args.seed})...",
+          file=sys.stderr)
+    gateway = build_gateway(
+        scale=args.scale, seed=args.seed, keys=keys,
+        observer=CampaignObserver(),
+    )
+    daemon = OrchestratorDaemon(
+        gateway, workdir,
+        max_running=args.max_running, max_queued=args.max_queued,
+        per_tenant_active=args.per_tenant,
+    )
+    stop = threading.Event()
+    signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    signal.signal(signal.SIGINT, lambda *_: stop.set())
+    daemon.start()
+
+    def finish() -> int:
+        daemon.drain()
+        gateway.close()
+        failed = 0
+        for payload in sorted(
+            (c.to_status_dict() for c in daemon.state.campaigns.values()),
+            key=lambda p: p["campaignId"],
+        ):
+            cid = payload["campaignId"]
+            digest = daemon.result_sha256(cid)
+            print(f"campaign {cid} key={payload['keyId']} "
+                  f"state={payload['state']} "
+                  f"snapshots={payload['snapshotsDone']} "
+                  f"units={payload['quotaUnits']} "
+                  f"sha256={digest or '-'}")
+            if payload["state"] not in TERMINAL_STATES:
+                failed += 1  # drained mid-queue; a restart resumes it
+        for key in gateway.keys.list():
+            usage = daemon.usage_for_key(key.key_id)
+            total = sum(usage.values())
+            print(f"usage {key.key_id}: {total} units over "
+                  f"{len(usage)} day(s)")
+        return 1 if failed and not stop.is_set() else 0
+
+    if args.demo:
+        while len(gateway.keys.list()) < args.demo:
+            n = len(gateway.keys.list())
+            key = gateway.mint_key(
+                label=f"demo-{n + 1}", daily_limit=args.daily_limit
+            )
+            print(f"key {key.key_id}: {key.credential}", file=sys.stderr)
+        with daemon._lock:
+            keys_with_campaigns = {
+                c.key_id for c in daemon.state.campaigns.values()
+            }
+        for key in gateway.keys.list():
+            if key.key_id in keys_with_campaigns:
+                continue  # recovered from the journal; already enqueued
+            while not stop.is_set():
+                try:
+                    payload = daemon.submit(
+                        key.credential,
+                        collections=args.collections,
+                        interval_days=args.interval_days,
+                    )
+                    print(f"submitted {payload['campaignId']} "
+                          f"for {key.key_id}", file=sys.stderr)
+                    break
+                except ServeError as exc:
+                    if exc.retry_after is None:
+                        print(f"submit rejected for {key.key_id}: "
+                              f"{exc.reason}: {exc.message}", file=sys.stderr)
+                        break
+                    time.sleep(0.05)  # backpressure: retry the 429 shortly
+        deadline = time.monotonic() + args.idle_timeout
+        while not stop.is_set() and time.monotonic() < deadline:
+            if daemon.wait_idle(timeout=0.2):
+                break
+        return finish()
+
+    # Server mode: expose /v1/orchestrator and run until SIGTERM/SIGINT.
+    import asyncio
+
+    from repro.serve import SimulatorServer
+
+    server = SimulatorServer(
+        gateway, host=args.host, port=args.port, orchestrator=daemon
+    )
+
+    async def main() -> None:
+        host, port = await server.start()
+        print(f"orchestrating on http://{host}:{port} "
+              f"(world: {gateway.world.summary()})", file=sys.stderr)
+        while not stop.is_set():
+            await asyncio.sleep(0.2)
+        await server.aclose()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+    print("draining...", file=sys.stderr)
+    return finish()
+
+
 def _cmd_loadgen(args) -> int:
     from repro.serve.loadgen import run_loadgen, run_served_burst
 
@@ -581,6 +796,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "orchestrate": _cmd_orchestrate,
 }
 
 

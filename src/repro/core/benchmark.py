@@ -1,6 +1,6 @@
 """Campaign performance benchmark: the instrument perf PRs are judged by.
 
-Four scenario kinds, each with its own primary metric:
+Five scenario kinds, each with its own primary metric:
 
 * ``kind="campaign"`` (collection; metric ``campaign_s``) — world build,
   a single snapshot sweep, and the full campaign:
@@ -31,6 +31,16 @@ Four scenario kinds, each with its own primary metric:
   oracle).  ``service`` is the standing workload; ``service-smoke`` the
   small burst ``make verify`` runs.  ``qps``/``p50_ms``/``p99_ms`` ride
   along as secondary metrics.
+
+* ``kind="orchestrator"`` (metric ``orchestrate_s``) — build a small
+  single-topic world untimed, stand up the crash-safe campaign
+  orchestrator (:mod:`repro.orchestrator`) over a scratch workdir, and
+  time the daemon driving several concurrent journaled campaigns from
+  submit to completion (``campaigns_per_hour`` rides along as the
+  derived throughput).  A second pass crashes one campaign mid-snapshot
+  via the ``processCrash`` fault and reports ``recovery_s``: the wall
+  time from constructing a fresh daemon over the crashed workdir
+  (journal replay included) to that campaign's completion.
 
 * ``kind="replication"`` (metric ``replication_s``) — time
   :func:`repro.core.replication.run_replication` over
@@ -90,6 +100,7 @@ PRIMARY_METRIC = {
     "analysis": "analysis_s",
     "replication": "replication_s",
     "service": "serve_s",
+    "orchestrator": "orchestrate_s",
 }
 
 #: Pre-optimization timings, measured with this same harness logic on the
@@ -170,6 +181,16 @@ RECORDED_BASELINE = {
             "concurrency": 8,
             "serve_s": 0.16,
         },
+        "orchestrator": {
+            "commit": "46749b4",
+            "kind": "orchestrator",
+            "workers": 1,
+            "backend": "serial",
+            "campaigns": 4,
+            "collections": 2,
+            "orchestrate_s": 1.10,
+            "recovery_s": 0.30,
+        },
     },
 }
 
@@ -189,6 +210,8 @@ class BenchScenario:
     kind: str = "campaign"
     #: ``kind="service"`` only: burst size fired at the served API.
     requests: int = 0
+    #: ``kind="orchestrator"`` only: concurrent campaigns to orchestrate.
+    campaigns: int = 0
 
     def __post_init__(self) -> None:
         if not 0.0 < self.scale <= 1.0:
@@ -201,6 +224,8 @@ class BenchScenario:
             raise ValueError(f"kind must be one of {sorted(PRIMARY_METRIC)}")
         if self.kind == "service" and self.requests < 1:
             raise ValueError("service scenarios need requests >= 1")
+        if self.kind == "orchestrator" and self.campaigns < 1:
+            raise ValueError("orchestrator scenarios need campaigns >= 1")
 
 
 SCENARIOS: dict[str, BenchScenario] = {
@@ -217,6 +242,9 @@ SCENARIOS: dict[str, BenchScenario] = {
     ),
     "service-smoke": BenchScenario(
         scale=0.12, collections=1, kind="service", requests=30
+    ),
+    "orchestrator": BenchScenario(
+        scale=0.05, collections=2, kind="orchestrator", campaigns=4
     ),
 }
 
@@ -333,6 +361,97 @@ def run_scenario(
             "replication_s": round(replication_s, 4),
             "replicates": summary.n,
             "all_claims_hold": summary.all_claims_hold,
+        }
+
+    if scenario.kind == "orchestrator":
+        import tempfile
+
+        from repro.orchestrator import OrchestratorDaemon
+        from repro.resilience.faults import FaultPlan, FaultSpec
+        from repro.serve.gateway import build_gateway
+        from repro.serve.keys import KeyTable
+        from repro.world.corpus import scale_topic
+
+        # The orchestrator workload is dominated by daemon mechanics
+        # (journal fsyncs, admission, checkpoints), not corpus size: one
+        # scaled topic with a one-day window keeps each snapshot at 48
+        # queries so the clock measures the daemon, not the world.
+        smallest = min(paper_topics(), key=lambda spec: spec.n_videos)
+        spec = dataclasses.replace(
+            scale_topic(smallest, scenario.scale), window_days=1
+        )
+        note(f"building world (single topic, scale {scenario.scale}, untimed) ...")
+        world = build_world((spec,), seed=seed, with_comments=False)
+        gateway = build_gateway(
+            world=world, specs=(spec,), seed=seed, keys=KeyTable(seed=seed)
+        )
+        try:
+            with tempfile.TemporaryDirectory(prefix="repro_bench_orch_") as tmp:
+                workdir = Path(tmp)
+                note(
+                    f"orchestrating {scenario.campaigns} campaigns x "
+                    f"{scenario.collections} collections ..."
+                )
+                daemon = OrchestratorDaemon(
+                    gateway, workdir / "main",
+                    max_queued=scenario.campaigns,
+                )
+                daemon.start()
+                keys = [
+                    gateway.mint_key(daily_limit=10_000)
+                    for _ in range(scenario.campaigns)
+                ]
+                t0 = time.perf_counter()
+                for key in keys:
+                    daemon.submit(
+                        key.credential, collections=scenario.collections
+                    )
+                if not daemon.wait_idle(timeout=600):
+                    raise RuntimeError("orchestrator benchmark did not settle")
+                orchestrate_s = time.perf_counter() - t0
+                daemon.drain()
+                units = sum(
+                    sum(daemon.usage_for_key(key.key_id).values())
+                    for key in keys
+                )
+
+                note("crashing one campaign mid-snapshot, timing recovery ...")
+                crash_key = gateway.mint_key(daily_limit=10_000)
+                crashed = OrchestratorDaemon(gateway, workdir / "crash")
+                crashed.fault_factory = lambda cid: FaultPlan(
+                    (FaultSpec(start=24, count=1, error="processCrash"),)
+                )
+                crashed.start()
+                cid = crashed.submit(
+                    crash_key.credential, collections=scenario.collections
+                )["campaignId"]
+                deadline = time.monotonic() + 600
+                while cid not in crashed.crashed_campaigns:
+                    if time.monotonic() > deadline:
+                        raise RuntimeError("injected crash never landed")
+                    time.sleep(0.01)
+                t0 = time.perf_counter()
+                recovered = OrchestratorDaemon(gateway, workdir / "crash")
+                recovered.start()
+                if not recovered.wait_idle(timeout=600):
+                    raise RuntimeError("crash recovery did not settle")
+                recovery_s = time.perf_counter() - t0
+                recovered.drain()
+        finally:
+            gateway.close()
+        return {
+            "kind": scenario.kind,
+            "scale": scenario.scale,
+            "collections": scenario.collections,
+            "campaigns": scenario.campaigns,
+            "workers": workers,
+            "backend": backend,
+            "orchestrate_s": round(orchestrate_s, 4),
+            "campaigns_per_hour": round(
+                scenario.campaigns * 3600.0 / orchestrate_s, 1
+            ),
+            "recovery_s": round(recovery_s, 4),
+            "units": units,
         }
 
     specs = scale_topics(paper_topics(), scenario.scale)
@@ -457,7 +576,7 @@ def run_scenario(
 def run_benchmark(
     names: tuple[str, ...] = (
         "reduced", "paper", "process", "analysis", "analysis-smoke",
-        "replication", "service", "service-smoke",
+        "replication", "service", "service-smoke", "orchestrator",
     ),
     seed: int = BENCH_SEED,
     workers: int | None = None,
@@ -535,6 +654,13 @@ def format_report(report: dict) -> str:
                 f"replication {cur['replication_s']:.3f}s "
                 f"({cur['replicates']} seeds, "
                 f"claims hold: {cur['all_claims_hold']})"
+            )
+        elif kind == "orchestrator":
+            line = (
+                f"  {name:14s} x{cur['campaigns']} | "
+                f"orchestrate {cur['orchestrate_s']:.3f}s "
+                f"({cur['campaigns_per_hour']} campaigns/h, "
+                f"recovery {cur['recovery_s']:.3f}s, {cur['units']} units)"
             )
         elif kind == "service":
             line = (

@@ -64,6 +64,7 @@ def run_campaign(
     workers: int = 1,
     backend: str = "thread",
     stream: "CampaignStream | None" = None,
+    partial: PartialSnapshotStore | None = None,
 ) -> CampaignResult:
     """Run the full campaign against a service.
 
@@ -93,17 +94,26 @@ def run_campaign(
     ``"process"`` (sharded worker processes, :mod:`repro.core.shard`), or
     ``"serial"`` to force the reference path.
 
+    ``partial`` overrides the query-level checkpoint store — any object
+    with the :class:`~repro.resilience.checkpoint.PartialSnapshotStore`
+    interface works; the orchestrator passes a store that journals bins
+    into its write-ahead log instead of a sidecar file.
+
     ``stream`` attaches a :class:`~repro.core.streaming.CampaignStream`:
     every snapshot — resumed from a checkpoint or freshly collected — is
     fed to it the moment it is available, so RQ1/RQ2 analyses accumulate
     incrementally instead of waiting for the final merge.
     """
     observer = observer or getattr(client, "observer", None) or NullObserver()
-    partial = (
-        PartialSnapshotStore(str(checkpoint_path) + ".partial")
-        if checkpoint_path is not None
-        else None
-    )
+    if partial is None:
+        # ``partial`` lets a caller supply any PartialSnapshotStore-shaped
+        # store (the orchestrator journals bins instead of using a sidecar
+        # file); the default remains the <checkpoint>.partial sidecar.
+        partial = (
+            PartialSnapshotStore(str(checkpoint_path) + ".partial")
+            if checkpoint_path is not None
+            else None
+        )
     collector = SnapshotCollector(
         client, config.topics, collect_metadata=config.collect_metadata,
         observer=observer, partial=partial,
@@ -157,10 +167,12 @@ def run_campaign(
             if stream is not None:
                 stream.add_snapshot(snapshots[-1])
             if checkpoint_path is not None:
+                # Atomic save: a crash mid-checkpoint must leave the
+                # previous complete checkpoint, never a torn file.
                 CampaignResult(
                     topic_keys=tuple(spec.key for spec in config.topics),
                     snapshots=snapshots,
-                ).save(checkpoint_path)
+                ).save(checkpoint_path, atomic=True)
                 observer.on_checkpoint("save", str(checkpoint_path), len(snapshots))
                 if partial is not None:
                     partial.clear()

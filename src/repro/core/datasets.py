@@ -150,8 +150,14 @@ class CampaignResult:
 
     # -- persistence ---------------------------------------------------------
 
-    def save(self, path: str | Path) -> int:
-        """Write the campaign as JSONL (one record per topic-snapshot)."""
+    def save(self, path: str | Path, atomic: bool = False) -> int:
+        """Write the campaign as JSONL (one record per topic-snapshot).
+
+        ``atomic=True`` routes the write through a same-directory temp
+        file + :func:`os.replace`, so a crash mid-save leaves the previous
+        checkpoint intact instead of a torn file; the bytes written are
+        identical either way.
+        """
         records = [{"kind": "header", "topic_keys": list(self.topic_keys)}]
         for snap in self.snapshots:
             for key, ts in snap.topics.items():
@@ -171,7 +177,7 @@ class CampaignResult:
                 if ts.missing_hours:
                     record["missing_hours"] = sorted(ts.missing_hours)
                 records.append(record)
-        return write_jsonl(path, records)
+        return write_jsonl(path, records, atomic=atomic)
 
     @classmethod
     def load(cls, path: str | Path) -> "CampaignResult":

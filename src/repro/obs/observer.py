@@ -140,6 +140,21 @@ class Observer:
     def on_serve_campaign(self, job_id: str, key_id: str, status: str) -> None:
         """A submitted campaign job changed state (queued/running/done/...)."""
 
+    # -- orchestrator layer ----------------------------------------------------
+
+    def on_orch_transition(
+        self, campaign: str, old: str, new: str, detail: str = ""
+    ) -> None:
+        """An orchestrated campaign moved through its lifecycle state machine."""
+
+    def on_orch_admission(
+        self, decision: str, reason: str, queued: int, running: int
+    ) -> None:
+        """The admission controller accepted or rejected a submission."""
+
+    def on_orch_journal(self, action: str, records: int) -> None:
+        """The write-ahead journal appended, replayed, or compacted records."""
+
 
 #: The default observer: explicitly named so call sites read as intended.
 NullObserver = Observer
@@ -342,6 +357,32 @@ class CampaignObserver(Observer):
     def on_serve_campaign(self, job_id: str, key_id: str, status: str) -> None:
         self.metrics.inc("serve.campaign_jobs", status=status)
         self.tracer.emit("serve.campaign", job=job_id, key=key_id, status=status)
+
+    # -- orchestrator layer ----------------------------------------------------
+
+    def on_orch_transition(
+        self, campaign: str, old: str, new: str, detail: str = ""
+    ) -> None:
+        self.metrics.inc("orch.transitions", to=new)
+        self.tracer.emit(
+            "orch.transition", campaign=campaign, old=old, new=new,
+            detail=detail[:200],
+        )
+
+    def on_orch_admission(
+        self, decision: str, reason: str, queued: int, running: int
+    ) -> None:
+        self.metrics.inc("orch.admissions", decision=decision, reason=reason)
+        self.metrics.set_gauge("orch.queued", queued)
+        self.metrics.set_gauge("orch.running", running)
+        self.tracer.emit(
+            "orch.admission", decision=decision, reason=reason,
+            queued=queued, running=running,
+        )
+
+    def on_orch_journal(self, action: str, records: int) -> None:
+        self.metrics.inc("orch.journal", action=action)
+        self.tracer.emit("orch.journal", action=action, records=records)
 
     # -- reading back ----------------------------------------------------------
 

@@ -49,6 +49,9 @@ EVENT_TYPES = (
     "serve.request",
     "serve.key",
     "serve.campaign",
+    "orch.transition",
+    "orch.admission",
+    "orch.journal",
 )
 
 

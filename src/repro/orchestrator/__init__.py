@@ -1,0 +1,43 @@
+"""Crash-safe campaign orchestration: journaled state over a shared world.
+
+The daemon layer above :mod:`repro.serve`: many concurrent collection
+campaigns, each with its own virtual clock and tenant-billed sub-ledger,
+all recorded in a write-ahead journal so ``kill -9`` recovers exactly —
+byte-identical results, every hour-bin query billed exactly once.
+
+Public surface:
+
+* :class:`~repro.orchestrator.daemon.OrchestratorDaemon` — submit /
+  status / pause / resume / cancel, admission control, graceful drain.
+* :class:`~repro.orchestrator.journal.Journal` — append-fsync JSONL log
+  with atomic snapshot compaction.
+* :class:`~repro.orchestrator.model.OrchestratorState` — the fold of the
+  journal; the only source of daemon state.
+* :class:`~repro.orchestrator.admission.AdmissionController` — bounded
+  queues, per-tenant caps, reject-with-retry-after.
+
+See ``docs/ORCHESTRATOR.md`` for the lifecycle state machine, the journal
+format, and the recovery semantics.
+"""
+
+from repro.orchestrator.admission import AdmissionController, AdmissionDecision
+from repro.orchestrator.daemon import JournalPartialStore, OrchestratorDaemon
+from repro.orchestrator.journal import Journal
+from repro.orchestrator.model import (
+    CampaignState,
+    OrchestratorState,
+    TERMINAL_STATES,
+    VALID_TRANSITIONS,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "CampaignState",
+    "Journal",
+    "JournalPartialStore",
+    "OrchestratorDaemon",
+    "OrchestratorState",
+    "TERMINAL_STATES",
+    "VALID_TRANSITIONS",
+]

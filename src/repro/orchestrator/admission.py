@@ -1,0 +1,128 @@
+"""Admission control: bounded queues, per-tenant caps, quota sanity.
+
+The daemon's front door.  Every submission is judged *before* anything is
+journaled — a rejected campaign leaves no trace, exactly like a 429 from
+the real API.  Decisions are deterministic functions of the daemon's
+current occupancy, so the same load pattern always produces the same
+accept/reject sequence (tests pin this).
+
+Rejection taxonomy (mirrors ``docs/SERVICE.md``'s error envelope):
+
+``queueFull`` (429, retryable)
+    The bounded submission queue is at capacity.  ``retry_after`` scales
+    with queue depth: a deeper backlog advertises a longer wait, which is
+    the backpressure signal a polite client honors.
+
+``tenantBusy`` (429, retryable)
+    The tenant already has its maximum number of non-terminal campaigns.
+
+``quotaNeverFits`` (400, permanent)
+    One snapshot of the requested campaign costs more search quota than
+    the tenant's daily limit — no amount of waiting fixes that, so the
+    reject is permanent and carries no ``retry_after``.
+
+``shuttingDown`` (503, retryable)
+    The daemon is draining; retry after the advertised restart window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.serve.keys import ApiKey
+
+__all__ = ["AdmissionDecision", "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The controller's verdict on one submission."""
+
+    admitted: bool
+    reason: str = "admitted"
+    message: str = ""
+    http_status: int = 202
+    #: Seconds the client should wait before resubmitting (None = permanent
+    #: rejection or admission).
+    retry_after: int | None = None
+
+
+class AdmissionController:
+    """Deterministic accept/reject policy over daemon occupancy."""
+
+    def __init__(
+        self,
+        max_queued: int = 8,
+        max_running: int = 2,
+        per_tenant_active: int = 2,
+        drain_retry_after: int = 30,
+    ) -> None:
+        if max_queued < 1 or max_running < 1 or per_tenant_active < 1:
+            raise ValueError("admission limits must be positive")
+        self.max_queued = max_queued
+        self.max_running = max_running
+        self.per_tenant_active = per_tenant_active
+        self.drain_retry_after = drain_retry_after
+
+    def decide(
+        self,
+        key: ApiKey,
+        quota_per_snapshot: int,
+        queued: int,
+        running: int,
+        tenant_active: int,
+        draining: bool,
+    ) -> AdmissionDecision:
+        """Judge one submission against current occupancy."""
+        if draining:
+            return AdmissionDecision(
+                admitted=False,
+                reason="shuttingDown",
+                message="orchestrator is draining; resubmit after restart",
+                http_status=503,
+                retry_after=self.drain_retry_after,
+            )
+        if quota_per_snapshot > key.policy.effective_limit:
+            return AdmissionDecision(
+                admitted=False,
+                reason="quotaNeverFits",
+                message=(
+                    f"one snapshot costs {quota_per_snapshot} units but key "
+                    f"{key.key_id} has a daily limit of "
+                    f"{key.policy.effective_limit}; the campaign can never "
+                    f"complete a collection"
+                ),
+                http_status=400,
+            )
+        if tenant_active >= self.per_tenant_active:
+            return AdmissionDecision(
+                admitted=False,
+                reason="tenantBusy",
+                message=(
+                    f"key {key.key_id} already has {tenant_active} active "
+                    f"campaign(s); limit is {self.per_tenant_active}"
+                ),
+                http_status=429,
+                retry_after=self.retry_after_for(queued, running),
+            )
+        if queued >= self.max_queued:
+            return AdmissionDecision(
+                admitted=False,
+                reason="queueFull",
+                message=(
+                    f"submission queue is full ({queued}/{self.max_queued}); "
+                    f"retry later"
+                ),
+                http_status=429,
+                retry_after=self.retry_after_for(queued, running),
+            )
+        return AdmissionDecision(admitted=True)
+
+    def retry_after_for(self, queued: int, running: int) -> int:
+        """The advertised wait: deterministic, scaling with backlog.
+
+        Five seconds per queued-or-running campaign, clamped to [5, 300] —
+        crude, but monotone in load and cheap to reason about, which is
+        what a backpressure hint needs to be.
+        """
+        return max(5, min(300, 5 * (queued + running)))

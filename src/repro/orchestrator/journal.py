@@ -1,0 +1,143 @@
+"""The orchestrator's write-ahead journal: append, fsync, replay, compact.
+
+Durability model
+----------------
+
+Two files live in the orchestrator's workdir:
+
+``journal.jsonl``
+    Append-only JSONL.  Every record is stamped with a monotonically
+    increasing ``seq``, written as one line, flushed, and fsynced before
+    :meth:`Journal.append` returns — so any state the daemon *acts on* is
+    already on disk.  A process killed mid-append leaves at most one torn
+    trailing line, which replay drops (exactly the
+    :class:`~repro.resilience.checkpoint.PartialSnapshotStore` rule).
+
+``snapshot.json``
+    An atomically-written fold of every record up to ``last_seq``
+    (:meth:`~repro.orchestrator.model.OrchestratorState.to_dict`).
+    Compaction writes it via temp-file + ``os.replace`` + fsync, *then*
+    truncates the journal.  A crash between those two steps is harmless:
+    the journal still holds records with ``seq <= last_seq``, and the
+    reducer skips them on replay.
+
+Recovery is therefore always: load ``snapshot.json`` if present, then
+apply the surviving ``journal.jsonl`` records in order.  There is no
+window in which a ``kill -9`` loses an acknowledged record or applies one
+twice.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.orchestrator.model import OrchestratorState
+from repro.util.jsonio import atomic_write_text
+
+__all__ = ["Journal"]
+
+
+class Journal:
+    """One workdir's write-ahead journal and compaction snapshot."""
+
+    def __init__(self, workdir: str | Path) -> None:
+        self.workdir = Path(workdir)
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        self.journal_path = self.workdir / "journal.jsonl"
+        self.snapshot_path = self.workdir / "snapshot.json"
+        self._fh = None
+        self._next_seq = 1
+        #: Appends since the last compaction (drives compact_every policies).
+        self.appends_since_compact = 0
+
+    # -- writing ---------------------------------------------------------------
+
+    def append(self, record: dict) -> dict:
+        """Stamp ``seq``, write one line, flush, fsync; returns the record.
+
+        The fsync-per-record discipline is the whole point of a
+        write-ahead journal: when ``append`` returns, the record survives
+        ``kill -9``.  Callers apply the returned record to their in-memory
+        reducer so memory and disk stay in lockstep.
+        """
+        record = dict(record)
+        record["seq"] = self._next_seq
+        self._next_seq += 1
+        fh = self._handle()
+        fh.write(json.dumps(record, sort_keys=True))
+        fh.write("\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+        self.appends_since_compact += 1
+        return record
+
+    def _handle(self):
+        if self._fh is None:
+            self._fh = open(self.journal_path, "a", encoding="utf-8")
+        return self._fh
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    # -- reading ---------------------------------------------------------------
+
+    def replay_records(self) -> list[dict]:
+        """The surviving journal lines, torn trailing line dropped."""
+        if not self.journal_path.exists():
+            return []
+        raw_lines = self.journal_path.read_text(encoding="utf-8").splitlines()
+        records: list[dict] = []
+        for n, line in enumerate(raw_lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                if n == len(raw_lines) - 1:
+                    break  # the append the crash interrupted
+                raise ValueError(
+                    f"{self.journal_path}:{n + 1}: corrupt journal: {exc}"
+                ) from exc
+        return records
+
+    def recover(self) -> OrchestratorState:
+        """Fold snapshot + journal into the authoritative state.
+
+        Also primes :attr:`Journal.append`'s ``seq`` counter past
+        everything already on disk, so new records keep the monotonic
+        ordering replay depends on.
+        """
+        state = OrchestratorState()
+        if self.snapshot_path.exists():
+            state = OrchestratorState.from_dict(
+                json.loads(self.snapshot_path.read_text(encoding="utf-8"))
+            )
+        for record in self.replay_records():
+            state.apply(record)
+        self._next_seq = max(self._next_seq, state.last_seq + 1)
+        return state
+
+    # -- compaction ------------------------------------------------------------
+
+    def compact(self, state: OrchestratorState) -> None:
+        """Snapshot the folded state atomically, then truncate the journal.
+
+        Order is load-bearing: the snapshot must be durable *before* the
+        journal lines it covers disappear.  A crash after the snapshot
+        write but before the truncate only leaves already-folded records
+        behind, and ``seq`` idempotence makes their replay a no-op.
+        """
+        self.close()
+        atomic_write_text(
+            self.snapshot_path,
+            json.dumps(state.to_dict(), sort_keys=True) + "\n",
+        )
+        with open(self.journal_path, "w", encoding="utf-8") as fh:
+            fh.flush()
+            os.fsync(fh.fileno())
+        self.appends_since_compact = 0

@@ -41,7 +41,7 @@ from repro.api.quota import QuotaPolicy
 from repro.obs.observer import CampaignObserver
 from repro.obs.report import summarize_events
 from repro.resilience.breaker import CircuitBreaker
-from repro.resilience.faults import SCENARIOS, ChaosScenario
+from repro.resilience.faults import SCENARIOS, ChaosScenario, SimulatedCrashError
 from repro.resilience.policy import RetryBudget, RetryPolicy
 from repro.util.tables import render_table
 
@@ -180,6 +180,9 @@ def run_scenario(
     )
     checkpoint = workdir / "faulted.jsonl"
     interrupted = False
+    crashed = False
+    pre_crash_units = 0
+    pre_crash_calls = 0
     try:
         faulted_result = run_campaign(
             config, client, checkpoint_path=checkpoint,
@@ -194,15 +197,36 @@ def run_scenario(
             config, client, checkpoint_path=checkpoint,
             tolerate_failures=scenario.tolerate_failures,
         )
+    except SimulatedCrashError:
+        # The process "died": everything in memory — ledger, fault plan,
+        # transport counters — is gone; only the checkpoint and its
+        # .partial sidecar survive.  Simulate the restart with a fresh
+        # service and client over the same world (the observer persists,
+        # like a trace file spanning both processes), and resume.
+        crashed = True
+        pre_crash_units = service.quota.total_used
+        pre_crash_calls = service.transport.total_calls
+        _world, service = _build(config, seed, world=world, observer=observer)
+        client = YouTubeClient(
+            service, observer=observer, retry_policy=policy,
+            circuit_breaker=breaker,
+        )
+        faulted_result = run_campaign(
+            config, client, checkpoint_path=checkpoint,
+            tolerate_failures=scenario.tolerate_failures,
+        )
 
     if trace_path is not None:
         observer.export_trace(trace_path)
 
     # -- invariants ----------------------------------------------------------
+    # Crash scenarios span two "processes"; billing and call counts are the
+    # sum of both — every bin is still queried and billed exactly once.
     summary = summarize_events(observer.tracer.iter_dicts())
     spend_events = len(observer.tracer.of_type("quota.spend"))
     call_events = len(observer.tracer.of_type("api.call"))
-    completed_calls = service.transport.total_calls
+    completed_calls = pre_crash_calls + service.transport.total_calls
+    ledger_units = pre_crash_units + service.quota.total_used
     checks = [
         ChaosCheck(
             "faults-injected",
@@ -211,8 +235,8 @@ def run_scenario(
         ),
         ChaosCheck(
             "quota-reconciles",
-            summary.net_units == service.quota.total_used,
-            f"trace {summary.net_units} vs ledger {service.quota.total_used}",
+            summary.net_units == ledger_units,
+            f"trace {summary.net_units} vs ledger {ledger_units}",
         ),
         ChaosCheck(
             "no-double-billing",
@@ -246,6 +270,17 @@ def run_scenario(
                 interrupted and summary.checkpoints.get("resume-partial", 0) > 0,
                 f"interrupted={interrupted}, partial resumes="
                 f"{summary.checkpoints.get('resume-partial', 0)}",
+            )
+        )
+    if scenario.expect_crash:
+        resumes = summary.checkpoints.get("resume", 0) + summary.checkpoints.get(
+            "resume-partial", 0
+        )
+        checks.append(
+            ChaosCheck(
+                "crashed-then-resumed",
+                crashed and resumes > 0,
+                f"crashed={crashed}, checkpoint resumes={resumes}",
             )
         )
     if scenario.tolerate_failures:

@@ -36,16 +36,59 @@ from repro.api.errors import (
     TransientServerError,
 )
 
-__all__ = ["FaultSpec", "FaultPlan", "ChaosScenario", "SCENARIOS"]
+__all__ = [
+    "SimulatedCrashError",
+    "FaultSpec",
+    "FaultPlan",
+    "ChaosScenario",
+    "SCENARIOS",
+    "crash_at_snapshot",
+]
 
-#: reason string -> exception factory, mirroring the API's error vocabulary.
-ERROR_FACTORIES: dict[str, type[ApiError]] = {
+
+class SimulatedCrashError(Exception):
+    """The process "dies" here: an injected crash, not an API failure.
+
+    Deliberately *not* an :class:`~repro.api.errors.ApiError`: the retry
+    policy classifies only API errors, so a simulated crash propagates
+    straight through client, collector, and campaign exactly as an
+    uncaught fatal would — nothing downstream handles it, nothing is
+    retried, and whatever was journaled or checkpointed at that instant
+    is what a restart finds.  Both ``repro chaos`` (the ``boundary-crash``
+    scenario) and the orchestrator kill-resume tests use it to place a
+    deterministic, in-process stand-in for ``kill -9`` at an exact attempt
+    tick; ``tools/orchestrator_smoke.py`` complements it with the real
+    signal.
+    """
+
+
+#: reason string -> exception factory, mirroring the API's error vocabulary
+#: plus the ``processCrash`` kind (a fatal non-API failure, see
+#: :class:`SimulatedCrashError`).
+ERROR_FACTORIES: dict[str, type[Exception]] = {
     "backendError": TransientServerError,
     "rateLimitExceeded": RateLimitedError,
     "quotaExceeded": QuotaExceededError,
     "invalidPageToken": InvalidPageTokenError,
     "malformedResponse": MalformedResponseError,
+    "processCrash": SimulatedCrashError,
 }
+
+
+def crash_at_snapshot(queries_per_snapshot: int, snapshot_index: int) -> FaultSpec:
+    """A ``processCrash`` spec at an exact snapshot boundary.
+
+    Tick ``queries_per_snapshot * snapshot_index`` is the *first* search
+    attempt of that snapshot — i.e. the process dies right at the boundary,
+    after snapshot ``snapshot_index - 1`` was checkpointed and its partial
+    sidecar cleared.  Exact when every hour bin resolves in one page and
+    the campaign skips the metadata sweep (the chaos mini-config and the
+    orchestrator's config both do); with multi-page bins the crash still
+    lands deterministically, just inside the snapshot.
+    """
+    return FaultSpec(
+        start=queries_per_snapshot * snapshot_index, count=1, error="processCrash"
+    )
 
 
 @dataclass(frozen=True)
@@ -138,6 +181,10 @@ class ChaosScenario:
     tolerate_failures: bool = False
     expect_identical: bool = True
     expect_interruption: bool = False
+    #: The scenario kills the process (``processCrash``): the harness
+    #: simulates a restart — fresh service, client, and fault plan — and
+    #: resumes from the checkpoint + partial sidecar on disk.
+    expect_crash: bool = False
 
     def plan(self) -> FaultPlan:
         """A fresh :class:`FaultPlan` for one run of this scenario."""
@@ -202,7 +249,29 @@ def _scenarios() -> dict[str, ChaosScenario]:
         tolerate_failures=True,
         expect_identical=False,
     )
-    return {s.name: s for s in (burst, storm, malformed, bad_token, quota_cliff, outage)}
+    # The chaos mini-campaign is one topic with a 1-day window: 48 hour
+    # bins (focal date ± 1 day) per snapshot, one page per bin, no
+    # metadata sweep — so tick 48 is exactly the snapshot 0/1 boundary.
+    boundary_crash = ChaosScenario(
+        name="boundary-crash",
+        description="the process dies at the snapshot 0/1 boundary (first "
+        "attempt after snapshot 0 checkpointed); the restart resumes from "
+        "the campaign checkpoint and stays byte-identical",
+        specs=(crash_at_snapshot(48, 1),),
+        expect_crash=True,
+    )
+    midsnapshot_crash = ChaosScenario(
+        name="midsnapshot-crash",
+        description="the process dies 22 bins into snapshot 1; the restart "
+        "replays the journaled bins from the .partial sidecar, re-issues "
+        "only the missing ones, and stays byte-identical",
+        specs=(FaultSpec(start=70, count=1, error="processCrash"),),
+        expect_crash=True,
+    )
+    return {s.name: s for s in (
+        burst, storm, malformed, bad_token, quota_cliff, outage,
+        boundary_crash, midsnapshot_crash,
+    )}
 
 
 #: The ready-made scenario registry consumed by ``repro chaos``.

@@ -28,7 +28,12 @@ See ``docs/SERVICE.md`` for the endpoint reference and quickstart.
 """
 
 from repro.serve.coalesce import ResponseCache
-from repro.serve.gateway import CampaignJob, SimulatorGateway, build_gateway
+from repro.serve.gateway import (
+    CampaignJob,
+    ServeError,
+    SimulatorGateway,
+    build_gateway,
+)
 from repro.serve.http import SimulatorServer
 from repro.serve.keys import ApiKey, KeyTable
 from repro.serve.loadgen import LoadReport, run_loadgen, run_served_burst
@@ -39,6 +44,7 @@ __all__ = [
     "ResponseCache",
     "SimulatorGateway",
     "CampaignJob",
+    "ServeError",
     "build_gateway",
     "SimulatorServer",
     "LoadReport",

@@ -70,13 +70,25 @@ _UNMETERED = QuotaPolicy(daily_limit=10**12)
 
 
 class ServeError(Exception):
-    """A service-layer failure with an API-shaped JSON envelope."""
+    """A service-layer failure with an API-shaped JSON envelope.
 
-    def __init__(self, http_status: int, reason: str, message: str) -> None:
+    ``retry_after`` (seconds) marks the failure as transient: the HTTP
+    front end turns it into a ``Retry-After`` header on 429/503 responses,
+    the backpressure hint a polite client honors before resubmitting.
+    """
+
+    def __init__(
+        self,
+        http_status: int,
+        reason: str,
+        message: str,
+        retry_after: int | None = None,
+    ) -> None:
         super().__init__(message)
         self.http_status = http_status
         self.reason = reason
         self.message = message
+        self.retry_after = retry_after
 
     def to_json(self) -> dict:
         return {
@@ -399,9 +411,13 @@ class SimulatorGateway:
             try:
                 self.breaker.before_call("serve.backend")
             except CircuitOpenError as exc:
+                # Advertise the breaker's own recovery horizon: its cooldown
+                # when time-based, otherwise a small fixed probe window.
+                cooldown = getattr(self.breaker, "cooldown_s", None)
                 raise ServeError(
                     503, "backendDegraded",
                     f"service degraded: {exc}",
+                    retry_after=int(cooldown) if cooldown else 15,
                 ) from exc
         try:
             with self._backend_lock:

@@ -17,6 +17,13 @@ Routes (full reference with schemas in ``docs/SERVICE.md``):
 ``POST /v1/campaigns``                       submit a campaign job (202)
 ``GET /v1/campaigns/{id}``                   job status
 ``GET /v1/campaigns/{id}/result``            job result (409 until done)
+``GET /v1/orchestrator``                     orchestrator occupancy overview
+``POST /v1/orchestrator/campaigns``          submit an orchestrated campaign
+``GET /v1/orchestrator/campaigns``           the caller's campaigns
+``GET /v1/orchestrator/campaigns/{id}``      one campaign's status
+``POST /v1/orchestrator/campaigns/{id}/pause``    pause at next boundary
+``POST /v1/orchestrator/campaigns/{id}/resume``   re-admit paused/degraded
+``POST /v1/orchestrator/campaigns/{id}/cancel``   cancel (refunds in-flight)
 ``POST /v1/keys``                            admin: mint a key
 ``GET /v1/keys``                             admin: list keys
 ``POST /v1/keys/{id}/rotate``                admin: rotate a credential
@@ -27,6 +34,12 @@ Tenant auth: ``?key=...`` or the ``X-Api-Key`` header (the query
 parameter wins, mirroring the real API).  Admin auth: the
 ``X-Admin-Token`` header must equal the token the server was started
 with; admin routes are disabled entirely when no token is configured.
+The orchestrator routes exist only when the server is started with an
+:class:`~repro.orchestrator.daemon.OrchestratorDaemon` attached.
+
+Backpressure: 429 (admission rejected) and 503 (breaker-degraded or
+draining) responses carry a ``Retry-After`` header whenever the failure
+is transient — the seconds a polite client waits before retrying.
 """
 
 from __future__ import annotations
@@ -51,8 +64,8 @@ _JSON_HEADERS = "Content-Type: application/json; charset=utf-8"
 _REASONS = {
     200: "OK", 202: "Accepted", 400: "Bad Request", 401: "Unauthorized",
     403: "Forbidden", 404: "Not Found", 405: "Method Not Allowed",
-    409: "Conflict", 413: "Payload Too Large", 500: "Internal Server Error",
-    503: "Service Unavailable",
+    409: "Conflict", 413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
 }
 
 
@@ -65,11 +78,14 @@ class SimulatorServer:
         host: str = "127.0.0.1",
         port: int = 0,
         admin_token: str | None = None,
+        orchestrator=None,
     ) -> None:
         self.gateway = gateway
         self.host = host
         self.port = port
         self.admin_token = admin_token
+        #: Optional OrchestratorDaemon; enables the /v1/orchestrator routes.
+        self.orchestrator = orchestrator
         self._server: asyncio.base_events.Server | None = None
 
     # -- lifecycle -------------------------------------------------------------
@@ -108,14 +124,19 @@ class SimulatorServer:
             if request is None:
                 return
             method, target, headers, body = request
-            status, payload = await self._dispatch(method, target, headers, body)
+            status, payload, *rest = await self._dispatch(
+                method, target, headers, body
+            )
+            extra_headers = rest[0] if rest else None
         except _HttpError as exc:
             status, payload = exc.status, _dumps(_envelope(exc.status, exc.reason, str(exc)))
+            extra_headers = None
         except Exception as exc:  # a handler bug must not kill the listener
             status = 500
             payload = _dumps(_envelope(500, "internalError", f"{type(exc).__name__}: {exc}"))
+            extra_headers = None
         try:
-            writer.write(_response_bytes(status, payload))
+            writer.write(_response_bytes(status, payload, extra_headers))
             await writer.drain()
         except (ConnectionError, BrokenPipeError):
             pass
@@ -158,7 +179,7 @@ class SimulatorServer:
 
     async def _dispatch(
         self, method: str, target: str, headers: dict[str, str], body: bytes
-    ) -> tuple[int, bytes]:
+    ) -> tuple[int, bytes] | tuple[int, bytes, dict[str, str] | None]:
         split = urlsplit(target)
         path = split.path.rstrip("/") or "/"
         params = dict(parse_qsl(split.query, keep_blank_values=True))
@@ -166,18 +187,24 @@ class SimulatorServer:
         t0 = time.perf_counter()
         loop = asyncio.get_running_loop()
 
-        def respond_error(exc: Exception) -> tuple[int, bytes]:
+        def respond_error(exc: Exception) -> tuple[int, bytes, dict | None]:
             if isinstance(exc, ServeError):
                 status, envelope = exc.http_status, exc.to_json()
             elif isinstance(exc, ApiError):
                 status, envelope = exc.http_status, exc.to_json()
             else:
                 raise exc
+            retry_after = getattr(exc, "retry_after", None)
+            extra = (
+                {"Retry-After": str(int(retry_after))}
+                if retry_after is not None
+                else None
+            )
             wall_ms = (time.perf_counter() - t0) * 1000.0
             self.gateway.observer.on_serve_request(
                 path, _key_id_of(self.gateway, credential), status, wall_ms, "-"
             )
-            return status, _dumps(envelope)
+            return status, _dumps(envelope), extra
 
         try:
             # Backend endpoints run in the executor: the simulator call is
@@ -224,11 +251,54 @@ class SimulatorServer:
                     payload["result"] = job.result
                     return 200, _dumps(payload)
                 raise ServeError(404, "notFound", f"no route {path!r}")
+            if path == "/v1/orchestrator" or path.startswith("/v1/orchestrator/"):
+                # Daemon calls journal with fsync; keep them off the loop.
+                return await loop.run_in_executor(
+                    None, self._orchestrator_route,
+                    method, path, credential, body,
+                )
             if path == "/v1/keys" or path.startswith("/v1/keys/"):
                 return self._admin_route(method, path, headers, body)
             raise ServeError(404, "notFound", f"no route {method} {path!r}")
         except (ServeError, ApiError) as exc:
             return respond_error(exc)
+
+    def _orchestrator_route(
+        self, method: str, path: str, credential: str | None, body: bytes
+    ) -> tuple[int, bytes]:
+        orch = self.orchestrator
+        if orch is None:
+            raise ServeError(
+                404, "orchestratorDisabled",
+                "this server was started without an orchestrator",
+            )
+        if path == "/v1/orchestrator":
+            if method != "GET":
+                raise ServeError(405, "methodNotAllowed", f"{method} {path}")
+            return 200, _dumps(orch.overview())
+        if path == "/v1/orchestrator/campaigns":
+            if method == "POST":
+                fields = _json_body(body)
+                submitted = orch.submit(
+                    credential,
+                    collections=int(fields.get("collections", 4)),
+                    interval_days=int(fields.get("intervalDays", 5)),
+                    priority=int(fields.get("priority", 0)),
+                )
+                return 202, _dumps(submitted)
+            if method == "GET":
+                return 200, _dumps({"campaigns": orch.list_campaigns(credential)})
+            raise ServeError(405, "methodNotAllowed", f"{method} {path}")
+        rest = path[len("/v1/orchestrator/campaigns/"):]
+        if not path.startswith("/v1/orchestrator/campaigns/") or not rest:
+            raise ServeError(404, "notFound", f"no route {method} {path!r}")
+        campaign_id, _, action = rest.partition("/")
+        if method == "GET" and action == "":
+            return 200, _dumps(orch.status(credential, campaign_id))
+        if method == "POST" and action in ("pause", "resume", "cancel"):
+            handler = getattr(orch, action)
+            return 200, _dumps(handler(credential, campaign_id))
+        raise ServeError(404, "notFound", f"no route {method} {path!r}")
 
     def _admin_route(
         self, method: str, path: str, headers: dict[str, str], body: bytes
@@ -316,14 +386,18 @@ def _envelope(status: int, reason: str, message: str) -> dict:
     }
 
 
-def _response_bytes(status: int, payload: bytes) -> bytes:
-    head = (
-        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-        f"{_JSON_HEADERS}\r\n"
-        f"Content-Length: {len(payload)}\r\n"
-        f"Connection: close\r\n"
-        f"\r\n"
-    )
+def _response_bytes(
+    status: int, payload: bytes, extra_headers: dict[str, str] | None = None
+) -> bytes:
+    lines = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        _JSON_HEADERS,
+        f"Content-Length: {len(payload)}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    lines.append("Connection: close")
+    head = "\r\n".join(lines) + "\r\n\r\n"
     return head.encode("latin-1") + payload
 
 

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 from repro.api.quota import QuotaPolicy
+from repro.util.jsonio import atomic_write_text
 from repro.util.rng import stable_hash
 
 __all__ = ["ApiKey", "KeyTable"]
@@ -180,15 +181,23 @@ class KeyTable:
     # -- persistence -----------------------------------------------------------
 
     def save(self, path: str | Path | None = None) -> Path:
-        """Write the table as JSON; returns the path written."""
+        """Write the table as JSON; returns the path written.
+
+        The write is atomic (same-directory temp file, fsync, then
+        :func:`os.replace`): a process killed mid-save — the serve daemon
+        being SIGKILLed while minting a key — can never leave a torn or
+        empty ``--key-file`` behind.  Every credential in the table
+        survives the crash, either at its pre-save or post-save state.
+        """
         target = Path(path if path is not None else self.path)
         with self._lock:
             payload = {
                 "seq": self._seq,
                 "keys": [key.to_dict() for key in self.list()],
             }
-        target.parent.mkdir(parents=True, exist_ok=True)
-        target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        atomic_write_text(
+            target, json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
         return target
 
     @classmethod

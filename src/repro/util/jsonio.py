@@ -2,16 +2,32 @@
 
 Snapshots can be large (tens of thousands of video IDs with metadata), so we
 stream one JSON object per line rather than building a single document.
+
+Crash safety: :func:`atomic_write_text` (and ``write_jsonl(...,
+atomic=True)`` / :func:`dump_json` with ``atomic=True``) write through a
+same-directory temp file, fsync it, and :func:`os.replace` it over the
+target, so a process killed mid-save can never leave a torn or empty
+file — the reader sees either the old complete document or the new one.
+The orchestrator's journal compaction, campaign checkpoints, and the
+serve layer's key table all persist through this path.
 """
 
 from __future__ import annotations
 
 import gzip
 import json
+import os
 from pathlib import Path
 from typing import Any, Iterable, Iterator
 
-__all__ = ["write_jsonl", "read_jsonl", "append_jsonl", "dump_json", "load_json"]
+__all__ = [
+    "write_jsonl",
+    "read_jsonl",
+    "append_jsonl",
+    "dump_json",
+    "load_json",
+    "atomic_write_text",
+]
 
 
 def _open(path: Path, mode: str):
@@ -20,10 +36,61 @@ def _open(path: Path, mode: str):
     return open(path, mode, encoding="utf-8")
 
 
-def write_jsonl(path: str | Path, records: Iterable[Any]) -> int:
-    """Write records as JSON lines; returns the number of records written."""
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Write ``text`` to ``path`` so a crash can never leave a torn file.
+
+    The bytes go to a ``<name>.tmp.<pid>`` sibling first, are flushed and
+    fsynced, and only then renamed over the target with :func:`os.replace`
+    (atomic on POSIX).  The containing directory is fsynced afterwards so
+    the rename itself survives a power cut.  On any failure the temp file
+    is removed and the original target is untouched.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f"{path.name}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    _fsync_dir(path.parent)
+    return path
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Flush a directory entry (rename durability); best-effort on odd FSes."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def write_jsonl(path: str | Path, records: Iterable[Any], atomic: bool = False) -> int:
+    """Write records as JSON lines; returns the number of records written.
+
+    With ``atomic=True`` (plain, non-gzip paths) the file is written via
+    :func:`atomic_write_text`, so a crash mid-save leaves the previous
+    version intact instead of a torn checkpoint.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if atomic and path.suffix != ".gz":
+        lines = [
+            json.dumps(record, sort_keys=True, default=_default)
+            for record in records
+        ]
+        atomic_write_text(path, "".join(line + "\n" for line in lines))
+        return len(lines)
     count = 0
     with _open(path, "w") as fh:
         for record in records:
@@ -60,13 +127,20 @@ def read_jsonl(path: str | Path) -> Iterator[Any]:
                 raise ValueError(f"{path}:{line_number}: invalid JSON: {exc}") from exc
 
 
-def dump_json(path: str | Path, payload: Any) -> None:
-    """Write a single pretty-printed JSON document."""
+def dump_json(path: str | Path, payload: Any, atomic: bool = False) -> None:
+    """Write a single pretty-printed JSON document.
+
+    With ``atomic=True`` the document goes through
+    :func:`atomic_write_text` (crash-safe tmp-file + rename).
+    """
+    text = json.dumps(payload, indent=2, sort_keys=True, default=_default) + "\n"
+    if atomic:
+        atomic_write_text(path, text)
+        return
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with open(path, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True, default=_default)
-        fh.write("\n")
+        fh.write(text)
 
 
 def load_json(path: str | Path) -> Any:

@@ -450,7 +450,7 @@ class TestAnalysisBattery:
         with pytest.raises(ValueError, match="kind"):
             BenchScenario(scale=0.2, collections=4, kind="nope")
         assert {s.kind for s in SCENARIOS.values()} == {
-            "campaign", "analysis", "replication", "service",
+            "campaign", "analysis", "replication", "service", "orchestrator",
         }
 
 

@@ -55,3 +55,18 @@ class TestChaosCli:
         out = capsys.readouterr().out
         for name in SCENARIOS:
             assert name in out
+
+
+class TestCrashScenarios:
+    @pytest.mark.parametrize("name", ["boundary-crash", "midsnapshot-crash"])
+    def test_kill_and_restart_recovers_exactly(self, name, tmp_path):
+        report = run_scenario(name, tmp_path)
+        assert report.passed, report.render()
+        by_name = {check.name: check for check in report.checks}
+        # The process died, a fresh stack resumed from the checkpoint...
+        assert by_name["crashed-then-resumed"].passed
+        # ...and nothing shows: bytes identical, ledger exact, no bin
+        # billed twice across the two process lifetimes.
+        assert by_name["byte-identical-result"].passed
+        assert by_name["quota-reconciles"].passed
+        assert by_name["no-double-billing"].passed

@@ -106,6 +106,7 @@ class TestScenarios:
         assert set(SCENARIOS) == {
             "burst-500s", "ratelimit-storm", "malformed-json",
             "invalid-page-token", "quota-cliff", "hard-outage",
+            "boundary-crash", "midsnapshot-crash",
         }
 
     def test_each_scenario_yields_fresh_plans(self):
@@ -116,3 +117,30 @@ class TestScenarios:
             for _ in range(10):
                 a.maybe_fail("search.list")
         assert b.tick == 0
+
+
+class TestProcessCrashFault:
+    def test_process_crash_raises_outside_the_api_error_hierarchy(self):
+        from repro.api.errors import ApiError
+        from repro.resilience.faults import SimulatedCrashError
+
+        plan = FaultPlan([FaultSpec(start=0, count=1, error="processCrash")])
+        with pytest.raises(SimulatedCrashError) as err:
+            plan.maybe_fail("search.list")
+        # Not an ApiError: the retry policy must NOT absorb a crash — it
+        # propagates through client and campaign like a real SIGKILL.
+        assert not isinstance(err.value, ApiError)
+
+    def test_crash_at_snapshot_lands_on_the_boundary_tick(self):
+        from repro.resilience.faults import crash_at_snapshot
+
+        spec = crash_at_snapshot(queries_per_snapshot=48, snapshot_index=2)
+        assert spec.error == "processCrash"
+        assert not spec.matches(95, "search.list")  # last bin of snapshot 1
+        assert spec.matches(96, "search.list")      # first bin of snapshot 2
+        assert not spec.matches(97, "search.list")
+
+    def test_crash_scenarios_are_registered(self):
+        assert SCENARIOS["boundary-crash"].expect_crash
+        assert SCENARIOS["midsnapshot-crash"].expect_crash
+        assert not SCENARIOS["burst-500s"].expect_crash

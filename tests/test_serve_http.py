@@ -338,3 +338,224 @@ class TestLoadgenHarness:
         empty = LoadReport(requests=0, ok=0, errors=0, wall_s=0.0)
         assert empty.p50_ms == 0.0
         assert empty.qps == 0.0
+
+
+async def _request_with_headers(
+    host: str, port: int, method: str, target: str, body: bytes = b"",
+) -> tuple[int, dict, bytes]:
+    """Like :func:`_request` but also returns the response headers."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        head = (
+            f"{method} {target} HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, BrokenPipeError):
+            pass
+    header_blob, payload = raw.split(b"\r\n\r\n", 1)
+    lines = header_blob.decode("latin-1").split("\r\n")
+    status = int(lines[0].split(" ", 2)[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers, payload
+
+
+def _orch_stack(tmp_path, max_queued=8, per_tenant_active=2):
+    """A tiny-world gateway + orchestrator (1 topic, 48-bin snapshots)."""
+    import dataclasses
+
+    from repro.orchestrator import OrchestratorDaemon
+    from repro.serve.gateway import build_gateway
+    from repro.world.corpus import build_world, scale_topic
+    from repro.world.topics import paper_topics
+
+    smallest = min(paper_topics(), key=lambda spec: spec.n_videos)
+    spec = dataclasses.replace(scale_topic(smallest, 0.05), window_days=1)
+    world = build_world((spec,), seed=SEED, with_comments=False)
+    gateway = build_gateway(
+        world=world, specs=(spec,), seed=SEED, keys=KeyTable(seed=SEED),
+    )
+    daemon = OrchestratorDaemon(
+        gateway, tmp_path / "orch",
+        max_queued=max_queued, per_tenant_active=per_tenant_active,
+    )
+    return gateway, daemon
+
+
+def _serve_orchestrator(gateway, daemon, script):
+    async def main():
+        server = SimulatorServer(gateway, orchestrator=daemon)
+        host, port = await server.start()
+        try:
+            return await script(host, port)
+        finally:
+            await server.aclose()
+
+    return asyncio.run(main())
+
+
+class TestOrchestratorRoutes:
+    def test_submit_poll_complete_roundtrip(self, tmp_path):
+        gateway, daemon = _orch_stack(tmp_path)
+        key = gateway.mint_key(daily_limit=10_000)
+        daemon.start()
+
+        async def script(host, port):
+            auth = f"key={key.credential}"
+            status, body = await _request(
+                host, port, "POST", f"/v1/orchestrator/campaigns?{auth}",
+                body=json.dumps({"collections": 1}).encode(),
+            )
+            assert status == 202
+            cid = json.loads(body)["campaignId"]
+            for _ in range(600):
+                status, body = await _request(
+                    host, port, "GET",
+                    f"/v1/orchestrator/campaigns/{cid}?{auth}",
+                )
+                assert status == 200
+                payload = json.loads(body)
+                if payload["state"] == "completed":
+                    break
+                await asyncio.sleep(0.05)
+            assert payload["state"] == "completed"
+            assert payload["quotaUnits"] == 4800
+            status, body = await _request(
+                host, port, "GET", f"/v1/orchestrator/campaigns?{auth}"
+            )
+            assert status == 200
+            listing = json.loads(body)["campaigns"]
+            assert [c["campaignId"] for c in listing] == [cid]
+            status, body = await _request(host, port, "GET", "/v1/orchestrator")
+            assert status == 200
+            assert json.loads(body)["campaigns"] == {"completed": 1}
+            return cid
+
+        cid = _serve_orchestrator(gateway, daemon, script)
+        assert daemon.result_sha256(cid) is not None
+        daemon.drain()
+        gateway.close()
+
+    def test_admission_reject_carries_retry_after_header(self, tmp_path):
+        gateway, daemon = _orch_stack(tmp_path)  # workers never started:
+        key = gateway.mint_key(daily_limit=10_000)  # submissions queue up
+
+        async def script(host, port):
+            auth = f"key={key.credential}"
+            for _ in range(2):
+                status, _headers, _body = await _request_with_headers(
+                    host, port, "POST", f"/v1/orchestrator/campaigns?{auth}"
+                )
+                assert status == 202
+            status, headers, body = await _request_with_headers(
+                host, port, "POST", f"/v1/orchestrator/campaigns?{auth}"
+            )
+            assert status == 429
+            envelope = json.loads(body)["error"]
+            assert envelope["errors"][0]["reason"] == "tenantBusy"
+            assert int(headers["retry-after"]) >= 5
+
+        _serve_orchestrator(gateway, daemon, script)
+        gateway.close()
+
+    def test_permanent_reject_has_no_retry_after(self, tmp_path):
+        gateway, daemon = _orch_stack(tmp_path)
+        key = gateway.mint_key(daily_limit=100)  # < one snapshot
+
+        async def script(host, port):
+            status, headers, body = await _request_with_headers(
+                host, port, "POST",
+                f"/v1/orchestrator/campaigns?key={key.credential}",
+            )
+            assert status == 400
+            envelope = json.loads(body)["error"]
+            assert envelope["errors"][0]["reason"] == "quotaNeverFits"
+            assert "retry-after" not in headers
+
+        _serve_orchestrator(gateway, daemon, script)
+        gateway.close()
+
+    def test_pause_of_queued_campaign_is_409(self, tmp_path):
+        gateway, daemon = _orch_stack(tmp_path)
+        key = gateway.mint_key(daily_limit=10_000)
+
+        async def script(host, port):
+            auth = f"key={key.credential}"
+            _status, body = await _request(
+                host, port, "POST", f"/v1/orchestrator/campaigns?{auth}"
+            )
+            cid = json.loads(body)["campaignId"]
+            status, body = await _request(
+                host, port, "POST", f"/v1/orchestrator/campaigns/{cid}/pause?{auth}"
+            )
+            assert status == 409
+            reason = json.loads(body)["error"]["errors"][0]["reason"]
+            assert reason == "notRunning"
+
+        _serve_orchestrator(gateway, daemon, script)
+        gateway.close()
+
+    def test_routes_404_when_orchestrator_not_attached(self, gateway, tenant):
+        async def script(host, port):
+            return await _request(
+                host, port, "GET", f"/v1/orchestrator?key={tenant.credential}"
+            )
+
+        status, body = _serve(gateway, script)
+        assert status == 404
+        assert json.loads(body)["error"]["errors"][0]["reason"] == (
+            "orchestratorDisabled"
+        )
+
+    def test_unsupported_method_is_405(self, tmp_path):
+        gateway, daemon = _orch_stack(tmp_path)
+        key = gateway.mint_key(daily_limit=10_000)
+
+        async def script(host, port):
+            status, _body = await _request(
+                host, port, "DELETE", f"/v1/orchestrator?key={key.credential}"
+            )
+            assert status == 405
+
+        _serve_orchestrator(gateway, daemon, script)
+        gateway.close()
+
+
+class TestRetryAfterOnDegradation:
+    def test_open_breaker_maps_to_503_with_retry_after(
+        self, small_world, small_specs
+    ):
+        from repro.resilience.breaker import CircuitBreaker
+        from repro.serve.gateway import SimulatorGateway
+
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=42)
+        gateway = SimulatorGateway(
+            small_world, seed=SEED, specs=small_specs,
+            keys=KeyTable(seed=SEED), breaker=breaker,
+        )
+        key = gateway.mint_key(daily_limit=1_000_000)
+        breaker.record_failure("serve.backend")  # trips at threshold 1
+
+        async def script(host, port):
+            return await _request_with_headers(
+                host, port, "GET",
+                f"/youtube/v3/search?part=snippet&q=x&key={key.credential}",
+            )
+
+        status, headers, body = _serve(gateway, script)
+        assert status == 503
+        assert headers["retry-after"] == "42"
+        reason = json.loads(body)["error"]["errors"][0]["reason"]
+        assert reason == "backendDegraded"
+        gateway.close()

@@ -101,3 +101,40 @@ class TestPersistence:
             daily_limit=123, researcher=True, status="revoked", seq=42,
         )
         assert ApiKey.from_dict(key.to_dict()) == key
+
+
+class TestCrashSafety:
+    def test_interrupted_save_leaves_the_original_intact(
+        self, tmp_path, monkeypatch
+    ):
+        """A save killed mid-write can never tear or empty the key file.
+
+        The save path is temp-file + fsync + ``os.replace``: the target
+        only ever changes via one atomic rename.  Here the "crash" lands
+        at the worst instant — after the temp file is written, before the
+        rename — and the table on disk must still be the pre-save one,
+        with no temp litter left behind.
+        """
+        path = tmp_path / "keys.json"
+        table = KeyTable(seed=7, path=path)
+        table.mint(label="alpha", daily_limit=2_000)
+        before = path.read_text()
+
+        def killed(src, dst):
+            raise OSError("simulated SIGKILL mid-replace")
+
+        monkeypatch.setattr("repro.util.jsonio.os.replace", killed)
+        with pytest.raises(OSError):
+            table.mint(label="beta")
+        monkeypatch.undo()
+
+        assert path.read_text() == before
+        assert list(tmp_path.iterdir()) == [path]  # temp file cleaned up
+        loaded = KeyTable.load(path)
+        assert [k.label for k in loaded.list()] == ["alpha"]
+        assert loaded.authenticate(table.get("k0001").credential) is not None
+        # The table is still usable: the next successful save persists both.
+        loaded.mint(label="gamma")
+        assert [k.label for k in KeyTable.load(path).list()] == [
+            "alpha", "gamma"
+        ]
