@@ -11,6 +11,8 @@
 #                     temp file (verify gate; see docs/PERFORMANCE.md)
 #   make bench-service  service latency/throughput benchmark to a temp
 #                     file (see docs/SERVICE.md and docs/PERFORMANCE.md)
+#   make bench-world  world-builder benchmark at smoke scale to a temp
+#                     file (verify gate; see docs/PERFORMANCE.md)
 #   make serve-smoke  serve + loadgen burst: byte-identity vs the
 #                     in-process reference and exact ledger reconciliation
 #   make orchestrator-smoke  kill -9 the orchestrator daemon mid-campaign,
@@ -23,10 +25,11 @@
 PYTHON ?= python
 
 .PHONY: verify test doclinks chaos bench bench-smoke bench-analysis \
-	bench-service serve-smoke orchestrator-smoke coverage coverage-fast
+	bench-service bench-world serve-smoke orchestrator-smoke coverage \
+	coverage-fast
 
-verify: test doclinks chaos bench-smoke bench-analysis serve-smoke \
-	orchestrator-smoke coverage-fast
+verify: test doclinks chaos bench-smoke bench-analysis bench-world \
+	serve-smoke orchestrator-smoke coverage-fast
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -51,6 +54,10 @@ bench-analysis:
 bench-service:
 	$(PYTHON) tools/bench_service.py \
 		--out $(or $(TMPDIR),/tmp)/repro_bench_service.json
+
+bench-world:
+	PYTHONPATH=src $(PYTHON) -m repro bench --scenario world-smoke --quiet \
+		--out $(or $(TMPDIR),/tmp)/repro_bench_world.json
 
 serve-smoke:
 	$(PYTHON) tools/serve_smoke.py

@@ -253,7 +253,11 @@ def build_parser() -> argparse.ArgumentParser:
 def _common_world_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--scale", type=float, default=0.3,
-                        help="corpus scale in (0, 1]; 1.0 = the paper's full size")
+                        help="corpus scale; 1.0 = the paper's full size, "
+                             "values above 1.0 grow the world")
+    parser.add_argument("--legacy-world", action="store_true",
+                        help="build the world on the eager scalar path "
+                             "(the columnar builder's byte-identity oracle)")
 
 
 def _build(args, with_comments: bool, observer=None):
@@ -263,7 +267,11 @@ def _build(args, with_comments: bool, observer=None):
     from repro.world.topics import paper_topics
 
     specs = scale_topics(paper_topics(), args.scale)
-    world = build_world(specs, seed=args.seed, with_comments=with_comments)
+    world = build_world(
+        specs, seed=args.seed, with_comments=with_comments,
+        use_columnar=not getattr(args, "legacy_world", False),
+        observer=observer,
+    )
     service = build_service(
         world, seed=args.seed, specs=specs,
         quota_policy=QuotaPolicy(researcher_program=True),
@@ -274,7 +282,9 @@ def _build(args, with_comments: bool, observer=None):
 
 def _cmd_world(args) -> int:
     _specs, world, service = _build(args, with_comments=True)
-    print(f"world (seed={args.seed}, scale={args.scale}): {world.summary()}")
+    path = "legacy" if args.legacy_world else "columnar"
+    print(f"world (seed={args.seed}, scale={args.scale}, {path}): "
+          f"{world.summary()}")
     print(f"store: {service.store.summary()}")
     return 0
 

@@ -1,6 +1,6 @@
 """Campaign performance benchmark: the instrument perf PRs are judged by.
 
-Five scenario kinds, each with its own primary metric:
+Six scenario kinds, each with its own primary metric:
 
 * ``kind="campaign"`` (collection; metric ``campaign_s``) — world build,
   a single snapshot sweep, and the full campaign:
@@ -41,6 +41,16 @@ Five scenario kinds, each with its own primary metric:
   via the ``processCrash`` fault and reports ``recovery_s``: the wall
   time from constructing a fresh daemon over the crashed workdir
   (journal replay included) to that campaign's completion.
+
+* ``kind="world"`` (metric ``world_build_s``) — time the columnar world
+  builder at the scenario scale (10x the paper corpus for ``world``, 2x
+  for the ``world-smoke`` run in ``make verify``), then stand up the
+  platform store and force its census, then run the eager legacy builder
+  on the same specs (``legacy_speedup`` rides along).  ``deep=True``
+  extends the ladder one decade down and up (1x and 100x for ``world``),
+  so the 100x build is timed on every full bench run.  The recorded
+  baseline is the eager builder — the pre-columnar assembly path, kept
+  verbatim as the byte-identity oracle — at the same scales.
 
 * ``kind="replication"`` (metric ``replication_s``) — time
   :func:`repro.core.replication.run_replication` over
@@ -101,6 +111,7 @@ PRIMARY_METRIC = {
     "replication": "replication_s",
     "service": "serve_s",
     "orchestrator": "orchestrate_s",
+    "world": "world_build_s",
 }
 
 #: Pre-optimization timings, measured with this same harness logic on the
@@ -191,6 +202,28 @@ RECORDED_BASELINE = {
             "orchestrate_s": 1.10,
             "recovery_s": 0.30,
         },
+        # World baselines are measured through ``use_columnar=False`` —
+        # the eager assembly path kept verbatim as the byte-identity
+        # oracle — because the pre-columnar builder (commit fea4f06)
+        # rejected scales above 1.0 outright.
+        "world": {
+            "commit": "fea4f06",
+            "kind": "world",
+            "workers": 1,
+            "backend": "serial",
+            "scale": 10.0,
+            "videos": 75_150,
+            "world_build_s": 21.8295,
+        },
+        "world-smoke": {
+            "commit": "fea4f06",
+            "kind": "world",
+            "workers": 1,
+            "backend": "serial",
+            "scale": 2.0,
+            "videos": 15_030,
+            "world_build_s": 2.1067,
+        },
     },
 }
 
@@ -212,9 +245,17 @@ class BenchScenario:
     requests: int = 0
     #: ``kind="orchestrator"`` only: concurrent campaigns to orchestrate.
     campaigns: int = 0
+    #: ``kind="world"`` only: also time the columnar builder one decade
+    #: below and above the scenario scale (the 1x/10x/100x ladder).
+    deep: bool = False
 
     def __post_init__(self) -> None:
-        if not 0.0 < self.scale <= 1.0:
+        if self.kind == "world":
+            # World builds are the one workload meant to outgrow the
+            # paper's corpus: any positive scale is a valid build size.
+            if not self.scale > 0.0:
+                raise ValueError("scale must be positive")
+        elif not 0.0 < self.scale <= 1.0:
             raise ValueError("scale must be in (0, 1]")
         if self.collections < 1:
             raise ValueError("collections must be positive")
@@ -246,6 +287,8 @@ SCENARIOS: dict[str, BenchScenario] = {
     "orchestrator": BenchScenario(
         scale=0.05, collections=2, kind="orchestrator", campaigns=4
     ),
+    "world": BenchScenario(scale=10.0, collections=1, kind="world", deep=True),
+    "world-smoke": BenchScenario(scale=2.0, collections=1, kind="world"),
 }
 
 
@@ -456,6 +499,55 @@ def run_scenario(
 
     specs = scale_topics(paper_topics(), scenario.scale)
 
+    if scenario.kind == "world":
+        from repro.world.store import PlatformStore
+
+        results: dict = {
+            "kind": scenario.kind,
+            "scale": scenario.scale,
+            "collections": scenario.collections,
+            "workers": workers,
+            "backend": backend,
+            "deep": scenario.deep,
+        }
+        note(f"building world (scale {scenario.scale:g}, columnar) ...")
+        t0 = time.perf_counter()
+        world = build_world(specs, seed=seed)
+        results["world_build_s"] = round(time.perf_counter() - t0, 4)
+        summary = world.summary()
+        results["videos"] = summary["videos"]
+        results["channels"] = summary["channels"]
+
+        note("standing up the platform store (census forced) ...")
+        t0 = time.perf_counter()
+        store = PlatformStore(world)
+        store.summary()
+        results["store_build_s"] = round(time.perf_counter() - t0, 4)
+
+        if scenario.deep:
+            for label, extra in (
+                ("down", scenario.scale / 10.0),
+                ("up", scenario.scale * 10.0),
+            ):
+                extra_specs = scale_topics(paper_topics(), extra)
+                note(f"building world (scale {extra:g}, columnar) ...")
+                t0 = time.perf_counter()
+                extra_world = build_world(extra_specs, seed=seed)
+                results[f"world_build_{label}_s"] = round(
+                    time.perf_counter() - t0, 4
+                )
+                results[f"scale_{label}"] = extra
+                results[f"videos_{label}"] = extra_world.summary()["videos"]
+
+        note(f"building world (scale {scenario.scale:g}, legacy oracle) ...")
+        t0 = time.perf_counter()
+        build_world(specs, seed=seed, use_columnar=False)
+        results["legacy_build_s"] = round(time.perf_counter() - t0, 4)
+        results["legacy_speedup"] = round(
+            results["legacy_build_s"] / results["world_build_s"], 2
+        )
+        return results
+
     if scenario.kind == "service":
         from repro.serve.gateway import build_gateway
         from repro.serve.loadgen import run_served_burst
@@ -577,6 +669,7 @@ def run_benchmark(
     names: tuple[str, ...] = (
         "reduced", "paper", "process", "analysis", "analysis-smoke",
         "replication", "service", "service-smoke", "orchestrator",
+        "world", "world-smoke",
     ),
     seed: int = BENCH_SEED,
     workers: int | None = None,
@@ -662,6 +755,21 @@ def format_report(report: dict) -> str:
                 f"({cur['campaigns_per_hour']} campaigns/h, "
                 f"recovery {cur['recovery_s']:.3f}s, {cur['units']} units)"
             )
+        elif kind == "world":
+            line = (
+                f"  {name:14s} scale {cur['scale']:g} | "
+                f"columnar {cur['world_build_s']:.3f}s | "
+                f"store {cur['store_build_s']:.3f}s | "
+                f"legacy {cur['legacy_build_s']:.3f}s "
+                f"({cur['videos']} videos, "
+                f"{cur['legacy_speedup']}x vs legacy)"
+            )
+            if cur.get("deep"):
+                line += (
+                    f" | ladder {cur['world_build_down_s']:.3f}s @"
+                    f"{cur['scale_down']:g} / "
+                    f"{cur['world_build_up_s']:.3f}s @{cur['scale_up']:g}"
+                )
         elif kind == "service":
             line = (
                 f"  {name:14s} c{cur['concurrency']} | "

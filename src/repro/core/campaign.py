@@ -182,5 +182,7 @@ def run_campaign(
         collector.close()
 
     return CampaignResult(
-        topic_keys=tuple(spec.key for spec in config.topics), snapshots=snapshots
+        topic_keys=tuple(spec.key for spec in config.topics),
+        snapshots=snapshots,
+        corpus=getattr(client.service.store, "corpus", None),
     )

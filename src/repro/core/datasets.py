@@ -99,6 +99,12 @@ class CampaignResult:
 
     topic_keys: tuple[str, ...]
     snapshots: list[Snapshot]
+    #: Live columnar corpus of the world this campaign ran against, when
+    #: collection happened in-process against a columnar store.  Never
+    #: persisted: :meth:`save` ignores it and :meth:`load` leaves it
+    #: ``None``, in which case analyses fall back to parsing the captured
+    #: API resources (the only option for real or archived campaigns).
+    corpus: object | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         for i, snap in enumerate(self.snapshots):

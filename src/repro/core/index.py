@@ -524,7 +524,12 @@ class CampaignIndex:
             else None
         )
         frequencies = ti.present.sum(axis=1)
-        age_of: dict[str, float] = {}
+        # Live columnar corpus (in-process campaigns only): static video /
+        # channel facts come straight from the typed arrays instead of
+        # being re-parsed out of the captured resources.  The resource
+        # capture is lossless for these fields, so both sources agree.
+        corpus = self._campaign.corpus
+        chan_of: dict[str, tuple[float, int, int, int]] = {}
         video_ids: list[str] = []
         frequency: list[int] = []
         duration: list[int] = []
@@ -546,22 +551,44 @@ class CampaignIndex:
                 continue
             stats = meta.get("statistics", {})
             details = meta.get("contentDetails", {})
-            age = age_of.get(channel_id)
-            if age is None:
-                created = parse_rfc3339(channel["snippet"]["publishedAt"])
-                age = (collected_at - created).days
-                age_of[channel_id] = age
+            cstat = chan_of.get(channel_id)
+            if cstat is None:
+                static = (
+                    corpus.channel_static(channel_id)
+                    if corpus is not None
+                    else None
+                )
+                if static is not None:
+                    created, c_views, c_subs, c_videos = static
+                else:
+                    created = parse_rfc3339(channel["snippet"]["publishedAt"])
+                    c_views = int(channel["statistics"]["viewCount"])
+                    c_subs = int(channel["statistics"]["subscriberCount"])
+                    c_videos = int(channel["statistics"]["videoCount"])
+                cstat = (
+                    float((collected_at - created).days),
+                    c_views, c_subs, c_videos,
+                )
+                chan_of[channel_id] = cstat
+            vstat = (
+                corpus.video_static(video_id) if corpus is not None else None
+            )
+            if vstat is None:
+                vstat = (
+                    parse_iso8601_duration(details.get("duration", "PT1S")),
+                    details.get("definition", "hd"),
+                )
             video_ids.append(video_id)
             frequency.append(int(frequencies[row]))
-            duration.append(parse_iso8601_duration(details.get("duration", "PT1S")))
-            definition.append(details.get("definition", "hd"))
+            duration.append(vstat[0])
+            definition.append(vstat[1])
             views.append(int(stats.get("viewCount", 0)))
             likes.append(int(stats.get("likeCount", 0)))
             comments.append(int(stats.get("commentCount", 0)))
-            channel_age.append(age)
-            channel_views.append(int(channel["statistics"]["viewCount"]))
-            channel_subs.append(int(channel["statistics"]["subscriberCount"]))
-            channel_videos.append(int(channel["statistics"]["videoCount"]))
+            channel_age.append(cstat[0])
+            channel_views.append(cstat[1])
+            channel_subs.append(cstat[2])
+            channel_videos.append(cstat[3])
         ti.regression = _RegressionColumns(
             video_ids=video_ids,
             frequency=np.array(frequency, dtype=np.int64),

@@ -122,6 +122,19 @@ class Observer:
     ) -> None:
         """A campaign's columnar index was (re)built (cache miss)."""
 
+    # -- world layer -----------------------------------------------------------
+
+    def on_world_build(
+        self,
+        videos: int,
+        channels: int,
+        threads: int,
+        tokens: int,
+        wall_s: float,
+        path: str,
+    ) -> None:
+        """A synthetic world was generated (``path`` in columnar/legacy)."""
+
     # -- serve layer -----------------------------------------------------------
 
     def on_serve_request(
@@ -331,6 +344,28 @@ class CampaignObserver(Observer):
         self.tracer.emit(
             "index.build", topics=topics, videos=videos,
             collections=collections, wall_s=round(wall_s, 6),
+        )
+
+    # -- world layer -----------------------------------------------------------
+
+    def on_world_build(
+        self,
+        videos: int,
+        channels: int,
+        threads: int,
+        tokens: int,
+        wall_s: float,
+        path: str,
+    ) -> None:
+        self.metrics.inc("world.builds", path=path)
+        self.metrics.observe("world.build_wall_s", wall_s)
+        self.metrics.set_gauge("world.videos", videos)
+        self.metrics.set_gauge("world.channels", channels)
+        self.metrics.set_gauge("world.threads", threads)
+        self.metrics.set_gauge("world.tokens", tokens)
+        self.tracer.emit(
+            "world.build", videos=videos, channels=channels, threads=threads,
+            tokens=tokens, wall_s=round(wall_s, 6), path=path,
         )
 
     # -- serve layer -----------------------------------------------------------

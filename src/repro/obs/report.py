@@ -67,6 +67,9 @@ class ObsSummary:
     #: (endpoint, old, new) for every circuit-breaker transition, in order.
     circuit_transitions: list[tuple[str, str, str]] = field(default_factory=list)
     degraded_events: dict[str, int] = field(default_factory=dict)
+    #: flat ``world.build`` event dicts (videos/channels/threads/tokens/
+    #: wall_s/path), in emission order.
+    world_builds: list[dict] = field(default_factory=list)
 
     @property
     def total_calls(self) -> int:
@@ -166,6 +169,17 @@ def summarize_events(events: Iterable[dict]) -> ObsSummary:
         elif kind == "campaign.checkpoint":
             action = event.get("action", "?")
             s.checkpoints[action] = s.checkpoints.get(action, 0) + 1
+        elif kind == "world.build":
+            s.world_builds.append(
+                {
+                    "videos": int(event.get("videos", 0)),
+                    "channels": int(event.get("channels", 0)),
+                    "threads": int(event.get("threads", 0)),
+                    "tokens": int(event.get("tokens", 0)),
+                    "wall_s": float(event.get("wall_s", 0.0)),
+                    "path": event.get("path", "?"),
+                }
+            )
     s.snapshots.sort(key=lambda snap: snap.index)
     return s
 
@@ -176,6 +190,8 @@ def render_observability(events: Iterable[dict] | ObsSummary) -> str:
         events if isinstance(events, ObsSummary) else summarize_events(events)
     )
     blocks = [_render_totals(summary), _render_endpoints(summary)]
+    if summary.world_builds:
+        blocks.append(_render_world_builds(summary))
     if summary.circuit_transitions or summary.degraded_events:
         blocks.append(_render_resilience(summary))
     if summary.topic_units:
@@ -206,6 +222,19 @@ def _render_totals(s: ObsSummary) -> str:
         rows.insert(3, ["quota units refunded", s.refund_units])
         rows.insert(4, ["quota units (net)", s.net_units])
     return render_table(["metric", "value"], rows, title="Observability report")
+
+
+def _render_world_builds(s: ObsSummary) -> str:
+    rows = [
+        [b["path"], b["videos"], b["channels"], b["threads"], b["tokens"],
+         round(b["wall_s"], 3)]
+        for b in s.world_builds
+    ]
+    return render_table(
+        ["path", "videos", "channels", "threads", "tokens", "wall s"],
+        rows,
+        title="World builds",
+    )
 
 
 def _render_resilience(s: ObsSummary) -> str:

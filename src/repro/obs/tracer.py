@@ -46,6 +46,7 @@ EVENT_TYPES = (
     "shard.dispatch",
     "shard.merge",
     "index.build",
+    "world.build",
     "serve.request",
     "serve.key",
     "serve.campaign",

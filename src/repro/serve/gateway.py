@@ -523,7 +523,7 @@ def build_gateway(
     if specs is None:
         specs = scale_topics(paper_topics(), scale)
     if world is None:
-        world = build_world(specs, seed=seed)
+        world = build_world(specs, seed=seed, observer=observer)
     return SimulatorGateway(
         world, seed=seed, specs=specs, keys=keys, observer=observer,
         breaker=breaker, cache_entries=cache_entries,

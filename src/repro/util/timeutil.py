@@ -15,6 +15,9 @@ from typing import Iterator
 
 __all__ = [
     "UTC",
+    "EPOCH",
+    "to_epoch_us",
+    "from_epoch_us",
     "parse_rfc3339",
     "format_rfc3339",
     "parse_iso8601_duration",
@@ -103,6 +106,30 @@ def ensure_utc(dt: datetime) -> datetime:
     if dt.tzinfo is None:
         raise ValueError("naive datetime not allowed; attach a timezone")
     return dt.astimezone(UTC)
+
+
+#: Unix epoch as an aware UTC datetime — the zero point of the columnar
+#: world's int64 microsecond timestamps.
+EPOCH = datetime(1970, 1, 1, tzinfo=UTC)
+
+_ONE_US = timedelta(microseconds=1)
+
+
+def to_epoch_us(dt: datetime) -> int:
+    """Aware datetime -> integer microseconds since the Unix epoch.
+
+    Pure integer arithmetic (no float ``timestamp()`` round-trip), so the
+    conversion is exact and ``from_epoch_us(to_epoch_us(dt)) == dt`` for
+    any aware datetime.
+    """
+    if dt.tzinfo is None:
+        raise ValueError("naive datetime not allowed; attach a timezone")
+    return (dt - EPOCH) // _ONE_US
+
+
+def from_epoch_us(us: int) -> datetime:
+    """Integer microseconds since the Unix epoch -> aware UTC datetime."""
+    return EPOCH + timedelta(microseconds=us)
 
 
 def parse_iso8601_duration(value: str) -> int:

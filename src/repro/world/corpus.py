@@ -6,48 +6,69 @@ subtopics (for the topic-splitting strategy), compose searchable text that
 matches the topic's query, and sprinkle a small deletion hazard (the paper
 verifies deletions cannot explain the search endpoint's drift; our audit
 code must face the same confound).
+
+Both builder paths draw the topic columns with the same vectorized
+functions, so their RNG streams are identical by construction:
+
+* ``use_columnar=True`` (default) wraps the columns in a
+  :class:`~repro.world.columnar.ColumnarWorld` that materializes entity
+  dataclasses lazily — building a 100x world costs array draws only;
+* ``use_columnar=False`` assembles every dataclass eagerly into plain
+  dicts, exactly like the historical scalar builder — it is the
+  byte-identity oracle the golden campaign digests are locked against.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from datetime import datetime, timedelta
+import time
 
 import numpy as np
 
 from repro.util.rng import SeedBank, stable_hash
 from repro.world import ids
-from repro.world.channels import generate_channels
-from repro.world.comments import generate_threads
+from repro.world.channels import draw_channel_columns, generate_channels
+from repro.world.columnar import (
+    ColumnarCorpus,
+    ColumnarWorld,
+    DELETE_DURING_CAMPAIGN,
+    DELETION_FRACTION,
+    DESCRIPTION_FILLER,
+    TITLE_FILLER,
+    TopicColumns,
+    compose_text,
+    deletion_datetimes,
+    draw_video_columns,
+    video_from_row,
+    video_ordinal_base,
+)
+from repro.world.comments import draw_thread_columns, generate_threads
 from repro.world.entities import Video, World
-from repro.world.popularity import draw_video_metrics
-from repro.world.temporal import sample_upload_times
 from repro.world.topics import TopicSpec
+from repro.util.timeutil import from_epoch_us
 
 __all__ = ["build_world", "scale_topic", "scale_topics"]
 
-_TITLE_FILLER = (
-    "breaking", "live", "full coverage", "explained", "reaction", "analysis",
-    "highlights", "interview", "report", "update", "documentary", "timeline",
-    "what happened", "behind the scenes", "press conference", "recap",
-)
-_DESCRIPTION_FILLER = (
-    "subscribe for more", "follow our coverage", "filmed on location",
-    "sources in the description", "watch until the end", "live from the scene",
-    "more details in our next video", "leave your thoughts below",
-)
-
-#: Fraction of videos that get deleted at some point after upload.
-_DELETION_FRACTION = 0.045
-#: Of the deleted ones, the fraction whose deletion lands inside a typical
-#: campaign window (so collectors actually observe disappearance).
-_DELETE_DURING_CAMPAIGN = 0.25
+# Historical aliases (pre-columnar module layout); the text tables and
+# deletion constants now live in repro.world.columnar.
+_TITLE_FILLER = TITLE_FILLER
+_DESCRIPTION_FILLER = DESCRIPTION_FILLER
+_DELETION_FRACTION = DELETION_FRACTION
+_DELETE_DURING_CAMPAIGN = DELETE_DURING_CAMPAIGN
+_compose_text = compose_text
 
 
 def scale_topic(spec: TopicSpec, scale: float) -> TopicSpec:
-    """Shrink a topic spec for fast tests (scale in (0, 1])."""
-    if not 0.0 < scale <= 1.0:
-        raise ValueError("scale must be in (0, 1]")
+    """Scale a topic spec: down for fast tests, up for big-world benches.
+
+    ``scale`` must be positive.  Shrinking clamps to floors that keep the
+    behavioral model meaningful (``n_videos >= 30``, ``n_channels >= 10``,
+    ``return_budget >= 15``) while never letting the return budget exceed
+    the corpus (``return_budget <= n_videos``); growing multiplies the
+    population counts without clamping.
+    """
+    if not scale > 0.0:
+        raise ValueError("scale must be positive")
     if scale == 1.0:
         return spec
     n_videos = max(30, int(round(spec.n_videos * scale)))
@@ -68,14 +89,67 @@ def build_world(
     specs: tuple[TopicSpec, ...],
     seed: int,
     with_comments: bool = True,
+    *,
+    use_columnar: bool = True,
+    observer=None,
 ) -> World:
     """Generate the complete platform for the given topics.
 
     The build is deterministic in ``seed``: identical seeds produce
-    identical worlds down to every ID, timestamp, and metric.
+    identical worlds down to every ID, timestamp, and metric — on either
+    builder path (``use_columnar=True`` materializes lazily from typed
+    arrays; ``False`` is the eager scalar oracle).
+
+    When ``observer`` is given, a ``world.build`` event with entity counts,
+    vocabulary size, and wall time is emitted on completion.
     """
     if len({s.key for s in specs}) != len(specs):
         raise ValueError("duplicate topic keys")
+    start = time.perf_counter()
+    if use_columnar:
+        world: World = _build_columnar(specs, seed, with_comments)
+    else:
+        world = _build_eager(specs, seed, with_comments)
+    if observer is not None:
+        summary = world.summary()
+        tokens = (
+            world.corpus.vocabulary_size()
+            if isinstance(world, ColumnarWorld)
+            else _structural_vocabulary(specs, world)
+        )
+        observer.on_world_build(
+            videos=summary["videos"],
+            channels=summary["channels"],
+            threads=summary["threads"],
+            tokens=tokens,
+            wall_s=time.perf_counter() - start,
+            path="columnar" if use_columnar else "legacy",
+        )
+    return world
+
+
+def _build_columnar(
+    specs: tuple[TopicSpec, ...], seed: int, with_comments: bool
+) -> ColumnarWorld:
+    bank = SeedBank(seed)
+    topics: dict[str, TopicColumns] = {}
+    for spec in specs:
+        topic_rng = bank.generator(f"world/{spec.key}")
+        channel_cols = draw_channel_columns(spec, topic_rng)
+        video_cols = draw_video_columns(spec, channel_cols.subscribers, topic_rng)
+        thread_cols = None
+        if with_comments:
+            comment_rng = bank.generator(f"world/{spec.key}/comments")
+            thread_cols = draw_thread_columns(spec, video_cols.comments, comment_rng)
+        topics[spec.key] = TopicColumns(
+            spec=spec, channels=channel_cols, videos=video_cols, threads=thread_cols
+        )
+    return ColumnarWorld(ColumnarCorpus(seed, topics))
+
+
+def _build_eager(
+    specs: tuple[TopicSpec, ...], seed: int, with_comments: bool
+) -> World:
     bank = SeedBank(seed)
     channels = {}
     videos = {}
@@ -110,125 +184,37 @@ def _generate_videos(
     seed: int,
     rng: np.random.Generator,
 ) -> list[Video]:
-    n = spec.n_videos
-    upload_times = sample_upload_times(spec, n, rng)
-    metrics = draw_video_metrics(n, rng, era_year=spec.focal_date.year)
-
-    # Popular channels upload more: weight by a mild power of subscribers.
-    weights = np.array([c.subscriber_count for c in topic_channels], dtype=float)
-    weights = weights**0.3
-    weights /= weights.sum()
-    channel_idx = rng.choice(len(topic_channels), size=n, p=weights)
-
-    subtopic_labels = _assign_subtopics(spec, n, rng)
-    deleted_at = _assign_deletions(spec, upload_times, rng)
-
-    base_ordinal = stable_hash("video-ordinal", spec.key) % 10**9
-    filler_idx = rng.integers(0, len(_TITLE_FILLER), size=n)
-    desc_idx = rng.integers(0, len(_DESCRIPTION_FILLER), size=n)
-
-    videos: list[Video] = []
-    for i in range(n):
-        channel = topic_channels[int(channel_idx[i])]
-        sub = subtopic_labels[i]
-        title, description, tags = _compose_text(
-            spec, sub, _TITLE_FILLER[filler_idx[i]], _DESCRIPTION_FILLER[desc_idx[i]], i
+    """Eagerly generate one topic's videos (the oracle assembly path)."""
+    subscribers = np.array([c.subscriber_count for c in topic_channels], dtype=np.int64)
+    cols = draw_video_columns(spec, subscribers, rng)
+    video_ids = ids.video_ids(seed, video_ordinal_base(spec), cols.n)
+    deleted = deletion_datetimes(cols)
+    return [
+        video_from_row(
+            spec,
+            cols,
+            i,
+            video_ids[i],
+            topic_channels[int(cols.channel_idx[i])].channel_id,
+            from_epoch_us(int(cols.publish_us[i])),
+            deleted[i],
         )
-        videos.append(
-            Video(
-                video_id=ids.video_id(seed, base_ordinal + i),
-                channel_id=channel.channel_id,
-                title=title,
-                description=description,
-                tags=tags,
-                published_at=upload_times[i],
-                duration_seconds=int(metrics.duration_seconds[i]),
-                definition=str(metrics.definition[i]),
-                category_id=spec.category_id,
-                topic=spec.key,
-                view_count=int(metrics.views[i]),
-                like_count=int(metrics.likes[i]),
-                comment_count=int(metrics.comments[i]),
-                deleted_at=deleted_at[i],
-            )
-        )
-    return videos
+        for i in range(cols.n)
+    ]
 
 
-def _assign_subtopics(
-    spec: TopicSpec, n: int, rng: np.random.Generator
-) -> list[str | None]:
-    """Assign each video to a subtopic (or None for the general remainder)."""
-    labels: list[str | None] = [None] * n
-    if not spec.subtopics:
-        return labels
-    names = [s.name for s in spec.subtopics]
-    shares = np.array([s.share for s in spec.subtopics], dtype=float)
-    general = max(0.0, 1.0 - shares.sum())
-    probs = np.concatenate([shares, [general]])
-    probs /= probs.sum()
-    choices = rng.choice(len(names) + 1, size=n, p=probs)
-    for i, c in enumerate(choices):
-        labels[i] = names[c] if c < len(names) else None
-    return labels
+def _structural_vocabulary(specs: tuple[TopicSpec, ...], world: World) -> int:
+    """Exact vocabulary census for an eager world.
 
-
-def _assign_deletions(
-    spec: TopicSpec, upload_times: list[datetime], rng: np.random.Generator
-) -> list[datetime | None]:
-    """Draw deletion timestamps for a small fraction of videos.
-
-    Most deletions land long before any audit campaign (old content
-    disappearing over the years); a minority are placed 5-11 years after
-    upload so that campaigns auditing old topics can observe mid-campaign
-    disappearance too.
+    A full tokenize scan — fine on the oracle path, which is already
+    per-entity scalar work.  Matches both the legacy store's
+    ``len(token_index)`` and :meth:`ColumnarCorpus.vocabulary_size`, so the
+    ``world.build`` event reports a path-independent number.
     """
-    out: list[datetime | None] = [None] * len(upload_times)
-    for i, uploaded in enumerate(upload_times):
-        if rng.random() >= _DELETION_FRACTION:
-            continue
-        if rng.random() < _DELETE_DURING_CAMPAIGN:
-            delay_days = float(rng.uniform(5 * 365.0, 11 * 365.0))
-        else:
-            delay_days = float(rng.uniform(30.0, 3.5 * 365.0))
-        out[i] = uploaded + timedelta(days=delay_days)
-    return out
+    from repro.world.store import tokenize
 
-
-def _compose_text(
-    spec: TopicSpec,
-    subtopic_name: str | None,
-    title_filler: str,
-    description_filler: str,
-    ordinal: int,
-) -> tuple[str, str, tuple[str, ...]]:
-    """Compose title/description/tags so query matching works as intended.
-
-    Every video's text contains the topic query terms (so the topic query
-    matches the whole corpus); subtopic videos additionally contain their
-    subtopic query terms (so narrower queries match only their slice).
-    """
-    sub_query = ""
-    if subtopic_name is not None:
-        for s in spec.subtopics:
-            if s.name == subtopic_name:
-                sub_query = s.query
-                break
-    title_parts = [spec.query.title()]
-    if sub_query:
-        title_parts.append(sub_query)
-    title_parts.append(title_filler)
-    title_parts.append(f"#{ordinal}")
-    title = " - ".join(title_parts)
-    description = (
-        f"{spec.label} coverage: {spec.query}. "
-        + (f"Focus: {sub_query}. " if sub_query else "")
-        + description_filler
-        + "."
-    )
-    tags = tuple(
-        dict.fromkeys(  # preserve order, drop duplicates
-            spec.query.split() + (sub_query.split() if sub_query else []) + [spec.key]
-        )
-    )
-    return title, description, tags
+    vocab: set[str] = set()
+    for video in world.videos.values():
+        text = " ".join((video.title, video.description, " ".join(video.tags)))
+        vocab.update(tokenize(text.lower()))
+    return len(vocab)

@@ -22,6 +22,9 @@ __all__ = [
     "uploads_playlist_id",
     "comment_id",
     "reply_id",
+    "video_ids",
+    "channel_ids",
+    "comment_ids",
     "is_video_id",
     "is_channel_id",
     "is_playlist_id",
@@ -75,6 +78,29 @@ def reply_id(thread_id: str, ordinal: int) -> str:
     """Mint a reply ID nested under a thread ID (``<thread>.<suffix>``)."""
     suffix = _mint("reply", stable_hash(thread_id), ordinal, 22)
     return f"{thread_id}.{suffix}"
+
+
+def _mint_batch(kind: str, prefix: str, seed: int, start: int, count: int, length: int) -> list[str]:
+    # Batch lane: one tight loop, hoisting the per-call name lookups that
+    # dominate when the columnar corpus mints a whole topic at once.  The
+    # output is element-for-element identical to the scalar minters.
+    mint = _mint
+    return [prefix + mint(kind, seed, start + i, length) for i in range(count)]
+
+
+def video_ids(seed: int, start: int, count: int) -> list[str]:
+    """Mint ``count`` consecutive video IDs starting at ordinal ``start``."""
+    return _mint_batch("video", "", seed, start, count, 11)
+
+
+def channel_ids(seed: int, start: int, count: int) -> list[str]:
+    """Mint ``count`` consecutive channel IDs starting at ordinal ``start``."""
+    return _mint_batch("channel", "UC", seed, start, count, 22)
+
+
+def comment_ids(seed: int, start: int, count: int) -> list[str]:
+    """Mint ``count`` consecutive thread IDs starting at ordinal ``start``."""
+    return _mint_batch("comment", "Ug", seed, start, count, 24)
 
 
 def is_video_id(value: str) -> bool:

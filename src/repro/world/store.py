@@ -10,14 +10,32 @@ The store is the only surface the API simulator reads from.  It provides:
   saturating growth curve for reads early in a video's life;
 * channel uploads as playlists (for ``PlaylistItems:list``);
 * comment threads with deletion filtering.
+
+Two construction paths share one query surface:
+
+* **columnar** — when the world carries a
+  :class:`~repro.world.columnar.ColumnarCorpus` (the default builder),
+  every index is derived from the typed arrays: window queries run
+  ``np.searchsorted`` over one globally publish-sorted epoch array with
+  alive-at masks, uploads come from per-channel position arrays, and the
+  token index is synthesized from the per-combination token tables with
+  per-token lazy posting materialization.  Nothing per-entity happens at
+  construction time.
+* **legacy** — plain eager dict/list scans over the entity dataclasses,
+  kept as the behavior oracle (and still serving worlds built with
+  ``use_columnar=False``).
 """
 
 from __future__ import annotations
 
 import re
-from bisect import bisect_left, bisect_right
+import threading
+from bisect import bisect_left
 from datetime import datetime
 
+import numpy as np
+
+from repro.util.timeutil import to_epoch_us
 from repro.world.entities import Channel, Comment, CommentThread, Video, World
 
 __all__ = ["PlatformStore", "tokenize"]
@@ -26,6 +44,9 @@ _TOKEN_RE = re.compile(r"[a-z0-9']+")
 
 #: Michaelis-Menten half-life (days) of the metric growth curve.
 _GROWTH_HALF_LIFE_DAYS = 21.0
+
+#: int64 sentinel for "never deleted" (mirrors columnar.NEVER_US).
+_NEVER_US = np.iinfo(np.int64).max
 
 
 def tokenize(text: str) -> list[str]:
@@ -53,14 +74,28 @@ class PlatformStore:
         self._videos = world.videos
         self._channels = world.channels
         self._threads_by_video = world.threads_by_video
+        self.corpus = getattr(world, "corpus", None)
+        self._lock = threading.RLock()
 
-        # Inverted index: token -> set of video ids.
-        self._token_index: dict[str, set[str]] = {}
-        # Per-video searchable text (for phrase matching) and token sets.
+        # Lazy caches shared by both paths (legacy fills them eagerly).
         self._search_text: dict[str, str] = {}
         self._token_sets: dict[str, frozenset[str]] = {}
-        # Per-channel uploads sorted by publish time.
+
+        if self.corpus is None:
+            self._init_legacy(world)
+        else:
+            self._init_columnar()
+
+    # -- construction ---------------------------------------------------------
+
+    def _init_legacy(self, world: World) -> None:
+        # Inverted index: token -> set of video ids.
+        self._token_index: dict[str, set[str]] = {}
+        # Per-channel uploads sorted by publish time (oldest first), plus
+        # parallel epoch arrays so the alive-at filter is one vector mask.
         self._uploads: dict[str, list[Video]] = {}
+        self._upload_pub_us: dict[str, np.ndarray] = {}
+        self._upload_del_us: dict[str, np.ndarray] = {}
         # Global list sorted by publish time for window slicing.
         self._by_time: list[Video] = sorted(
             world.videos.values(), key=lambda v: (v.published_at, v.video_id)
@@ -87,9 +122,37 @@ class PlatformStore:
             self._playlist_to_channel[channel.uploads_playlist_id] = channel.channel_id
             self._uploads.setdefault(channel.channel_id, [])
 
+        for channel_id, uploads in self._uploads.items():
+            self._upload_pub_us[channel_id] = np.array(
+                [to_epoch_us(v.published_at) for v in uploads], dtype=np.int64
+            )
+            self._upload_del_us[channel_id] = np.array(
+                [
+                    _NEVER_US if v.deleted_at is None else to_epoch_us(v.deleted_at)
+                    for v in uploads
+                ],
+                dtype=np.int64,
+            )
+
         for threads in world.threads_by_video.values():
             for thread in threads:
                 self._threads_by_id[thread.thread_id] = thread
+
+    def _init_columnar(self) -> None:
+        corpus = self.corpus
+        # Everything below materializes lazily on first use.
+        self._posting_cache: dict[str, frozenset[str]] = {}
+        self._all_ids_cache: frozenset[str] | None = None
+        # Global time index: one publish-sorted epoch array over all topics.
+        self._tm_pub: np.ndarray | None = None
+        self._tm_del: np.ndarray | None = None
+        self._tm_topic: np.ndarray | None = None
+        self._tm_row: np.ndarray | None = None
+        self._topic_keys: tuple[str, ...] = tuple(corpus.topics)
+        # Per-channel upload positions into the time index.
+        self._upload_positions: np.ndarray | None = None
+        self._upload_bounds: np.ndarray | None = None
+        self._channel_gidx_base: dict[str, int] = {}
 
     # -- basic lookups ------------------------------------------------------
 
@@ -108,11 +171,26 @@ class PlatformStore:
 
     def channel_for_playlist(self, playlist_id: str) -> Channel | None:
         """Resolve an uploads playlist ID back to its channel."""
+        if self.corpus is not None:
+            # Uploads playlists share the channel ID suffix (UU... -> UC...),
+            # so the resolution is arithmetic — no mapping to build.
+            if not (isinstance(playlist_id, str) and playlist_id.startswith("UU")):
+                return None
+            return self._channels.get("UC" + playlist_id[2:])
         channel_id = self._playlist_to_channel.get(playlist_id)
         return self._channels.get(channel_id) if channel_id else None
 
     def thread(self, thread_id: str) -> CommentThread | None:
         """Comment thread by ID, or None."""
+        if self.corpus is not None:
+            loc = self.corpus.thread_locator().get(thread_id)
+            if loc is None:
+                return None
+            key, video_row = loc
+            for thread in self.corpus.threads_for_row(key, video_row):
+                if thread.thread_id == thread_id:
+                    return thread
+            return None  # pragma: no cover - locator guarantees presence
         return self._threads_by_id.get(thread_id)
 
     # -- search-side queries -------------------------------------------------
@@ -125,10 +203,10 @@ class PlatformStore:
         only materializes a mutable set when it actually filters).
         """
         if not tokens:
-            return self._all_video_ids
+            return self._all_ids()
         sets = []
         for token in tokens:
-            postings = self._token_index.get(token)
+            postings = self._posting(token)
             if not postings:
                 return set()
             sets.append(postings)
@@ -140,13 +218,75 @@ class PlatformStore:
                 break
         return result
 
+    def _all_ids(self) -> frozenset[str]:
+        if self.corpus is None:
+            return self._all_video_ids
+        got = self._all_ids_cache
+        if got is None:
+            with self._lock:
+                got = self._all_ids_cache
+                if got is None:
+                    all_ids: list[str] = []
+                    for key in self._topic_keys:
+                        all_ids.extend(self.corpus.video_ids(key))
+                    got = frozenset(all_ids)
+                    self._all_ids_cache = got
+        return got
+
+    def _posting(self, token: str):
+        """The posting set of one token (lazy per-token on the columnar path)."""
+        if self.corpus is None:
+            return self._token_index.get(token)
+        got = self._posting_cache.get(token)
+        if got is None:
+            with self._lock:
+                got = self._posting_cache.get(token)
+                if got is None:
+                    members: set[str] = set()
+                    for key in self._topic_keys:
+                        rows = self.corpus.token_rows(key).get(token)
+                        if rows is not None:
+                            vids = self.corpus.video_ids(key)
+                            members.update(vids[int(r)] for r in rows)
+                    if token.isdigit() and str(int(token)) == token:
+                        # Per-video ordinal tokens resolve arithmetically.
+                        row = int(token)
+                        for key, tc in self.corpus.topics.items():
+                            if row < tc.videos.n:
+                                members.add(self.corpus.video_ids(key)[row])
+                    got = frozenset(members)
+                    self._posting_cache[token] = got
+        return got
+
     def search_text(self, video_id: str) -> str:
         """The lowercased searchable text of a video (title+description+tags)."""
-        return self._search_text[video_id]
+        got = self._search_text.get(video_id)
+        if got is None:
+            if self.corpus is None:
+                raise KeyError(video_id)
+            got = self._materialize_text(video_id)[0]
+        return got
 
     def token_set(self, video_id: str) -> frozenset[str]:
         """The token set of a video's searchable text."""
-        return self._token_sets[video_id]
+        got = self._token_sets.get(video_id)
+        if got is None:
+            if self.corpus is None:
+                raise KeyError(video_id)
+            got = self._materialize_text(video_id)[1]
+        return got
+
+    def _materialize_text(self, video_id: str) -> tuple[str, frozenset[str]]:
+        video = self._videos[video_id]  # KeyError for unknown ids, as before
+        text = " ".join((video.title, video.description, " ".join(video.tags)))
+        lowered = text.lower()
+        tokens = frozenset(tokenize(lowered))
+        with self._lock:
+            self._search_text[video_id] = lowered
+            self._token_sets[video_id] = tokens
+        return lowered, tokens
+
+    # -- window queries -------------------------------------------------------
 
     def videos_in_window(
         self,
@@ -154,23 +294,152 @@ class PlatformStore:
         published_before: datetime | None,
         as_of: datetime,
     ) -> list[Video]:
-        """Videos uploaded in ``[after, before)`` and alive at ``as_of``."""
+        """Videos uploaded in ``[after, before)`` and alive at ``as_of``.
+
+        The interval is half-open, exactly as the parameter names promise:
+        a video published at the ``published_before`` instant is excluded
+        (this matches the sampling engine's window arithmetic).
+        """
+        if self.corpus is not None:
+            return self._videos_in_window_columnar(
+                published_after, published_before, as_of
+            )
         lo = 0
         hi = len(self._by_time)
         if published_after is not None:
             lo = bisect_left(self._publish_times, published_after)
         if published_before is not None:
-            hi = bisect_right(self._publish_times, published_before)
+            hi = bisect_left(self._publish_times, published_before)
         return [v for v in self._by_time[lo:hi] if v.alive_at(as_of)]
+
+    def _videos_in_window_columnar(
+        self,
+        published_after: datetime | None,
+        published_before: datetime | None,
+        as_of: datetime,
+    ) -> list[Video]:
+        self._ensure_time_index()
+        lo = 0
+        hi = self._tm_pub.shape[0]
+        if published_after is not None:
+            lo = int(np.searchsorted(self._tm_pub, to_epoch_us(published_after), "left"))
+        if published_before is not None:
+            hi = int(np.searchsorted(self._tm_pub, to_epoch_us(published_before), "left"))
+        if hi <= lo:
+            return []
+        as_us = to_epoch_us(as_of)
+        window_pub = self._tm_pub[lo:hi]
+        window_del = self._tm_del[lo:hi]
+        alive = (window_pub <= as_us) & (window_del > as_us)
+        return [self._video_at(int(p)) for p in lo + np.flatnonzero(alive)]
+
+    def _video_at(self, position: int) -> Video:
+        key = self._topic_keys[int(self._tm_topic[position])]
+        return self.corpus.video(key, int(self._tm_row[position]))
+
+    def _ensure_time_index(self) -> None:
+        if self._tm_pub is not None:
+            return
+        with self._lock:
+            if self._tm_pub is not None:
+                return
+            corpus = self.corpus
+            pubs = []
+            dels = []
+            topic_is = []
+            rows = []
+            id_chunks = []
+            for ti, key in enumerate(self._topic_keys):
+                cols = corpus.topics[key].videos
+                pubs.append(cols.publish_us)
+                dels.append(corpus.deleted_us(key))
+                topic_is.append(np.full(cols.n, ti, dtype=np.int32))
+                rows.append(np.arange(cols.n, dtype=np.int64))
+                id_chunks.append(np.array(corpus.video_ids(key)))
+            all_pub = np.concatenate(pubs) if pubs else np.empty(0, np.int64)
+            all_ids = (
+                np.concatenate(id_chunks) if id_chunks else np.empty(0, dtype="U11")
+            )
+            # Publish-sorted with video-ID tie break: the same global order
+            # the legacy store's ``(published_at, video_id)`` sort produces.
+            order = np.lexsort((all_ids, all_pub))
+            self._tm_del = np.concatenate(dels)[order] if dels else np.empty(0, np.int64)
+            self._tm_topic = (
+                np.concatenate(topic_is)[order] if topic_is else np.empty(0, np.int32)
+            )
+            self._tm_row = (
+                np.concatenate(rows)[order] if rows else np.empty(0, np.int64)
+            )
+            self._tm_pub = all_pub[order]
 
     # -- channel uploads ------------------------------------------------------
 
     def uploads(self, channel_id: str, as_of: datetime) -> list[Video]:
-        """A channel's uploads playlist: alive videos, newest first."""
-        uploads = self._uploads.get(channel_id, [])
-        alive = [v for v in uploads if v.alive_at(as_of)]
-        alive.reverse()  # stored oldest-first; playlists list newest first
-        return alive
+        """A channel's uploads playlist: alive videos, newest first.
+
+        Answered from per-channel publish-sorted epoch arrays with a
+        vectorized alive-at mask — no per-call Python filtering over the
+        full upload list.
+        """
+        as_us = to_epoch_us(as_of)
+        if self.corpus is not None:
+            return self._uploads_columnar(channel_id, as_us)
+        uploads = self._uploads.get(channel_id)
+        if not uploads:
+            return []
+        pub = self._upload_pub_us[channel_id]
+        alive = (pub <= as_us) & (self._upload_del_us[channel_id] > as_us)
+        # Stored oldest-first; playlists list newest first.
+        return [uploads[int(i)] for i in np.flatnonzero(alive)[::-1]]
+
+    def _uploads_columnar(self, channel_id: str, as_us: int) -> list[Video]:
+        loc = self.corpus.channel_locator().get(channel_id)
+        if loc is None:
+            return []
+        self._ensure_uploads_index()
+        gidx = self._channel_gidx_base[loc[0]] + loc[1]
+        lo = int(self._upload_bounds[gidx])
+        hi = int(self._upload_bounds[gidx + 1])
+        if hi <= lo:
+            return []
+        positions = self._upload_positions[lo:hi]
+        alive = (self._tm_pub[positions] <= as_us) & (self._tm_del[positions] > as_us)
+        return [self._video_at(int(p)) for p in positions[alive][::-1]]
+
+    def _ensure_uploads_index(self) -> None:
+        if self._upload_positions is not None:
+            return
+        self._ensure_time_index()
+        with self._lock:
+            if self._upload_positions is not None:
+                return
+            corpus = self.corpus
+            base = 0
+            gidx_base: dict[str, int] = {}
+            for key in self._topic_keys:
+                gidx_base[key] = base
+                base += corpus.topics[key].channels.n
+            total_channels = base
+            if total_channels and self._tm_pub.shape[0]:
+                # Channel of each time-index position, then group by channel
+                # while preserving publish order within each group.
+                gidx = np.empty(self._tm_pub.shape[0], dtype=np.int64)
+                for ti, key in enumerate(self._topic_keys):
+                    mask = self._tm_topic == ti
+                    gidx[mask] = (
+                        gidx_base[key]
+                        + corpus.topics[key].videos.channel_idx[self._tm_row[mask]]
+                    )
+                positions = np.argsort(gidx, kind="stable")
+                counts = np.bincount(gidx, minlength=total_channels)
+            else:  # pragma: no cover - empty world
+                positions = np.empty(0, np.int64)
+                counts = np.zeros(total_channels, np.int64)
+            bounds = np.zeros(total_channels + 1, dtype=np.int64)
+            np.cumsum(counts, out=bounds[1:])
+            self._channel_gidx_base = gidx_base
+            self._upload_bounds = bounds
+            self._upload_positions = positions
 
     # -- comments --------------------------------------------------------------
 
@@ -198,7 +467,7 @@ class PlatformStore:
 
     def replies_for_thread(self, thread_id: str, as_of: datetime) -> list[Comment]:
         """Alive replies of a thread at ``as_of`` (Comments:list semantics)."""
-        thread = self._threads_by_id.get(thread_id)
+        thread = self.thread(thread_id)
         if thread is None:
             return []
         return [r for r in thread.replies if r.alive_at(as_of)]
@@ -217,6 +486,13 @@ class PlatformStore:
 
     def summary(self) -> dict[str, int]:
         """Index sizes, for logging."""
+        if self.corpus is not None:
+            return {
+                "videos": self.corpus.n_videos,
+                "channels": self.corpus.n_channels,
+                "tokens": self.corpus.vocabulary_size(),
+                "threads": self.corpus.n_threads,
+            }
         return {
             "videos": len(self._videos),
             "channels": len(self._channels),

@@ -14,9 +14,19 @@ from datetime import datetime, timedelta
 
 import numpy as np
 
+from repro.util.timeutil import from_epoch_us, to_epoch_us
 from repro.world.topics import TopicSpec
 
-__all__ = ["hour_grid", "upload_weights", "daily_weights", "sample_upload_times"]
+__all__ = [
+    "hour_grid",
+    "upload_weights",
+    "daily_weights",
+    "sample_upload_times",
+    "sample_upload_epochs",
+]
+
+_US_PER_HOUR = 3_600_000_000
+_US_PER_SECOND = 1_000_000
 
 
 def hour_grid(spec: TopicSpec) -> list[datetime]:
@@ -82,6 +92,32 @@ def daily_weights(spec: TopicSpec) -> np.ndarray:
     return w.reshape(spec.window_days * 2, 24).sum(axis=1)
 
 
+def sample_upload_epochs(
+    spec: TopicSpec, n: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Draw ``n`` upload timestamps as sorted int64 epoch microseconds.
+
+    Consumes exactly the same RNG stream as :func:`sample_upload_times`
+    (one hour ``choice`` batch plus one second-offset ``integers`` batch)
+    and encodes each timestamp as whole microseconds since the Unix epoch,
+    so ``from_epoch_us`` on every element reproduces the datetime list
+    bit-for-bit.  This is the columnar corpus's publish-time column.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    weights = upload_weights(spec)
+    hour_choices = rng.choice(len(weights), size=n, p=weights)
+    offsets = rng.integers(0, 3600, size=n)
+    start_us = to_epoch_us(spec.window_start)
+    epochs = (
+        start_us
+        + hour_choices.astype(np.int64) * _US_PER_HOUR
+        + offsets.astype(np.int64) * _US_PER_SECOND
+    )
+    epochs.sort()
+    return epochs
+
+
 def sample_upload_times(
     spec: TopicSpec, n: int, rng: np.random.Generator
 ) -> list[datetime]:
@@ -91,15 +127,4 @@ def sample_upload_times(
     uniform.  The result is sorted, which downstream corpus assembly relies
     on for stable video ordinals.
     """
-    if n < 0:
-        raise ValueError("n must be non-negative")
-    weights = upload_weights(spec)
-    hour_starts = hour_grid(spec)
-    hour_choices = rng.choice(len(weights), size=n, p=weights)
-    offsets = rng.integers(0, 3600, size=n)
-    times = [
-        hour_starts[int(h)] + timedelta(seconds=int(s))
-        for h, s in zip(hour_choices, offsets)
-    ]
-    times.sort()
-    return times
+    return [from_epoch_us(int(e)) for e in sample_upload_epochs(spec, n, rng)]

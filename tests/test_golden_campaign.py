@@ -7,7 +7,9 @@ thread pool (``workers=4``), and the process-shard backend
 (``workers=4, backend="process"``) and assert all three produce
 **byte-identical** files matching the golden hash — the determinism
 contract the whole repository rests on, now enforced across execution
-backends.
+backends.  The same three backends are re-run over a world built with
+``use_columnar=False`` (the eager oracle assembly path), pinning the
+columnar and legacy builders to the same bytes.
 
 Regeneration recipe (only when the *simulator's data model* legitimately
 changes — never to paper over a backend divergence)::
@@ -79,6 +81,12 @@ def golden_world(golden_specs):
     return build_world(golden_specs, seed=GOLDEN["seed"])
 
 
+@pytest.fixture(scope="module")
+def legacy_world(golden_specs):
+    """The eager oracle builder: must reproduce the same pinned bytes."""
+    return build_world(golden_specs, seed=GOLDEN["seed"], use_columnar=False)
+
+
 def _run(golden_world, golden_specs, tmp_path, name, **collector_kwargs):
     """Run the golden campaign on one backend; return (bytes, units)."""
     service = build_service(
@@ -131,6 +139,37 @@ class TestGoldenCampaign:
         )
         assert payload == serial_run[0]
         assert units == serial_run[1]
+
+    def test_legacy_world_serial_matches_golden_sha256(
+        self, legacy_world, golden_specs, tmp_path
+    ):
+        payload, units = _run(
+            legacy_world, golden_specs, tmp_path, "legacy-serial",
+            backend="serial",
+        )
+        assert hashlib.sha256(payload).hexdigest() == GOLDEN["sha256"]
+        assert len(payload) == GOLDEN["bytes"]
+        assert units == GOLDEN["quota_units"]
+
+    def test_legacy_world_thread_backend_matches_golden_sha256(
+        self, legacy_world, golden_specs, tmp_path
+    ):
+        payload, units = _run(
+            legacy_world, golden_specs, tmp_path, "legacy-thread",
+            workers=4, backend="thread",
+        )
+        assert hashlib.sha256(payload).hexdigest() == GOLDEN["sha256"]
+        assert units == GOLDEN["quota_units"]
+
+    def test_legacy_world_process_backend_matches_golden_sha256(
+        self, legacy_world, golden_specs, tmp_path
+    ):
+        payload, units = _run(
+            legacy_world, golden_specs, tmp_path, "legacy-process",
+            workers=4, backend="process",
+        )
+        assert hashlib.sha256(payload).hexdigest() == GOLDEN["sha256"]
+        assert units == GOLDEN["quota_units"]
 
     def test_golden_fixture_is_well_formed(self):
         assert set(GOLDEN) == {

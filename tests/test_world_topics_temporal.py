@@ -118,7 +118,14 @@ class TestScaling:
         with pytest.raises(ValueError):
             scale_topic(PAPER_TOPICS[0], 0.0)
         with pytest.raises(ValueError):
-            scale_topic(PAPER_TOPICS[0], 1.5)
+            scale_topic(PAPER_TOPICS[0], -0.5)
+
+    def test_upscale_multiplies_populations(self):
+        spec = PAPER_TOPICS[0]
+        big = scale_topic(spec, 10.0)
+        assert big.n_videos == round(spec.n_videos * 10)
+        assert big.n_channels == round(spec.n_channels * 10)
+        assert big.return_budget == round(spec.return_budget * 10)
 
 
 class TestTemporalProfiles:

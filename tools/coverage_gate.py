@@ -45,6 +45,7 @@ FAST_SKIPS = (
     "tests/test_resilience_chaos.py",
     "tests/test_index_equivalence.py",
     "tests/test_serve_http.py",
+    "tests/test_world_columnar.py",
 )
 
 
