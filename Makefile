@@ -18,6 +18,10 @@
 #   make orchestrator-smoke  kill -9 the orchestrator daemon mid-campaign,
 #                     resume over the same workdir, assert byte-identity
 #                     and exact ledger reconciliation (see docs/ORCHESTRATOR.md)
+#   make spill-smoke  kill -9 a spilling campaign mid-stream, resume over
+#                     the same spill directory, assert the recovered store
+#                     and analyses match an uninterrupted in-memory run
+#                     exactly (see docs/PERSISTENCE.md)
 #   make coverage     full suite under pytest-cov, >= 80% line coverage
 #                     (skips gracefully when pytest-cov is not installed)
 #   make coverage-fast  same gate minus the slowest end-to-end modules
@@ -25,11 +29,11 @@
 PYTHON ?= python
 
 .PHONY: verify test doclinks chaos bench bench-smoke bench-analysis \
-	bench-service bench-world serve-smoke orchestrator-smoke coverage \
-	coverage-fast
+	bench-service bench-world serve-smoke orchestrator-smoke spill-smoke \
+	coverage coverage-fast
 
 verify: test doclinks chaos bench-smoke bench-analysis bench-world \
-	serve-smoke orchestrator-smoke coverage-fast
+	serve-smoke orchestrator-smoke spill-smoke coverage-fast
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -64,6 +68,9 @@ serve-smoke:
 
 orchestrator-smoke:
 	$(PYTHON) tools/orchestrator_smoke.py
+
+spill-smoke:
+	$(PYTHON) tools/spill_smoke.py
 
 coverage:
 	$(PYTHON) tools/coverage_gate.py

@@ -4,7 +4,8 @@ Subcommands::
 
     python -m repro world       --scale 0.3 --seed 7
     python -m repro campaign    --scale 0.3 --collections 8 --out camp.jsonl
-    python -m repro analyze     camp.jsonl --all
+    python -m repro campaign    --scale 0.3 --collections 8 --spill camp.d/
+    python -m repro analyze     camp.jsonl --all     # or: analyze camp.d/
     python -m repro export      camp.jsonl --out-dir csv/
     python -m repro inference   camp.jsonl
     python -m repro strategies  --topic worldcup --scale 0.3 --runs 4
@@ -60,6 +61,12 @@ def build_parser() -> argparse.ArgumentParser:
                           help="checkpoint after every snapshot and resume "
                                "from an existing file; a .partial sidecar "
                                "additionally survives mid-snapshot crashes")
+    campaign.add_argument("--spill", metavar="DIR", default=None,
+                          help="spill each snapshot to a disk-backed "
+                               "columnar store as it completes (bounded "
+                               "memory; the directory is the durable "
+                               "campaign and resumes like a checkpoint); "
+                               "analyze/export read the directory directly")
     campaign.add_argument("--trace", metavar="PATH", default=None,
                           help="write a JSONL observability trace of the run "
                                "(render it with `repro obs report`)")
@@ -77,7 +84,8 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--quiet", action="store_true")
 
     analyze = sub.add_parser("analyze", help="render tables/figures from a saved campaign")
-    analyze.add_argument("campaign_path", metavar="CAMPAIGN_JSONL")
+    analyze.add_argument("campaign_path", metavar="CAMPAIGN",
+                         help="campaign JSONL file, or a --spill directory")
     analyze.add_argument("--table", action="append", type=int, choices=(1, 2, 4, 5),
                          default=None, help="render a numbered paper table")
     analyze.add_argument("--figure", action="append", type=int, choices=(1, 2, 3, 4),
@@ -98,7 +106,8 @@ def build_parser() -> argparse.ArgumentParser:
     serp.add_argument("--k", type=int, default=20, help="page depth compared")
 
     export = sub.add_parser("export", help="export a saved campaign as tidy CSVs")
-    export.add_argument("campaign_path", metavar="CAMPAIGN_JSONL")
+    export.add_argument("campaign_path", metavar="CAMPAIGN",
+                        help="campaign JSONL file, or a --spill directory")
     export.add_argument("--out-dir", default="csv", help="directory for the bundle")
 
     budget = sub.add_parser("budget", help="quota budget of the paper's campaign design")
@@ -108,7 +117,8 @@ def build_parser() -> argparse.ArgumentParser:
     inference = sub.add_parser(
         "inference", help="infer mechanism parameters from a saved campaign"
     )
-    inference.add_argument("campaign_path", metavar="CAMPAIGN_JSONL")
+    inference.add_argument("campaign_path", metavar="CAMPAIGN",
+                           help="campaign JSONL file, or a --spill directory")
     inference.add_argument("--interval-days", type=float, default=5.0)
 
     replication = sub.add_parser(
@@ -260,6 +270,19 @@ def _common_world_args(parser: argparse.ArgumentParser) -> None:
                              "(the columnar builder's byte-identity oracle)")
 
 
+def _load_campaign(path: str):
+    """A campaign from a JSONL file or a ``--spill`` directory."""
+    import os
+
+    if os.path.isdir(path):
+        from repro.core.spill import SpillStore
+
+        return SpillStore.open(path).load()
+    from repro.core.datasets import CampaignResult
+
+    return CampaignResult.load(path)
+
+
 def _build(args, with_comments: bool, observer=None):
     from repro import build_service, build_world
     from repro.api.quota import QuotaPolicy
@@ -317,19 +340,36 @@ def _cmd_campaign(args) -> int:
         from repro.core import CampaignStream
 
         stream = CampaignStream(tuple(spec.key for spec in specs))
+    if args.spill and args.checkpoint:
+        print("campaign: --spill and --checkpoint are mutually exclusive "
+              "(the spill directory is the checkpoint)", file=sys.stderr)
+        return 2
     campaign = run_campaign(
         config, YouTubeClient(service), progress=progress,
         checkpoint_path=args.checkpoint, workers=args.workers,
         backend=args.backend, stream=stream,
+        spill=args.spill, retain_snapshots=not args.spill,
     )
-    print(
-        f"campaign: {campaign.n_collections} collections, "
-        f"{service.quota.total_used:,} quota units"
-    )
+    if args.spill:
+        from repro.core import SpillStore
+
+        store = SpillStore.open(args.spill)
+        print(
+            f"campaign: {store.n_snapshots} collections spilled to "
+            f"{args.spill}, {service.quota.total_used:,} quota units"
+        )
+    else:
+        print(
+            f"campaign: {campaign.n_collections} collections, "
+            f"{service.quota.total_used:,} quota units"
+        )
     if stream is not None:
         print(stream.render_summary())
     if args.out:
-        n = campaign.save(args.out)
+        if args.spill:
+            n = store.export_jsonl(args.out)
+        else:
+            n = campaign.save(args.out)
         print(f"saved {n} records to {args.out}")
     if observer is not None:
         n_events = observer.export_trace(args.trace)
@@ -339,10 +379,9 @@ def _cmd_campaign(args) -> int:
 
 def _cmd_analyze(args) -> int:
     from repro.core import report
-    from repro.core.datasets import CampaignResult
     from repro.world.topics import paper_topics
 
-    campaign = CampaignResult.load(args.campaign_path)
+    campaign = _load_campaign(args.campaign_path)
     specs = tuple(
         spec for spec in paper_topics() if spec.key in campaign.topic_keys
     )
@@ -446,10 +485,9 @@ def _cmd_serp(args) -> int:
 
 
 def _cmd_export(args) -> int:
-    from repro.core.datasets import CampaignResult
     from repro.core.export import export_all
 
-    campaign = CampaignResult.load(args.campaign_path)
+    campaign = _load_campaign(args.campaign_path)
     paths = export_all(campaign, args.out_dir)
     for path in paths:
         print(path)
@@ -476,10 +514,9 @@ def _cmd_budget(args) -> int:
 
 
 def _cmd_inference(args) -> int:
-    from repro.core.datasets import CampaignResult
     from repro.core.inference import infer_mechanism
 
-    campaign = CampaignResult.load(args.campaign_path)
+    campaign = _load_campaign(args.campaign_path)
     for topic in campaign.topic_keys:
         print(infer_mechanism(campaign, topic, interval_days=args.interval_days).summary)
     return 0

@@ -11,8 +11,11 @@ the endpoint's behavior.
 * :mod:`shard` — process-sharded snapshot execution (``backend="process"``);
   :mod:`streaming` — incremental RQ1/RQ2 analysis as snapshots complete;
 * :mod:`datasets` — snapshot containers and JSONL persistence;
+* :mod:`spill` — disk-backed columnar campaign store (campaigns bigger
+  than RAM): durable per-snapshot spill with an atomic manifest;
 * :mod:`index` — shared columnar campaign index: the vectorized fast
-  path the per-analysis modules route through by default;
+  path the per-analysis modules route through by default, now growable
+  O(delta) per collection via ``append_snapshot``;
 * :mod:`consistency` (Fig 1), :mod:`hourly` (Table 2), :mod:`daily`
   (Fig 2), :mod:`attrition` (Fig 3), :mod:`returnmodel` (Tables 3/6/7),
   :mod:`pools` (Table 4), :mod:`metadata_audit` (Fig 4),
@@ -30,6 +33,7 @@ from repro.core.collector import BACKENDS, SnapshotCollector
 from repro.core.datasets import CampaignResult, Snapshot, TopicSnapshot
 from repro.core.experiments import CampaignConfig, paper_campaign_config
 from repro.core.index import CampaignIndex, campaign_index
+from repro.core.spill import SpillStore
 from repro.core.streaming import CampaignStream
 
 __all__ = [
@@ -44,4 +48,5 @@ __all__ = [
     "CampaignStream",
     "CampaignIndex",
     "campaign_index",
+    "SpillStore",
 ]

@@ -33,6 +33,7 @@ from repro.api.errors import QuotaExceededError
 from repro.core.collector import SnapshotCollector
 from repro.core.datasets import CampaignResult
 from repro.core.experiments import CampaignConfig
+from repro.core.spill import SpillStore
 from repro.obs.observer import NullObserver, Observer
 from repro.resilience.checkpoint import PartialSnapshotStore
 
@@ -65,6 +66,8 @@ def run_campaign(
     backend: str = "thread",
     stream: "CampaignStream | None" = None,
     partial: PartialSnapshotStore | None = None,
+    spill: "SpillStore | str | Path | None" = None,
+    retain_snapshots: bool = True,
 ) -> CampaignResult:
     """Run the full campaign against a service.
 
@@ -103,17 +106,40 @@ def run_campaign(
     every snapshot — resumed from a checkpoint or freshly collected — is
     fed to it the moment it is available, so RQ1/RQ2 analyses accumulate
     incrementally instead of waiting for the final merge.
+
+    ``spill`` (a :class:`~repro.core.spill.SpillStore` or a directory
+    path) spills each snapshot durably to the disk-backed columnar store
+    as its collection completes, and resumes from whatever the store
+    already holds — it *is* the checkpoint, so it is mutually exclusive
+    with ``checkpoint_path``.  A ``partial.jsonl`` sidecar inside the
+    spill directory carries the mid-snapshot query-level resume state.
+    With ``retain_snapshots=False`` (spill mode only) the runner drops
+    each raw snapshot after spilling it, so memory stays bounded by one
+    snapshot regardless of campaign length; the returned
+    :class:`CampaignResult` then has no snapshots — read the store.
     """
     observer = observer or getattr(client, "observer", None) or NullObserver()
+    topic_keys = tuple(spec.key for spec in config.topics)
+    if spill is not None and checkpoint_path is not None:
+        raise ValueError(
+            "spill and checkpoint_path are mutually exclusive: the spill "
+            "directory is the campaign's durable state"
+        )
+    if not retain_snapshots and spill is None:
+        raise ValueError(
+            "retain_snapshots=False needs a spill store to hold the "
+            "campaign; otherwise the snapshots would simply be lost"
+        )
+    if spill is not None and not isinstance(spill, SpillStore):
+        spill = SpillStore.attach(spill, topic_keys, observer=observer)
     if partial is None:
         # ``partial`` lets a caller supply any PartialSnapshotStore-shaped
         # store (the orchestrator journals bins instead of using a sidecar
         # file); the default remains the <checkpoint>.partial sidecar.
-        partial = (
-            PartialSnapshotStore(str(checkpoint_path) + ".partial")
-            if checkpoint_path is not None
-            else None
-        )
+        if checkpoint_path is not None:
+            partial = PartialSnapshotStore(str(checkpoint_path) + ".partial")
+        elif spill is not None:
+            partial = PartialSnapshotStore(spill.directory / "partial.jsonl")
     collector = SnapshotCollector(
         client, config.topics, collect_metadata=config.collect_metadata,
         observer=observer, partial=partial,
@@ -121,6 +147,7 @@ def run_campaign(
     )
     dates = config.collection_dates
     snapshots = []
+    done = 0
 
     if checkpoint_path is not None and Path(checkpoint_path).exists():
         previous = _load_checkpoint(checkpoint_path)
@@ -136,27 +163,46 @@ def run_campaign(
                     f"{snap.collected_at}, schedule says {dates[snap.index]}"
                 )
         snapshots = list(previous.snapshots)
-        observer.on_checkpoint("resume", str(checkpoint_path), len(snapshots))
+        done = len(snapshots)
+        observer.on_checkpoint("resume", str(checkpoint_path), done)
+        if stream is not None:
+            for snap in snapshots:
+                stream.add_snapshot(snap)
 
-    if partial is not None and partial.exists() and len(snapshots) < len(dates):
+    if spill is not None and spill.n_snapshots:
+        # The manifest alone says what was collected and when — the
+        # schedule check never touches the data files.
+        for index, collected_at in enumerate(spill.collected_dates()):
+            if index >= len(dates):
+                raise ValueError(
+                    f"spill store has snapshot {index} beyond the "
+                    f"{len(dates)}-collection schedule"
+                )
+            if collected_at != dates[index]:
+                raise ValueError(
+                    f"spilled snapshot {index} was collected at "
+                    f"{collected_at}, schedule says {dates[index]}"
+                )
+        done = spill.n_snapshots
+        observer.on_checkpoint("resume-spill", str(spill.directory), done)
+        if stream is not None or retain_snapshots:
+            for snap in spill.iter_snapshots():
+                if stream is not None:
+                    stream.add_snapshot(snap)
+                if retain_snapshots:
+                    snapshots.append(snap)
+
+    if partial is not None and partial.exists() and done < len(dates):
         existing = partial.load()
-        if existing is not None and existing.index == len(snapshots):
-            observer.on_checkpoint(
-                "resume-partial", str(partial.path), len(snapshots)
-            )
-
-    if stream is not None:
-        for snap in snapshots:
-            stream.add_snapshot(snap)
+        if existing is not None and existing.index == done:
+            observer.on_checkpoint("resume-partial", str(partial.path), done)
 
     try:
-        for index in range(len(snapshots), len(dates)):
+        for index in range(done, len(dates)):
             client.service.clock.set(dates[index])
             with_comments = index in config.comment_snapshot_indices
             try:
-                snapshots.append(
-                    collector.collect(index, with_comments=with_comments)
-                )
+                snap = collector.collect(index, with_comments=with_comments)
             except QuotaExceededError as exc:
                 # A scheduling event: completed hour bins are already in the
                 # partial sidecar; surface it so the operator waits for quota.
@@ -165,24 +211,33 @@ def run_campaign(
                 )
                 raise
             if stream is not None:
-                stream.add_snapshot(snapshots[-1])
+                stream.add_snapshot(snap)
+            if spill is not None:
+                # Durable the moment append returns; the sidecar's bins
+                # are covered by the spilled snapshot, so clear it.
+                spill.append(snap)
+                if partial is not None:
+                    partial.clear()
+            if retain_snapshots:
+                snapshots.append(snap)
             if checkpoint_path is not None:
                 # Atomic save: a crash mid-checkpoint must leave the
                 # previous complete checkpoint, never a torn file.
                 CampaignResult(
-                    topic_keys=tuple(spec.key for spec in config.topics),
+                    topic_keys=topic_keys,
                     snapshots=snapshots,
                 ).save(checkpoint_path, atomic=True)
                 observer.on_checkpoint("save", str(checkpoint_path), len(snapshots))
                 if partial is not None:
                     partial.clear()
+            done = index + 1
             if progress is not None:
-                progress(index + 1, len(dates))
+                progress(done, len(dates))
     finally:
         collector.close()
 
     return CampaignResult(
-        topic_keys=tuple(spec.key for spec in config.topics),
+        topic_keys=topic_keys,
         snapshots=snapshots,
         corpus=getattr(client.service.store, "corpus", None),
     )

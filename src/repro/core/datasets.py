@@ -17,7 +17,7 @@ from pathlib import Path
 from repro.util.jsonio import read_jsonl, write_jsonl
 from repro.util.timeutil import format_rfc3339, parse_rfc3339
 
-__all__ = ["TopicSnapshot", "Snapshot", "CampaignResult"]
+__all__ = ["TopicSnapshot", "Snapshot", "CampaignResult", "campaign_records"]
 
 
 @dataclass
@@ -39,6 +39,12 @@ class TopicSnapshot:
     #: hour indices whose queries failed permanently (degraded collection);
     #: empty for a complete snapshot — the overwhelmingly common case.
     missing_hours: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        # Canonical ascending order.  Persistence always wrote the hours
+        # sorted; normalizing the in-memory form too makes save -> load a
+        # true round trip (every consumer treats the field as a set).
+        self.missing_hours = sorted(self.missing_hours)
 
     @property
     def degraded(self) -> bool:
@@ -164,26 +170,10 @@ class CampaignResult:
         checkpoint intact instead of a torn file; the bytes written are
         identical either way.
         """
-        records = [{"kind": "header", "topic_keys": list(self.topic_keys)}]
-        for snap in self.snapshots:
-            for key, ts in snap.topics.items():
-                record = {
-                    "kind": "topic-snapshot",
-                    "index": snap.index,
-                    "collected_at": format_rfc3339(snap.collected_at),
-                    "topic": key,
-                    "hour_video_ids": {str(h): v for h, v in ts.hour_video_ids.items()},
-                    "pool_sizes": {str(h): p for h, p in ts.pool_sizes.items()},
-                    "video_meta": ts.video_meta,
-                    "channel_meta": ts.channel_meta,
-                    "comments": ts.comments,
-                }
-                # Omitted when empty so complete campaigns stay byte-identical
-                # with files written before degraded snapshots existed.
-                if ts.missing_hours:
-                    record["missing_hours"] = sorted(ts.missing_hours)
-                records.append(record)
-        return write_jsonl(path, records, atomic=atomic)
+        return write_jsonl(
+            path, campaign_records(self.topic_keys, self.snapshots),
+            atomic=atomic,
+        )
 
     @classmethod
     def load(cls, path: str | Path) -> "CampaignResult":
@@ -213,3 +203,34 @@ class CampaignResult:
             )
         snapshots = [by_index[i] for i in sorted(by_index)]
         return cls(topic_keys=topic_keys, snapshots=snapshots)
+
+
+def campaign_records(topic_keys, snapshots):
+    """The campaign JSONL record stream :meth:`CampaignResult.save` writes.
+
+    A generator so stores that hold snapshots out of core (the spill
+    store) can export the legacy format byte-identically without ever
+    materializing the whole campaign; ``snapshots`` may be any iterable
+    of :class:`Snapshot` in collection order.
+    """
+    yield {"kind": "header", "topic_keys": list(topic_keys)}
+    for snap in snapshots:
+        for key, ts in snap.topics.items():
+            record = {
+                "kind": "topic-snapshot",
+                "index": snap.index,
+                "collected_at": format_rfc3339(snap.collected_at),
+                "topic": key,
+                "hour_video_ids": {
+                    str(h): v for h, v in ts.hour_video_ids.items()
+                },
+                "pool_sizes": {str(h): p for h, p in ts.pool_sizes.items()},
+                "video_meta": ts.video_meta,
+                "channel_meta": ts.channel_meta,
+                "comments": ts.comments,
+            }
+            # Omitted when empty so complete campaigns stay byte-identical
+            # with files written before degraded snapshots existed.
+            if ts.missing_hours:
+                record["missing_hours"] = sorted(ts.missing_hours)
+            yield record

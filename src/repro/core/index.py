@@ -48,6 +48,19 @@ reshaped; it deliberately does not hash every ID (that would cost as
 much as the build), so in-place mutation of an existing hour's ID list
 is the caller's responsibility — analyses treat campaigns as immutable.
 
+Incremental growth: :meth:`CampaignIndex.append_snapshot` extends the
+presence/hour-bin matrices and the interned tables by one collection in
+O(delta) — new video IDs are merged into the sorted row order with
+``np.insert`` at bisect positions, existing rows keep their relative
+order, and only the new column is decoded.  :func:`campaign_index`
+recognises when a cached fingerprint is a strict prefix of the new one
+(snapshots appended, nothing replaced) and extends the cached index in
+place instead of rebuilding; :meth:`CampaignIndex.incremental` starts an
+empty index for feeds that never retain raw snapshots at all (the
+``repro.core.spill`` store, ``CampaignStream``).  :meth:`build` stays
+the one-shot oracle: the incremental path is pinned ``==`` to it after
+every prefix by ``tests/test_index_incremental.py``.
+
 Memory: per topic the index holds one bool and one int32 matrix of shape
 ``(n_videos, n_collections)`` plus the interning dict — about 5 MB per
 100k videos at 16 collections — and the decoded metadata columns.  It
@@ -57,6 +70,7 @@ never copies the raw per-hour dicts or comment captures.
 from __future__ import annotations
 
 import time
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -186,15 +200,45 @@ class CampaignIndex:
 
     def __init__(
         self,
-        campaign: CampaignResult,
+        campaign: CampaignResult | None,
         topics: dict[str, TopicIndex],
         fingerprint: tuple,
         build_wall_s: float,
+        topic_keys: tuple[str, ...] | None = None,
+        corpus=None,
     ) -> None:
+        # All reader state lives on the index itself so an incremental
+        # index (campaign=None) can serve every analysis after the raw
+        # snapshots have been spilled and dropped.
         self._campaign = campaign
         self._topics = topics
+        self._topic_keys = (
+            tuple(topic_keys)
+            if topic_keys is not None
+            else tuple(campaign.topic_keys)
+        )
+        self._n = (
+            campaign.n_collections if campaign is not None else 0
+        )
+        self._corpus = (
+            corpus if campaign is None else getattr(campaign, "corpus", None)
+        )
+        self._first_collected_at = (
+            campaign.snapshots[0].collected_at
+            if campaign is not None and campaign.snapshots
+            else None
+        )
         self.fingerprint = fingerprint
         self.build_wall_s = build_wall_s
+        #: cumulative wall time spent in :meth:`append_snapshot`.
+        self.append_wall_s = 0.0
+        # Metadata merged first-seen-wins, folded lazily per topic up to
+        # collection ``_meta_upto[topic]`` (campaign-backed indexes scan
+        # retained snapshots on demand; incremental ones fold eagerly in
+        # append_snapshot because the snapshot will not be retained).
+        self._merged_video: dict[str, dict[str, dict]] = {}
+        self._merged_channel: dict[str, dict[str, dict]] = {}
+        self._meta_upto: dict[str, int] = {}
         # Memoized analysis products (the report/export/replication
         # layers ask the same questions repeatedly).
         self._consistency: dict[str, list] = {}
@@ -282,15 +326,209 @@ class CampaignIndex:
             )
         return index
 
+    @classmethod
+    def incremental(
+        cls,
+        topic_keys: tuple[str, ...] | list[str],
+        corpus=None,
+        observer: Observer | None = None,
+    ) -> "CampaignIndex":
+        """An empty index that grows one :meth:`append_snapshot` at a time.
+
+        For feeds that never retain raw snapshots (``repro.core.spill``,
+        ``CampaignStream``): the index holds only the columnar matrices
+        and merged metadata, never the campaign.  Shapes start at
+        ``(0, 0)`` — exactly what :meth:`build` produces for an empty
+        campaign.
+        """
+        keys = tuple(topic_keys)
+        topics = {
+            key: TopicIndex(
+                topic=key,
+                video_ids=(),
+                row_of={},
+                present=np.zeros((0, 0), dtype=bool),
+                hour_of=np.full((0, 0), -1, dtype=np.int32),
+                extra_hours={},
+                missing_hours=(),
+                pool_draws=[],
+            )
+            for key in keys
+        }
+        return cls(
+            None, topics, (keys, 0), 0.0, topic_keys=keys, corpus=corpus
+        )
+
+    def append_snapshot(self, snap, observer: Observer | None = None) -> None:
+        """Extend the index by one collection, O(delta).
+
+        Only the new snapshot is decoded: new video IDs are merged into
+        the sorted interned order (``np.insert`` row growth at bisect
+        positions, ``extra_hours`` rows remapped), one column is added to
+        ``present``/``hour_of``, and the memoized analysis products are
+        invalidated.  The result is ``==`` to a one-shot :meth:`build`
+        over the same snapshots — the property sweep in
+        ``tests/test_index_incremental.py`` pins exact parity after every
+        prefix.
+        """
+        t = self._n
+        if snap.index != t:
+            raise ValueError(
+                "incremental index needs snapshots in collection order: "
+                f"expected index {t}, got {snap.index}"
+            )
+        absent = [key for key in self._topic_keys if key not in snap.topics]
+        if absent:
+            raise ValueError(
+                f"snapshot {snap.index} is missing topic(s) "
+                f"{', '.join(sorted(absent))}; the index would silently "
+                "diverge from a full rebuild"
+            )
+        t0 = time.perf_counter()
+        new_videos = 0
+        for key in self._topic_keys:
+            new_videos += self._append_topic(
+                self._topics[key], snap.topics[key], t
+            )
+        self._n = t + 1
+        if self._first_collected_at is None:
+            self._first_collected_at = snap.collected_at
+        if self._campaign is None:
+            # No retained snapshots to scan later: fold metadata now.
+            for key in self._topic_keys:
+                ts = snap.topics[key]
+                if ts.video_meta or ts.channel_meta:
+                    merged_v = self._merged_video.setdefault(key, {})
+                    merged_c = self._merged_channel.setdefault(key, {})
+                    for vid, resource in ts.video_meta.items():
+                        merged_v.setdefault(vid, resource)
+                    for cid, resource in ts.channel_meta.items():
+                        merged_c.setdefault(cid, resource)
+                self._meta_upto[key] = self._n
+        self._invalidate()
+        wall_s = time.perf_counter() - t0
+        self.append_wall_s += wall_s
+        if observer is not None:
+            observer.on_index_append(
+                collections=self._n, new_videos=new_videos, wall_s=wall_s
+            )
+
+    def _append_topic(self, ti: TopicIndex, ts, t: int) -> int:
+        """Grow one topic by one collection; returns the new-video count."""
+        # Flatten exactly like build(): hour-bin insertion order.
+        flat_ids: list[str] = []
+        flat_hours: list[int] = []
+        for hour, ids in ts.hour_video_ids.items():
+            if ids:
+                flat_ids.extend(ids)
+                flat_hours.extend([hour] * len(ids))
+        new_ids = sorted(
+            {vid for vid in flat_ids if vid not in ti.row_of}
+        )
+        if new_ids:
+            # bisect positions are nondecreasing (new_ids is sorted), so
+            # after np.insert the k-th new ID lands at position[k] + k —
+            # exactly its slot in the merged sorted order.
+            positions = [bisect_left(ti.video_ids, vid) for vid in new_ids]
+            ti.present = np.insert(ti.present, positions, False, axis=0)
+            ti.hour_of = np.insert(ti.hour_of, positions, -1, axis=0)
+            merged = list(ti.video_ids)
+            for offset, (pos, vid) in enumerate(zip(positions, new_ids)):
+                merged.insert(pos + offset, vid)
+            ti.video_ids = tuple(merged)
+            ti.row_of = {vid: row for row, vid in enumerate(ti.video_ids)}
+            if ti.extra_hours:
+                # Rows at or past an insertion point shifted down by the
+                # number of insertions before them; dict order (and with
+                # it overflow-hour order) is preserved by the rebuild.
+                ti.extra_hours = {
+                    tt: {
+                        row + bisect_right(positions, row): hours
+                        for row, hours in per_t.items()
+                    }
+                    for tt, per_t in ti.extra_hours.items()
+                }
+        n_rows = len(ti.video_ids)
+        ti.present = np.hstack(
+            [ti.present, np.zeros((n_rows, 1), dtype=bool)]
+        )
+        ti.hour_of = np.hstack(
+            [ti.hour_of, np.full((n_rows, 1), -1, dtype=np.int32)]
+        )
+        ti.missing_hours = ti.missing_hours + (tuple(ts.missing_hours),)
+        ti.pool_draws.extend(ts.pool_sizes.values())
+        if flat_ids:
+            # Column fill: verbatim the build() interning pass.
+            rows = np.fromiter(
+                map(ti.row_of.__getitem__, flat_ids), dtype=np.intp,
+                count=len(flat_ids),
+            )
+            uniq, first_pos = np.unique(rows, return_index=True)
+            ti.present[uniq, t] = True
+            hours_arr = np.asarray(flat_hours, dtype=np.int32)
+            ti.hour_of[uniq, t] = hours_arr[first_pos]
+            if uniq.size != rows.size:
+                dup = np.ones(rows.size, dtype=bool)
+                dup[first_pos] = False
+                per_t = ti.extra_hours.setdefault(t, {})
+                for pos in np.nonzero(dup)[0]:
+                    row, hour = int(rows[pos]), int(flat_hours[pos])
+                    if ti.hour_of[row, t] != hour:
+                        per_t[row] = per_t.get(row, ()) + (hour,)
+        return len(new_ids)
+
+    def _invalidate(self) -> None:
+        """Drop memoized analysis products after a structural change."""
+        self._consistency.clear()
+        self._gap_consistency.clear()
+        self._attrition.clear()
+        self._sequences.clear()
+        self._pool_stats.clear()
+        self._records = None
+        for ti in self._topics.values():
+            ti.regression = None
+
+    def extend_to(
+        self,
+        campaign: CampaignResult,
+        fingerprint: tuple,
+        observer: Observer | None = None,
+    ) -> bool:
+        """Append the campaign's new snapshots if it grew by pure suffix.
+
+        Returns True (and updates :attr:`fingerprint`) when this index's
+        fingerprint is a strict prefix of ``fingerprint`` — same topic
+        keys, every previously indexed snapshot untouched, one or more
+        appended.  Any other change (snapshot replaced or reshaped)
+        returns False and the caller rebuilds.
+        """
+        old = self.fingerprint
+        if (
+            self._campaign is not campaign
+            or len(old) < 2
+            or old[0] != fingerprint[0]
+            or not isinstance(old[1], int)
+            or old[1] >= fingerprint[1]
+            or fingerprint[2:len(old)] != old[2:]
+        ):
+            return False
+        # The remaining parts must all belong to appended snapshots.
+        if any(part[0] < old[1] for part in fingerprint[len(old):]):
+            return False
+        for snap in campaign.snapshots[old[1]:]:
+            self.append_snapshot(snap, observer=observer)
+        self.fingerprint = fingerprint
+        return True
+
     @property
     def n_collections(self) -> int:
         """Number of snapshots indexed."""
-        return self._campaign.n_collections
+        return self._n
 
     @property
     def topic_keys(self) -> tuple[str, ...]:
         """The campaign's topic keys, in analysis order."""
-        return tuple(self._campaign.topic_keys)
+        return self._topic_keys
 
     def topic(self, key: str) -> TopicIndex:
         """One topic's columnar view (``KeyError`` on unknown topics)."""
@@ -500,6 +738,29 @@ class CampaignIndex:
             self._pool_stats[topic] = cached
         return cached
 
+    def _merged_meta(
+        self, topic: str
+    ) -> tuple[dict[str, dict], dict[str, dict]]:
+        """First-seen-wins metadata for one topic, folded up to ``_n``.
+
+        Campaign-backed indexes scan the retained snapshots lazily from
+        wherever the last fold stopped; incremental indexes were folded
+        eagerly in :meth:`append_snapshot`, so the stored dicts are
+        already current.
+        """
+        merged_video = self._merged_video.setdefault(topic, {})
+        merged_channel = self._merged_channel.setdefault(topic, {})
+        start = self._meta_upto.get(topic, 0)
+        if self._campaign is not None and start < self._n:
+            for snap in self._campaign.snapshots[start:self._n]:
+                ts = snap.topics[topic]
+                for vid, resource in ts.video_meta.items():
+                    merged_video.setdefault(vid, resource)
+                for cid, resource in ts.channel_meta.items():
+                    merged_channel.setdefault(cid, resource)
+            self._meta_upto[topic] = self._n
+        return merged_video, merged_channel
+
     def _regression_columns(self, topic: str) -> _RegressionColumns:
         """Decode one topic's regression dataset (memoized on the topic).
 
@@ -510,25 +771,14 @@ class CampaignIndex:
         ti = self.topic(topic)
         if ti.regression is not None:
             return ti.regression
-        merged_video: dict[str, dict] = {}
-        merged_channel: dict[str, dict] = {}
-        for snap in self._campaign.snapshots:
-            ts = snap.topics[topic]
-            for vid, resource in ts.video_meta.items():
-                merged_video.setdefault(vid, resource)
-            for cid, resource in ts.channel_meta.items():
-                merged_channel.setdefault(cid, resource)
-        collected_at = (
-            self._campaign.snapshots[0].collected_at
-            if self._campaign.snapshots
-            else None
-        )
+        merged_video, merged_channel = self._merged_meta(topic)
+        collected_at = self._first_collected_at
         frequencies = ti.present.sum(axis=1)
         # Live columnar corpus (in-process campaigns only): static video /
         # channel facts come straight from the typed arrays instead of
         # being re-parsed out of the captured resources.  The resource
         # capture is lossless for these fields, so both sources agree.
-        corpus = self._campaign.corpus
+        corpus = self._corpus
         chan_of: dict[str, tuple[float, int, int, int]] = {}
         video_ids: list[str] = []
         frequency: list[int] = []
@@ -688,15 +938,21 @@ def campaign_index(
 ) -> CampaignIndex:
     """The campaign's shared index — built on first use, then cached.
 
-    The cache lives on the campaign object and is invalidated when the
-    structural fingerprint changes (snapshots added, replaced, or
-    reshaped), so the report, export, replication, and CLI layers all
-    amortize one build.
+    The cache lives on the campaign object, so the report, export,
+    replication, and CLI layers all amortize one build.  When the
+    structural fingerprint shows the campaign grew by pure suffix
+    (snapshots appended, nothing replaced or reshaped) the cached index
+    is extended in place with :meth:`CampaignIndex.append_snapshot` —
+    O(delta) per new collection.  Any other fingerprint change rebuilds
+    from scratch.
     """
     fingerprint = _fingerprint(campaign)
     cached: CampaignIndex | None = campaign.__dict__.get("_index")
-    if cached is not None and cached.fingerprint == fingerprint:
-        return cached
+    if cached is not None:
+        if cached.fingerprint == fingerprint:
+            return cached
+        if cached.extend_to(campaign, fingerprint, observer=observer):
+            return cached
     index = CampaignIndex.build(campaign, fingerprint, observer=observer)
     campaign.__dict__["_index"] = index
     return index

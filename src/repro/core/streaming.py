@@ -151,15 +151,31 @@ class CampaignStream:
     topic_keys:
         The campaign's topic keys, in analysis order.  ``None`` adopts the
         first snapshot's topics in their snapshot order.
+    build_index:
+        Also grow an incremental :class:`~repro.core.index.CampaignIndex`
+        (O(delta) ``append_snapshot`` per collection), so the full
+        vectorized analysis battery is available from the stream without
+        ever retaining the raw snapshots; read it from :attr:`index`.
+    corpus:
+        Optional live columnar corpus handed to the incremental index
+        (static video/channel facts for the regression columns).
     """
 
-    def __init__(self, topic_keys: tuple[str, ...] | None = None) -> None:
+    def __init__(
+        self,
+        topic_keys: tuple[str, ...] | None = None,
+        build_index: bool = False,
+        corpus=None,
+    ) -> None:
         self._topic_keys: tuple[str, ...] | None = (
             tuple(topic_keys) if topic_keys is not None else None
         )
         self._states: dict[str, _TopicState] = {}
         self._n = 0
         self._first_collected_at: datetime | None = None
+        self._build_index = build_index
+        self._corpus = corpus
+        self._index = None
 
     # -- feeding -------------------------------------------------------------
 
@@ -173,19 +189,53 @@ class CampaignStream:
         """Snapshots consumed so far."""
         return self._n
 
+    @property
+    def index(self):
+        """The incremental index grown alongside the stream, when
+        ``build_index=True`` was requested (``None`` otherwise, and before
+        the first snapshot)."""
+        return self._index
+
     def add_snapshot(self, snap: Snapshot) -> None:
-        """Fold in the next snapshot (must arrive in collection order)."""
+        """Fold in the next snapshot (must arrive in collection order).
+
+        Contiguity is validated before any state mutates: a gap, a
+        duplicate, or a snapshot missing one of the stream's topics is a
+        ``ValueError`` — order-dependent streaming state (and the
+        incremental index riding along) must never silently diverge from
+        what a batch rebuild would compute.
+        """
         if snap.index != self._n:
+            problem = (
+                "a gap in the feed"
+                if snap.index > self._n
+                else "a duplicate or out-of-order snapshot"
+            )
             raise ValueError(
                 f"streaming analysis needs snapshots in collection order: "
-                f"expected index {self._n}, got {snap.index}"
+                f"expected index {self._n}, got {snap.index} ({problem})"
             )
-        if self._topic_keys is None:
-            self._topic_keys = tuple(snap.topics)
+        keys = self._topic_keys if self._topic_keys is not None else tuple(snap.topics)
+        absent = [key for key in keys if key not in snap.topics]
+        if absent:
+            raise ValueError(
+                f"snapshot {snap.index} is missing topic(s) "
+                f"{', '.join(sorted(absent))}; streaming state would "
+                "silently diverge from a batch rebuild"
+            )
+        self._topic_keys = keys
         if self._first_collected_at is None:
             self._first_collected_at = snap.collected_at
         for key in self._topic_keys:
             self._add_topic(key, snap.topic(key), snap.index)
+        if self._build_index:
+            if self._index is None:
+                from repro.core.index import CampaignIndex
+
+                self._index = CampaignIndex.incremental(
+                    self._topic_keys, corpus=self._corpus
+                )
+            self._index.append_snapshot(snap)
         self._n += 1
 
     def _add_topic(self, key: str, ts: TopicSnapshot, index: int) -> None:

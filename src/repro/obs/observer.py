@@ -122,6 +122,19 @@ class Observer:
     ) -> None:
         """A campaign's columnar index was (re)built (cache miss)."""
 
+    def on_index_append(
+        self, collections: int, new_videos: int, wall_s: float
+    ) -> None:
+        """The columnar index grew by one collection (O(delta) append)."""
+
+    # -- persistence layer -----------------------------------------------------
+
+    def on_spill_write(
+        self, directory: str, index: int, topics: int, records: int,
+        data_bytes: int, wall_s: float,
+    ) -> None:
+        """One snapshot was spilled to the on-disk columnar store."""
+
     # -- world layer -----------------------------------------------------------
 
     def on_world_build(
@@ -344,6 +357,31 @@ class CampaignObserver(Observer):
         self.tracer.emit(
             "index.build", topics=topics, videos=videos,
             collections=collections, wall_s=round(wall_s, 6),
+        )
+
+    def on_index_append(
+        self, collections: int, new_videos: int, wall_s: float
+    ) -> None:
+        self.metrics.inc("index.appends")
+        self.metrics.inc("index.appended_videos", new_videos)
+        self.metrics.observe("index.append_wall_s", wall_s)
+        self.tracer.emit(
+            "index.append", collections=collections, new_videos=new_videos,
+            wall_s=round(wall_s, 6),
+        )
+
+    # -- persistence layer -----------------------------------------------------
+
+    def on_spill_write(
+        self, directory: str, index: int, topics: int, records: int,
+        data_bytes: int, wall_s: float,
+    ) -> None:
+        self.metrics.inc("spill.writes")
+        self.metrics.inc("spill.bytes", data_bytes)
+        self.metrics.observe("spill.write_wall_s", wall_s)
+        self.tracer.emit(
+            "spill.write", directory=directory, index=index, topics=topics,
+            records=records, data_bytes=data_bytes, wall_s=round(wall_s, 6),
         )
 
     # -- world layer -----------------------------------------------------------

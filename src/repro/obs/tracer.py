@@ -46,6 +46,8 @@ EVENT_TYPES = (
     "shard.dispatch",
     "shard.merge",
     "index.build",
+    "index.append",
+    "spill.write",
     "world.build",
     "serve.request",
     "serve.key",

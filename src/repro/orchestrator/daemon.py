@@ -28,7 +28,13 @@ How the pieces compose:
   what makes the quota ledger reconcile exactly across a crash.
 * Campaign results are persisted with atomic checkpoint writes, so the
   result file is always a complete prefix of the campaign — the
-  byte-identity surface the chaos proofs hash.
+  byte-identity surface the chaos proofs hash.  With
+  ``spill_results=True`` each campaign instead spills into a per-campaign
+  :class:`~repro.core.spill.SpillStore` directory (atomic manifest, same
+  complete-prefix guarantee) and the worker drops raw snapshots as they
+  land, so daemon memory stays bounded by one snapshot per campaign; the
+  digest surface is then the store's canonical serialization, which is
+  byte-identical to what the checkpoint file would have held.
 * Daemon-level failure policy: per-campaign
   :class:`~repro.resilience.policy.RetryPolicy` with a shared retry
   budget size, one shared per-endpoint
@@ -179,6 +185,7 @@ class OrchestratorDaemon:
         per_tenant_active: int = 2,
         retry_budget: int | None = 32,
         compact_every: int = 512,
+        spill_results: bool = False,
     ) -> None:
         self.gateway = gateway
         self.observer = gateway.observer or NullObserver()
@@ -194,6 +201,7 @@ class OrchestratorDaemon:
         self.max_running = max_running
         self.retry_budget = retry_budget
         self.compact_every = compact_every
+        self.spill_results = spill_results
         #: Shared per-endpoint breaker: the daemon's backend-health policy.
         self.breaker = gateway.breaker
         #: Test hook: campaign_id -> FaultPlan to install on that campaign's
@@ -487,14 +495,27 @@ class OrchestratorDaemon:
             return self.state.usage_for_key(key_id)
 
     def campaign_path(self, campaign_id: str) -> Path:
-        """Where a campaign's result checkpoint lives."""
+        """Where a campaign's result lives: a checkpoint file, or in
+        ``spill_results`` mode the campaign's spill-store directory."""
+        if self.spill_results:
+            return self.campaigns_dir / f"{campaign_id}.spill"
         return self.campaigns_dir / f"{campaign_id}.jsonl"
 
     def result_sha256(self, campaign_id: str) -> str | None:
-        """The result file's digest (the byte-identity proof surface)."""
+        """The result's digest (the byte-identity proof surface).
+
+        Checkpoint mode hashes the result file; spill mode hashes the
+        store's canonical record stream — the same bytes ``export_jsonl``
+        (and a plain checkpoint) would write, so the two modes' digests
+        agree for the same campaign.
+        """
         path = self.campaign_path(campaign_id)
         if not path.exists():
             return None
+        if path.is_dir():
+            from repro.core.spill import SpillStore
+
+            return SpillStore.open(path).sha256()
         return hashlib.sha256(path.read_bytes()).hexdigest()
 
     # -- internals -------------------------------------------------------------
@@ -694,10 +715,23 @@ class OrchestratorDaemon:
             if pause_event.is_set() or self._draining:
                 raise _PauseSignal("drain" if self._draining else "paused")
 
-        run_campaign(
-            config, client,
-            progress=boundary,
-            checkpoint_path=self.campaign_path(cid),
-            partial=store,
-            workers=1, backend="serial",
-        )
+        if self.spill_results:
+            # The spill directory is the durable result; the journal store
+            # still carries bin-level progress and billing, and dropping
+            # raw snapshots keeps memory at one snapshot per campaign.
+            run_campaign(
+                config, client,
+                progress=boundary,
+                spill=self.campaign_path(cid),
+                retain_snapshots=False,
+                partial=store,
+                workers=1, backend="serial",
+            )
+        else:
+            run_campaign(
+                config, client,
+                progress=boundary,
+                checkpoint_path=self.campaign_path(cid),
+                partial=store,
+                workers=1, backend="serial",
+            )

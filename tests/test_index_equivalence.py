@@ -330,9 +330,12 @@ class TestIndexCache:
         pool_stats(campaign, "beta")
         assert campaign.__dict__["_index"] is index
 
-    def test_structural_change_invalidates(self):
+    def test_appended_snapshot_extends_in_place(self):
+        # Pure suffix growth is the O(delta) path: the cached index is
+        # extended, not rebuilt, and still matches the oracle.
         campaign = _degraded_campaign()
-        stale = campaign_index(campaign)
+        cached = campaign_index(campaign)
+        old_width = cached.topic("alpha").present.shape[1]
         extra = campaign.snapshots[-1]
         campaign.snapshots.append(
             Snapshot(
@@ -341,12 +344,44 @@ class TestIndexCache:
                 topics=extra.topics,
             )
         )
+        extended = campaign_index(campaign)
+        assert extended is cached
+        assert extended.n_collections == old_width + 1
+        assert extended.topic("alpha").present.shape[1] == old_width + 1
+        # And the extended index matches the oracle on the grown campaign.
+        assert extended.consistency("alpha") == consistency_series(
+            campaign, "alpha", use_index=False
+        )
+        fresh = CampaignIndex.build(campaign)
+        assert extended.topic("alpha").video_ids == fresh.topic("alpha").video_ids
+        assert (
+            extended.topic("alpha").present == fresh.topic("alpha").present
+        ).all()
+
+    def test_replaced_snapshot_invalidates(self):
+        # A non-suffix change (snapshot replaced in the middle) cannot be
+        # extended: the cache rebuilds from scratch.
+        campaign = _degraded_campaign()
+        stale = campaign_index(campaign)
+        first = campaign.snapshots[0]
+        campaign.snapshots[0] = Snapshot(
+            index=first.index,
+            collected_at=first.collected_at,
+            # Fresh TopicSnapshot objects: the fingerprint keys on
+            # snapshot-topic identity, so this reads as a replacement.
+            topics={
+                key: TopicSnapshot(
+                    topic=key,
+                    collected_at=ts.collected_at,
+                    hour_video_ids=ts.hour_video_ids,
+                    pool_sizes=ts.pool_sizes,
+                    missing_hours=ts.missing_hours,
+                )
+                for key, ts in first.topics.items()
+            },
+        )
         rebuilt = campaign_index(campaign)
         assert rebuilt is not stale
-        assert rebuilt.topic("alpha").present.shape[1] == (
-            stale.topic("alpha").present.shape[1] + 1
-        )
-        # And the rebuilt index matches the oracle on the grown campaign.
         assert rebuilt.consistency("alpha") == consistency_series(
             campaign, "alpha", use_index=False
         )
@@ -451,7 +486,7 @@ class TestAnalysisBattery:
             BenchScenario(scale=0.2, collections=4, kind="nope")
         assert {s.kind for s in SCENARIOS.values()} == {
             "campaign", "analysis", "replication", "service", "orchestrator",
-            "world",
+            "world", "spill",
         }
 
 

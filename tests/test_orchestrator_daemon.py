@@ -369,3 +369,76 @@ class TestCrashRecovery:
         assert payload["quotaUnits"] == 0
         assert restarted.usage_for_key(key.key_id) == {}
         gateway.close()
+
+
+class TestSpillResults:
+    """``spill_results=True``: per-campaign SpillStore instead of a
+    checkpoint file, same digest surface, same crash-safety."""
+
+    def test_spill_digest_matches_checkpoint_mode(
+        self, orch_world, orch_spec, tmp_path
+    ):
+        gateway = make_gateway(orch_world, orch_spec)
+        plain = OrchestratorDaemon(gateway, tmp_path / "plain")
+        key = gateway.mint_key(daily_limit=10_000)
+        plain.start()
+        plain_cid = plain.submit(key.credential, collections=2)["campaignId"]
+        assert plain.wait_idle(timeout=60)
+        plain.drain()
+
+        spilling = OrchestratorDaemon(
+            gateway, tmp_path / "spill", spill_results=True
+        )
+        key2 = gateway.mint_key(daily_limit=10_000)
+        spilling.start()
+        cid = spilling.submit(key2.credential, collections=2)["campaignId"]
+        assert spilling.wait_idle(timeout=60)
+        status = spilling.status(key2.credential, cid)
+        assert status["state"] == COMPLETED
+        assert spilling.campaign_path(cid).is_dir()
+        # The store's canonical bytes == the checkpoint file's bytes.
+        assert spilling.result_sha256(cid) == plain.result_sha256(plain_cid)
+        assert spilling.usage_for_key(key2.key_id) == {
+            "2025-02-09": SNAPSHOT_UNITS,
+            "2025-02-14": SNAPSHOT_UNITS,
+        }
+        spilling.drain()
+        gateway.close()
+
+    def test_spill_mode_crash_recovery_is_byte_identical(
+        self, orch_world, orch_spec, tmp_path
+    ):
+        gateway = make_gateway(orch_world, orch_spec)
+        key = gateway.mint_key(daily_limit=10_000)
+        ref = OrchestratorDaemon(gateway, tmp_path / "ref", spill_results=True)
+        ref.start()
+        ref_cid = ref.submit(key.credential, collections=2)["campaignId"]
+        assert ref.wait_idle(timeout=60)
+        ref.drain()
+
+        crashed = OrchestratorDaemon(
+            gateway, tmp_path / "orch", spill_results=True
+        )
+        crashed.fault_factory = lambda cid: FaultPlan(
+            (FaultSpec(start=70, count=1, error="processCrash"),)
+        )
+        crashed.start()
+        cid = crashed.submit(key.credential, collections=2)["campaignId"]
+        assert wait_for(lambda: cid in crashed.crashed_campaigns)
+        # Snapshot 0 already landed in the spill store before the crash.
+        assert crashed.campaign_path(cid).is_dir()
+
+        recovered = OrchestratorDaemon(
+            gateway, tmp_path / "orch", spill_results=True
+        )
+        recovered.start()
+        assert recovered.wait_idle(timeout=60)
+        assert recovered.state.campaigns[cid].state == COMPLETED
+        assert recovered.result_sha256(cid) == ref.result_sha256(ref_cid)
+        # Billed exactly once per bin across the crash (the ref daemon
+        # has its own journal; this ledger holds only the crashed run).
+        assert sum(recovered.usage_for_key(key.key_id).values()) == (
+            2 * SNAPSHOT_UNITS
+        )
+        recovered.drain()
+        gateway.close()

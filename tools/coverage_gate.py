@@ -14,10 +14,11 @@ installing dependencies is out of scope for this repository's tooling.
 ``--fast`` exists so the gate can ride inside ``make verify`` without
 doubling its wall time: it drops the handful of multi-second end-to-end
 modules (golden campaign, perf fast path, process backend, integration,
-chaos, and the index-equivalence sweeps that compare the columnar
+chaos, the index-equivalence sweeps that compare the columnar
 analysis fast path against the legacy oracle on full simulated
-campaigns) whose *coverage* is almost entirely redundant with the unit
-tests, and compensates with a slightly lower floor.
+campaigns, and the spill-store golden/crash suite) whose *coverage* is
+almost entirely redundant with the unit tests, and compensates with a
+slightly lower floor.
 """
 
 from __future__ import annotations
@@ -46,6 +47,7 @@ FAST_SKIPS = (
     "tests/test_index_equivalence.py",
     "tests/test_serve_http.py",
     "tests/test_world_columnar.py",
+    "tests/test_spill.py",
 )
 
 
