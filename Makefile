@@ -13,6 +13,10 @@
 #                     file (see docs/SERVICE.md and docs/PERFORMANCE.md)
 #   make bench-world  world-builder benchmark at smoke scale to a temp
 #                     file (verify gate; see docs/PERFORMANCE.md)
+#   make bench-collect  batched vs per-call collection at smoke scale:
+#                     times both engines and asserts campaign sha256 /
+#                     quota-ledger identity (verify gate; see
+#                     docs/PERFORMANCE.md "Batched collection")
 #   make serve-smoke  serve + loadgen burst: byte-identity vs the
 #                     in-process reference and exact ledger reconciliation
 #   make orchestrator-smoke  kill -9 the orchestrator daemon mid-campaign,
@@ -29,11 +33,11 @@
 PYTHON ?= python
 
 .PHONY: verify test doclinks chaos bench bench-smoke bench-analysis \
-	bench-service bench-world serve-smoke orchestrator-smoke spill-smoke \
-	coverage coverage-fast
+	bench-service bench-world bench-collect serve-smoke \
+	orchestrator-smoke spill-smoke coverage coverage-fast
 
 verify: test doclinks chaos bench-smoke bench-analysis bench-world \
-	serve-smoke orchestrator-smoke spill-smoke coverage-fast
+	bench-collect serve-smoke orchestrator-smoke spill-smoke coverage-fast
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -62,6 +66,10 @@ bench-service:
 bench-world:
 	PYTHONPATH=src $(PYTHON) -m repro bench --scenario world-smoke --quiet \
 		--out $(or $(TMPDIR),/tmp)/repro_bench_world.json
+
+bench-collect:
+	PYTHONPATH=src $(PYTHON) -m repro bench --scenario collect-smoke --quiet \
+		--out $(or $(TMPDIR),/tmp)/repro_bench_collect.json
 
 serve-smoke:
 	$(PYTHON) tools/serve_smoke.py

@@ -173,6 +173,19 @@ class YouTubeClient:
 
         return self._paginate("search.list", collect)
 
+    def search_sweep(self, **params):
+        """A whole window sweep as one batched plan (see ``SearchEndpoint.sweep``).
+
+        Deliberately *not* wrapped in the retry policy or circuit breaker:
+        the batched path is only taken when the collector has verified the
+        transport is fault-free and the breaker (if any) is closed, so no
+        retriable error can occur — and a
+        :class:`~repro.api.errors.SweepQuotaShortfall` must surface
+        untouched for the per-call fallback to engage before anything is
+        billed.
+        """
+        return self._service.search.sweep(**params)
+
     def search_video_ids(self, **params) -> list[str]:
         """Video IDs of all search results for a query."""
         return [item["id"]["videoId"] for item in self.search_all(**params)]

@@ -19,6 +19,7 @@ __all__ = [
     "RateLimitedError",
     "TransientServerError",
     "MalformedResponseError",
+    "SweepQuotaShortfall",
 ]
 
 
@@ -98,6 +99,17 @@ class RateLimitedError(ApiError):
     @property
     def retriable(self) -> bool:
         return True
+
+
+class SweepQuotaShortfall(Exception):
+    """A batched sweep does not fit in the day's remaining quota.
+
+    Deliberately *not* an :class:`ApiError`: nothing was billed and no
+    simulated HTTP response exists.  The collector catches it and replays
+    the topic through the per-call path, which reproduces the per-page
+    partial billing and the mid-topic ``QuotaExceededError`` exactly as
+    an unbatched run would have seen them.
+    """
 
 
 class TransientServerError(ApiError):

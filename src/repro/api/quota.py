@@ -101,6 +101,53 @@ class QuotaLedger:
                 self.observer.on_quota_spend(endpoint, day, cost, self._usage[day])
             return self._usage[day]
 
+    def charge_many(
+        self,
+        endpoint: str,
+        day: str,
+        calls: int,
+        after_each=None,
+    ) -> int:
+        """Charge ``calls`` identical calls on ``day`` as one transaction.
+
+        The batched collection path bills a whole sweep's pages through a
+        single lock acquisition instead of one per page.  Accounting is
+        call-by-call and therefore *identical* to ``calls`` sequential
+        :meth:`charge` invocations: each call is limit-checked before it
+        is billed, ``on_quota_spend`` fires per call with the running
+        total, and the charge that would cross the limit raises the same
+        ``QuotaExceededError`` message — leaving the prior calls billed,
+        exactly as a per-call loop would.
+
+        ``after_each``, when given, is invoked once after each accepted
+        charge (still inside the lock): the service layer uses it to emit
+        the matching ``on_api_call`` so traces interleave quota.spend and
+        api.call events exactly as the per-call path does.
+
+        Returns the day's usage after the last accepted charge.
+        """
+        if calls < 0:
+            raise ValueError("calls must be non-negative")
+        cost = self.cost_of(endpoint)
+        with self._lock:
+            limit = self.policy.effective_limit
+            for _ in range(calls):
+                used = self._usage.get(day, 0)
+                if used + cost > limit:
+                    raise QuotaExceededError(
+                        f"daily quota of {limit} units exceeded for {day} "
+                        f"(used {used}, {endpoint} costs {cost})"
+                    )
+                self._usage[day] = used + cost
+                self._total += cost
+                if self.observer is not None:
+                    self.observer.on_quota_spend(
+                        endpoint, day, cost, self._usage[day]
+                    )
+                if after_each is not None:
+                    after_each()
+            return self._usage.get(day, 0)
+
     def refund(self, endpoint: str, day: str) -> int:
         """Reverse one call's charge on ``day``; returns the day's new usage.
 

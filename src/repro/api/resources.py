@@ -32,7 +32,9 @@ MAX_INLINE_REPLIES = 5
 
 def etag_for(*parts: object) -> str:
     """Deterministic opaque etag for a resource rendering."""
-    return format(stable_hash("etag", *parts) % 16**16, "016x")
+    # stable_hash is already a 64-bit value, so the historical
+    # ``% 16**16`` was the identity; format straight to 16 hex digits.
+    return format(stable_hash("etag", *parts), "016x")
 
 
 def search_result_resource(

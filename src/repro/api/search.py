@@ -12,19 +12,22 @@ churning, popularity-biased sampling keyed to the request date.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from datetime import datetime, timezone
+from functools import lru_cache
 
 from repro.api.errors import BadRequestError, NotFoundError
 from repro.api.fields import filter_response
 from repro.api.matching import ParsedQuery, match_candidates, parse_query
-from repro.api.pagination import paginate
+from repro.api.pagination import encode_page_token, paginate
 from repro.api.resources import etag_for, search_result_resource
 from repro.sampling.engine import SearchBehaviorEngine
 from repro.util.rng import stable_hash
 from repro.util.timeutil import parse_rfc3339
+from repro.world.entities import Video
 from repro.world.store import PlatformStore
 
-__all__ = ["SearchEndpoint", "SEARCH_HARD_CAP", "VALID_ORDERS"]
+__all__ = ["SearchEndpoint", "SweepBin", "SEARCH_HARD_CAP", "VALID_ORDERS"]
 
 #: The per-query ceiling: at most 10 pages of 50.
 SEARCH_HARD_CAP = 500
@@ -34,6 +37,30 @@ _VALID_SAFE_SEARCH = ("none", "moderate", "strict")
 #: YouTube removed the relatedToVideoId parameter in 2023 (Section 2 of the
 #: paper); the simulator enforces the same cutoff against its virtual clock.
 RELATED_DEPRECATION_DATE = datetime(2023, 8, 7, tzinfo=timezone.utc)
+
+
+@dataclass(slots=True)
+class SweepBin:
+    """One hour bin's outcome inside a batched sweep.
+
+    ``ids``/``pages``/``total_results`` are exactly what paging
+    :meth:`SearchEndpoint.list` to exhaustion over the same window would
+    accumulate; ``videos`` carries the capped result objects so
+    :meth:`SearchEndpoint.list_sweep` can materialize full envelopes.
+    """
+
+    ids: list[str]
+    total_results: int
+    pages: int
+    videos: list[Video]
+
+
+@lru_cache(maxsize=8192)
+def _parse_bound(value: str) -> datetime:
+    # Hour-bin boundaries recur on every snapshot of a campaign; parsing
+    # each distinct RFC3339 string once is free and exact (datetimes are
+    # immutable).
+    return parse_rfc3339(value)
 
 
 class SearchEndpoint:
@@ -57,6 +84,19 @@ class SearchEndpoint:
         # (q, channelId, window, order, type) combination is hashed once per
         # campaign instead of once per snapshot.
         self._fingerprint_cache: dict[tuple[str, str, str, str, str, str], str] = {}
+        # Interned SERP rows: (video_id, request date) -> the searchResult
+        # resource dict.  A row is a pure function of that key (snippet
+        # fields come from the immutable corpus, the item etag hashes only
+        # id + date), so one row serves every query/page/bin that returns
+        # the video on that date.  Callers receive fresh two-level copies —
+        # every leaf is an immutable str — so mutating a returned item can
+        # never corrupt the cache (see tests/test_batch_collection.py).
+        self._row_cache: dict[tuple[str, str], dict] = {}
+        # Memoized relatedToVideoId candidate sets (same-topic, minus the
+        # seed video).  Pure function of the immutable corpus, like the
+        # query-plan cache; unknown seed videos are *not* cached — they
+        # raise NotFoundError on every call, and the lookup is one dict hit.
+        self._related_cache: dict[str, frozenset[str]] = {}
 
     def _query_plan(self, q: str) -> tuple[ParsedQuery, frozenset[str]]:
         """The memoized (parsed, candidates) plan for a query string."""
@@ -167,21 +207,183 @@ class SearchEndpoint:
             response["prevPageToken"] = page.prev_page_token
         return filter_response(response, fields)
 
-    def _related_candidates(self, video_id: str) -> set[str]:
+    def sweep(
+        self,
+        q: str | None = None,
+        bounds: list[tuple[str | None, str | None]] = (),
+        channelId: str | None = None,
+        maxResults: int = 50,
+        order: str = "relevance",
+        safeSearch: str = "none",
+        type: str = "video",
+        part: str = "snippet",
+    ) -> list[SweepBin]:
+        """Execute a whole window sweep as one batched plan.
+
+        ``bounds`` is a sequence of ``(publishedAfter, publishedBefore)``
+        RFC3339 pairs (``None`` leaves that side open).  The result is one
+        :class:`SweepBin` per pair, holding exactly the IDs, page count,
+        and ``totalResults`` that paging :meth:`list` to exhaustion over
+        that window would have produced — the engine's vectorized sweep is
+        proven equivalent bin-for-bin (see ``execute_sweep``).
+
+        Billing is a single ledger transaction covering every page of
+        every bin, charged *after* the (pure) engine pass so a quota
+        shortfall raises :class:`~repro.api.errors.SweepQuotaShortfall`
+        with nothing billed; per-day accounting, request records, and
+        trace events are otherwise indistinguishable from the per-call
+        path.  ``relatedToVideoId`` is deliberately unsupported here: the
+        parameter is deprecated on every campaign date the collector runs.
+        """
+        self._validate(part, q, channelId, None, maxResults, order, safeSearch, type)
+        parsed_bounds: list[tuple[datetime | None, datetime | None]] = []
+        for after_s, before_s in bounds:
+            after = _parse_bound(after_s) if after_s else None
+            before = _parse_bound(before_s) if before_s else None
+            if after and before and after >= before:
+                raise BadRequestError("publishedAfter must precede publishedBefore")
+            parsed_bounds.append((after, before))
+
+        _parsed, candidates = self._query_plan(q or "")
+        as_of = self._service.clock.now()
+        outcome = self._engine.execute_sweep(
+            q or "",
+            candidates,
+            parsed_bounds,
+            as_of,
+            order=order,
+            channel_id=channelId,
+        )
+
+        # Hot loop: one iteration per hour bin, 64k+ per paper campaign.
+        # The engine hands over freshly built per-bin lists, so bins own
+        # them without a defensive copy; only over-cap bins pay a slice.
+        bins: list[SweepBin] = []
+        append = bins.append
+        total_pages = 0
+        for videos, total in zip(outcome.bin_videos, outcome.bin_totals):
+            n = len(videos)
+            if n > SEARCH_HARD_CAP:
+                videos = videos[:SEARCH_HARD_CAP]
+                n = SEARCH_HARD_CAP
+            pages = 1 if n <= maxResults else -(-n // maxResults)
+            total_pages += pages
+            append(SweepBin([v.video_id for v in videos], total, pages, videos))
+        self._service.begin_sweep(self.endpoint_name, total_pages)
+        return bins
+
+    def list_sweep(
+        self,
+        part: str = "snippet",
+        q: str | None = None,
+        bounds: list[tuple[str | None, str | None]] = (),
+        channelId: str | None = None,
+        maxResults: int = 50,
+        order: str = "relevance",
+        regionCode: str | None = None,
+        safeSearch: str = "none",
+        type: str = "video",
+        fields: str | None = None,
+    ) -> list[list[dict]]:
+        """Materialized response envelopes for every bin of a sweep.
+
+        Returns, per bin, the list of page envelopes that paging
+        :meth:`list` over the same window would yield — same etags, page
+        tokens, ``pageInfo``, and ``fields`` projection.  Items come from
+        the interned per-``(video_id, request date)`` row cache; each call
+        hands out fresh copies, so responses are safe to mutate.
+        """
+        bins = self.sweep(
+            q=q,
+            bounds=bounds,
+            channelId=channelId,
+            maxResults=maxResults,
+            order=order,
+            safeSearch=safeSearch,
+            type=type,
+            part=part,
+        )
+        as_of = self._service.clock.now()
+        date_label = as_of.date().isoformat()
+        out: list[list[dict]] = []
+        for (after_s, before_s), swept in zip(bounds, bins):
+            fingerprint = self._fingerprint(
+                q, channelId, after_s, before_s, order, type
+            )
+            limit = len(swept.videos)  # already capped at SEARCH_HARD_CAP
+            pages: list[dict] = []
+            offset = 0
+            while True:
+                end = min(offset + maxResults, limit)
+                response: dict = {
+                    "kind": "youtube#searchListResponse",
+                    "etag": etag_for("searchList", fingerprint, as_of.date(), offset),
+                    "regionCode": regionCode or "US",
+                    "pageInfo": {
+                        "totalResults": swept.total_results,
+                        "resultsPerPage": maxResults,
+                    },
+                    "items": [
+                        self._interned_item(v, as_of, date_label)
+                        for v in swept.videos[offset:end]
+                    ],
+                }
+                if end < limit:
+                    response["nextPageToken"] = encode_page_token(fingerprint, end)
+                if offset > 0:
+                    response["prevPageToken"] = encode_page_token(
+                        fingerprint, max(0, offset - maxResults)
+                    )
+                pages.append(filter_response(response, fields))
+                if end >= limit:
+                    break
+                offset = end
+            out.append(pages)
+        return out
+
+    def _interned_item(self, video: Video, as_of: datetime, date_label: str) -> dict:
+        """A fresh copy of the interned searchResult row for this date.
+
+        The copy is two levels deep — the row's only nested values are the
+        ``id`` and ``snippet`` dicts, and every leaf is an immutable str —
+        so callers can mutate the returned item freely without touching
+        the cached row or any other response built from it.
+        """
+        key = (video.video_id, date_label)
+        row = self._row_cache.get(key)
+        if row is None:
+            row = search_result_resource(video, self._store, as_of)
+            self._row_cache[key] = row
+        return {
+            "kind": row["kind"],
+            "etag": row["etag"],
+            "id": dict(row["id"]),
+            "snippet": dict(row["snippet"]),
+        }
+
+    def _related_candidates(self, video_id: str) -> frozenset[str]:
         """Candidate set for a pre-deprecation relatedToVideoId query.
 
         Relatedness on the simulated platform: same topic, excluding the
         seed video itself.  (The real system's notion was opaque; same-topic
         is the property every research use of the parameter relied on.)
+        Memoized per seed video — the set is a pure function of the
+        immutable corpus, and recommendation crawls re-query the same seeds
+        on every wave.
         """
+        cached = self._related_cache.get(video_id)
+        if cached is not None:
+            return cached
         seed_video = self._store.video(video_id)
         if seed_video is None:
             raise NotFoundError(f"video not found: {video_id}")
-        return {
+        candidates = frozenset(
             v.video_id
             for v in self._store.world.videos_for_topic(seed_video.topic)
             if v.video_id != video_id
-        }
+        )
+        self._related_cache[video_id] = candidates
+        return candidates
 
     def _validate(
         self,

@@ -26,6 +26,7 @@ from repro.api.channels_ep import ChannelsEndpoint
 from repro.api.clock import VirtualClock
 from repro.api.comment_threads import CommentThreadsEndpoint
 from repro.api.comments_ep import CommentsEndpoint
+from repro.api.errors import SweepQuotaShortfall
 from repro.api.playlist_items import PlaylistItemsEndpoint
 from repro.api.quota import QuotaLedger, QuotaPolicy
 from repro.api.search import SearchEndpoint
@@ -84,6 +85,41 @@ class YouTubeService:
         now = self.clock.now()
         record = self.transport.observe(endpoint, now, self.quota.cost_of(endpoint))
         self.observer.on_api_call(endpoint, now, record.units, record.latency_ms)
+        return now
+
+    def begin_sweep(self, endpoint: str, calls: int) -> datetime:
+        """Gate a whole sweep of ``calls`` identical endpoint calls at once.
+
+        The batched equivalent of ``calls`` :meth:`begin_call` invocations
+        on the serial path, under two preconditions the collector enforces:
+        the transport's fault plan must be inert (faults would otherwise
+        fire per call, before billing), and the clock does not move
+        mid-snapshot (so every call shares one timestamp either way).
+
+        If the sweep does not fit in the day's remaining quota it raises
+        :class:`~repro.api.errors.SweepQuotaShortfall` *before* billing or
+        logging anything, so the caller can fall back to the per-call path
+        and reproduce per-page partial billing exactly.  Otherwise the
+        request records are appended in bulk and billed through
+        :meth:`QuotaLedger.charge_many`, whose per-charge callback emits
+        each ``api.call`` right after its ``quota.spend`` — the same
+        interleaving traces see on the per-call path.
+        """
+        day = self.clock.today()
+        cost = self.quota.cost_of(endpoint)
+        if calls * cost > self.quota.remaining_on(day):
+            raise SweepQuotaShortfall(
+                f"sweep of {calls} {endpoint} calls ({calls * cost} units) "
+                f"exceeds remaining quota on {day}"
+            )
+        now = self.clock.now()
+        records = iter(self.transport.observe_many(endpoint, now, cost, calls))
+
+        def emit_call() -> None:
+            record = next(records)
+            self.observer.on_api_call(endpoint, now, record.units, record.latency_ms)
+
+        self.quota.charge_many(endpoint, day, calls, after_each=emit_call)
         return now
 
 

@@ -49,6 +49,17 @@ class LatencyModel:
         """One latency sample in milliseconds."""
         return float(self._median * np.exp(self._sigma * self._rng.standard_normal()))
 
+    def draw_many(self, n: int) -> np.ndarray:
+        """``n`` latency samples in one vectorized draw.
+
+        Bit-identical to ``n`` successive :meth:`draw` calls: numpy
+        Generators fill arrays from the same bit stream the scalar path
+        consumes, and the lognormal transform applies the same ufuncs
+        elementwise.  The batched collection path relies on this so sweep
+        request records match the per-call oracle byte for byte.
+        """
+        return self._median * np.exp(self._sigma * self._rng.standard_normal(n))
+
     def reseed(self, seed: int) -> None:
         """Replace the RNG with a fresh named stream for ``seed``.
 
@@ -119,6 +130,42 @@ class Transport:
             )
             self.records.append(record)
             return record
+
+    def observe_many(
+        self, endpoint: str, at: datetime, units: int, count: int
+    ) -> list[RequestRecord]:
+        """Record ``count`` identical calls under one lock acquisition.
+
+        The batched sweep path knows its page count up front; appending
+        the records in bulk produces the same sequence numbers, latencies
+        (see :meth:`LatencyModel.draw_many`), and timestamps as ``count``
+        :meth:`observe` calls would on the serial path, where nothing can
+        interleave between them.
+        """
+        with self._lock:
+            # tolist() yields Python floats directly, skipping one
+            # np.float64 box + float() call per record.
+            latencies = self.latency.draw_many(count).tolist()
+            base = len(self.records)
+            # Bulk allocation bypasses the frozen-dataclass __init__ (five
+            # object.__setattr__ calls per record, ~2x the cost of filling
+            # __dict__ directly); field values, equality, hash, and repr
+            # are exactly what the constructor produces.
+            new_record = RequestRecord.__new__
+            new: list[RequestRecord] = []
+            append = new.append
+            for i, latency in enumerate(latencies):
+                record = new_record(RequestRecord)
+                record.__dict__.update(
+                    sequence=base + i,
+                    endpoint=endpoint,
+                    at=at,
+                    units=units,
+                    latency_ms=latency,
+                )
+                append(record)
+            self.records.extend(new)
+            return new
 
     def absorb(self, counts: dict[str, int], latency_ms: float = 0.0) -> None:
         """Fold calls a shard worker's transport saw into this one's totals.

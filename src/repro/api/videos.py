@@ -24,6 +24,7 @@ __all__ = ["VideosEndpoint", "MAX_IDS_PER_CALL"]
 
 MAX_IDS_PER_CALL = 50
 _VALID_PARTS = {"snippet", "contentDetails", "statistics"}
+_STATIC_PARTS = frozenset({"snippet", "contentDetails"})
 #: Per-(video, day) probability of a transient metadata gap.
 METADATA_GAP_PROBABILITY = 0.015
 
@@ -36,6 +37,12 @@ class VideosEndpoint:
     def __init__(self, store: PlatformStore, service) -> None:
         self._store = store
         self._service = service
+        # Interned static resource parts: a video's snippet and
+        # contentDetails are pure functions of the immutable corpus — only
+        # the item etag and statistics vary with the request date — so they
+        # render through :func:`video_resource` once per video and are
+        # copied out per response (tags list included), never shared.
+        self._static_cache: dict[str, tuple[dict, dict]] = {}
 
     def list(
         self,
@@ -47,24 +54,61 @@ class VideosEndpoint:
         ids = _normalize_ids(id)
         parts = _parse_parts(part)
         as_of = self._service.begin_call(self.endpoint_name)
+        date = as_of.date()
+        date_label = date.isoformat()
 
         items = []
         for video_id in ids:
             video = self._store.video(video_id)
             if video is None or not video.alive_at(as_of):
                 continue
-            gap = stable_uniform("videos-gap", video_id, as_of.date().isoformat())
+            gap = stable_uniform("videos-gap", video_id, date_label)
             if gap < METADATA_GAP_PROBABILITY:
                 continue
-            items.append(video_resource(video, self._store, as_of, parts))
+            items.append(self._video_item(video, as_of, parts, date))
 
         response = {
             "kind": "youtube#videoListResponse",
-            "etag": etag_for("videoList", ",".join(ids), as_of.date()),
+            "etag": etag_for("videoList", ",".join(ids), date),
             "pageInfo": {"totalResults": len(items), "resultsPerPage": len(items)},
             "items": items,
         }
         return filter_response(response, fields)
+
+    def _video_item(self, video, as_of, parts: set[str], date) -> dict:
+        """One ``youtube#video`` item, equal to :func:`video_resource`.
+
+        Static parts come from the per-video intern cache; the etag and
+        statistics are rendered fresh because they depend on the request
+        date (``tests/test_batch_collection.py`` pins the equality).
+        """
+        video_id = video.video_id
+        cached = self._static_cache.get(video_id)
+        if cached is None:
+            template = video_resource(video, self._store, as_of, _STATIC_PARTS)
+            cached = (template["snippet"], template["contentDetails"])
+            self._static_cache[video_id] = cached
+        resource: dict = {
+            "kind": "youtube#video",
+            "etag": etag_for("video", video_id, date),
+            "id": video_id,
+        }
+        if "snippet" in parts:
+            snippet = dict(cached[0])
+            snippet["tags"] = list(snippet["tags"])
+            resource["snippet"] = snippet
+        if "contentDetails" in parts:
+            resource["contentDetails"] = dict(cached[1])
+        if "statistics" in parts:
+            views, likes, comments = self._store.metrics_at(video, as_of)
+            # Mirrors video_resource's statistics part: string-typed counts.
+            resource["statistics"] = {
+                "viewCount": str(views),
+                "likeCount": str(likes),
+                "favoriteCount": "0",
+                "commentCount": str(comments),
+            }
+        return resource
 
 
 def _normalize_ids(id_param: str | list[str]) -> list[str]:

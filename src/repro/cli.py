@@ -78,6 +78,12 @@ def build_parser() -> argparse.ArgumentParser:
                           help="how workers>1 executes: a thread pool, or "
                                "process-sharded hour-bin plans "
                                "(byte-identical either way)")
+    campaign.add_argument("--engine", choices=("batch", "per-call"),
+                          default="batch",
+                          help="serial-path execution: whole-topic batched "
+                               "sweeps with automatic per-topic fallback "
+                               "(default), or the per-bin reference loop "
+                               "(byte-identical either way)")
     campaign.add_argument("--analyze", action="store_true",
                           help="stream snapshots into the incremental "
                                "RQ1/RQ2 analysis and print its summary")
@@ -347,7 +353,7 @@ def _cmd_campaign(args) -> int:
     campaign = run_campaign(
         config, YouTubeClient(service), progress=progress,
         checkpoint_path=args.checkpoint, workers=args.workers,
-        backend=args.backend, stream=stream,
+        backend=args.backend, engine=args.engine, stream=stream,
         spill=args.spill, retain_snapshots=not args.spill,
     )
     if args.spill:

@@ -68,6 +68,7 @@ def run_campaign(
     partial: PartialSnapshotStore | None = None,
     spill: "SpillStore | str | Path | None" = None,
     retain_snapshots: bool = True,
+    engine: str = "batch",
 ) -> CampaignResult:
     """Run the full campaign against a service.
 
@@ -95,7 +96,12 @@ def run_campaign(
     :class:`~repro.core.collector.SnapshotCollector`).  ``backend``
     chooses how that parallelism executes: ``"thread"`` (default),
     ``"process"`` (sharded worker processes, :mod:`repro.core.shard`), or
-    ``"serial"`` to force the reference path.
+    ``"serial"`` to force the reference path.  ``engine`` picks the
+    serial-path execution strategy: ``"batch"`` (default) runs each
+    eligible topic's whole hour-bin sweep as one vectorized plan with
+    automatic per-topic fallback, ``"per-call"`` forces the per-bin
+    reference loop; both are byte-identical (see
+    :mod:`repro.core.batch`).
 
     ``partial`` overrides the query-level checkpoint store — any object
     with the :class:`~repro.resilience.checkpoint.PartialSnapshotStore`
@@ -144,6 +150,7 @@ def run_campaign(
         client, config.topics, collect_metadata=config.collect_metadata,
         observer=observer, partial=partial,
         tolerate_failures=tolerate_failures, workers=workers, backend=backend,
+        engine=engine,
     )
     dates = config.collection_dates
     snapshots = []

@@ -37,6 +37,7 @@ from repro.api.errors import (
     NotFoundError,
     QuotaExceededError,
 )
+from repro.core.batch import ENGINES, run_topic_sweep, sweep_eligibility
 from repro.core.datasets import Snapshot, TopicSnapshot
 from repro.obs.observer import NullObserver, Observer
 from repro.resilience.breaker import CircuitOpenError
@@ -44,7 +45,7 @@ from repro.resilience.checkpoint import PartialSnapshotStore
 from repro.util.timeutil import format_rfc3339, hour_range
 from repro.world.topics import TopicSpec
 
-__all__ = ["SnapshotCollector", "BACKENDS"]
+__all__ = ["SnapshotCollector", "BACKENDS", "ENGINES"]
 
 #: Execution backends for the hour-bin sweep (see the ``backend`` parameter).
 BACKENDS = ("serial", "thread", "process")
@@ -93,6 +94,18 @@ class SnapshotCollector:
         the serial or thread path.  Call :meth:`close` (or collect via
         :func:`repro.core.campaign.run_campaign`, which does) to shut the
         worker pool down.
+    engine:
+        How a topic's hour-bin queries execute on the serial path.
+        ``"batch"`` (the default) runs each eligible topic's whole sweep
+        as one vectorized plan — one engine pass, one ledger transaction,
+        snapshots assembled straight from the per-bin ID slices — and
+        falls back per topic to the per-call loop whenever per-call
+        semantics are observable (fault plan armed, breaker not closed,
+        resumed bins, ``tolerate_failures``, ``workers > 1``, or a quota
+        shortfall); see :mod:`repro.core.batch` for the full matrix.
+        ``"per-call"`` forces the reference path unconditionally.  Both
+        engines produce byte-identical snapshots, checkpoints, ledgers,
+        and request records.
     """
 
     def __init__(
@@ -105,6 +118,7 @@ class SnapshotCollector:
         tolerate_failures: bool = False,
         workers: int = 1,
         backend: str = "thread",
+        engine: str = "batch",
     ) -> None:
         if not topics:
             raise ValueError("collector requires at least one topic")
@@ -112,6 +126,8 @@ class SnapshotCollector:
             raise ValueError("workers must be at least 1")
         if backend not in BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; known: {BACKENDS}")
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; known: {ENGINES}")
         self._client = client
         self._topics = topics
         self._collect_metadata = collect_metadata
@@ -119,6 +135,7 @@ class SnapshotCollector:
         self._tolerate_failures = tolerate_failures
         self._workers = 1 if backend == "serial" else workers
         self._backend = backend
+        self._engine = engine
         self._shard_backend = None  # lazily-created ProcessShardBackend
         self._observer = (
             observer or getattr(client, "observer", None) or NullObserver()
@@ -240,9 +257,44 @@ class SnapshotCollector:
             else {}
         )
 
+        swept = None
+        verdict = sweep_eligibility(
+            self._client,
+            engine=self._engine,
+            workers=self._workers,
+            tolerate_failures=self._tolerate_failures,
+            resumed_bins=bool(completed),
+            prefetched=prefetched is not None,
+        )
+        if verdict.eligible:
+            # One plan for the whole topic: engine pass, bulk records, one
+            # ledger transaction.  None means the sweep would not fit in
+            # today's remaining quota — nothing was billed, and the
+            # per-call loop below reproduces partial billing exactly.
+            swept = run_topic_sweep(self._client, spec.query, bounds)
+            if swept is not None:
+                calls = sum(hour.pages for hour in swept)
+                self._observer.on_collect_sweep(
+                    spec.key,
+                    bins=len(bounds),
+                    calls=calls,
+                    units=calls * service.quota.cost_of("search.list"),
+                    videos=sum(len(hour.ids) for hour in swept),
+                )
+
         for hour_index in range(len(bounds)):
             if hour_index in completed:
                 ids, pool = completed[hour_index]
+            elif swept is not None:
+                # Batch path: every page is already billed and recorded;
+                # the per-bin bookkeeping (query summary, checkpoint
+                # record) still runs bin by bin so resumes and metrics are
+                # indistinguishable from the per-call loop.
+                hour = swept[hour_index]
+                ids, pool = hour.ids, hour.total_results
+                self._observer.on_search_query(hour.pages, len(ids))
+                if self._partial is not None:
+                    self._partial.record_hour(spec.key, hour_index, ids, pool)
             else:
                 if prefetched is not None:
                     entry = prefetched.get(hour_index)

@@ -65,6 +65,17 @@ class Observer:
     def on_search_query(self, pages: int, results: int) -> None:
         """One logical search query finished after ``pages`` paged calls."""
 
+    def on_collect_sweep(
+        self, topic: str, bins: int, calls: int, units: int, videos: int
+    ) -> None:
+        """A topic's whole hour-bin sweep ran as one batched plan.
+
+        Emitted once per topic per snapshot when the collector's batch
+        engine engages (``calls`` pages billed in a single ledger
+        transaction); its absence from a topic span means the per-call
+        fallback ran instead.
+        """
+
     def on_pagination_restart(self, endpoint: str, restart: int, error: Exception) -> None:
         """A paginated loop is restarting from page one (``invalidPageToken``)."""
 
@@ -246,6 +257,16 @@ class CampaignObserver(Observer):
         self.metrics.inc("search.queries")
         self.metrics.observe("search.page_depth", float(pages))
         self.tracer.emit("search.query", pages=pages, results=results)
+
+    def on_collect_sweep(
+        self, topic: str, bins: int, calls: int, units: int, videos: int
+    ) -> None:
+        self.metrics.inc("collect.sweeps")
+        self.metrics.inc("collect.sweep_units", units)
+        self.tracer.emit(
+            "collect.sweep", topic=topic, bins=bins, calls=calls,
+            units=units, videos=videos,
+        )
 
     def on_pagination_restart(self, endpoint: str, restart: int, error: Exception) -> None:
         self.metrics.inc("pagination.restarts", endpoint=endpoint)

@@ -56,7 +56,9 @@ from repro.world.entities import Video
 from repro.world.store import PlatformStore
 from repro.world.topics import TopicSpec
 
-__all__ = ["BehaviorParams", "SearchOutcome", "SearchBehaviorEngine"]
+__all__ = ["BehaviorParams", "SearchOutcome", "SweepOutcome", "SearchBehaviorEngine"]
+
+_EMPTY_EPOCHS = np.empty(0, dtype=np.float64)
 
 
 @dataclass(frozen=True)
@@ -104,6 +106,19 @@ class SearchOutcome:
 
     videos: list[Video]
     total_results: int
+
+
+@dataclass
+class SweepOutcome:
+    """Per-bin results of one vectorized hour-bin sweep.
+
+    ``bin_videos[j]`` and ``bin_totals[j]`` are exactly what
+    :meth:`SearchBehaviorEngine.execute` would have returned for
+    ``bounds[j]`` — same videos, same order, same ``totalResults``.
+    """
+
+    bin_videos: list[list[Video]]
+    bin_totals: list[int]
 
 
 class _TopicRuntime:
@@ -194,13 +209,15 @@ class SearchBehaviorEngine:
         # through the cache lock.
         self._latent_cache: dict[tuple[str, str], np.ndarray] = {}
         # (query, channelId, request instant) -> topic -> (narrowness,
-        # selected videos, their publish times).  The whole-corpus selection
-        # is a pure function of (query, channel, as_of); an hourly query is
-        # then two binary searches into the selected list.  One entry per
-        # query per snapshot instant, so the cache stays tiny.
+        # selected videos, their publish times, their publish epochs).  The
+        # whole-corpus selection is a pure function of (query, channel,
+        # as_of); an hourly query is then two binary searches into the
+        # selected list.  One entry per query per snapshot instant, so the
+        # cache stays tiny.  The epochs ride along as a float64 array so
+        # the batched sweep can searchsorted without re-deriving them.
         self._selection_cache: dict[
             tuple[str, str, datetime],
-            dict[str, tuple[float, list[Video], list[datetime]]],
+            dict[str, tuple[float, list[Video], list[datetime], np.ndarray]],
         ] = {}
         # One lock guards every cache: misses are rare (six queries, one
         # date per snapshot) and the hit path only takes the lock on the
@@ -248,7 +265,7 @@ class SearchBehaviorEngine:
 
         selected: list[Video] = []
         total_results = 0
-        for topic_key, (narrowness, videos, times) in selection.items():
+        for topic_key, (narrowness, videos, times, _epochs) in selection.items():
             runtime = self._topics[topic_key]
             total_results += runtime.pool.total_results(
                 request_label,
@@ -266,6 +283,99 @@ class SearchBehaviorEngine:
         total_results = min(total_results, TOTAL_RESULTS_CAP)
         _order_videos(selected, order, self._store, as_of)
         return SearchOutcome(videos=selected, total_results=total_results)
+
+    def execute_sweep(
+        self,
+        query_label: str,
+        candidate_ids: set[str] | frozenset[str],
+        bounds: list[tuple[datetime | None, datetime | None]],
+        as_of: datetime,
+        order: str = "date",
+        channel_id: str | None = None,
+    ) -> SweepOutcome:
+        """Run a whole sweep of window-truncated queries in one pass.
+
+        Equivalent to calling :meth:`execute` once per ``(after, before)``
+        pair in ``bounds`` — but all truncations happen in a single
+        ``searchsorted`` over one merged publish-epoch array instead of
+        ``2 * len(bounds) * topics`` Python bisects.  Exactness argument:
+
+        * the per-bin video *set* is the union over topics of selected
+          videos with ``after <= published_at < before``; merging the
+          topic selections first and slicing the union once commutes with
+          slicing per topic and unioning, because membership is
+          elementwise on publish time;
+        * ``bisect_left`` on microsecond datetimes equals ``searchsorted``
+          (side ``"left"``) on their float64 POSIX epochs — distinct
+          datetimes are several ulps apart after the round trip (the same
+          invariant ``_TopicRuntime`` liveness relies on);
+        * for ``order="date"`` the merged selection is pre-sorted
+          ascending by ``(published_at, video_id)``; reversing a slice of
+          an ascending unique-key order *is* the descending sort
+          :func:`_order_videos` performs.  Other orders re-sort each bin's
+          slice with the shared helper.
+
+        ``totalResults`` keeps its per-bin semantics: the pool model draws
+        per ``(topic, request date, window label)``, so those draws stay a
+        Python loop — they are data, not overhead.
+
+        The sweep is *pure*: beyond warming the shared selection caches it
+        has no side effects, so callers may compute it before billing and
+        fall back to per-call execution without observable divergence.
+        """
+        request_label = as_of.date().isoformat()
+        selection = self._selection(
+            query_label, channel_id, candidate_ids, as_of, request_label
+        )
+
+        # Window labels are bin properties, not topic properties: compute
+        # them once and reuse across every topic's pool draws.
+        labels = [_window_label(after, before) for after, before in bounds]
+        bin_totals = [0] * len(bounds)
+        for topic_key, (narrowness, _videos, _times, _epochs) in selection.items():
+            draws = self._topics[topic_key].pool.total_results_many(
+                request_label, labels, narrowness=narrowness
+            )
+            bin_totals = [total + draw for total, draw in zip(bin_totals, draws)]
+        bin_totals = [min(total, TOTAL_RESULTS_CAP) for total in bin_totals]
+
+        parts = list(selection.values())
+        if len(parts) == 1:
+            # Single-topic selection — the common campaign case.  Topic
+            # corpus order is ``(published_at, video_id)`` ascending and
+            # selection preserves position order, so the kept list already
+            # *is* the merged sort, and its publish epochs were sliced out
+            # of the precomputed per-topic vector during selection.
+            _n0, merged, _t0, epochs = parts[0]
+        else:
+            merged = []
+            for _narrowness, videos, _times, _epochs in parts:
+                merged.extend(videos)
+            merged.sort(key=lambda v: (v.published_at, v.video_id))
+            epochs = np.array(
+                [v.published_at.timestamp() for v in merged], dtype=np.float64
+            )
+        afters = np.array(
+            [-np.inf if after is None else after.timestamp() for after, _ in bounds],
+            dtype=np.float64,
+        )
+        befores = np.array(
+            [np.inf if before is None else before.timestamp() for _, before in bounds],
+            dtype=np.float64,
+        )
+        los = np.searchsorted(epochs, afters, side="left").tolist()
+        his = np.searchsorted(epochs, befores, side="left").tolist()
+
+        bin_videos: list[list[Video]] = []
+        if order == "date":
+            for lo, hi in zip(los, his):
+                bin_videos.append(merged[lo:hi][::-1])
+        else:
+            for lo, hi in zip(los, his):
+                window = merged[lo:hi]
+                _order_videos(window, order, self._store, as_of)
+                bin_videos.append(window)
+        return SweepOutcome(bin_videos=bin_videos, bin_totals=bin_totals)
 
     # -- internals -----------------------------------------------------------
 
@@ -294,18 +404,19 @@ class SearchBehaviorEngine:
         if cached is not None:
             return cached
         partition = self._partition(query_label, channel_id, candidate_ids)
-        selection: dict[str, tuple[float, list[Video], list[datetime]]] = {}
+        selection: dict[str, tuple[float, list[Video], list[datetime], np.ndarray]] = {}
         for topic_key, (positions, _times) in partition.items():
             runtime = self._topics[topic_key]
             narrowness = max(len(positions) / max(runtime.spec.n_videos, 1), 1e-6)
             narrowness = min(narrowness, 1.0)
-            kept = self._select_for_topic(
+            kept, epochs = self._select_for_topic(
                 runtime, positions, as_of, request_label, narrowness
             )
             selection[topic_key] = (
                 narrowness,
                 kept,
                 [v.published_at for v in kept],
+                epochs,
             )
         # Computed outside the lock (so the stateful latent lookup can take
         # it); racing threads produce identical values, first store wins.
@@ -397,9 +508,15 @@ class SearchBehaviorEngine:
         as_of: datetime,
         request_label: str,
         narrowness: float,
-    ) -> list[Video]:
+    ) -> tuple[list[Video], np.ndarray]:
+        """Kept videos (position order) plus their publish-epoch vector.
+
+        The epochs are a slice of the topic's precomputed ``pub_ts`` — by
+        the runtime's float64 round-trip invariant, element ``i`` equals
+        ``kept[i].published_at.timestamp()`` exactly.
+        """
         if partition_positions.size == 0:
-            return []
+            return [], _EMPTY_EPOCHS
         params = self._params
         # A collection-level budget factor: the total number of videos the
         # endpoint is willing to return drifts a little between collection
@@ -420,7 +537,7 @@ class SearchBehaviorEngine:
         )
         positions = partition_positions[alive]
         if positions.size == 0:
-            return []
+            return [], _EMPTY_EPOCHS
 
         # Per-video threshold crossing: a video is in its hour's "windowed
         # set" when the CDF of its selection score falls below the hour's
@@ -437,8 +554,12 @@ class SearchBehaviorEngine:
             runtime.hour_of[positions]
         ]
         keep = ndtr(scores) < q
+        kept_positions = positions[keep]
         videos = runtime.videos
-        return [videos[pos] for pos in positions[keep]]
+        return (
+            [videos[pos] for pos in kept_positions],
+            np.asarray(runtime.pub_ts[kept_positions], dtype=np.float64),
+        )
 
 
 @lru_cache(maxsize=8192)

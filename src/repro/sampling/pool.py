@@ -24,7 +24,13 @@ from __future__ import annotations
 
 import math
 
-from repro.util.rng import stable_normal, stable_uniform
+from repro.util.rng import (
+    hashed_prefix,
+    stable_normal,
+    stable_normal_suffixed,
+    stable_uniform,
+    stable_uniform_suffixed,
+)
 from repro.world.topics import TopicSpec
 
 __all__ = ["PoolSizeModel", "TOTAL_RESULTS_CAP"]
@@ -86,3 +92,37 @@ class PoolSizeModel:
             z = stable_normal("pool-noise", self._spec.key, request_label, window_label)
             value = base * math.exp(self._spec.pool_sigma * z)
         return min(_round_sig(value), TOTAL_RESULTS_CAP)
+
+    def total_results_many(
+        self,
+        request_label: str,
+        window_labels: list[str],
+        narrowness: float = 1.0,
+    ) -> list[int]:
+        """One :meth:`total_results` draw per window label, in order.
+
+        Element ``j`` equals ``total_results(request_label,
+        window_labels[j], narrowness)`` exactly: the draw keys only differ
+        in their trailing window label, so the shared key prefix is hashed
+        through :func:`~repro.util.rng.hashed_prefix` once instead of being
+        re-joined per bin — which is what makes the batched sweep's 672
+        per-bin draws cheap without changing a single value.
+        """
+        if not 0.0 < narrowness <= 1.0:
+            raise ValueError("narrowness must be in (0, 1]")
+        key = self._spec.key
+        base = self._spec.pool_canonical * narrowness
+        sigma = self._spec.pool_sigma
+        heap_probability = self._heap_probability
+        heap_prefix = hashed_prefix("pool-heap", key, request_label)
+        noise_prefix = hashed_prefix("pool-noise", key, request_label)
+        exp = math.exp
+        out: list[int] = []
+        append = out.append
+        for label in window_labels:
+            if stable_uniform_suffixed(heap_prefix, label) < heap_probability:
+                value = base
+            else:
+                value = base * exp(sigma * stable_normal_suffixed(noise_prefix, label))
+            append(min(_round_sig(value), TOTAL_RESULTS_CAP))
+        return out

@@ -25,11 +25,20 @@ from typing import Iterable
 
 import numpy as np
 
-__all__ = ["SeedBank", "stable_hash", "stable_uniform", "stable_normal"]
+__all__ = [
+    "SeedBank",
+    "stable_hash",
+    "stable_uniform",
+    "stable_normal",
+    "hashed_prefix",
+    "stable_uniform_suffixed",
+    "stable_normal_suffixed",
+]
 
 _U64 = 2**64
 
 _blake2b = hashlib.blake2b
+_from_bytes = int.from_bytes
 
 # One shared standard-normal distribution: constructing NormalDist per draw
 # costs more than the inverse CDF itself on the hot path, and inv_cdf is a
@@ -53,8 +62,7 @@ def stable_hash(*parts: object) -> int:
     distributes over concatenation and ``"\\x1f"`` encodes to ``b"\\x1f"``.
     """
     buf = "\x1f".join(map(str, parts)) + "\x1f" if parts else ""
-    h = _blake2b(buf.encode("utf-8"), digest_size=8)
-    return int.from_bytes(h.digest(), "big")
+    return _from_bytes(_blake2b(buf.encode("utf-8"), digest_size=8).digest(), "big")
 
 
 def stable_uniform(*parts: object) -> float:
@@ -72,6 +80,36 @@ def stable_normal(*parts: object) -> float:
     # scipy) — use the Beasley-Springer/Moro-free closed form via
     # statistics.NormalDist, which is exact enough and dependency-free.
     return _STD_NORMAL.inv_cdf(u)
+
+
+def hashed_prefix(*parts: object) -> str:
+    """The shared string prefix of stable draws over ``(*parts, suffix)``.
+
+    Sweep-scale consumers draw thousands of variates whose key tuples share
+    a common head (``("pool-heap", topic, date, <window>)`` varies only in
+    the window).  Joining the head once and appending each suffix is
+    byte-identical to re-joining the whole tuple per draw — the delimiter
+    layout ``p1 \\x1f p2 \\x1f ... \\x1f`` is associative in that split.
+    """
+    return "\x1f".join(map(str, parts)) + "\x1f" if parts else ""
+
+
+def stable_uniform_suffixed(prefix: str, suffix: object) -> float:
+    """``stable_uniform(*parts, suffix)`` with the parts prefix precomputed.
+
+    ``prefix`` must come from :func:`hashed_prefix`; the pair of calls is
+    exactly equivalent to one :func:`stable_uniform` over the full tuple.
+    """
+    h = _from_bytes(
+        _blake2b((prefix + str(suffix) + "\x1f").encode("utf-8"), digest_size=8).digest(),
+        "big",
+    )
+    return (h + 0.5) / _U64
+
+
+def stable_normal_suffixed(prefix: str, suffix: object) -> float:
+    """``stable_normal(*parts, suffix)`` with the parts prefix precomputed."""
+    return _STD_NORMAL.inv_cdf(stable_uniform_suffixed(prefix, suffix))
 
 
 class SeedBank:

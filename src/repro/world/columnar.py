@@ -794,6 +794,15 @@ class _LazyMapping(Mapping):
     def __init__(self, corpus: ColumnarCorpus) -> None:
         self._corpus = corpus
 
+    def get(self, key, default=None):
+        # Concrete override of Mapping.get: the ABC mixin adds two extra
+        # Python frames per lookup, and ``store.video``/``store.channel``
+        # funnel every endpoint's entity fetch through here.
+        try:
+            return self[key]
+        except KeyError:
+            return default
+
     def __eq__(self, other: object) -> bool:
         if isinstance(other, Mapping):
             return dict(self) == dict(other)

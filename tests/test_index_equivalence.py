@@ -486,7 +486,7 @@ class TestAnalysisBattery:
             BenchScenario(scale=0.2, collections=4, kind="nope")
         assert {s.kind for s in SCENARIOS.values()} == {
             "campaign", "analysis", "replication", "service", "orchestrator",
-            "world", "spill",
+            "world", "spill", "collect",
         }
 
 

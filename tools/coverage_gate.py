@@ -40,6 +40,7 @@ FAST_FLOOR = 75
 #: Slow end-to-end modules dropped by ``--fast`` (coverage-redundant).
 FAST_SKIPS = (
     "tests/test_golden_campaign.py",
+    "tests/test_batch_collection.py",
     "tests/test_perf_fastpath.py",
     "tests/test_process_backend.py",
     "tests/test_integration.py",
